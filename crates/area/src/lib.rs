@@ -1,0 +1,28 @@
+//! Structural FPGA area model: the LUT/register costs of Figure 8.
+//!
+//! We cannot run Synplify Pro against a Virtex-5 LX330T, so this crate
+//! substitutes a *calibrated structural model*: each hardware unit's
+//! LUT/FF cost is written as a function of its architectural parameters
+//! (trellis states, soft-input width, traceback window, block length),
+//! with coefficients anchored so that the paper's default configuration
+//! (`K = 7`, 64 states, `l = k = 64`, `n = 64`, 8-bit soft inputs,
+//! 12-bit path metrics) reproduces the paper's synthesis table exactly.
+//!
+//! What the model preserves — and what the ablation benches exercise — is
+//! the *structure* of the paper's area result:
+//!
+//! * BCJR ≈ 2× SOVA, "primarily due to the three path metric units used by
+//!   BCJR and its larger buffering requirements" (§4.4.3);
+//! * SOVA ≈ 2× Viterbi (the second traceback unit and soft-decision state);
+//! * BCJR trades registers for BRAM in the reversal buffers;
+//! * area scales with traceback length / block size, which is why the
+//!   paper notes it can be recovered by shrinking the backward analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod synthesis;
+
+pub use model::{AreaReport, DecoderParams, UnitArea};
+pub use synthesis::{synthesize, DecoderChoice, SynthesisTable};

@@ -1,0 +1,219 @@
+//! Per-unit area formulas.
+
+use std::fmt;
+
+/// Architectural parameters of a decoder instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderParams {
+    /// Trellis states (64 for the 802.11a code).
+    pub states: usize,
+    /// Soft-input width in bits (the paper's hardware sweeps 3–8).
+    pub input_bits: u32,
+    /// Path-metric register width in bits.
+    pub metric_bits: u32,
+    /// SOVA traceback window `l` = `k`, or BCJR block length `n`, or the
+    /// Viterbi traceback length.
+    pub window: usize,
+}
+
+impl DecoderParams {
+    /// The paper's synthesis configuration: 64 states, 8-bit inputs,
+    /// 12-bit metrics, window/block 64.
+    pub fn paper_default() -> Self {
+        Self {
+            states: 64,
+            input_bits: 8,
+            metric_bits: 12,
+            window: 64,
+        }
+    }
+}
+
+/// LUT/FF cost of one hardware unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitArea {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops (the paper forces all storage to registers for
+    /// comparability, §4.4.3).
+    pub registers: u64,
+}
+
+impl UnitArea {
+    /// Component-wise sum.
+    pub fn plus(self, other: UnitArea) -> UnitArea {
+        UnitArea {
+            luts: self.luts + other.luts,
+            registers: self.registers + other.registers,
+        }
+    }
+}
+
+impl fmt::Display for UnitArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs / {} FFs", self.luts, self.registers)
+    }
+}
+
+/// A named unit inside a decoder report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Unit name as it appears in the paper's table.
+    pub name: &'static str,
+    /// Its cost.
+    pub area: UnitArea,
+}
+
+fn scale(base: u64, num: u64, den: u64) -> u64 {
+    // Round-to-nearest integer scaling of a calibrated base value.
+    (base * num + den / 2) / den
+}
+
+/// Branch metric unit: a handful of adders on the soft inputs; scales with
+/// input width. Calibrated: 63 LUT / 41 FF at 8 bits.
+pub fn bmu(p: &DecoderParams) -> UnitArea {
+    UnitArea {
+        luts: scale(63, u64::from(p.input_bits), 8),
+        registers: scale(41, u64::from(p.input_bits), 8),
+    }
+}
+
+/// One path metric unit: an ACS per state, scaling with state count and
+/// metric width. Calibrated: 4672 LUT / 0 FF at 64 states × 12 bits (the
+/// metric registers live in the surrounding pipeline, as in the paper's
+/// table).
+pub fn pmu(p: &DecoderParams) -> UnitArea {
+    UnitArea {
+        luts: scale(4672, (p.states as u64) * u64::from(p.metric_bits), 64 * 12),
+        registers: 0,
+    }
+}
+
+/// Viterbi's hard-decision traceback unit: survivor memory of
+/// `window × states` bits plus traceback logic. Calibrated: 5144 LUT /
+/// 3927 FF at 64 × 64.
+pub fn viterbi_traceback(p: &DecoderParams) -> UnitArea {
+    let cells = (p.window * p.states) as u64;
+    UnitArea {
+        luts: scale(5144, cells, 64 * 64),
+        registers: scale(3927, cells, 64 * 64),
+    }
+}
+
+/// SOVA's soft traceback unit (the second, dual-path traceback with
+/// per-step soft-decision storage). Calibrated: 13456 LUT / 13402 FF at
+/// window 64 (soft state scales with `window × metric_bits`).
+pub fn sova_soft_traceback(p: &DecoderParams) -> UnitArea {
+    let cells = (p.window as u64) * u64::from(p.metric_bits);
+    UnitArea {
+        luts: scale(13456, cells, 64 * 12),
+        registers: scale(13402, cells, 64 * 12),
+    }
+}
+
+/// SOVA's soft path detector (reported inside the soft traceback unit in
+/// the paper's table). Calibrated: 7362 LUT / 4706 FF.
+pub fn sova_path_detect(p: &DecoderParams) -> UnitArea {
+    let cells = (p.window as u64) * u64::from(p.metric_bits);
+    UnitArea {
+        luts: scale(7362, cells, 64 * 12),
+        registers: scale(4706, cells, 64 * 12),
+    }
+}
+
+/// BCJR's initial reversal buffer: stores one block of soft inputs.
+/// Calibrated: 804 LUT / 2608 FF at n = 64 × (2 × 8-bit inputs + control).
+pub fn bcjr_initial_reversal(p: &DecoderParams) -> UnitArea {
+    let bits = (p.window as u64) * 2 * u64::from(p.input_bits);
+    UnitArea {
+        luts: scale(804, bits, 64 * 16),
+        registers: scale(2608, bits, 64 * 16),
+    }
+}
+
+/// BCJR's final reversal buffer: stores a block of path-metric columns —
+/// the dominant register cost. Calibrated: 8651 LUT / 30048 FF at
+/// n = 64 blocks of 64-state × 12-bit metrics (paper: "based on
+/// dual-ported SRAMs", synthesized to registers for the comparison).
+pub fn bcjr_final_reversal(p: &DecoderParams) -> UnitArea {
+    let bits = (p.window as u64) * (p.states as u64) * u64::from(p.metric_bits) / 16;
+    let base_bits = 64u64 * 64 * 12 / 16;
+    UnitArea {
+        luts: scale(8651, bits, base_bits),
+        registers: scale(30048, bits, base_bits),
+    }
+}
+
+/// BCJR's soft decision unit: max-1/max-0 selection over states plus the
+/// single LLR subtracter (§4.3.2). Calibrated: 6561 LUT / 822 FF.
+pub fn bcjr_decision(p: &DecoderParams) -> UnitArea {
+    UnitArea {
+        luts: scale(6561, (p.states as u64) * u64::from(p.metric_bits), 64 * 12),
+        registers: scale(822, u64::from(p.metric_bits), 12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_points_match_paper() {
+        let p = DecoderParams::paper_default();
+        assert_eq!(bmu(&p), UnitArea { luts: 63, registers: 41 });
+        assert_eq!(pmu(&p), UnitArea { luts: 4672, registers: 0 });
+        assert_eq!(
+            viterbi_traceback(&p),
+            UnitArea { luts: 5144, registers: 3927 }
+        );
+        assert_eq!(
+            sova_soft_traceback(&p),
+            UnitArea { luts: 13456, registers: 13402 }
+        );
+        assert_eq!(
+            bcjr_final_reversal(&p),
+            UnitArea { luts: 8651, registers: 30048 }
+        );
+        assert_eq!(
+            bcjr_initial_reversal(&p),
+            UnitArea { luts: 804, registers: 2608 }
+        );
+        assert_eq!(bcjr_decision(&p), UnitArea { luts: 6561, registers: 822 });
+        assert_eq!(
+            sova_path_detect(&p),
+            UnitArea { luts: 7362, registers: 4706 }
+        );
+    }
+
+    #[test]
+    fn window_scaling_is_linear_for_buffers() {
+        let mut p = DecoderParams::paper_default();
+        let full = bcjr_final_reversal(&p);
+        p.window = 32;
+        let half = bcjr_final_reversal(&p);
+        assert_eq!(half.registers, full.registers / 2);
+    }
+
+    #[test]
+    fn input_width_scales_bmu() {
+        let mut p = DecoderParams::paper_default();
+        p.input_bits = 4;
+        let narrow = bmu(&p);
+        assert!(narrow.luts < 63 && narrow.luts >= 28);
+    }
+
+    #[test]
+    fn metric_width_scales_pmu() {
+        let mut p = DecoderParams::paper_default();
+        p.metric_bits = 6;
+        assert_eq!(pmu(&p).luts, 2336);
+    }
+
+    #[test]
+    fn unit_area_sums() {
+        let a = UnitArea { luts: 10, registers: 20 };
+        let b = UnitArea { luts: 1, registers: 2 };
+        assert_eq!(a.plus(b), UnitArea { luts: 11, registers: 22 });
+        assert_eq!(a.to_string(), "10 LUTs / 20 FFs");
+    }
+}

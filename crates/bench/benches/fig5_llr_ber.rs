@@ -1,0 +1,30 @@
+//! Figure 5: BER vs SoftPHY hints for BCJR and SOVA.
+
+use wilis::softphy::DecoderKind;
+use wilis::experiment::fig5;
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let bits = budget(250_000);
+    banner(&format!(
+        "Figure 5: BER vs LLR hints ({bits} payload bits per curve; WILIS_BITS to scale)"
+    ));
+    for decoder in [DecoderKind::Bcjr, DecoderKind::Sova] {
+        let curves = fig5::run(decoder, bits, 0xF15);
+        print!("{}", fig5::render(decoder, &curves));
+        // Summarize: the slope ordering is the figure's key content.
+        println!("slopes (log10 BER per hint):");
+        for c in &curves {
+            match c.calibration.fit {
+                Some(f) => println!("  {:<44} {:+.4}", c.label, f.slope),
+                None => println!("  {:<44} (insufficient errors)", c.label),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Paper reference: log-linear curves spanning 1e-1..1e-7 over hints 0..60;\n\
+         slopes steepen with SNR; BCJR covers a wider usable range than SOVA.\n\
+         (Paper budget: 1e12 bits on FPGA; raise WILIS_BITS to dig below ~1e-5.)"
+    );
+}

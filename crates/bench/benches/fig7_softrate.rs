@@ -1,0 +1,22 @@
+//! Figure 7: SoftRate selection accuracy under fading.
+
+use wilis::softphy::DecoderKind;
+use wilis::experiment::fig7;
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let packets = (budget(1_000_000) / (800 * 9)).max(10) as u32;
+    banner(&format!(
+        "Figure 7: SoftRate under 20 Hz fading + 10 dB AWGN ({packets} packet slots)"
+    ));
+    let cfg = fig7::Fig7Config::paper(packets);
+    let results = vec![
+        fig7::run(&cfg, DecoderKind::Bcjr),
+        fig7::run(&cfg, DecoderKind::Sova),
+    ];
+    print!("{}", fig7::render(&results));
+    println!(
+        "\nPaper reference: both implementations pick the optimal rate >80% of the\n\
+         time; SOVA underselects ~4% more than BCJR; both overselect ~2%."
+    );
+}

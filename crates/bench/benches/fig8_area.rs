@@ -1,0 +1,14 @@
+//! Figure 8: synthesis results for BCJR, SOVA and Viterbi.
+
+use wilis::experiment::fig8;
+use wilis_bench::banner;
+
+fn main() {
+    banner("Figure 8: synthesis results (calibrated structural area model)");
+    print!("{}", fig8::render(&fig8::run()));
+    println!(
+        "\nPaper reference (Synplify Pro, Virtex-5 LX330T @ 60 MHz, storage forced\n\
+         to registers): BCJR 32936/38420, SOVA 15114/15168, Viterbi 7569/4538.\n\
+         BCJR is ~2x SOVA (three PMUs + reversal buffers); SOVA ~2x Viterbi."
+    );
+}

@@ -1,0 +1,74 @@
+//! Property-based tests on channel models.
+
+use proptest::prelude::*;
+use wilis_fxp::Cplx;
+
+use crate::parallel::apply_awgn_parallel;
+use crate::{AwgnChannel, Channel, RayleighFading, ReplayChannel, SnrDb};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// AWGN is exactly reproducible from its seed for any SNR.
+    #[test]
+    fn awgn_reproducible(seed in any::<u64>(), snr_db in -5.0f64..30.0, n in 1usize..500) {
+        let mut a = AwgnChannel::new(SnrDb::new(snr_db), seed);
+        let mut b = AwgnChannel::new(SnrDb::new(snr_db), seed);
+        let mut xa = vec![Cplx::ONE; n];
+        let mut xb = vec![Cplx::ONE; n];
+        a.apply(&mut xa);
+        b.apply(&mut xb);
+        prop_assert_eq!(xa, xb);
+    }
+
+    /// Replay channels agree for any split of the sample stream.
+    #[test]
+    fn replay_split_invariance(seed in any::<u64>(), split in 1usize..199) {
+        let total = 200usize;
+        let mut whole = ReplayChannel::awgn_only(SnrDb::new(8.0), 1e6, seed);
+        let mut buf = vec![Cplx::ONE; total];
+        whole.apply(&mut buf);
+
+        let mut parts = ReplayChannel::awgn_only(SnrDb::new(8.0), 1e6, seed);
+        let mut first = vec![Cplx::ONE; split];
+        let mut second = vec![Cplx::ONE; total - split];
+        parts.apply(&mut first);
+        parts.apply(&mut second);
+        first.extend(second);
+        prop_assert_eq!(buf, first);
+    }
+
+    /// Fading gain magnitude is finite and non-degenerate everywhere.
+    #[test]
+    fn fading_gain_well_behaved(seed in any::<u64>(), t in 0.0f64..1000.0) {
+        let fading = RayleighFading::new(20.0, seed);
+        let g = fading.gain_at(t);
+        prop_assert!(g.re.is_finite() && g.im.is_finite());
+        prop_assert!(g.norm() < 10.0, "gain too large: {}", g.norm());
+    }
+
+    /// Thread count never changes the parallel-AWGN realization.
+    #[test]
+    fn parallel_thread_invariance(seed in any::<u64>(), threads in 1usize..9, n in 1usize..5000) {
+        let mut reference = vec![Cplx::ONE; n];
+        let mut other = vec![Cplx::ONE; n];
+        apply_awgn_parallel(&mut reference, SnrDb::new(10.0), seed, 1);
+        apply_awgn_parallel(&mut other, SnrDb::new(10.0), seed, threads);
+        prop_assert_eq!(reference, other);
+    }
+
+    /// Higher SNR always means less measured distortion (on average).
+    #[test]
+    fn snr_ordering_holds(seed in any::<u64>()) {
+        let n = 20_000;
+        let measure = |db: f64| {
+            let mut ch = AwgnChannel::new(SnrDb::new(db), seed);
+            let mut buf = vec![Cplx::ONE; n];
+            ch.apply(&mut buf);
+            buf.iter().map(|s| (*s - Cplx::ONE).norm_sq()).sum::<f64>() / n as f64
+        };
+        let noisy = measure(0.0);
+        let clean = measure(20.0);
+        prop_assert!(noisy > 5.0 * clean, "0 dB {noisy} vs 20 dB {clean}");
+    }
+}

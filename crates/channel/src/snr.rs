@@ -1,0 +1,96 @@
+//! Signal-to-noise ratio newtype.
+
+use std::fmt;
+
+/// A signal-to-noise ratio in decibels.
+///
+/// Wireless literature flips between dB and linear scales constantly; this
+/// newtype keeps the two from being confused (the classic units bug) and
+/// centralizes the conversion.
+///
+/// # Example
+///
+/// ```
+/// use wilis_channel::SnrDb;
+///
+/// let snr = SnrDb::new(10.0);
+/// assert!((snr.linear() - 10.0).abs() < 1e-12);
+/// assert!((SnrDb::from_linear(100.0).db() - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SnrDb(f64);
+
+impl SnrDb {
+    /// An SNR of `db` decibels.
+    pub fn new(db: f64) -> Self {
+        Self(db)
+    }
+
+    /// Converts a linear power ratio to dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is not strictly positive.
+    pub fn from_linear(linear: f64) -> Self {
+        assert!(linear > 0.0, "linear SNR must be positive");
+        Self(10.0 * linear.log10())
+    }
+
+    /// The value in decibels.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// The linear power ratio `Es/N0`.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Noise power for unit signal power at this SNR.
+    pub fn noise_power(self) -> f64 {
+        1.0 / self.linear()
+    }
+}
+
+impl fmt::Display for SnrDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        for db in [-5.0, 0.0, 6.0, 8.0, 10.0, 30.0] {
+            let s = SnrDb::new(db);
+            let back = SnrDb::from_linear(s.linear());
+            assert!((back.db() - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_db_is_unity() {
+        assert!((SnrDb::new(0.0).linear() - 1.0).abs() < 1e-15);
+        assert!((SnrDb::new(0.0).noise_power() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noise_power_inverts_linear() {
+        let s = SnrDb::new(10.0);
+        assert!((s.noise_power() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_linear_panics() {
+        let _ = SnrDb::from_linear(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SnrDb::new(6.0).to_string(), "6 dB");
+    }
+}

@@ -1,0 +1,147 @@
+//! Convolutional code specification.
+
+use std::fmt;
+
+/// A rate-`1/n` binary convolutional code: a constraint length and one
+/// generator polynomial per output bit.
+///
+/// Generators are given in the standard octal-literal convention, where the
+/// most significant coefficient multiplies the *current* input bit. The
+/// 802.11a code is `K = 7`, generators `0o133` and `0o171`.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::ConvCode;
+///
+/// let code = ConvCode::ieee80211();
+/// assert_eq!(code.constraint_len(), 7);
+/// assert_eq!(code.n_out(), 2);
+/// assert_eq!(code.n_states(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvCode {
+    constraint_len: u32,
+    generators: Vec<u32>,
+}
+
+impl ConvCode {
+    /// Defines a code from a constraint length and generator polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint_len` is not in `2..=16`, if fewer than two
+    /// generators are given, or if any generator needs more than
+    /// `constraint_len` bits.
+    pub fn new(constraint_len: u32, generators: &[u32]) -> Self {
+        assert!(
+            (2..=16).contains(&constraint_len),
+            "constraint length {constraint_len} out of supported range 2..=16"
+        );
+        assert!(generators.len() >= 2, "a rate-1/n code needs n >= 2");
+        for &g in generators {
+            assert!(
+                g < (1 << constraint_len),
+                "generator {g:#o} wider than constraint length {constraint_len}"
+            );
+            assert!(g != 0, "zero generator produces no information");
+        }
+        Self {
+            constraint_len,
+            generators: generators.to_vec(),
+        }
+    }
+
+    /// The industry-standard 802.11a code: `K = 7`, rate 1/2, generators
+    /// `0o133` and `0o171` (§4.1 of the paper).
+    pub fn ieee80211() -> Self {
+        Self::new(7, &[0o133, 0o171])
+    }
+
+    /// A small `K = 3` code (`0o5`, `0o7`), handy for exhaustive tests.
+    pub fn k3() -> Self {
+        Self::new(3, &[0o5, 0o7])
+    }
+
+    /// Constraint length `K`.
+    pub fn constraint_len(&self) -> u32 {
+        self.constraint_len
+    }
+
+    /// Number of memory bits, `K - 1`.
+    pub fn memory(&self) -> u32 {
+        self.constraint_len - 1
+    }
+
+    /// Number of coded output bits per input bit (the `n` of rate `1/n`).
+    pub fn n_out(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Number of trellis states, `2^(K-1)`.
+    pub fn n_states(&self) -> usize {
+        1 << self.memory()
+    }
+
+    /// The generator polynomials.
+    pub fn generators(&self) -> &[u32] {
+        &self.generators
+    }
+
+    /// Number of tail bits needed to return the encoder to state zero.
+    pub fn tail_len(&self) -> usize {
+        self.memory() as usize
+    }
+}
+
+impl fmt::Display for ConvCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K={} r=1/{} (", self.constraint_len, self.n_out())?;
+        for (i, g) in self.generators.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g:#o}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee80211_shape() {
+        let c = ConvCode::ieee80211();
+        assert_eq!(c.memory(), 6);
+        assert_eq!(c.n_states(), 64);
+        assert_eq!(c.tail_len(), 6);
+        assert_eq!(c.generators(), &[0o133, 0o171]);
+        assert_eq!(c.to_string(), "K=7 r=1/2 (0o133, 0o171)");
+    }
+
+    #[test]
+    fn k3_shape() {
+        let c = ConvCode::k3();
+        assert_eq!(c.n_states(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than constraint length")]
+    fn oversized_generator_rejected() {
+        let _ = ConvCode::new(3, &[0o5, 0o17]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs n >= 2")]
+    fn single_generator_rejected() {
+        let _ = ConvCode::new(3, &[0o5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero generator")]
+    fn zero_generator_rejected() {
+        let _ = ConvCode::new(3, &[0o5, 0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! The convolutional encoder: "a shift register of k − m bits" (§4.1).
+
+use crate::trellis::Trellis;
+use crate::ConvCode;
+
+/// A streaming convolutional encoder.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::{ConvCode, ConvEncoder};
+///
+/// let code = ConvCode::ieee80211();
+/// let mut enc = ConvEncoder::new(&code);
+/// let coded = enc.encode_terminated(&[1, 0, 1]);
+/// // 3 data bits + 6 tail bits, 2 coded bits each.
+/// assert_eq!(coded.len(), (3 + 6) * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvEncoder {
+    code: ConvCode,
+    trellis: Trellis,
+    state: usize,
+}
+
+impl ConvEncoder {
+    /// An encoder for `code`, starting in the all-zero state.
+    pub fn new(code: &ConvCode) -> Self {
+        Self {
+            code: code.clone(),
+            trellis: Trellis::new(code),
+            state: 0,
+        }
+    }
+
+    /// Encodes one input bit, returning `n_out` coded bits (values 0/1,
+    /// generator 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not 0 or 1.
+    pub fn push(&mut self, bit: u8) -> Vec<u8> {
+        assert!(bit < 2, "binary input expected, got {bit}");
+        let tr = self.trellis.next(self.state, bit);
+        self.state = tr.next as usize;
+        (0..self.code.n_out())
+            .map(|j| (tr.output >> j) & 1)
+            .collect()
+    }
+
+    /// Encodes a bit slice without termination; the encoder state carries
+    /// over to subsequent calls.
+    pub fn encode(&mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bits.len() * self.code.n_out());
+        for &b in bits {
+            out.extend(self.push(b));
+        }
+        out
+    }
+
+    /// Encodes a complete block: the data bits followed by `K - 1` zero
+    /// tail bits, returning the encoder to state zero (the 802.11a
+    /// convention the decoders' terminated mode assumes).
+    pub fn encode_terminated(&mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = self.encode(bits);
+        for _ in 0..self.code.tail_len() {
+            out.extend(self.push(0));
+        }
+        debug_assert_eq!(self.state, 0, "tail must flush to state zero");
+        out
+    }
+
+    /// The current shift-register state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Resets the shift register to zero.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// The code this encoder implements.
+    pub fn code(&self) -> &ConvCode {
+        &self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let mut enc = ConvEncoder::new(&ConvCode::ieee80211());
+        let coded = enc.encode(&[0; 20]);
+        assert!(coded.iter().all(|&b| b == 0));
+        assert_eq!(enc.state(), 0);
+    }
+
+    #[test]
+    fn termination_flushes_state() {
+        let mut enc = ConvEncoder::new(&ConvCode::ieee80211());
+        let _ = enc.encode_terminated(&[1, 1, 0, 1, 0, 0, 1, 1, 1]);
+        assert_eq!(enc.state(), 0);
+    }
+
+    #[test]
+    fn impulse_response_matches_generators() {
+        // A single 1 followed by zeros reads the generator taps out of the
+        // register one step at a time.
+        let code = ConvCode::ieee80211();
+        let mut enc = ConvEncoder::new(&code);
+        let coded = enc.encode(&[1, 0, 0, 0, 0, 0, 0]);
+        for (step, pair) in coded.chunks(2).enumerate() {
+            // At step t, the impulse sits at register position t, which the
+            // generator weights by its bit (K-1-t).
+            let tap = code.constraint_len() as usize - 1 - step;
+            let g0 = (code.generators()[0] >> tap) & 1;
+            let g1 = (code.generators()[1] >> tap) & 1;
+            assert_eq!(u32::from(pair[0]), g0, "g0 tap at step {step}");
+            assert_eq!(u32::from(pair[1]), g1, "g1 tap at step {step}");
+        }
+    }
+
+    #[test]
+    fn encode_is_linear() {
+        // c(a) XOR c(b) == c(a XOR b) for equal-length blocks - the
+        // defining property of a linear code, and a strong whole-encoder
+        // correctness check.
+        let code = ConvCode::ieee80211();
+        let a = [1u8, 0, 1, 1, 0, 1, 0, 0, 1, 1];
+        let b = [0u8, 1, 1, 0, 0, 1, 1, 0, 1, 0];
+        let xor: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let ca = ConvEncoder::new(&code).encode(&a);
+        let cb = ConvEncoder::new(&code).encode(&b);
+        let cxor = ConvEncoder::new(&code).encode(&xor);
+        let sum: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+        assert_eq!(sum, cxor);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary input")]
+    fn non_binary_input_panics() {
+        let mut enc = ConvEncoder::new(&ConvCode::k3());
+        let _ = enc.push(2);
+    }
+
+    #[test]
+    fn streaming_equals_block() {
+        let code = ConvCode::ieee80211();
+        let bits = [1u8, 1, 0, 1, 0, 1, 1, 0];
+        let mut s = ConvEncoder::new(&code);
+        let mut streamed = Vec::new();
+        for &b in &bits {
+            streamed.extend(s.push(b));
+        }
+        let mut blk = ConvEncoder::new(&code);
+        assert_eq!(streamed, blk.encode(&bits));
+    }
+}

@@ -1,0 +1,69 @@
+//! Convolutional FEC: the encoder and the three decoder microarchitectures
+//! the WiLIS paper evaluates.
+//!
+//! The paper's case study (§4) asks whether SoftPHY — exporting a per-bit
+//! confidence (log-likelihood ratio, LLR) from the channel decoder up the
+//! network stack — can be implemented in hardware at 802.11a/g rates. It
+//! answers by building and characterizing two soft-output decoders on a
+//! shared substrate:
+//!
+//! * [`ViterbiDecoder`] — the hard-output baseline used in commodity
+//!   802.11 basebands (the Figure 8 area reference).
+//! * [`SovaDecoder`] — the Soft-Output Viterbi Algorithm in the
+//!   two-traceback-unit microarchitecture of Berrou et al. (Figure 3);
+//!   latency `l + k + 12` cycles.
+//! * [`BcjrDecoder`] — sliding-window max-log BCJR (Benedetto et al.'s
+//!   SW-BCJR, Figure 4) with a provisional backward path-metric unit and
+//!   block reversal buffers; latency `2n + 7` cycles.
+//!
+//! All three share one [`Trellis`], one branch-metric unit ([`bmu`]) and
+//! one parameterized path-metric unit ([`pmu`]) — mirroring the paper's
+//! observation (§4.3) that "as both SOVA and BCJR use BMU and PMU, the
+//! designs of these two components are shared."
+//!
+//! Soft inputs and outputs use the [`Llr`] convention: positive means the
+//! bit is more likely a `1`, and magnitude is confidence.
+//!
+//! # Example: round-trip through encoder and SOVA
+//!
+//! ```
+//! use wilis_fec::{ConvCode, ConvEncoder, SovaDecoder, SoftDecoder, hard_llr};
+//!
+//! let code = ConvCode::ieee80211();
+//! let data = [1u8, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0];
+//! let coded = ConvEncoder::new(&code).encode_terminated(&data);
+//!
+//! // Perfect channel: full-confidence LLRs.
+//! let llrs: Vec<i32> = coded.iter().map(|&b| hard_llr(b, 15)).collect();
+//! let mut dec = SovaDecoder::new(&code, 64, 64);
+//! let out = dec.decode_terminated(&llrs);
+//! assert_eq!(out.bits, data);
+//! assert!(out.soft.iter().all(|&s| s != 0), "clean bits carry confidence");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcjr;
+pub mod bmu;
+mod code;
+mod encoder;
+mod llr;
+pub mod pipeline;
+pub mod pmu;
+mod puncture;
+mod sova;
+mod trellis;
+mod viterbi;
+
+pub use bcjr::BcjrDecoder;
+pub use code::ConvCode;
+pub use encoder::ConvEncoder;
+pub use llr::{hard_llr, DecodeOutput, Llr, SoftDecoder, HINT_BITS, MAX_HINT};
+pub use puncture::{CodeRate, Depuncturer, Puncturer};
+pub use sova::SovaDecoder;
+pub use trellis::Trellis;
+pub use viterbi::ViterbiDecoder;
+
+#[cfg(test)]
+mod prop_tests;

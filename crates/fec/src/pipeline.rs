@@ -1,0 +1,301 @@
+//! Cycle-level latency models of the decoder pipelines, built on the
+//! latency-insensitive engine.
+//!
+//! The paper derives the decoder latencies structurally (§4.3.1, §4.3.2):
+//!
+//! * SOVA: `l + k + 12` — one cycle each for BMU and PMU, five two-entry
+//!   FIFOs contributing up to two cycles each, plus the two traceback
+//!   windows (Figure 3).
+//! * BCJR: `2n + 7` — two reversal buffers of `n` cycles each dominate,
+//!   with pipeline stages and FIFOs making up the constant (Figure 4).
+//!
+//! These functions *measure* the same numbers by pushing a token through a
+//! [`wilis_lis`] pipeline whose stages impose exactly the hardware's
+//! processing delays. The `latency` bench and the `latency_contracts`
+//! integration test assert measurement == formula — the kind of check the
+//! latency-insensitive methodology makes cheap (§2: modules can be refined
+//! without re-verifying the composition).
+
+use std::collections::VecDeque;
+
+use wilis_lis::{ClockHandle, Freq, LinkSpec, Module, Sink, Source, SystemBuilder};
+
+/// A token stamped with its birth edge, for end-to-end latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// Sequence number.
+    pub id: u64,
+    /// Clock edge (in the measurement domain) when the token entered the
+    /// pipeline.
+    pub birth_edge: u64,
+}
+
+/// A fixed-latency, fully pipelined stage: tokens exit exactly
+/// `delay_cycles` edges after entering, one per cycle at full throughput.
+/// Models BMUs, PMUs, traceback windows, delay buffers and reversal buffers
+/// — anything with shift-register timing.
+#[derive(Debug)]
+pub struct DelayStage {
+    name: String,
+    inp: Source<Stamped>,
+    out: Sink<Stamped>,
+    clk: ClockHandle,
+    delay_cycles: u64,
+    line: VecDeque<(Stamped, u64)>,
+}
+
+impl DelayStage {
+    /// A stage with the given processing delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_cycles` is zero — a zero-latency stage is a wire,
+    /// not a pipeline stage.
+    pub fn new(
+        name: &str,
+        inp: Source<Stamped>,
+        out: Sink<Stamped>,
+        clk: ClockHandle,
+        delay_cycles: u64,
+    ) -> Self {
+        assert!(delay_cycles > 0, "a pipeline stage has at least one cycle");
+        Self {
+            name: name.to_string(),
+            inp,
+            out,
+            clk,
+            delay_cycles,
+            line: VecDeque::new(),
+        }
+    }
+}
+
+impl Module for DelayStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self) {
+        let now = self.clk.edges();
+        // Retire a token whose dwell time has elapsed.
+        if let Some(&(token, entered)) = self.line.front() {
+            if now >= entered + self.delay_cycles && self.out.can_enq() {
+                self.out.enq(token);
+                self.line.pop_front();
+            }
+        }
+        // Accept a new token if the shift register has room.
+        if (self.line.len() as u64) < self.delay_cycles {
+            if let Some(token) = self.inp.deq() {
+                self.line.push_back((token, now));
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.line.is_empty()
+    }
+}
+
+struct Injector {
+    out: Sink<Stamped>,
+    clk: ClockHandle,
+    remaining: u64,
+    next_id: u64,
+}
+
+impl Module for Injector {
+    fn name(&self) -> &str {
+        "injector"
+    }
+    fn tick(&mut self) {
+        if self.remaining > 0 && self.out.can_enq() {
+            self.out.enq(Stamped {
+                id: self.next_id,
+                birth_edge: self.clk.edges(),
+            });
+            self.next_id += 1;
+            self.remaining -= 1;
+        }
+    }
+    fn is_idle(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+struct LatencyProbe {
+    inp: Source<Stamped>,
+    clk: ClockHandle,
+    latencies: Vec<u64>,
+}
+
+impl Module for LatencyProbe {
+    fn name(&self) -> &str {
+        "latency-probe"
+    }
+    fn tick(&mut self) {
+        if let Some(token) = self.inp.deq() {
+            self.latencies.push(self.clk.edges() - token.birth_edge);
+        }
+    }
+}
+
+/// Assembles a chain of [`DelayStage`]s joined by two-entry, two-cycle
+/// FIFOs (the paper's pipeline FIFOs), pushes `tokens` through it, and
+/// returns each token's end-to-end latency in cycles.
+///
+/// The chain is `injector → FIFO → stage_0 → FIFO → ... → stage_last →
+/// FIFO → probe`: `stages.len() + 1` FIFOs in total.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty or `tokens` is zero.
+pub fn measure_chain_latency(stage_delays: &[(&str, u64)], tokens: u64) -> Vec<u64> {
+    assert!(!stage_delays.is_empty(), "need at least one stage");
+    assert!(tokens > 0, "need at least one token");
+    let mut b = SystemBuilder::new();
+    let clk = b.clock("decoder", Freq::mhz(60));
+    let fifo = || LinkSpec::new(2).delay(2);
+
+    let (inj_tx, mut chain_rx) = b.link::<Stamped>(&clk, &clk, fifo());
+    b.add_module(
+        &clk,
+        Injector {
+            out: inj_tx,
+            clk: clk.clone(),
+            remaining: tokens,
+            next_id: 0,
+        },
+    );
+    for &(name, delay) in stage_delays {
+        let (tx, rx) = b.link::<Stamped>(&clk, &clk, fifo());
+        b.add_module(
+            &clk,
+            DelayStage::new(name, chain_rx, tx, clk.clone(), delay),
+        );
+        chain_rx = rx;
+    }
+    let probe = b.add_module(
+        &clk,
+        LatencyProbe {
+            inp: chain_rx,
+            clk: clk.clone(),
+            latencies: Vec::new(),
+        },
+    );
+    let mut sys = b.build();
+    let total_delay: u64 = stage_delays.iter().map(|&(_, d)| d).sum();
+    let budget = (total_delay + 2 * (stage_delays.len() as u64 + 1) + tokens + 16) * 4;
+    sys.run_until(budget * 2, |s| {
+        s.module::<LatencyProbe>(probe).latencies.len() as u64 >= tokens
+    });
+    sys.module::<LatencyProbe>(probe).latencies.clone()
+}
+
+/// The SOVA pipeline of Figure 3 as stage delays: BMU (1) → PMU (1) →
+/// delay buffer folded into TU1's window (`l`) → TU2 (`k`), joined by five
+/// two-cycle FIFOs. Measures the first token's latency.
+pub fn sova_pipeline_latency(l: u64, k: u64) -> u64 {
+    // 4 stages => 5 FIFOs, matching the paper's count.
+    let lat = measure_chain_latency(&[("bmu", 1), ("pmu", 1), ("tu1", l), ("tu2", k)], 4);
+    lat[0]
+}
+
+/// The BCJR pipeline of Figure 4, with the SRAM-coupled units fused the
+/// way the hardware couples them: BMU feeds the initial reversal buffer
+/// directly (one stage of `n + 1` cycles), the backward PMU feeds the
+/// final reversal buffer (another `n + 1`), and the decision unit adds one
+/// more cycle. The four registered FIFO hops contribute one cycle each,
+/// giving the paper's `2n + 7` exactly. (The provisional PMU runs in
+/// parallel with the final reversal buffer and does not add latency; it
+/// adds *area*, which `wilis-area` accounts for.)
+pub fn bcjr_pipeline_latency(n: u64) -> u64 {
+    let mut b = SystemBuilder::new();
+    let clk = b.clock("decoder", Freq::mhz(60));
+    let reg = LinkSpec::new(2).delay(1);
+
+    let (inj_tx, rx0) = b.link::<Stamped>(&clk, &clk, reg);
+    b.add_module(
+        &clk,
+        Injector {
+            out: inj_tx,
+            clk: clk.clone(),
+            remaining: 4,
+            next_id: 0,
+        },
+    );
+    let stages: [(&str, u64); 3] = [
+        ("bmu+rev-initial", n + 1),
+        ("pmu+rev-final", n + 1),
+        ("decision", 1),
+    ];
+    let mut rx = rx0;
+    for (name, delay) in stages {
+        let (tx, next_rx) = b.link::<Stamped>(&clk, &clk, reg);
+        b.add_module(&clk, DelayStage::new(name, rx, tx, clk.clone(), delay));
+        rx = next_rx;
+    }
+    let probe = b.add_module(
+        &clk,
+        LatencyProbe {
+            inp: rx,
+            clk: clk.clone(),
+            latencies: Vec::new(),
+        },
+    );
+    let mut sys = b.build();
+    sys.run_until((2 * n + 200) * 8, |s| {
+        !s.module::<LatencyProbe>(probe).latencies.is_empty()
+    });
+    sys.module::<LatencyProbe>(probe).latencies[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sova_latency_matches_formula() {
+        // §4.3.1: "If the l and k are both 64, the total latency will be
+        // 140 cycles."
+        assert_eq!(sova_pipeline_latency(64, 64), 140);
+        assert_eq!(sova_pipeline_latency(32, 16), 32 + 16 + 12);
+        assert_eq!(sova_pipeline_latency(1, 1), 14);
+    }
+
+    #[test]
+    fn bcjr_latency_matches_formula() {
+        // §4.3.2: "With a reversal buffer of size n the latency of BCJR is
+        // 2n+7" -> 135 cycles at n = 64.
+        assert_eq!(bcjr_pipeline_latency(64), 135);
+        assert_eq!(bcjr_pipeline_latency(32), 71);
+        assert_eq!(bcjr_pipeline_latency(1), 9);
+    }
+
+    #[test]
+    fn sixty_mhz_meets_80211_deadline() {
+        // §4.3.1: at 60 MHz, 140 cycles = 2.33 us < the 25 us SIFS budget;
+        // §4.3.2: 135 cycles = 2.25 us.
+        let cycle = 1.0 / 60.0e6;
+        assert!(sova_pipeline_latency(64, 64) as f64 * cycle < 25e-6);
+        assert!(bcjr_pipeline_latency(64) as f64 * cycle < 25e-6);
+    }
+
+    #[test]
+    fn throughput_is_one_token_per_cycle_after_fill() {
+        // Fully pipelined: once the pipe is full, tokens retire every cycle,
+        // so the i-th token's latency equals the first token's.
+        let lats = measure_chain_latency(&[("a", 3), ("b", 2)], 8);
+        assert_eq!(lats.len(), 8);
+        assert!(
+            lats.windows(2).all(|w| w[1] <= w[0] + 1),
+            "tokens must stream without pipeline bubbles: {lats:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_panics() {
+        let _ = measure_chain_latency(&[], 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Puncturing: deriving the 802.11a code rates from the rate-1/2 mother
+//! code by deleting coded bits on a fixed pattern, and re-inserting
+//! metric-neutral erasures at the receiver.
+
+use std::fmt;
+
+use crate::llr::Llr;
+
+/// The three 802.11a code rates.
+///
+/// Patterns follow IEEE 802.11-2007 §17.3.5.6: over each period the mask
+/// selects which mother-code bits (in `A1 B1 A2 B2 ...` order) are
+/// transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2: no puncturing.
+    Half,
+    /// Rate 2/3: one of every four mother bits removed.
+    TwoThirds,
+    /// Rate 3/4: two of every six mother bits removed.
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// The keep-mask over one puncturing period of mother-coded bits.
+    pub fn mask(self) -> &'static [u8] {
+        match self {
+            CodeRate::Half => &[1, 1],
+            CodeRate::TwoThirds => &[1, 1, 1, 0],
+            CodeRate::ThreeQuarters => &[1, 1, 1, 0, 0, 1],
+        }
+    }
+
+    /// The rate as `(numerator, denominator)`.
+    pub fn fraction(self) -> (u32, u32) {
+        match self {
+            CodeRate::Half => (1, 2),
+            CodeRate::TwoThirds => (2, 3),
+            CodeRate::ThreeQuarters => (3, 4),
+        }
+    }
+
+    /// The rate as a float (data bits per coded bit).
+    pub fn value(self) -> f64 {
+        let (n, d) = self.fraction();
+        f64::from(n) / f64::from(d)
+    }
+}
+
+impl fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (n, d) = self.fraction();
+        write!(f, "{n}/{d}")
+    }
+}
+
+/// Deletes coded bits according to a [`CodeRate`] mask.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::{CodeRate, Depuncturer, Puncturer};
+///
+/// let p = Puncturer::new(CodeRate::ThreeQuarters);
+/// let coded: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
+/// let tx = p.puncture(&coded);
+/// assert_eq!(tx.len(), 8, "3/4 keeps 4 of every 6");
+///
+/// let d = Depuncturer::new(CodeRate::ThreeQuarters);
+/// let llrs: Vec<i32> = tx.iter().map(|&b| if b == 1 { 5 } else { -5 }).collect();
+/// let rx = d.depuncture(&llrs, 12);
+/// assert_eq!(rx.len(), 12);
+/// assert_eq!(rx.iter().filter(|&&l| l == 0).count(), 4, "erasures are neutral");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Puncturer {
+    rate: CodeRate,
+}
+
+impl Puncturer {
+    /// A puncturer for `rate`.
+    pub fn new(rate: CodeRate) -> Self {
+        Self { rate }
+    }
+
+    /// Removes masked-out bits from a mother-coded stream.
+    pub fn puncture<T: Copy>(&self, coded: &[T]) -> Vec<T> {
+        let mask = self.rate.mask();
+        coded
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[i % mask.len()] == 1)
+            .map(|(_, &b)| b)
+            .collect()
+    }
+
+    /// Number of transmitted bits for `mother_len` mother-coded bits.
+    pub fn punctured_len(&self, mother_len: usize) -> usize {
+        let mask = self.rate.mask();
+        let kept_per_period: usize = mask.iter().map(|&m| m as usize).sum();
+        let full = mother_len / mask.len();
+        let rem = mother_len % mask.len();
+        full * kept_per_period + mask[..rem].iter().map(|&m| m as usize).sum::<usize>()
+    }
+}
+
+/// Restores the mother-code geometry by inserting zero-LLR erasures where
+/// bits were punctured. An erased position is metric-neutral in the BMU,
+/// which is exactly how the hardware treats stolen bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Depuncturer {
+    rate: CodeRate,
+}
+
+impl Depuncturer {
+    /// A depuncturer for `rate`.
+    pub fn new(rate: CodeRate) -> Self {
+        Self { rate }
+    }
+
+    /// Expands received soft values back to `mother_len` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` does not match the number of transmitted bits
+    /// implied by `mother_len`.
+    pub fn depuncture(&self, llrs: &[Llr], mother_len: usize) -> Vec<Llr> {
+        let expect = Puncturer::new(self.rate).punctured_len(mother_len);
+        assert_eq!(
+            llrs.len(),
+            expect,
+            "received {} soft values, expected {expect} for {mother_len} mother bits",
+            llrs.len()
+        );
+        let mask = self.rate.mask();
+        let mut src = llrs.iter();
+        (0..mother_len)
+            .map(|i| {
+                if mask[i % mask.len()] == 1 {
+                    *src.next().expect("length checked above")
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_rate_is_identity() {
+        let p = Puncturer::new(CodeRate::Half);
+        let bits = [1u8, 0, 1, 1, 0];
+        assert_eq!(p.puncture(&bits), bits);
+        let d = Depuncturer::new(CodeRate::Half);
+        let llrs = [5, -5, 5, 5, -5];
+        assert_eq!(d.depuncture(&llrs, 5), llrs);
+    }
+
+    #[test]
+    fn two_thirds_drops_every_fourth() {
+        let p = Puncturer::new(CodeRate::TwoThirds);
+        let bits: Vec<u8> = (0..8).map(|i| i as u8 % 2).collect();
+        // indices kept: 0 1 2, 4 5 6
+        assert_eq!(p.puncture(&bits), vec![0, 1, 0, 0, 1, 0]);
+        assert_eq!(p.punctured_len(8), 6);
+    }
+
+    #[test]
+    fn roundtrip_restores_geometry() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let p = Puncturer::new(rate);
+            let d = Depuncturer::new(rate);
+            let mother: Vec<Llr> = (1..=24).collect();
+            let tx = p.puncture(&mother);
+            let rx = d.depuncture(&tx, mother.len());
+            assert_eq!(rx.len(), mother.len());
+            for (i, (&orig, &got)) in mother.iter().zip(&rx).enumerate() {
+                let kept = rate.mask()[i % rate.mask().len()] == 1;
+                if kept {
+                    assert_eq!(got, orig, "kept bit {i} altered");
+                } else {
+                    assert_eq!(got, 0, "stolen bit {i} must be erased");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn punctured_len_handles_partial_periods() {
+        let p = Puncturer::new(CodeRate::ThreeQuarters);
+        for len in 0..30 {
+            let bits = vec![0u8; len];
+            assert_eq!(p.puncture(&bits).len(), p.punctured_len(len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn rates_have_correct_values() {
+        assert_eq!(CodeRate::Half.value(), 0.5);
+        assert!((CodeRate::TwoThirds.value() - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(CodeRate::ThreeQuarters.value(), 0.75);
+        assert_eq!(CodeRate::ThreeQuarters.to_string(), "3/4");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn wrong_length_panics() {
+        let d = Depuncturer::new(CodeRate::TwoThirds);
+        let _ = d.depuncture(&[1, 2, 3], 8);
+    }
+}

@@ -1,0 +1,310 @@
+//! Soft-Output Viterbi (SOVA) in the two-traceback-unit microarchitecture
+//! of Figure 3.
+//!
+//! The hardware pipeline is `BMU → PMU → delay buffer → traceback unit 1 →
+//! traceback unit 2`, where TU1 (window `l`) finds a reliable state for TU2
+//! to start from, and TU2 (window `k`) performs *two simultaneous
+//! tracebacks* — the best and the second-best path — updating a soft
+//! decision whenever the two paths disagree on a bit and the path-metric
+//! difference is smaller than the current soft value (§4.3.1).
+//!
+//! This model decodes block-exactly (the ML path is recovered from the
+//! terminated trellis, which is what TU1's window converges to) and applies
+//! the Hagenauer-rule reliability update with update window `k`: at every
+//! step of the ML path, the *competing* path into that state is traced for
+//! up to `k` steps, and every bit where it disagrees with the ML decision
+//! has its reliability lowered to the ACS margin if smaller. This is the
+//! functional content of TU2's dual traceback.
+//!
+//! Latency: `l + k + 12` cycles (1 BMU + 1 PMU + 5 two-entry FIFOs at 2
+//! cycles each + the two windows); see [`SovaDecoder::latency_cycles`] and
+//! the `latency` bench, which measures the same number on the
+//! latency-insensitive engine.
+
+use crate::bmu::Bmu;
+use crate::llr::{DecodeOutput, Llr, SoftDecoder};
+use crate::pmu::{forward_acs, known_state_column, saturate_llr};
+use crate::trellis::Trellis;
+use crate::ConvCode;
+
+/// A SOVA decoder with traceback windows `l` (TU1) and `k` (TU2).
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::{ConvCode, ConvEncoder, SoftDecoder, SovaDecoder, hard_llr};
+///
+/// let code = ConvCode::ieee80211();
+/// let data = [1u8, 1, 0, 1, 0, 0, 1, 0];
+/// let coded = ConvEncoder::new(&code).encode_terminated(&data);
+/// let llrs: Vec<i32> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+/// let mut dec = SovaDecoder::new(&code, 64, 64);
+/// let out = dec.decode_terminated(&llrs);
+/// assert_eq!(out.bits, data);
+/// assert_eq!(dec.latency_cycles(), 64 + 64 + 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SovaDecoder {
+    code: ConvCode,
+    trellis: Trellis,
+    /// TU1 window (hard-decision convergence).
+    l: usize,
+    /// TU2 window (reliability update depth).
+    k: usize,
+}
+
+impl SovaDecoder {
+    /// A SOVA decoder over `code` with TU1 window `l` and TU2 window `k`.
+    /// The paper's configuration is `l = k = 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is zero.
+    pub fn new(code: &ConvCode, l: usize, k: usize) -> Self {
+        assert!(l > 0 && k > 0, "traceback windows must be positive");
+        Self {
+            code: code.clone(),
+            trellis: Trellis::new(code),
+            l,
+            k,
+        }
+    }
+
+    /// TU1 window length.
+    pub fn tu1_window(&self) -> usize {
+        self.l
+    }
+
+    /// TU2 window length (also the reliability update depth).
+    pub fn tu2_window(&self) -> usize {
+        self.k
+    }
+
+    /// Pipeline latency in decoder-clock cycles: `l + k + 12` (§4.3.1 —
+    /// one cycle each for BMU and PMU, plus five 2-entry FIFOs at up to 2
+    /// cycles each).
+    pub fn latency_cycles(&self) -> u64 {
+        (self.l + self.k + 12) as u64
+    }
+
+    /// The code being decoded.
+    pub fn code(&self) -> &ConvCode {
+        &self.code
+    }
+}
+
+impl SoftDecoder for SovaDecoder {
+    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
+        let n_out = self.trellis.n_out();
+        assert!(
+            llrs.len() % n_out == 0,
+            "soft input length {} not a multiple of n_out {}",
+            llrs.len(),
+            n_out
+        );
+        let steps = llrs.len() / n_out;
+        assert!(
+            steps > self.code.tail_len(),
+            "block shorter than the code tail"
+        );
+        let n_states = self.trellis.n_states();
+
+        // Forward pass, keeping survivors and ACS margins per step.
+        let mut bmu = Bmu::new(n_out);
+        let mut pm = known_state_column(n_states, 0);
+        let mut next = vec![0i64; n_states];
+        let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+        let mut margins: Vec<Vec<i64>> = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let bm = bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let mut surv = vec![0u8; n_states];
+            let mut delta = vec![0i64; n_states];
+            forward_acs(
+                &self.trellis,
+                bm,
+                &pm,
+                &mut next,
+                Some(&mut surv),
+                Some(&mut delta),
+            );
+            survivors.push(surv);
+            margins.push(delta);
+            std::mem::swap(&mut pm, &mut next);
+        }
+
+        // TU1: maximum-likelihood state sequence. Terminated frame ends in
+        // state zero; ml_states[t] is the state entering step t.
+        let mut ml_states = vec![0usize; steps + 1];
+        let mut ml_bits = vec![0u8; steps];
+        ml_states[steps] = 0;
+        for t in (0..steps).rev() {
+            let s = ml_states[t + 1];
+            let edge = self.trellis.incoming(s)[survivors[t][s] as usize];
+            ml_bits[t] = edge.input;
+            ml_states[t] = edge.prev as usize;
+        }
+
+        // TU2: Hagenauer-rule reliability update. For each ML step t, the
+        // competing (second-best) path into ml_states[t+1] diverges
+        // backwards; everywhere its decisions differ within the window, the
+        // reliability drops to the ACS margin if smaller.
+        let mut reliability = vec![i64::MAX; steps];
+        for t in 0..steps {
+            let s_next = ml_states[t + 1];
+            let winner = survivors[t][s_next] as usize;
+            let margin = margins[t][s_next];
+            let loser_edge = self.trellis.incoming(s_next)[1 - winner];
+            // The competing hypothesis for bit t itself.
+            if loser_edge.input != ml_bits[t] && margin < reliability[t] {
+                reliability[t] = margin;
+            }
+            // Trace the competing path backwards up to k steps, comparing
+            // decisions against the ML path.
+            let mut state = loser_edge.prev as usize;
+            let window_start = t.saturating_sub(self.k);
+            for i in (window_start..t).rev() {
+                let edge = self.trellis.incoming(state)[survivors[i][state] as usize];
+                if edge.input != ml_bits[i] && margin < reliability[i] {
+                    reliability[i] = margin;
+                }
+                state = edge.prev as usize;
+                if state == ml_states[i] {
+                    // Paths have remerged; earlier decisions coincide.
+                    break;
+                }
+            }
+        }
+
+        let info = steps - self.code.tail_len();
+        let soft = (0..info)
+            .map(|t| {
+                let mag = saturate_llr(reliability[t]);
+                if ml_bits[t] == 1 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect();
+        DecodeOutput {
+            bits: ml_bits[..info].to_vec(),
+            soft,
+        }
+    }
+
+    fn id(&self) -> &'static str {
+        "sova"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hard_llr;
+    use crate::{ConvEncoder, ViterbiDecoder};
+
+    fn encode(code: &ConvCode, data: &[u8], mag: Llr) -> Vec<Llr> {
+        ConvEncoder::new(code)
+            .encode_terminated(data)
+            .iter()
+            .map(|&b| hard_llr(b, mag))
+            .collect()
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..150).map(|i| ((i * 11) % 3 == 0) as u8).collect();
+        let llrs = encode(&code, &data, 7);
+        let out = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
+        assert_eq!(out.bits, data);
+    }
+
+    #[test]
+    fn hard_decisions_match_viterbi() {
+        // SOVA's hard output is by construction the ML path - identical to
+        // Viterbi's on any input, noisy or not.
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..80).map(|i| (i % 5 < 2) as u8).collect();
+        let mut llrs = encode(&code, &data, 7);
+        // Heavy corruption.
+        for (i, l) in llrs.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *l = -*l;
+            }
+            if i % 11 == 0 {
+                *l = 0;
+            }
+        }
+        let sova = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
+        let viterbi = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        assert_eq!(sova.bits, viterbi.bits);
+    }
+
+    #[test]
+    fn corrupted_bits_get_low_confidence() {
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..120).map(|i| (i % 2) as u8).collect();
+        let mut llrs = encode(&code, &data, 7);
+        // Concentrate damage around info bit 60: flip both coded bits of
+        // steps 58..=62.
+        for step in 58..=62 {
+            llrs[step * 2] = -llrs[step * 2];
+            llrs[step * 2 + 1] = -llrs[step * 2 + 1];
+        }
+        let out = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
+        // Mean confidence near the damage must be well below the clean
+        // region's (the decoded bits may or may not be in error, but SOVA
+        // must flag reduced reliability either way).
+        let near: f64 = (50..70).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 20.0;
+        let far: f64 = (5..25).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 20.0;
+        assert!(
+            near < far / 2.0,
+            "damaged region confidence {near} vs clean {far}"
+        );
+    }
+
+    #[test]
+    fn update_window_bounds_effect() {
+        // With k=1 the reliability update barely propagates; soft values
+        // should be (weakly) larger than with k=64 on the same noisy input.
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..100).map(|i| (i % 3 == 1) as u8).collect();
+        let mut llrs = encode(&code, &data, 7);
+        for i in (0..llrs.len()).step_by(9) {
+            llrs[i] = -llrs[i];
+        }
+        let wide = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
+        let narrow = SovaDecoder::new(&code, 64, 1).decode_terminated(&llrs);
+        let sum_wide: i64 = wide.soft.iter().map(|&s| i64::from(s.unsigned_abs() as i32)).sum();
+        let sum_narrow: i64 = narrow.soft.iter().map(|&s| i64::from(s.unsigned_abs() as i32)).sum();
+        assert!(
+            sum_narrow >= sum_wide,
+            "narrow window {sum_narrow} must not reduce confidence below wide {sum_wide}"
+        );
+        assert_eq!(wide.bits, narrow.bits, "windows affect soft values only");
+    }
+
+    #[test]
+    fn latency_formula() {
+        let code = ConvCode::ieee80211();
+        assert_eq!(SovaDecoder::new(&code, 64, 64).latency_cycles(), 140);
+        assert_eq!(SovaDecoder::new(&code, 32, 16).latency_cycles(), 60);
+    }
+
+    #[test]
+    fn confidence_scales_with_input_magnitude() {
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..60).map(|i| (i % 2) as u8).collect();
+        let soft_sum = |mag: Llr| -> i64 {
+            let llrs = encode(&code, &data, mag);
+            SovaDecoder::new(&code, 64, 64)
+                .decode_terminated(&llrs)
+                .soft
+                .iter()
+                .map(|&s| i64::from(s.unsigned_abs() as i32))
+                .sum()
+        };
+        assert!(soft_sum(14) > soft_sum(7), "LLR scale must carry through");
+    }
+}

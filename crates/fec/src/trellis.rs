@@ -1,0 +1,203 @@
+//! Precomputed trellis: the state-transition graph shared by every decoder.
+//!
+//! "Both SOVA and BCJR decode the data by constructing one or more
+//! trellises, directed graphs comprised of all the state transitions across
+//! all time steps" (§4.3). This module precomputes one *column* of that
+//! graph — the per-step transition structure — which every decoder then
+//! walks forward, backward, or both.
+
+use crate::ConvCode;
+
+/// A forward transition out of a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Destination state.
+    pub next: u16,
+    /// Coded output bits as a bitmask; bit `j` is generator `j`'s output.
+    pub output: u8,
+}
+
+/// An incoming edge of a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incoming {
+    /// Source state.
+    pub prev: u16,
+    /// The input bit that drives `prev` to this state.
+    pub input: u8,
+    /// Coded output bits of that transition.
+    pub output: u8,
+}
+
+/// The precomputed transition structure of a [`ConvCode`].
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::{ConvCode, Trellis};
+///
+/// let t = Trellis::new(&ConvCode::ieee80211());
+/// assert_eq!(t.n_states(), 64);
+/// // Every state has exactly two successors and two predecessors.
+/// let tr = t.next(0, 1);
+/// assert!(usize::from(tr.next) < t.n_states());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trellis {
+    n_states: usize,
+    n_out: usize,
+    /// `forward[state * 2 + input]`
+    forward: Vec<Transition>,
+    /// `backward[state * 2 + j]`, the two incoming edges of `state`.
+    backward: Vec<Incoming>,
+}
+
+impl Trellis {
+    /// Builds the trellis of `code`.
+    pub fn new(code: &ConvCode) -> Self {
+        let m = code.memory();
+        let n_states = code.n_states();
+        let mut forward = Vec::with_capacity(n_states * 2);
+        for state in 0..n_states as u32 {
+            for input in 0..2u32 {
+                // The shift register word: current input in the top bit,
+                // then the K-1 previous bits (newest first).
+                let word = (input << m) | state;
+                let mut output = 0u8;
+                for (j, &g) in code.generators().iter().enumerate() {
+                    output |= (((word & g).count_ones() & 1) as u8) << j;
+                }
+                forward.push(Transition {
+                    next: (word >> 1) as u16,
+                    output,
+                });
+            }
+        }
+        let mut backward = vec![
+            Incoming {
+                prev: 0,
+                input: 0,
+                output: 0
+            };
+            n_states * 2
+        ];
+        let mut fill = vec![0usize; n_states];
+        for state in 0..n_states {
+            for input in 0..2usize {
+                let tr = forward[state * 2 + input];
+                let dst = tr.next as usize;
+                backward[dst * 2 + fill[dst]] = Incoming {
+                    prev: state as u16,
+                    input: input as u8,
+                    output: tr.output,
+                };
+                fill[dst] += 1;
+            }
+        }
+        debug_assert!(fill.iter().all(|&f| f == 2), "trellis must be 2-regular");
+        Self {
+            n_states,
+            n_out: code.n_out(),
+            forward,
+            backward,
+        }
+    }
+
+    /// Number of states per column.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Coded bits per trellis step.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The transition taken from `state` on `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range or `input` is not 0 or 1.
+    pub fn next(&self, state: usize, input: u8) -> Transition {
+        assert!(input < 2, "binary input expected");
+        self.forward[state * 2 + input as usize]
+    }
+
+    /// The two incoming edges of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn incoming(&self, state: usize) -> [Incoming; 2] {
+        [self.backward[state * 2], self.backward[state * 2 + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_regular_both_directions() {
+        let t = Trellis::new(&ConvCode::ieee80211());
+        // Forward: every state reachable from exactly two states.
+        let mut in_degree = vec![0usize; t.n_states()];
+        for s in 0..t.n_states() {
+            for b in 0..2u8 {
+                in_degree[t.next(s, b).next as usize] += 1;
+            }
+        }
+        assert!(in_degree.iter().all(|&d| d == 2));
+        // Backward table agrees with forward table.
+        for s in 0..t.n_states() {
+            for inc in t.incoming(s) {
+                let tr = t.next(inc.prev as usize, inc.input);
+                assert_eq!(tr.next as usize, s);
+                assert_eq!(tr.output, inc.output);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_state_zero_input_stays_zero() {
+        let t = Trellis::new(&ConvCode::ieee80211());
+        let tr = t.next(0, 0);
+        assert_eq!(tr.next, 0);
+        assert_eq!(tr.output, 0, "all-zero input gives all-zero output");
+    }
+
+    #[test]
+    fn known_80211_first_transition() {
+        // From state 0 with input 1: word = 1000000b. g0 = 0o133 has the
+        // top bit set, so output bit 0 = 1; likewise g1 = 0o171 -> 1.
+        let t = Trellis::new(&ConvCode::ieee80211());
+        let tr = t.next(0, 1);
+        assert_eq!(tr.output, 0b11);
+        assert_eq!(tr.next, 0b100000, "input enters at the top of the register");
+    }
+
+    #[test]
+    fn k3_exhaustive() {
+        let t = Trellis::new(&ConvCode::k3());
+        // K=3, generators 5 (101) and 7 (111); state = [b_{t-1} b_{t-2}].
+        // From state 0b01 (b_{t-1}=0, b_{t-2}=1) with input 1:
+        // word = 101b; g0: 101 & 101 -> two ones -> 0; g1: 101 & 111 -> 0.
+        let tr = t.next(0b01, 1);
+        assert_eq!(tr.output, 0b00);
+        assert_eq!(tr.next, 0b10);
+    }
+
+    #[test]
+    fn input_bit_recoverable_from_next_state() {
+        // The newest bit sits in the top bit of the next state, so the
+        // trellis is invertible - required for traceback.
+        let code = ConvCode::ieee80211();
+        let t = Trellis::new(&code);
+        let top = code.memory() - 1;
+        for s in 0..t.n_states() {
+            for b in 0..2u8 {
+                let tr = t.next(s, b);
+                assert_eq!((tr.next >> top) as u8 & 1, b);
+            }
+        }
+    }
+}

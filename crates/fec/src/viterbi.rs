@@ -1,0 +1,207 @@
+//! Hard-output Viterbi — the baseline decoder "typically used in commodity
+//! 802.11a/g baseband pipelines" (§4.4.3).
+
+use crate::bmu::Bmu;
+use crate::llr::{DecodeOutput, Llr, SoftDecoder};
+use crate::pmu::{forward_acs, known_state_column};
+use crate::trellis::Trellis;
+use crate::ConvCode;
+
+/// A block Viterbi decoder for tail-terminated frames.
+///
+/// Runs the shared forward ACS recursion, records survivors, and traces
+/// back from the known terminal state. Produces hard decisions only; the
+/// `soft` outputs are all zero (this is precisely what SoftPHY adds on top).
+///
+/// # Example
+///
+/// ```
+/// use wilis_fec::{ConvCode, ConvEncoder, SoftDecoder, ViterbiDecoder, hard_llr};
+///
+/// let code = ConvCode::ieee80211();
+/// let data = [0u8, 1, 1, 0, 1];
+/// let coded = ConvEncoder::new(&code).encode_terminated(&data);
+/// let llrs: Vec<i32> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+/// let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+/// assert_eq!(out.bits, data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    code: ConvCode,
+    trellis: Trellis,
+    /// Traceback window length; retained for the latency/area models (the
+    /// block decode itself is exact).
+    traceback_len: usize,
+}
+
+impl ViterbiDecoder {
+    /// A decoder for `code` with the paper's default traceback length (64).
+    pub fn new(code: &ConvCode) -> Self {
+        Self::with_traceback(code, 64)
+    }
+
+    /// A decoder with an explicit traceback length (used by the latency
+    /// and area models; the functional decode is block-exact either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traceback_len` is zero.
+    pub fn with_traceback(code: &ConvCode, traceback_len: usize) -> Self {
+        assert!(traceback_len > 0, "traceback length must be positive");
+        Self {
+            code: code.clone(),
+            trellis: Trellis::new(code),
+            traceback_len,
+        }
+    }
+
+    /// The configured traceback length.
+    pub fn traceback_len(&self) -> usize {
+        self.traceback_len
+    }
+
+    /// The code being decoded.
+    pub fn code(&self) -> &ConvCode {
+        &self.code
+    }
+
+    /// Runs the forward recursion, returning per-step survivor columns and
+    /// the final metric column. Shared with SOVA via crate-internal reuse.
+    pub(crate) fn forward_pass(&self, llrs: &[Llr]) -> (Vec<Vec<u8>>, Vec<i64>) {
+        let n_out = self.trellis.n_out();
+        assert!(
+            llrs.len() % n_out == 0,
+            "soft input length {} not a multiple of n_out {}",
+            llrs.len(),
+            n_out
+        );
+        let steps = llrs.len() / n_out;
+        assert!(
+            steps > self.code.tail_len(),
+            "block shorter than the code tail"
+        );
+        let n_states = self.trellis.n_states();
+        let mut bmu = Bmu::new(n_out);
+        let mut pm = known_state_column(n_states, 0);
+        let mut next = vec![0i64; n_states];
+        let mut survivors = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let bm = bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let mut surv = vec![0u8; n_states];
+            forward_acs(&self.trellis, bm, &pm, &mut next, Some(&mut surv), None);
+            survivors.push(surv);
+            std::mem::swap(&mut pm, &mut next);
+        }
+        (survivors, pm)
+    }
+
+    /// Traces back from `end_state` through `survivors`, returning one
+    /// input bit per step in natural order.
+    pub(crate) fn traceback(&self, survivors: &[Vec<u8>], end_state: usize) -> Vec<u8> {
+        let mut bits = vec![0u8; survivors.len()];
+        let mut state = end_state;
+        for (t, surv) in survivors.iter().enumerate().rev() {
+            let edge = self.trellis.incoming(state)[surv[state] as usize];
+            bits[t] = edge.input;
+            state = edge.prev as usize;
+        }
+        bits
+    }
+}
+
+impl SoftDecoder for ViterbiDecoder {
+    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
+        let (survivors, _final_pm) = self.forward_pass(llrs);
+        // Terminated frame: the true path ends in state zero.
+        let all_bits = self.traceback(&survivors, 0);
+        let info = all_bits.len() - self.code.tail_len();
+        DecodeOutput {
+            soft: vec![0; info],
+            bits: all_bits[..info].to_vec(),
+        }
+    }
+
+    fn id(&self) -> &'static str {
+        "viterbi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hard_llr;
+    use crate::ConvEncoder;
+
+    fn roundtrip(code: &ConvCode, data: &[u8]) -> Vec<u8> {
+        let coded = ConvEncoder::new(code).encode_terminated(data);
+        let llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+        ViterbiDecoder::new(code).decode_terminated(&llrs).bits
+    }
+
+    #[test]
+    fn clean_roundtrip_80211() {
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..200).map(|i| ((i * 7 + 3) % 5 % 2) as u8).collect();
+        assert_eq!(roundtrip(&code, &data), data);
+    }
+
+    #[test]
+    fn clean_roundtrip_k3() {
+        let code = ConvCode::k3();
+        let data = [1u8, 1, 0, 1, 0, 0, 1];
+        assert_eq!(roundtrip(&code, &data), data);
+    }
+
+    #[test]
+    fn corrects_isolated_errors() {
+        // K=7 rate 1/2 has free distance 10: a few well-separated flipped
+        // coded bits must be corrected.
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..100).map(|i| (i % 3 == 0) as u8).collect();
+        let coded = ConvEncoder::new(&code).encode_terminated(&data);
+        let mut llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+        for &pos in &[10, 50, 90, 130, 170] {
+            llrs[pos] = -llrs[pos];
+        }
+        let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        assert_eq!(out.bits, data);
+    }
+
+    #[test]
+    fn survives_erasures() {
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+        let coded = ConvEncoder::new(&code).encode_terminated(&data);
+        let mut llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+        // Erase every 4th soft value (as 3/4 puncturing would).
+        for l in llrs.iter_mut().step_by(4) {
+            *l = 0;
+        }
+        let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        assert_eq!(out.bits, data);
+    }
+
+    #[test]
+    fn soft_outputs_are_zero() {
+        let code = ConvCode::k3();
+        let coded = ConvEncoder::new(&code).encode_terminated(&[1, 0, 1]);
+        let llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+        let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        assert!(out.soft.iter().all(|&s| s == 0));
+        assert_eq!(out.bits.len(), out.soft.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_input_panics() {
+        let code = ConvCode::ieee80211();
+        let _ = ViterbiDecoder::new(&code).decode_terminated(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the code tail")]
+    fn too_short_block_panics() {
+        let code = ConvCode::ieee80211();
+        let _ = ViterbiDecoder::new(&code).decode_terminated(&[1, 1]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fixed-point complex numbers for baseband samples.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::quantize::Rounding;
+use crate::{Fixed, QFormat};
+
+/// A complex number with fixed-point real and imaginary parts.
+///
+/// Baseband samples in the modeled hardware travel as I/Q pairs in a shared
+/// [`QFormat`]. Multiplication models the standard four-multiplier complex
+/// multiplier with saturating accumulation.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::{CFixed, QFormat, Rounding};
+///
+/// let fmt = QFormat::new(6, 8)?;
+/// let a = CFixed::from_f64(1.0, 1.0, fmt, Rounding::Nearest);
+/// let rotated = a * CFixed::from_f64(0.0, 1.0, fmt, Rounding::Nearest);
+/// assert_eq!((rotated.re().to_f64(), rotated.im().to_f64()), (-1.0, 1.0));
+/// # Ok::<(), wilis_fxp::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CFixed {
+    re: Fixed,
+    im: Fixed,
+}
+
+impl CFixed {
+    /// Zero in the given format.
+    pub fn zero(fmt: QFormat) -> Self {
+        Self {
+            re: Fixed::zero(fmt),
+            im: Fixed::zero(fmt),
+        }
+    }
+
+    /// Builds a complex value from two fixed-point parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts have different formats.
+    pub fn new(re: Fixed, im: Fixed) -> Self {
+        assert_eq!(
+            re.format(),
+            im.format(),
+            "complex parts must share a format"
+        );
+        Self { re, im }
+    }
+
+    /// Quantizes a complex real-valued pair into `fmt`.
+    pub fn from_f64(re: f64, im: f64, fmt: QFormat, rounding: Rounding) -> Self {
+        Self {
+            re: Fixed::from_f64(re, fmt, rounding),
+            im: Fixed::from_f64(im, fmt, rounding),
+        }
+    }
+
+    /// Real part.
+    pub fn re(self) -> Fixed {
+        self.re
+    }
+
+    /// Imaginary part.
+    pub fn im(self) -> Fixed {
+        self.im
+    }
+
+    /// The shared format of both parts.
+    pub fn format(self) -> QFormat {
+        self.re.format()
+    }
+
+    /// Converts to a floating-point `(re, im)` pair.
+    pub fn to_f64(self) -> (f64, f64) {
+        (self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²` as a saturating fixed value.
+    pub fn norm_sq(self) -> Fixed {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Reinterprets both parts in another format.
+    pub fn requantize(self, to: QFormat, rounding: Rounding) -> Self {
+        Self {
+            re: self.re.requantize(to, rounding),
+            im: self.im.requantize(to, rounding),
+        }
+    }
+}
+
+impl Add for CFixed {
+    type Output = CFixed;
+
+    /// Component-wise saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for CFixed {
+    type Output = CFixed;
+
+    /// Component-wise saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for CFixed {
+    type Output = CFixed;
+
+    /// Four-multiplier complex product with saturating accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for CFixed {
+    type Output = CFixed;
+
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl fmt::Debug for CFixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CFixed({} {:+}i as {})",
+            self.re.to_f64(),
+            self.im.to_f64(),
+            self.format()
+        )
+    }
+}
+
+impl fmt::Display for CFixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32, f: u32) -> QFormat {
+        QFormat::new(i, f).unwrap()
+    }
+
+    fn c(re: f64, im: f64, fmt: QFormat) -> CFixed {
+        CFixed::from_f64(re, im, fmt, Rounding::Nearest)
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let fmt = q(6, 4);
+        let a = c(1.5, -0.5, fmt);
+        let b = c(0.25, 2.0, fmt);
+        assert_eq!((a + b).to_f64(), (1.75, 1.5));
+        assert_eq!((a - b).to_f64(), (1.25, -2.5));
+    }
+
+    #[test]
+    fn mul_matches_float_math() {
+        let fmt = q(6, 10);
+        let a = c(1.5, 2.0, fmt);
+        let b = c(-0.5, 1.0, fmt);
+        let p = a * b;
+        // (1.5+2i)(-0.5+i) = -0.75 + 1.5i - 1i - 2 = -2.75 + 0.5i
+        assert_eq!(p.to_f64(), (-2.75, 0.5));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let fmt = q(6, 8);
+        let a = c(3.0, -4.0, fmt);
+        assert_eq!(a.conj().to_f64(), (3.0, 4.0));
+        assert_eq!(a.norm_sq().to_f64(), 25.0);
+    }
+
+    #[test]
+    fn rotation_by_j() {
+        let fmt = q(6, 8);
+        let a = c(1.0, 1.0, fmt);
+        let j = c(0.0, 1.0, fmt);
+        assert_eq!((a * j).to_f64(), (-1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a format")]
+    fn mixed_part_formats_panic() {
+        let _ = CFixed::new(
+            Fixed::zero(q(4, 2)),
+            Fixed::zero(q(4, 3)),
+        );
+    }
+
+    #[test]
+    fn requantize_applies_to_both_parts() {
+        let a = c(5.5, -5.5, q(20, 7));
+        let n = a.requantize(q(2, 1), Rounding::Nearest);
+        assert_eq!(n.to_f64(), (3.5, -4.0));
+    }
+}

@@ -1,0 +1,360 @@
+//! Saturating fixed-point scalar.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::quantize::{quantize_f64, Rounding};
+use crate::QFormat;
+
+/// A fixed-point number: an integer raw value interpreted in a [`QFormat`].
+///
+/// All arithmetic saturates to the format's range rather than wrapping,
+/// matching the clamped adders used in the decoder datapaths the paper
+/// synthesizes. Binary operations require both operands to share a format —
+/// mixing formats is a design error in the hardware being modeled, so it
+/// panics in debug spirit rather than silently realigning.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::{Fixed, QFormat, Rounding};
+///
+/// let fmt = QFormat::new(6, 2)?;
+/// let x = Fixed::from_f64(3.25, fmt, Rounding::Nearest);
+/// let y = x * x; // 10.5625 rounds to the format's 0.25 grid
+/// assert_eq!(y.to_f64(), 10.5);
+/// # Ok::<(), wilis_fxp::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    raw: i64,
+    fmt: QFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    pub fn zero(fmt: QFormat) -> Self {
+        Self { raw: 0, fmt }
+    }
+
+    /// The largest representable value in `fmt`.
+    pub fn max_value(fmt: QFormat) -> Self {
+        Self {
+            raw: fmt.max_raw(),
+            fmt,
+        }
+    }
+
+    /// The smallest (most negative) representable value in `fmt`.
+    pub fn min_value(fmt: QFormat) -> Self {
+        Self {
+            raw: fmt.min_raw(),
+            fmt,
+        }
+    }
+
+    /// Quantizes a real value into `fmt`, saturating out-of-range inputs.
+    pub fn from_f64(value: f64, fmt: QFormat, rounding: Rounding) -> Self {
+        Self {
+            raw: quantize_f64(value, fmt, rounding),
+            fmt,
+        }
+    }
+
+    /// Builds a value from a raw integer, saturating it into `fmt`'s range.
+    pub fn from_raw(raw: i64, fmt: QFormat) -> Self {
+        Self {
+            raw: fmt.saturate_raw(raw),
+            fmt,
+        }
+    }
+
+    /// The underlying raw integer.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The format this value is interpreted in.
+    pub fn format(self) -> QFormat {
+        self.fmt
+    }
+
+    /// Converts back to a real number (exact: raw × lsb).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * self.fmt.lsb()
+    }
+
+    /// Reinterprets this value in another format, rounding and saturating.
+    pub fn requantize(self, to: QFormat, rounding: Rounding) -> Self {
+        Self {
+            raw: crate::quantize::requantize(self.raw, self.fmt, to, rounding),
+            fmt: to,
+        }
+    }
+
+    /// Saturating absolute value (|min| saturates to max).
+    pub fn abs(self) -> Self {
+        Self {
+            raw: self.fmt.saturate_raw(self.raw.saturating_abs()),
+            fmt: self.fmt,
+        }
+    }
+
+    /// Saturating add returning whether the result clipped.
+    ///
+    /// Exposed separately (C-INTERMEDIATE) so overflow-rate instrumentation
+    /// in the experiment harness can count clip events.
+    pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+        self.assert_same_format(rhs);
+        let wide = self.raw + rhs.raw; // cannot overflow i64: formats <= 62 bits
+        let sat = self.fmt.saturate_raw(wide);
+        (
+            Self {
+                raw: sat,
+                fmt: self.fmt,
+            },
+            sat != wide,
+        )
+    }
+
+    /// Saturating multiply returning whether the result clipped.
+    pub fn overflowing_mul(self, rhs: Self, rounding: Rounding) -> (Self, bool) {
+        self.assert_same_format(rhs);
+        let frac = self.fmt.frac_bits();
+        let wide = i128::from(self.raw) * i128::from(rhs.raw);
+        // Product has 2*frac fractional bits; drop `frac` of them.
+        let rescaled = if frac == 0 {
+            wide
+        } else {
+            match rounding {
+                Rounding::Truncate => wide >> frac,
+                Rounding::Nearest => {
+                    let half = 1i128 << (frac - 1);
+                    if wide >= 0 {
+                        (wide + half) >> frac
+                    } else {
+                        -((-wide + half) >> frac)
+                    }
+                }
+            }
+        };
+        let clamped = rescaled.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+        let sat = self.fmt.saturate_raw(clamped);
+        (
+            Self {
+                raw: sat,
+                fmt: self.fmt,
+            },
+            i128::from(sat) != rescaled,
+        )
+    }
+
+    fn assert_same_format(self, rhs: Self) {
+        assert_eq!(
+            self.fmt, rhs.fmt,
+            "fixed-point format mismatch: {} vs {} (requantize at the module boundary)",
+            self.fmt, rhs.fmt
+        );
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn add(self, rhs: Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn sub(self, rhs: Self) -> Self {
+        self.overflowing_add(-rhs).0
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+
+    /// Saturating multiplication with round-to-nearest rescaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    fn mul(self, rhs: Self) -> Self {
+        self.overflowing_mul(rhs, Rounding::Nearest).0
+    }
+}
+
+impl Div for Fixed {
+    type Output = Fixed;
+
+    /// Saturating division with truncation toward zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats or `rhs` is zero
+    /// (hardware dividers guard the zero case upstream).
+    fn div(self, rhs: Self) -> Self {
+        self.assert_same_format(rhs);
+        assert!(rhs.raw != 0, "fixed-point division by zero");
+        let frac = self.fmt.frac_bits();
+        let wide = (i128::from(self.raw) << frac) / i128::from(rhs.raw);
+        let clamped = wide.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+        Self {
+            raw: self.fmt.saturate_raw(clamped),
+            fmt: self.fmt,
+        }
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+
+    /// Saturating negation (`-min` saturates to `max`).
+    fn neg(self) -> Self {
+        Self {
+            raw: self.fmt.saturate_raw(self.raw.saturating_neg()),
+            fmt: self.fmt,
+        }
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        (self.fmt == other.fmt).then(|| self.raw.cmp(&other.raw))
+    }
+}
+
+impl fmt::Debug for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed({} as {})", self.to_f64(), self.fmt)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32, f: u32) -> QFormat {
+        QFormat::new(i, f).unwrap()
+    }
+
+    fn fx(v: f64, fmt: QFormat) -> Fixed {
+        Fixed::from_f64(v, fmt, Rounding::Nearest)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let fmt = q(6, 2);
+        let a = fx(3.25, fmt);
+        let b = fx(1.5, fmt);
+        assert_eq!((a + b).to_f64(), 4.75);
+        assert_eq!((a - b).to_f64(), 1.75);
+        assert_eq!((a + b - b).to_f64(), a.to_f64());
+    }
+
+    #[test]
+    fn add_saturates_and_reports() {
+        let fmt = q(3, 0);
+        let (sum, clipped) = Fixed::max_value(fmt).overflowing_add(fx(1.0, fmt));
+        assert!(clipped);
+        assert_eq!(sum, Fixed::max_value(fmt));
+        let (sum, clipped) = Fixed::min_value(fmt).overflowing_add(fx(-1.0, fmt));
+        assert!(clipped);
+        assert_eq!(sum, Fixed::min_value(fmt));
+    }
+
+    #[test]
+    fn mul_rescales_fraction() {
+        let fmt = q(6, 2);
+        let a = fx(3.25, fmt);
+        assert_eq!((a * a).to_f64(), 10.5); // 10.5625 -> nearest 0.25 grid
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let fmt = q(3, 1);
+        let big = Fixed::max_value(fmt);
+        let (p, clipped) = big.overflowing_mul(big, Rounding::Nearest);
+        assert!(clipped);
+        assert_eq!(p, Fixed::max_value(fmt));
+    }
+
+    #[test]
+    fn div_basics() {
+        let fmt = q(8, 4);
+        let a = fx(10.0, fmt);
+        let b = fx(4.0, fmt);
+        assert_eq!((a / b).to_f64(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let fmt = q(8, 4);
+        let _ = fx(1.0, fmt) / Fixed::zero(fmt);
+    }
+
+    #[test]
+    fn neg_saturates_min() {
+        let fmt = q(3, 0);
+        assert_eq!(-Fixed::min_value(fmt), Fixed::max_value(fmt));
+        assert_eq!((-fx(2.0, fmt)).to_f64(), -2.0);
+    }
+
+    #[test]
+    fn abs_saturates_min() {
+        let fmt = q(3, 0);
+        assert_eq!(Fixed::min_value(fmt).abs(), Fixed::max_value(fmt));
+        assert_eq!(fx(-3.0, fmt).abs().to_f64(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_panics() {
+        let _ = fx(1.0, q(4, 2)) + fx(1.0, q(4, 3));
+    }
+
+    #[test]
+    fn ordering_within_format_only() {
+        let fmt = q(4, 2);
+        assert!(fx(1.0, fmt) < fx(2.0, fmt));
+        assert_eq!(fx(1.0, fmt).partial_cmp(&fx(1.0, q(4, 3))), None);
+    }
+
+    #[test]
+    fn requantize_narrows() {
+        let wide = q(20, 7);
+        let narrow = q(2, 1);
+        let v = fx(5.5, wide).requantize(narrow, Rounding::Nearest);
+        assert_eq!(v.to_f64(), 3.5); // saturated
+        assert_eq!(v.format(), narrow);
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        let fmt = q(4, 2);
+        let v = fx(1.25, fmt);
+        assert_eq!(format!("{v}"), "1.25");
+        assert!(format!("{v:?}").contains("Q4.2"));
+    }
+}

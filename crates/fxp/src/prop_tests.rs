@@ -1,0 +1,103 @@
+//! Property-based tests on the fixed-point substrate.
+
+use proptest::prelude::*;
+
+use crate::quantize::{quantize_f64, requantize, Rounding};
+use crate::{CFixed, Fixed, QFormat};
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (1u32..20, 0u32..20).prop_map(|(i, f)| QFormat::new(i, f).unwrap())
+}
+
+fn arb_rounding() -> impl Strategy<Value = Rounding> {
+    prop_oneof![Just(Rounding::Truncate), Just(Rounding::Nearest)]
+}
+
+proptest! {
+    #[test]
+    fn quantize_always_in_range(v in -1e12f64..1e12, fmt in arb_format(), r in arb_rounding()) {
+        let raw = quantize_f64(v, fmt, r);
+        prop_assert!(raw >= fmt.min_raw());
+        prop_assert!(raw <= fmt.max_raw());
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_lsb(fmt in arb_format(), r in arb_rounding(), frac in -0.999f64..0.999) {
+        // Pick a value comfortably inside the representable range.
+        let v = fmt.max_f64() * frac * 0.5;
+        let raw = quantize_f64(v, fmt, r);
+        let back = raw as f64 * fmt.lsb();
+        prop_assert!((back - v).abs() <= fmt.lsb() + 1e-12,
+            "value {v} quantized to {back}, err {} > lsb {}", (back - v).abs(), fmt.lsb());
+    }
+
+    #[test]
+    fn add_is_commutative(fmt in arb_format(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn mul_is_commutative(fmt in arb_format(), a in -1e4f64..1e4, b in -1e4f64..1e4) {
+        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn results_never_escape_format(fmt in arb_format(), a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
+        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
+        for v in [x + y, x - y, x * y, -x, x.abs()] {
+            prop_assert!(v.raw() >= fmt.min_raw() && v.raw() <= fmt.max_raw());
+        }
+    }
+
+    #[test]
+    fn requantize_widen_then_narrow_is_identity(
+        fmt in arb_format(), a in -1e4f64..1e4, r in arb_rounding()
+    ) {
+        // Widening preserves information, so narrowing back must recover it.
+        let wide = QFormat::new(fmt.int_bits() + 8, fmt.frac_bits() + 8).unwrap();
+        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
+        let roundtrip = x.requantize(wide, r).requantize(fmt, r);
+        prop_assert_eq!(roundtrip, x);
+    }
+
+    #[test]
+    fn requantize_is_monotone(
+        raw_a in -100_000i64..100_000,
+        raw_b in -100_000i64..100_000,
+        r in arb_rounding(),
+    ) {
+        let from = QFormat::new(20, 8).unwrap();
+        let to = QFormat::new(4, 2).unwrap();
+        let (a, b) = (requantize(raw_a, from, to, r), requantize(raw_b, from, to, r));
+        if raw_a <= raw_b {
+            prop_assert!(a <= b);
+        } else {
+            prop_assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn complex_mul_by_conjugate_is_real(fmt_f in 6u32..14, re in -3.0f64..3.0, im in -3.0f64..3.0) {
+        let fmt = QFormat::new(8, fmt_f).unwrap();
+        let a = CFixed::from_f64(re, im, fmt, Rounding::Nearest);
+        let p = a * a.conj();
+        // Imaginary part of a*conj(a) is exactly zero in exact arithmetic;
+        // fixed point rounding may leave at most a couple of LSBs.
+        prop_assert!(p.im().to_f64().abs() <= 2.0 * fmt.lsb());
+        prop_assert!(p.re().to_f64() >= 0.0);
+    }
+
+    #[test]
+    fn complex_add_matches_parts(fmt in arb_format(), a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let x = CFixed::from_f64(a, b, fmt, Rounding::Nearest);
+        let y = CFixed::from_f64(b, a, fmt, Rounding::Nearest);
+        let s = x + y;
+        prop_assert_eq!(s.re(), x.re() + y.re());
+        prop_assert_eq!(s.im(), x.im() + y.im());
+    }
+}

@@ -1,0 +1,203 @@
+//! Q-format descriptors.
+
+use std::fmt;
+
+/// Maximum total width (sign + integer + fraction) representable by the
+/// backing `i64` raw value, leaving headroom for intermediate products.
+pub(crate) const MAX_TOTAL_BITS: u32 = 62;
+
+/// Error returned when constructing an invalid [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FormatError {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Q format Q{}.{}: total width {} exceeds {} bits",
+            self.int_bits,
+            self.frac_bits,
+            1 + self.int_bits + self.frac_bits,
+            MAX_TOTAL_BITS
+        )
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A signed fixed-point format `Qm.n`: one sign bit, `m` integer bits and
+/// `n` fractional bits.
+///
+/// The representable range is `[-2^m, 2^m - 2^-n]` with resolution `2^-n`.
+/// Formats are small `Copy` values; every [`crate::Fixed`] carries one so
+/// that mixed-format arithmetic can be detected and module boundaries can
+/// requantize explicitly, the way RTL port widths force the designer to.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::QFormat;
+///
+/// let demapper_out = QFormat::new(4, 3)?; // 8-bit soft value
+/// assert_eq!(demapper_out.total_bits(), 8);
+/// assert_eq!(demapper_out.max_f64(), 15.875);
+/// assert_eq!(demapper_out.min_f64(), -16.0);
+/// # Ok::<(), wilis_fxp::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a signed `Q(int_bits).(frac_bits)` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `1 + int_bits + frac_bits` exceeds 62,
+    /// the width budget of the `i64` backing store.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, FormatError> {
+        if 1 + int_bits + frac_bits > MAX_TOTAL_BITS {
+            return Err(FormatError {
+                int_bits,
+                frac_bits,
+            });
+        }
+        Ok(Self {
+            int_bits,
+            frac_bits,
+        })
+    }
+
+    /// A pure-integer format with `bits` magnitude bits (no fraction).
+    ///
+    /// Decoder path metrics in the paper's hardware are plain saturating
+    /// integers; this is their natural format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] when `bits` exceeds the width budget.
+    pub fn integer(bits: u32) -> Result<Self, FormatError> {
+        Self::new(bits, 0)
+    }
+
+    /// Number of integer (magnitude) bits, excluding the sign bit.
+    pub fn int_bits(self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage width in bits: sign + integer + fraction.
+    pub fn total_bits(self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// Largest representable raw value: `2^(m+n) - 1`.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.int_bits + self.frac_bits)) - 1
+    }
+
+    /// Smallest representable raw value: `-2^(m+n)`.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.int_bits + self.frac_bits))
+    }
+
+    /// Largest representable real value.
+    pub fn max_f64(self) -> f64 {
+        self.max_raw() as f64 * self.lsb()
+    }
+
+    /// Smallest (most negative) representable real value.
+    pub fn min_f64(self) -> f64 {
+        self.min_raw() as f64 * self.lsb()
+    }
+
+    /// Value of one least-significant bit: `2^-n`.
+    pub fn lsb(self) -> f64 {
+        (self.frac_bits as i32).wrapping_neg().exp2_int()
+    }
+
+    /// Clamps a raw value into this format's range, returning whether
+    /// saturation occurred.
+    pub(crate) fn saturate_raw(self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+/// Integer power-of-two helper avoiding `f64::powi` in hot paths.
+trait Exp2Int {
+    fn exp2_int(self) -> f64;
+}
+
+impl Exp2Int for i32 {
+    fn exp2_int(self) -> f64 {
+        // Exact for the exponent range a QFormat permits (|e| <= 62).
+        if self >= 0 {
+            (1u64 << self) as f64
+        } else {
+            1.0 / (1u64 << (-self)) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(QFormat::new(30, 31).is_ok());
+        assert!(QFormat::new(31, 31).is_err());
+        assert!(QFormat::new(61, 0).is_ok());
+        assert!(QFormat::new(62, 0).is_err());
+    }
+
+    #[test]
+    fn range_and_lsb() {
+        let q = QFormat::new(4, 3).unwrap();
+        assert_eq!(q.total_bits(), 8);
+        assert_eq!(q.max_raw(), 127);
+        assert_eq!(q.min_raw(), -128);
+        assert_eq!(q.lsb(), 0.125);
+        assert_eq!(q.max_f64(), 15.875);
+        assert_eq!(q.min_f64(), -16.0);
+    }
+
+    #[test]
+    fn integer_format() {
+        let q = QFormat::integer(7).unwrap();
+        assert_eq!(q.frac_bits(), 0);
+        assert_eq!(q.lsb(), 1.0);
+        assert_eq!(q.max_raw(), 127);
+    }
+
+    #[test]
+    fn saturate_raw_clamps_both_ends() {
+        let q = QFormat::new(3, 0).unwrap();
+        assert_eq!(q.saturate_raw(100), 7);
+        assert_eq!(q.saturate_raw(-100), -8);
+        assert_eq!(q.saturate_raw(5), 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        let q = QFormat::new(4, 3).unwrap();
+        assert_eq!(q.to_string(), "Q4.3");
+        let err = QFormat::new(40, 40).unwrap_err();
+        assert!(err.to_string().contains("Q40.40"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Rounding modes and bit-width reduction.
+//!
+//! Bit-width reduction is the approximation the paper leans on hardest: the
+//! 802.11 demapper's "exact" soft outputs are 23–28 bits wide, but the
+//! decoders in §4.1 run on 3–8 bit inputs. These helpers perform that
+//! reduction the way hardware does — shift, round, saturate.
+
+use crate::QFormat;
+
+/// Rounding mode applied when discarding fractional precision.
+///
+/// Hardware truncation (`floor` on the raw two's-complement value) is the
+/// cheapest and most common; round-to-nearest costs an adder but halves the
+/// bias. Both appear in the decoder literature the paper builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round toward negative infinity (drop bits). Zero hardware cost.
+    Truncate,
+    /// Round to nearest, ties away from zero. One adder.
+    #[default]
+    Nearest,
+}
+
+/// Quantizes a real value to the raw integer of `fmt`, saturating.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::{quantize_f64, QFormat, Rounding};
+///
+/// let q = QFormat::new(4, 3)?;
+/// assert_eq!(quantize_f64(1.3, q, Rounding::Nearest), 10); // 1.25 in Q4.3
+/// assert_eq!(quantize_f64(1.3, q, Rounding::Truncate), 10);
+/// assert_eq!(quantize_f64(99.0, q, Rounding::Nearest), q.max_raw());
+/// # Ok::<(), wilis_fxp::FormatError>(())
+/// ```
+pub fn quantize_f64(value: f64, fmt: QFormat, rounding: Rounding) -> i64 {
+    let scaled = value / fmt.lsb();
+    let raw = match rounding {
+        Rounding::Truncate => scaled.floor(),
+        Rounding::Nearest => scaled.round(),
+    };
+    // NaN maps to zero: hardware has no NaN, and a zero soft value is the
+    // least-damaging "no confidence" interpretation.
+    if raw.is_nan() {
+        return 0;
+    }
+    if raw >= fmt.max_raw() as f64 {
+        fmt.max_raw()
+    } else if raw <= fmt.min_raw() as f64 {
+        fmt.min_raw()
+    } else {
+        raw as i64
+    }
+}
+
+/// Requantizes a raw value from format `from` into format `to`.
+///
+/// This models a port-width change between two hardware modules: fractional
+/// bits are shifted (with rounding when precision is lost) and the result is
+/// saturated into the destination range.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::{requantize, QFormat, Rounding};
+///
+/// let wide = QFormat::new(20, 7)?;   // 28-bit "exact" demapper value
+/// let narrow = QFormat::new(2, 1)?;  // 4-bit decoder input
+/// // 5.5 in Q20.7 is raw 704; in Q2.1 it saturates to 3.5 (raw 7).
+/// assert_eq!(requantize(704, wide, narrow, Rounding::Nearest), 7);
+/// # Ok::<(), wilis_fxp::FormatError>(())
+/// ```
+pub fn requantize(raw: i64, from: QFormat, to: QFormat, rounding: Rounding) -> i64 {
+    let shifted = match to.frac_bits() as i64 - from.frac_bits() as i64 {
+        0 => raw,
+        up if up > 0 => {
+            // Gaining fractional bits: exact, barring overflow (saturated below).
+            raw.checked_shl(up as u32).unwrap_or(if raw >= 0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            })
+        }
+        down => {
+            let shift = (-down) as u32;
+            match rounding {
+                Rounding::Truncate => raw >> shift,
+                Rounding::Nearest => {
+                    let half = 1i64 << (shift - 1);
+                    if raw >= 0 {
+                        (raw + half) >> shift
+                    } else {
+                        -((-raw + half) >> shift)
+                    }
+                }
+            }
+        }
+    };
+    to.saturate_raw(shifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32, f: u32) -> QFormat {
+        QFormat::new(i, f).unwrap()
+    }
+
+    #[test]
+    fn quantize_rounding_modes() {
+        let fmt = q(4, 2); // lsb = 0.25
+        assert_eq!(quantize_f64(1.10, fmt, Rounding::Truncate), 4); // 1.00
+        assert_eq!(quantize_f64(1.10, fmt, Rounding::Nearest), 4);
+        assert_eq!(quantize_f64(1.13, fmt, Rounding::Nearest), 5); // 1.25
+        assert_eq!(quantize_f64(-1.13, fmt, Rounding::Nearest), -5);
+        assert_eq!(quantize_f64(-1.10, fmt, Rounding::Truncate), -5); // floor
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = q(2, 0);
+        assert_eq!(quantize_f64(100.0, fmt, Rounding::Nearest), 3);
+        assert_eq!(quantize_f64(-100.0, fmt, Rounding::Nearest), -4);
+    }
+
+    #[test]
+    fn quantize_nan_is_zero() {
+        let fmt = q(4, 4);
+        assert_eq!(quantize_f64(f64::NAN, fmt, Rounding::Nearest), 0);
+    }
+
+    #[test]
+    fn quantize_infinities_saturate() {
+        let fmt = q(4, 4);
+        assert_eq!(quantize_f64(f64::INFINITY, fmt, Rounding::Nearest), fmt.max_raw());
+        assert_eq!(
+            quantize_f64(f64::NEG_INFINITY, fmt, Rounding::Nearest),
+            fmt.min_raw()
+        );
+    }
+
+    #[test]
+    fn requantize_same_format_is_identity() {
+        let fmt = q(5, 3);
+        for raw in [-100, -1, 0, 1, 100] {
+            assert_eq!(requantize(raw, fmt, fmt, Rounding::Nearest), raw);
+        }
+    }
+
+    #[test]
+    fn requantize_widening_is_exact() {
+        let from = q(4, 1);
+        let to = q(8, 5);
+        // 2.5 -> raw 5 in Q4.1 -> raw 80 in Q8.5
+        assert_eq!(requantize(5, from, to, Rounding::Truncate), 80);
+    }
+
+    #[test]
+    fn requantize_narrowing_rounds_and_saturates() {
+        let from = q(10, 4);
+        let to = q(2, 1);
+        // 1.4375 = raw 23 in Q10.4 -> 1.5 = raw 3 in Q2.1 (nearest)
+        assert_eq!(requantize(23, from, to, Rounding::Nearest), 3);
+        // truncate: 1.4375 -> 1.0 -> wait: >> 3 of 23 = 2 (raw), i.e. 1.0
+        assert_eq!(requantize(23, from, to, Rounding::Truncate), 2);
+        // large value saturates to 3.5
+        assert_eq!(requantize(10_000, from, to, Rounding::Nearest), to.max_raw());
+        assert_eq!(requantize(-10_000, from, to, Rounding::Nearest), to.min_raw());
+    }
+
+    #[test]
+    fn requantize_nearest_is_symmetric() {
+        let from = q(10, 4);
+        let to = q(10, 1);
+        for raw in -200..=200 {
+            let pos = requantize(raw, from, to, Rounding::Nearest);
+            let neg = requantize(-raw, from, to, Rounding::Nearest);
+            assert_eq!(pos, -neg, "asymmetry at raw={raw}");
+        }
+    }
+}

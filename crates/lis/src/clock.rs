@@ -1,0 +1,168 @@
+//! Clock domains and exact multi-rate scheduling.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A clock frequency.
+///
+/// Stored in kilohertz so that the engine can compute an exact integer
+/// hyperperiod for any realistic set of FPGA clock frequencies (the paper's
+/// platform mixes a 35 MHz baseband clock with a 60 MHz BER-unit clock).
+///
+/// # Example
+///
+/// ```
+/// use wilis_lis::Freq;
+/// assert_eq!(Freq::mhz(35).hz(), 35_000_000);
+/// assert!(Freq::mhz(60) > Freq::mhz(35));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// A frequency given in kilohertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `khz` is zero: a clock that never ticks cannot schedule.
+    pub fn khz(khz: u64) -> Self {
+        assert!(khz > 0, "clock frequency must be positive");
+        Self(khz)
+    }
+
+    /// A frequency given in megahertz.
+    pub fn mhz(mhz: u64) -> Self {
+        Self::khz(mhz * 1000)
+    }
+
+    /// This frequency in kilohertz (the engine's native unit).
+    pub(crate) fn in_khz(self) -> u64 {
+        self.0
+    }
+
+    /// This frequency in hertz.
+    pub fn hz(self) -> u64 {
+        self.0 * 1000
+    }
+
+    /// The clock period in seconds.
+    pub fn period_secs(self) -> f64 {
+        1.0 / (self.hz() as f64)
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{} MHz", self.0 / 1000)
+        } else {
+            write!(f, "{} kHz", self.0)
+        }
+    }
+}
+
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Shared mutable state of one clock domain.
+#[derive(Debug)]
+pub(crate) struct ClockState {
+    pub name: String,
+    pub freq: Freq,
+    /// Rising edges elapsed since simulation start.
+    pub edges: Cell<u64>,
+    /// Period of this clock in base time units (set by the scheduler once
+    /// all domains are known).
+    pub period_units: Cell<u64>,
+}
+
+/// Handle to a clock domain.
+///
+/// Handles are cheap to clone and let both user modules and the engine read
+/// the domain's edge counter — the unit in which FIFO visibility delays and
+/// pipeline latencies are expressed.
+#[derive(Clone)]
+pub struct ClockHandle {
+    pub(crate) state: Rc<ClockState>,
+    pub(crate) index: usize,
+}
+
+impl ClockHandle {
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The domain's frequency.
+    pub fn freq(&self) -> Freq {
+        self.state.freq
+    }
+
+    /// Rising edges elapsed in this domain since simulation start.
+    pub fn edges(&self) -> u64 {
+        self.state.edges.get()
+    }
+
+    /// Simulated wall-clock time elapsed in this domain, in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.edges() as f64 * self.freq().period_secs()
+    }
+}
+
+impl fmt::Debug for ClockHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClockHandle({} @ {}, edge {})",
+            self.state.name,
+            self.state.freq,
+            self.edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_constructors() {
+        assert_eq!(Freq::mhz(35).hz(), 35_000_000);
+        assert_eq!(Freq::khz(500).hz(), 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_freq_panics() {
+        let _ = Freq::khz(0);
+    }
+
+    #[test]
+    fn period() {
+        let f = Freq::mhz(60);
+        assert!((f.period_secs() - 1.0 / 60.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(35_000, 60_000), 5_000);
+        assert_eq!(lcm(35_000, 60_000), 420_000);
+        assert_eq!(lcm(1, 7), 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Freq::mhz(35).to_string(), "35 MHz");
+        assert_eq!(Freq::khz(1500).to_string(), "1500 kHz");
+    }
+}

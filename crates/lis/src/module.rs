@@ -1,0 +1,77 @@
+//! The latency-insensitive module abstraction.
+
+use std::fmt;
+
+/// A latency-insensitive hardware module.
+///
+/// A module is ticked once per rising edge of the clock domain it was added
+/// to. The latency-insensitive contract (the property §2 of the paper builds
+/// the whole platform on) is:
+///
+/// * a module may only communicate through its FIFO ports;
+/// * on each tick it may consume inputs that are available and produce
+///   outputs where space exists, and must do nothing otherwise;
+/// * it must never *require* that data arrives or departs within any
+///   particular number of cycles.
+///
+/// Modules obeying the contract can be moved between clock domains, have
+/// their internal latency refined, or be swapped for alternative
+/// implementations without changing the functional behaviour of the system —
+/// exactly the modular-refinement property the paper exploits to swap
+/// Viterbi, SOVA and BCJR decoders into one pipeline.
+pub trait Module {
+    /// A short diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Advances the module by one clock edge in its domain.
+    fn tick(&mut self);
+
+    /// Whether the module has no internal work pending.
+    ///
+    /// Used by [`crate::System::run_until_quiescent`]; modules with internal
+    /// pipeline state should report `false` while anything is in flight.
+    /// The default is `true` (purely reactive module).
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// Identifier of a module within a built [`crate::System`].
+///
+/// Returned by [`crate::SystemBuilder::add_module`] and used to get the
+/// module back (e.g. to read results) after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId {
+    pub(crate) domain: usize,
+    pub(crate) slot: usize,
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "module {}.{}", self.domain, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Module for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn tick(&mut self) {}
+    }
+
+    #[test]
+    fn default_idle_is_true() {
+        assert!(Nop.is_idle());
+    }
+
+    #[test]
+    fn module_id_display() {
+        let id = ModuleId { domain: 1, slot: 3 };
+        assert_eq!(id.to_string(), "module 1.3");
+    }
+}

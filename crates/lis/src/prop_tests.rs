@@ -1,0 +1,121 @@
+//! Property-based tests: the latency-insensitive contract holds for
+//! arbitrary clock ratios, FIFO capacities and visibility delays.
+
+use proptest::prelude::*;
+
+use crate::{Freq, LinkSpec, Module, Sink, Source, SystemBuilder};
+
+struct Producer {
+    out: Sink<u64>,
+    next: u64,
+    limit: u64,
+    /// Produce only every `stride`-th tick, to exercise irregular offered load.
+    stride: u64,
+    ticks: u64,
+}
+
+impl Module for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn tick(&mut self) {
+        self.ticks += 1;
+        if self.ticks % self.stride == 0 && self.next < self.limit && self.out.can_enq() {
+            self.out.enq(self.next);
+            self.next += 1;
+        }
+    }
+    fn is_idle(&self) -> bool {
+        self.next >= self.limit
+    }
+}
+
+struct Consumer {
+    inp: Source<u64>,
+    got: Vec<u64>,
+    /// Consume only every `stride`-th tick, to exercise backpressure.
+    stride: u64,
+    ticks: u64,
+}
+
+impl Module for Consumer {
+    fn name(&self) -> &str {
+        "consumer"
+    }
+    fn tick(&mut self) {
+        self.ticks += 1;
+        if self.ticks % self.stride == 0 {
+            if let Some(v) = self.inp.deq() {
+                self.got.push(v);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No tokens are lost, duplicated or reordered, for any clock ratio,
+    /// capacity, delay, or producer/consumer duty cycle.
+    #[test]
+    fn tokens_conserved_across_any_configuration(
+        prod_mhz in 1u64..200,
+        cons_mhz in 1u64..200,
+        capacity in 1usize..10,
+        delay in 1u64..5,
+        prod_stride in 1u64..4,
+        cons_stride in 1u64..4,
+        count in 1u64..200,
+    ) {
+        let mut b = SystemBuilder::new();
+        let pclk = b.clock("prod", Freq::mhz(prod_mhz));
+        let cclk = b.clock("cons", Freq::mhz(cons_mhz));
+        let (tx, rx) = b.link::<u64>(&pclk, &cclk, LinkSpec::new(capacity).delay(delay));
+        b.add_module(&pclk, Producer { out: tx, next: 0, limit: count, stride: prod_stride, ticks: 0 });
+        let cid = b.add_module(&cclk, Consumer { inp: rx, got: vec![], stride: cons_stride, ticks: 0 });
+        let mut sys = b.build();
+        sys.run_until_quiescent(10_000_000);
+        let got = &sys.module::<Consumer>(cid).got;
+        prop_assert_eq!(got.len() as u64, count, "token count mismatch");
+        prop_assert!(got.windows(2).all(|w| w[1] == w[0] + 1), "reordering detected");
+    }
+
+    /// Determinism: the same configuration produces the identical trace.
+    #[test]
+    fn runs_are_deterministic(
+        mhz_a in 1u64..100,
+        mhz_b in 1u64..100,
+        count in 1u64..100,
+    ) {
+        let run = || {
+            let mut b = SystemBuilder::new();
+            let pclk = b.clock("p", Freq::mhz(mhz_a));
+            let cclk = b.clock("c", Freq::mhz(mhz_b));
+            let (tx, rx) = b.link::<u64>(&pclk, &cclk, LinkSpec::new(2));
+            b.add_module(&pclk, Producer { out: tx, next: 0, limit: count, stride: 1, ticks: 0 });
+            let cid = b.add_module(&cclk, Consumer { inp: rx, got: vec![], stride: 1, ticks: 0 });
+            let mut sys = b.build();
+            sys.run_until_quiescent(10_000_000);
+            (sys.instants(), sys.module::<Consumer>(cid).got.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Clock arithmetic: edge counts of two domains never drift from their
+    /// exact frequency ratio by more than one edge.
+    #[test]
+    fn clock_ratio_exact(mhz_a in 1u64..500, mhz_b in 1u64..500, edges in 10u64..2000) {
+        let mut b = SystemBuilder::new();
+        let a = b.clock("a", Freq::mhz(mhz_a));
+        let z = b.clock("z", Freq::mhz(mhz_b));
+        let mut sys = b.build();
+        sys.run_edges(&a, edges);
+        // First edges of both domains coincide at t=0, so after `edges`
+        // edges of `a`, elapsed time is (edges-1) a-periods and z has seen
+        // floor(elapsed / z_period) + 1 edges.
+        let expect = (edges as f64 - 1.0) * mhz_b as f64 / mhz_a as f64 + 1.0;
+        let actual = z.edges() as f64;
+        prop_assert!((actual - expect).abs() <= 1.0 + f64::EPSILON * expect,
+            "expected ~{expect} edges, saw {actual}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Plug-n-play module registry (AWB analog).
+//!
+//! The paper (§2 "Plug-n-Play") exposes every pipeline stage through AWB so
+//! users assemble wireless systems by *choosing an implementation per slot*
+//! rather than editing source. [`Registry`] is the same idea in library
+//! form: implementations of an interface register themselves under a name,
+//! and a configuration maps slot → implementation name at build time.
+//!
+//! # Example
+//!
+//! ```
+//! use wilis_lis::registry::{Params, Registry};
+//!
+//! trait Decoder { fn id(&self) -> &'static str; }
+//! struct Viterbi;
+//! impl Decoder for Viterbi { fn id(&self) -> &'static str { "viterbi" } }
+//! struct Sova(u32);
+//! impl Decoder for Sova { fn id(&self) -> &'static str { "sova" } }
+//!
+//! let mut reg: Registry<Box<dyn Decoder>> = Registry::new("decoder");
+//! reg.register("viterbi", |_| Box::new(Viterbi));
+//! reg.register("sova", |p| Box::new(Sova(p.get_u64("traceback").unwrap_or(64) as u32)));
+//!
+//! let mut params = Params::new();
+//! params.set("traceback", "96");
+//! let dec = reg.build("sova", &params)?;
+//! assert_eq!(dec.id(), "sova");
+//! assert_eq!(reg.names(), ["sova", "viterbi"]);
+//! # Ok::<(), wilis_lis::registry::RegistryError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// String-keyed construction parameters, the moral equivalent of AWB's
+/// per-module parameter boxes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Params {
+    values: BTreeMap<String, String>,
+}
+
+impl Params {
+    /// An empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a parameter.
+    pub fn set(&mut self, key: &str, value: &str) -> &mut Self {
+        self.values.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Looks up a raw string parameter.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Looks up and parses an unsigned integer parameter.
+    ///
+    /// Returns `None` both when absent and when unparsable; factories that
+    /// must distinguish should use [`Params::get`].
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Looks up and parses a float parameter.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Looks up and parses a boolean parameter (`"true"` / `"false"`).
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key)?.parse().ok()
+    }
+}
+
+/// Error returned when a registry lookup fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    slot: String,
+    requested: String,
+    available: Vec<String>,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no implementation {:?} registered for slot {:?} (available: {})",
+            self.requested,
+            self.slot,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+type Factory<I> = Box<dyn Fn(&Params) -> I>;
+
+/// A named slot with interchangeable implementations of interface `I`.
+///
+/// `I` is typically a boxed trait object (`Box<dyn SoftDecoder>`); the
+/// factory closure receives the user's [`Params`].
+pub struct Registry<I> {
+    slot: String,
+    factories: BTreeMap<String, Factory<I>>,
+}
+
+impl<I> Registry<I> {
+    /// Creates a registry for the named slot (e.g. `"decoder"`).
+    pub fn new(slot: &str) -> Self {
+        Self {
+            slot: slot.to_string(),
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// The slot name.
+    pub fn slot(&self) -> &str {
+        &self.slot
+    }
+
+    /// Registers an implementation under `name`, replacing any previous
+    /// registration with the same name.
+    pub fn register(&mut self, name: &str, factory: impl Fn(&Params) -> I + 'static) {
+        self.factories.insert(name.to_string(), Box::new(factory));
+    }
+
+    /// Instantiates the implementation registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] (listing the available names) when `name`
+    /// is not registered.
+    pub fn build(&self, name: &str, params: &Params) -> Result<I, RegistryError> {
+        match self.factories.get(name) {
+            Some(f) => Ok(f(params)),
+            None => Err(RegistryError {
+                slot: self.slot.clone(),
+                requested: name.to_string(),
+                available: self.names(),
+            }),
+        }
+    }
+
+    /// The registered implementation names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Whether an implementation is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+}
+
+impl<I> fmt::Debug for Registry<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Registry({:?}: {})", self.slot, self.names().join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_typed_getters() {
+        let mut p = Params::new();
+        p.set("n", "64").set("snr", "6.5").set("on", "true");
+        assert_eq!(p.get_u64("n"), Some(64));
+        assert_eq!(p.get_f64("snr"), Some(6.5));
+        assert_eq!(p.get_bool("on"), Some(true));
+        assert_eq!(p.get_u64("missing"), None);
+        assert_eq!(p.get_u64("snr"), None, "not an integer");
+    }
+
+    #[test]
+    fn build_and_error_paths() {
+        let mut reg: Registry<u64> = Registry::new("width");
+        reg.register("narrow", |_| 4);
+        reg.register("wide", |p| p.get_u64("bits").unwrap_or(28));
+        let p = Params::new();
+        assert_eq!(reg.build("narrow", &p).unwrap(), 4);
+        assert_eq!(reg.build("wide", &p).unwrap(), 28);
+        let err = reg.build("huge", &p).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("huge") && msg.contains("narrow") && msg.contains("wide"));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut reg: Registry<u8> = Registry::new("x");
+        reg.register("a", |_| 1);
+        reg.register("a", |_| 2);
+        assert_eq!(reg.build("a", &Params::new()).unwrap(), 2);
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn contains_and_slot() {
+        let mut reg: Registry<u8> = Registry::new("dec");
+        reg.register("sova", |_| 0);
+        assert!(reg.contains("sova"));
+        assert!(!reg.contains("bcjr"));
+        assert_eq!(reg.slot(), "dec");
+    }
+}

@@ -1,0 +1,19 @@
+//! Link layer: the protocols that consume SoftPHY estimates.
+//!
+//! The paper motivates SoftPHY with two cross-layer consumers (§4):
+//!
+//! * [`SoftRate`] — bit-rate adaptation from per-packet BER estimates
+//!   (Vutukuru et al., the paper's reference [31]); evaluated in Figure 7.
+//! * [`ppr`] — Partial Packet Recovery from per-bit BER estimates
+//!   (Jamieson & Balakrishnan, reference [17]): retransmit only the chunks
+//!   whose bits carry low confidence.
+//! * [`arq`] — the conventional whole-packet ARQ baseline both improve on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arq;
+pub mod ppr;
+mod softrate;
+
+pub use softrate::{RateDecision, Selection, SelectionStats, SoftRate};

@@ -1,0 +1,170 @@
+//! Partial Packet Recovery: retransmit only low-confidence chunks.
+//!
+//! PPR (the paper's reference [17]) "uses per-bit BER estimates … to
+//! determine the bits to be retransmitted, improving the efficiency of the
+//! conventional Link Layer's ARQ mechanism". Given the per-bit SoftPHY
+//! hints of a corrupted packet, the receiver requests retransmission of
+//! just the chunks containing suspect bits instead of the whole packet.
+
+/// PPR policy: chunk geometry and the hint level below which a bit is
+/// suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PprConfig {
+    /// Bits per retransmission chunk.
+    pub chunk_bits: usize,
+    /// Bits with hints strictly below this are suspect.
+    pub hint_threshold: u16,
+}
+
+impl PprConfig {
+    /// A policy with the given chunk size and threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits` is zero.
+    pub fn new(chunk_bits: usize, hint_threshold: u16) -> Self {
+        assert!(chunk_bits > 0, "chunks must contain bits");
+        Self {
+            chunk_bits,
+            hint_threshold,
+        }
+    }
+
+    /// Marks the chunks to retransmit: `true` for every chunk containing
+    /// at least one suspect bit.
+    pub fn plan(&self, hints: &[u16]) -> Vec<bool> {
+        hints
+            .chunks(self.chunk_bits)
+            .map(|c| c.iter().any(|&h| h < self.hint_threshold))
+            .collect()
+    }
+}
+
+/// The outcome of applying a PPR plan against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PprOutcome {
+    /// Total payload bits.
+    pub total_bits: usize,
+    /// Bits requested for retransmission.
+    pub retransmitted_bits: usize,
+    /// Actual bit errors covered by retransmitted chunks (repaired).
+    pub repaired_errors: usize,
+    /// Actual bit errors in chunks PPR decided to keep (missed).
+    pub missed_errors: usize,
+}
+
+impl PprOutcome {
+    /// Fraction of the packet retransmitted (conventional ARQ = 1.0
+    /// whenever any error exists).
+    pub fn retransmit_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.retransmitted_bits as f64 / self.total_bits as f64
+        }
+    }
+
+    /// Whether the recovered packet is clean (all true errors repaired).
+    pub fn recovered(&self) -> bool {
+        self.missed_errors == 0
+    }
+}
+
+/// Evaluates a plan against the true error positions.
+///
+/// # Panics
+///
+/// Panics if `errors.len()` is inconsistent with the plan/chunk geometry.
+pub fn evaluate(config: &PprConfig, plan: &[bool], errors: &[bool]) -> PprOutcome {
+    let chunks = errors.len().div_ceil(config.chunk_bits);
+    assert_eq!(plan.len(), chunks, "plan does not match packet geometry");
+    let mut outcome = PprOutcome {
+        total_bits: errors.len(),
+        ..PprOutcome::default()
+    };
+    for (i, chunk_errors) in errors.chunks(config.chunk_bits).enumerate() {
+        let errs = chunk_errors.iter().filter(|&&e| e).count();
+        if plan[i] {
+            outcome.retransmitted_bits += chunk_errors.len();
+            outcome.repaired_errors += errs;
+        } else {
+            outcome.missed_errors += errs;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_marks_only_suspect_chunks() {
+        let cfg = PprConfig::new(4, 10);
+        let hints = [60, 60, 60, 60, 60, 3, 60, 60, 60, 60, 60, 60];
+        assert_eq!(cfg.plan(&hints), vec![false, true, false]);
+    }
+
+    #[test]
+    fn evaluate_counts_repairs_and_misses() {
+        let cfg = PprConfig::new(4, 10);
+        let hints = [60, 60, 60, 60, 5, 60, 60, 60];
+        let plan = cfg.plan(&hints);
+        // True errors: one in the flagged chunk, one in the clean chunk.
+        let mut errors = vec![false; 8];
+        errors[4] = true; // flagged chunk - repaired
+        errors[1] = true; // unflagged chunk - missed
+        let out = evaluate(&cfg, &plan, &errors);
+        assert_eq!(out.repaired_errors, 1);
+        assert_eq!(out.missed_errors, 1);
+        assert_eq!(out.retransmitted_bits, 4);
+        assert!(!out.recovered());
+        assert!((out.retransmit_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_hints_give_cheap_recovery() {
+        // When hints perfectly identify errors, PPR retransmits only the
+        // erroneous chunks and always recovers.
+        let cfg = PprConfig::new(8, 10);
+        let n = 64;
+        let mut hints = vec![60u16; n];
+        let mut errors = vec![false; n];
+        for &e in &[5usize, 40] {
+            hints[e] = 1;
+            errors[e] = true;
+        }
+        let plan = cfg.plan(&hints);
+        let out = evaluate(&cfg, &plan, &errors);
+        assert!(out.recovered());
+        assert_eq!(out.retransmitted_bits, 16, "two chunks of eight");
+        assert!(out.retransmit_fraction() < 0.3, "far cheaper than full ARQ");
+    }
+
+    #[test]
+    fn threshold_zero_never_retransmits() {
+        let cfg = PprConfig::new(4, 0);
+        let plan = cfg.plan(&[0, 0, 0, 0]);
+        assert_eq!(plan, vec![false], "no hint is below zero");
+    }
+
+    #[test]
+    fn ragged_tail_chunk_handled() {
+        let cfg = PprConfig::new(4, 10);
+        let hints = [60, 60, 60, 60, 2]; // 5 bits: one full chunk + tail
+        let plan = cfg.plan(&hints);
+        assert_eq!(plan.len(), 2);
+        let mut errors = vec![false; 5];
+        errors[4] = true;
+        let out = evaluate(&cfg, &plan, &errors);
+        assert_eq!(out.retransmitted_bits, 1, "tail chunk has one bit");
+        assert!(out.recovered());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_plan_panics() {
+        let cfg = PprConfig::new(4, 10);
+        let _ = evaluate(&cfg, &[true], &[false; 12]);
+    }
+}

@@ -1,0 +1,283 @@
+//! SoftRate: PBER-threshold bit-rate adaptation (§4.4.2, Figure 7).
+//!
+//! "If the calculated PBER at the current rate is outside of a
+//! pre-computed range (for the ARQ link layer protocol, the range is
+//! between 10⁻⁷ and 10⁻⁵), then SoftRate will immediately adjust the
+//! future transmission rate up or down accordingly."
+
+use std::fmt;
+
+use wilis_phy::PhyRate;
+
+/// The decision SoftRate makes after observing one packet's PBER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// PBER below the low threshold: the channel supports a faster rate.
+    StepUp,
+    /// PBER above the high threshold: back off.
+    StepDown,
+    /// PBER inside the target band: stay.
+    Hold,
+}
+
+/// How a selected rate compares with the oracle-optimal rate — the
+/// categories of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Selection {
+    /// Slower than the optimal rate (wasted capacity).
+    Under,
+    /// Exactly the optimal rate.
+    Accurate,
+    /// Faster than the optimal rate (packet likely lost).
+    Over,
+}
+
+/// The SoftRate controller.
+///
+/// # Example
+///
+/// ```
+/// use wilis_mac::{RateDecision, SoftRate};
+/// use wilis_phy::PhyRate;
+///
+/// let mut sr = SoftRate::new(PhyRate::Qam16Half);
+/// // A very clean packet: step up.
+/// assert_eq!(sr.observe(1e-9), RateDecision::StepUp);
+/// assert_eq!(sr.current(), PhyRate::Qam16ThreeQuarters);
+/// // A noisy packet: step back down.
+/// assert_eq!(sr.observe(1e-3), RateDecision::StepDown);
+/// assert_eq!(sr.current(), PhyRate::Qam16Half);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftRate {
+    current: PhyRate,
+    lo: f64,
+    hi: f64,
+}
+
+impl SoftRate {
+    /// A controller starting at `initial` with the paper's ARQ thresholds
+    /// (10⁻⁷, 10⁻⁵).
+    pub fn new(initial: PhyRate) -> Self {
+        Self::with_thresholds(initial, 1e-7, 1e-5)
+    }
+
+    /// A controller whose PBER band is derived for a packet size.
+    ///
+    /// The paper's (10⁻⁷, 10⁻⁵) range encodes two delivery targets for
+    /// packets "in the order of 10⁴ bits": step down when delivery falls
+    /// under ~90% (`PBER > 10⁻⁵` at 10⁴ bits) and step up when it exceeds
+    /// ~99.9% (`PBER < 10⁻⁷`). This constructor translates those same
+    /// targets to any packet size: `hi = 1 − 0.9^(1/bits)`,
+    /// `lo = 1 − 0.999^(1/bits)` — which reproduces the paper's numbers
+    /// exactly at 10⁴ bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bits` is zero.
+    pub fn for_packet_bits(initial: PhyRate, packet_bits: usize) -> Self {
+        assert!(packet_bits > 0, "packets must carry bits");
+        let bits = packet_bits as f64;
+        let hi = 1.0 - 0.9f64.powf(1.0 / bits);
+        let lo = 1.0 - 0.999f64.powf(1.0 / bits);
+        Self::with_thresholds(initial, lo, hi)
+    }
+
+    /// A controller with explicit PBER thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi < 1`.
+    pub fn with_thresholds(initial: PhyRate, lo: f64, hi: f64) -> Self {
+        assert!(0.0 < lo && lo < hi && hi < 1.0, "need 0 < lo < hi < 1");
+        Self {
+            current: initial,
+            lo,
+            hi,
+        }
+    }
+
+    /// The rate the next packet will be sent at.
+    pub fn current(&self) -> PhyRate {
+        self.current
+    }
+
+    /// Feeds one packet's predicted PBER (as fed back on the ARQ ack) and
+    /// adjusts the rate.
+    pub fn observe(&mut self, pber: f64) -> RateDecision {
+        if pber > self.hi {
+            if let Some(slower) = self.current.slower() {
+                self.current = slower;
+            }
+            RateDecision::StepDown
+        } else if pber < self.lo {
+            if let Some(faster) = self.current.faster() {
+                self.current = faster;
+            }
+            RateDecision::StepUp
+        } else {
+            RateDecision::Hold
+        }
+    }
+
+    /// Classifies a selected rate against the oracle-optimal rate: the
+    /// highest rate at which the packet would have been received with no
+    /// errors (`None` when no rate succeeds, in which case only the lowest
+    /// rate counts as accurate).
+    pub fn classify(selected: PhyRate, optimal: Option<PhyRate>) -> Selection {
+        let reference = optimal.unwrap_or(PhyRate::BpskHalf);
+        if selected.mbps() < reference.mbps() {
+            Selection::Under
+        } else if selected.mbps() > reference.mbps() {
+            Selection::Over
+        } else {
+            Selection::Accurate
+        }
+    }
+}
+
+/// Accumulated Figure 7 statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Packets sent below the optimal rate.
+    pub under: u64,
+    /// Packets sent at the optimal rate.
+    pub accurate: u64,
+    /// Packets sent above the optimal rate.
+    pub over: u64,
+}
+
+impl SelectionStats {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified packet.
+    pub fn record(&mut self, sel: Selection) {
+        match sel {
+            Selection::Under => self.under += 1,
+            Selection::Accurate => self.accurate += 1,
+            Selection::Over => self.over += 1,
+        }
+    }
+
+    /// Total packets recorded.
+    pub fn total(&self) -> u64 {
+        self.under + self.accurate + self.over
+    }
+
+    /// `(under %, accurate %, over %)` — the Figure 7 bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packets were recorded.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total() as f64;
+        assert!(t > 0.0, "no packets recorded");
+        (
+            100.0 * self.under as f64 / t,
+            100.0 * self.accurate as f64 / t,
+            100.0 * self.over as f64 / t,
+        )
+    }
+}
+
+impl fmt::Display for SelectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total() == 0 {
+            return write!(f, "no packets");
+        }
+        let (u, a, o) = self.percentages();
+        write!(
+            f,
+            "under {u:.1}% / accurate {a:.1}% / over {o:.1}% ({} packets)",
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_drive_decisions() {
+        let mut sr = SoftRate::new(PhyRate::Qam16Half);
+        assert_eq!(sr.observe(5e-6), RateDecision::Hold);
+        assert_eq!(sr.current(), PhyRate::Qam16Half);
+        assert_eq!(sr.observe(1e-4), RateDecision::StepDown);
+        assert_eq!(sr.current(), PhyRate::QpskThreeQuarters);
+        assert_eq!(sr.observe(1e-8), RateDecision::StepUp);
+        assert_eq!(sr.current(), PhyRate::Qam16Half);
+    }
+
+    #[test]
+    fn saturates_at_rate_extremes() {
+        let mut sr = SoftRate::new(PhyRate::BpskHalf);
+        assert_eq!(sr.observe(0.1), RateDecision::StepDown);
+        assert_eq!(sr.current(), PhyRate::BpskHalf, "cannot go below 6 Mbps");
+        let mut sr = SoftRate::new(PhyRate::Qam64ThreeQuarters);
+        assert_eq!(sr.observe(1e-9), RateDecision::StepUp);
+        assert_eq!(sr.current(), PhyRate::Qam64ThreeQuarters);
+    }
+
+    #[test]
+    fn classification_against_oracle() {
+        use Selection::*;
+        assert_eq!(
+            SoftRate::classify(PhyRate::QpskHalf, Some(PhyRate::Qam16Half)),
+            Under
+        );
+        assert_eq!(
+            SoftRate::classify(PhyRate::Qam16Half, Some(PhyRate::Qam16Half)),
+            Accurate
+        );
+        assert_eq!(
+            SoftRate::classify(PhyRate::Qam64TwoThirds, Some(PhyRate::Qam16Half)),
+            Over
+        );
+        // Nothing succeeds: only the floor rate is "accurate".
+        assert_eq!(SoftRate::classify(PhyRate::BpskHalf, None), Accurate);
+        assert_eq!(SoftRate::classify(PhyRate::QpskHalf, None), Over);
+    }
+
+    #[test]
+    fn stats_accumulate_and_percentages() {
+        let mut s = SelectionStats::new();
+        for _ in 0..8 {
+            s.record(Selection::Accurate);
+        }
+        s.record(Selection::Under);
+        s.record(Selection::Over);
+        let (u, a, o) = s.percentages();
+        assert_eq!(s.total(), 10);
+        assert!((a - 80.0).abs() < 1e-12);
+        assert!((u - 10.0).abs() < 1e-12);
+        assert!((o - 10.0).abs() < 1e-12);
+        assert!(s.to_string().contains("accurate 80.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn bad_thresholds_rejected() {
+        let _ = SoftRate::with_thresholds(PhyRate::BpskHalf, 1e-5, 1e-7);
+    }
+
+    #[test]
+    fn packet_size_thresholds_match_paper_at_1e4_bits() {
+        let sr = SoftRate::for_packet_bits(PhyRate::Qam16Half, 10_000);
+        // 1 - 0.9^(1e-4) ~ 1.05e-5 and 1 - 0.999^(1e-4) ~ 1.0e-7: the
+        // paper's (1e-7, 1e-5) band.
+        assert!((sr.hi / 1.05e-5 - 1.0).abs() < 0.05, "hi {}", sr.hi);
+        assert!((sr.lo / 1.0e-7 - 1.0).abs() < 0.05, "lo {}", sr.lo);
+    }
+
+    #[test]
+    fn smaller_packets_relax_the_band() {
+        let small = SoftRate::for_packet_bits(PhyRate::Qam16Half, 800);
+        let big = SoftRate::for_packet_bits(PhyRate::Qam16Half, 10_000);
+        assert!(small.hi > big.hi);
+        assert!(small.lo > big.lo);
+    }
+}

@@ -1,0 +1,155 @@
+//! Radix-2 FFT, written from scratch (no external DSP dependency).
+
+use std::f64::consts::PI;
+
+use wilis_fxp::Cplx;
+
+/// In-place iterative radix-2 Cooley–Tukey with the given twiddle sign.
+fn transform(data: &mut [Cplx], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cplx::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT (no normalization): `X[k] = Σ x[n] e^(−j2πkn/N)`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::Cplx;
+/// use wilis_phy::{fft, ifft};
+///
+/// let mut x = vec![Cplx::ZERO; 64];
+/// x[3] = Cplx::ONE; // a pure tone in frequency becomes one after roundtrip
+/// let mut t = x.clone();
+/// ifft(&mut t);
+/// fft(&mut t);
+/// for (a, b) in x.iter().zip(&t) {
+///     assert!((*a - *b).norm() < 1e-12);
+/// }
+/// ```
+pub fn fft(data: &mut [Cplx]) {
+    transform(data, -1.0);
+}
+
+/// Inverse DFT with `1/N` normalization: `x[n] = (1/N) Σ X[k] e^(+j2πkn/N)`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(data: &mut [Cplx]) {
+    transform(data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for v in data {
+        *v = v.scale(scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Cplx], b: &[Cplx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).norm() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_is_flat_spectrum() {
+        let mut x = vec![Cplx::ZERO; 64];
+        x[0] = Cplx::ONE;
+        fft(&mut x);
+        assert_close(&x, &vec![Cplx::ONE; 64], 1e-12);
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Cplx> = (0..n)
+            .map(|t| Cplx::from_polar(1.0, 2.0 * PI * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (bin, v) in x.iter().enumerate() {
+            if bin == k {
+                assert!((v.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9, "leakage at bin {bin}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Cplx> = (0..128)
+            .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        assert_close(&x, &y, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Cplx> = (0..64)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut y = x;
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Cplx> = (0..32).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Cplx> = (0..32).map(|i| Cplx::new(1.0, i as f64 * 0.5)).collect();
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum;
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fsum);
+        let combined: Vec<Cplx> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_close(&fsum, &combined, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Cplx::ZERO; 48];
+        fft(&mut x);
+    }
+}

@@ -1,0 +1,171 @@
+//! The 802.11a two-permutation block interleaver (per OFDM symbol).
+//!
+//! This is the paper's "avoidance of bursty errors by shuffling bits" (§1):
+//! the first permutation spreads adjacent coded bits across non-adjacent
+//! subcarriers; the second alternates them between more- and
+//! less-significant constellation bit positions so that runs of low
+//! reliability do not land on one codeword neighborhood.
+
+use wilis_fec::Llr;
+
+use crate::rate::PhyRate;
+
+fn permutation(rate: PhyRate) -> Vec<usize> {
+    let n_cbps = rate.coded_bits_per_symbol();
+    let bpsc = rate.modulation().bits_per_symbol();
+    let s = (bpsc / 2).max(1);
+    (0..n_cbps)
+        .map(|k| {
+            // IEEE 802.11-2007 §17.3.5.6, interleaver permutations.
+            let i = (n_cbps / 16) * (k % 16) + k / 16;
+            (s * (i / s)) + (i + n_cbps - (16 * i / n_cbps)) % s
+        })
+        .collect()
+}
+
+/// Interleaves the coded bits of one OFDM symbol.
+///
+/// # Example
+///
+/// ```
+/// use wilis_phy::{Deinterleaver, Interleaver, PhyRate};
+///
+/// let rate = PhyRate::Qam16Half;
+/// let bits: Vec<u8> = (0..rate.coded_bits_per_symbol()).map(|i| (i % 2) as u8).collect();
+/// let tx = Interleaver::new(rate).interleave(&bits);
+/// let llrs: Vec<i32> = tx.iter().map(|&b| if b == 1 { 3 } else { -3 }).collect();
+/// let rx = Deinterleaver::new(rate).deinterleave(&llrs);
+/// for (orig, soft) in bits.iter().zip(&rx) {
+///     assert_eq!(*orig == 1, *soft > 0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    rate: PhyRate,
+    /// `perm[k]` = position after interleaving of input bit `k`.
+    perm: Vec<usize>,
+}
+
+impl Interleaver {
+    /// An interleaver for one symbol of `rate`.
+    pub fn new(rate: PhyRate) -> Self {
+        Self {
+            rate,
+            perm: permutation(rate),
+        }
+    }
+
+    /// Permutes exactly one symbol's worth of coded bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not the rate's coded bits per symbol.
+    pub fn interleave<T: Copy + Default>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(
+            bits.len(),
+            self.rate.coded_bits_per_symbol(),
+            "interleaver operates on exactly one OFDM symbol"
+        );
+        let mut out = vec![T::default(); bits.len()];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+}
+
+/// Inverts the per-symbol interleaver (operating on soft values at the
+/// receiver).
+#[derive(Debug, Clone)]
+pub struct Deinterleaver {
+    rate: PhyRate,
+    perm: Vec<usize>,
+}
+
+impl Deinterleaver {
+    /// A deinterleaver for one symbol of `rate`.
+    pub fn new(rate: PhyRate) -> Self {
+        Self {
+            rate,
+            perm: permutation(rate),
+        }
+    }
+
+    /// Restores transmission order for one symbol of soft values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not the rate's coded bits per symbol.
+    pub fn deinterleave(&self, llrs: &[Llr]) -> Vec<Llr> {
+        assert_eq!(
+            llrs.len(),
+            self.rate.coded_bits_per_symbol(),
+            "deinterleaver operates on exactly one OFDM symbol"
+        );
+        let mut out = vec![0; llrs.len()];
+        for (k, &p) in self.perm.iter().enumerate() {
+            out[k] = llrs[p];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_bijective_for_all_rates() {
+        for rate in PhyRate::all() {
+            let perm = permutation(rate);
+            let mut seen = vec![false; perm.len()];
+            for &p in &perm {
+                assert!(!seen[p], "{rate}: position {p} hit twice");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity_for_all_rates() {
+        for rate in PhyRate::all() {
+            let n = rate.coded_bits_per_symbol();
+            let bits: Vec<u8> = (0..n).map(|i| ((i * 31 + 7) % 2) as u8).collect();
+            let inter = Interleaver::new(rate).interleave(&bits);
+            let llrs: Vec<Llr> = inter.iter().map(|&b| if b == 1 { 1 } else { -1 }).collect();
+            let deinter = Deinterleaver::new(rate).deinterleave(&llrs);
+            let recovered: Vec<u8> = deinter.iter().map(|&l| u8::from(l > 0)).collect();
+            assert_eq!(recovered, bits, "{rate}");
+        }
+    }
+
+    #[test]
+    fn adjacent_bits_spread_apart() {
+        // The point of the first permutation: adjacent coded bits map to
+        // distant interleaved positions (different subcarriers).
+        let rate = PhyRate::Qam16Half;
+        let perm = permutation(rate);
+        let min_gap = perm
+            .windows(2)
+            .map(|w| (w[1] as i64 - w[0] as i64).unsigned_abs())
+            .min()
+            .unwrap();
+        assert!(min_gap >= 4, "adjacent coded bits too close: gap {min_gap}");
+    }
+
+    #[test]
+    fn known_bpsk_mapping() {
+        // For BPSK (s=1) the second permutation is the identity, so
+        // perm[k] = (NCBPS/16)(k mod 16) + floor(k/16) = 3*(k%16) + k/16.
+        let perm = permutation(PhyRate::BpskHalf);
+        for (k, &p) in perm.iter().enumerate() {
+            assert_eq!(p, 3 * (k % 16) + k / 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one OFDM symbol")]
+    fn wrong_length_panics() {
+        let _ = Interleaver::new(PhyRate::BpskHalf).interleave(&[0u8; 10]);
+    }
+}

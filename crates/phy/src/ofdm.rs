@@ -1,0 +1,254 @@
+//! OFDM symbol assembly: 64-point FFT, 48 data + 4 pilot subcarriers,
+//! 16-sample cyclic prefix (802.11-2007 §17.3.5.9).
+
+use wilis_fxp::Cplx;
+
+use crate::fft::{fft, ifft};
+use crate::scrambler::Scrambler;
+
+/// FFT length (subcarrier count including guards and DC).
+pub const FFT_LEN: usize = 64;
+/// Cyclic-prefix length in samples.
+pub const CP_LEN: usize = 16;
+/// Total time-domain samples per OFDM symbol.
+pub const SYMBOL_LEN: usize = FFT_LEN + CP_LEN;
+/// Data subcarriers per symbol.
+pub const DATA_CARRIERS: usize = 48;
+
+/// Logical subcarrier indices (−26..=26 excluding 0 and pilots) of the 48
+/// data carriers, in the order coded bits fill them.
+fn data_subcarriers() -> impl Iterator<Item = i32> {
+    (-26..=26).filter(|&k| k != 0 && !PILOT_CARRIERS.contains(&k))
+}
+
+/// Pilot subcarrier positions.
+pub(crate) const PILOT_CARRIERS: [i32; 4] = [-21, -7, 7, 21];
+
+/// Base pilot polarities (before the per-symbol polarity sequence).
+const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+
+fn bin_of(k: i32) -> usize {
+    ((k + FFT_LEN as i32) % FFT_LEN as i32) as usize
+}
+
+/// Per-symbol pilot polarity: the 127-periodic scrambler sequence with
+/// all-ones seed, mapped 0 → +1, 1 → −1 (802.11-2007 §17.3.5.9).
+#[derive(Debug, Clone)]
+struct PilotPolarity {
+    scrambler: Scrambler,
+}
+
+impl PilotPolarity {
+    fn new() -> Self {
+        Self {
+            scrambler: Scrambler::new(0x7F),
+        }
+    }
+    fn next(&mut self) -> f64 {
+        if self.scrambler.next_bit() == 1 {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Assembles frequency-domain symbols into time-domain OFDM samples.
+///
+/// # Example
+///
+/// ```
+/// use wilis_fxp::Cplx;
+/// use wilis_phy::{OfdmDemodulator, OfdmModulator, DATA_CARRIERS, SYMBOL_LEN};
+///
+/// let data = vec![Cplx::new(0.5, -0.5); DATA_CARRIERS];
+/// let mut tx = OfdmModulator::new();
+/// let samples = tx.modulate(&data);
+/// assert_eq!(samples.len(), SYMBOL_LEN);
+///
+/// let mut rx = OfdmDemodulator::new();
+/// let back = rx.demodulate(&samples);
+/// for (a, b) in data.iter().zip(&back) {
+///     assert!((*a - *b).norm() < 1e-10);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfdmModulator {
+    polarity: PilotPolarity,
+}
+
+impl OfdmModulator {
+    /// A modulator at the start of a frame (pilot polarity index 0).
+    pub fn new() -> Self {
+        Self {
+            polarity: PilotPolarity::new(),
+        }
+    }
+
+    /// Modulates one symbol of 48 data-subcarrier values into 80 time
+    /// samples (64-point IFFT plus 16-sample cyclic prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != DATA_CARRIERS`.
+    pub fn modulate(&mut self, data: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(data.len(), DATA_CARRIERS, "one symbol of data carriers");
+        let mut freq = vec![Cplx::ZERO; FFT_LEN];
+        for (value, k) in data.iter().zip(data_subcarriers()) {
+            freq[bin_of(k)] = *value;
+        }
+        let p = self.polarity.next();
+        for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
+            freq[bin_of(k)] = Cplx::new(PILOT_BASE[i] * p, 0.0);
+        }
+        ifft(&mut freq);
+        // The IFFT's 1/N normalization spreads unit subcarrier energy
+        // across N samples; rescale so average time-sample power equals
+        // average subcarrier power (unit for unit-energy constellations).
+        let scale = (FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
+            * (FFT_LEN as f64).sqrt();
+        let body: Vec<Cplx> = freq.iter().map(|v| v.scale(scale)).collect();
+        let mut out = Vec::with_capacity(SYMBOL_LEN);
+        out.extend_from_slice(&body[FFT_LEN - CP_LEN..]);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+impl Default for OfdmModulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Recovers data-subcarrier values from time-domain OFDM samples.
+#[derive(Debug, Clone)]
+pub struct OfdmDemodulator {
+    polarity: PilotPolarity,
+    /// Residual common phase error measured from the pilots of the last
+    /// demodulated symbol (exposed for instrumentation).
+    last_pilot_phase: f64,
+}
+
+impl OfdmDemodulator {
+    /// A demodulator aligned to the start of a frame.
+    pub fn new() -> Self {
+        Self {
+            polarity: PilotPolarity::new(),
+            last_pilot_phase: 0.0,
+        }
+    }
+
+    /// Demodulates one 80-sample OFDM symbol back to 48 data-subcarrier
+    /// values. Assumes sample alignment (the paper's pipeline omits
+    /// synchronization, §4.4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != SYMBOL_LEN`.
+    pub fn demodulate(&mut self, samples: &[Cplx]) -> Vec<Cplx> {
+        assert_eq!(samples.len(), SYMBOL_LEN, "one OFDM symbol of samples");
+        let mut freq: Vec<Cplx> = samples[CP_LEN..].to_vec();
+        fft(&mut freq);
+        let scale = 1.0
+            / ((FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
+                * (FFT_LEN as f64).sqrt());
+        let p = self.polarity.next();
+        // Pilot-based common phase estimate (diagnostic only; no channel
+        // estimation is applied, faithful to the paper's pipeline).
+        let pilot_sum: Cplx = PILOT_CARRIERS
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| freq[bin_of(k)].scale(PILOT_BASE[i] * p))
+            .sum();
+        self.last_pilot_phase = pilot_sum.arg();
+        data_subcarriers()
+            .map(|k| freq[bin_of(k)].scale(scale))
+            .collect()
+    }
+
+    /// Common phase (radians) measured from the last symbol's pilots.
+    pub fn last_pilot_phase(&self) -> f64 {
+        self.last_pilot_phase
+    }
+}
+
+impl Default for OfdmDemodulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcarrier_layout() {
+        let carriers: Vec<i32> = data_subcarriers().collect();
+        assert_eq!(carriers.len(), DATA_CARRIERS);
+        assert!(!carriers.contains(&0), "DC is never a data carrier");
+        for p in PILOT_CARRIERS {
+            assert!(!carriers.contains(&p), "pilot {p} not a data carrier");
+        }
+        assert!(carriers.iter().all(|&k| (-26..=26).contains(&k)));
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        let data: Vec<Cplx> = (0..DATA_CARRIERS)
+            .map(|i| Cplx::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()).scale(0.5))
+            .collect();
+        let mut tx = OfdmModulator::new();
+        let mut rx = OfdmDemodulator::new();
+        for _ in 0..5 {
+            let samples = tx.modulate(&data);
+            let back = rx.demodulate(&samples);
+            for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+                assert!((*a - *b).norm() < 1e-10, "carrier {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let data = vec![Cplx::new(0.3, 0.1); DATA_CARRIERS];
+        let samples = OfdmModulator::new().modulate(&data);
+        assert_eq!(&samples[..CP_LEN], &samples[FFT_LEN..]);
+    }
+
+    #[test]
+    fn average_sample_power_is_near_unity_for_unit_constellations() {
+        // With unit-energy data carriers, the chosen scaling gives average
+        // time-domain sample power ~1, so channel SNR definitions line up.
+        let data = vec![Cplx::new(1.0, 0.0); DATA_CARRIERS];
+        let samples = OfdmModulator::new().modulate(&data);
+        let p: f64 =
+            samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
+        assert!((p - 1.0).abs() < 0.3, "sample power {p}");
+    }
+
+    #[test]
+    fn pilot_polarity_sequence_starts_plus() {
+        // First scrambler bits with all-ones seed are 0,0,0,0,1,...
+        // so polarities begin +1,+1,+1,+1,−1.
+        let mut p = PilotPolarity::new();
+        let seq: Vec<f64> = (0..5).map(|_| p.next()).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn demodulator_tracks_symbol_index_for_pilots() {
+        // If TX and RX pilot sequences desynchronize, the pilot phase
+        // estimate flips sign on polarity mismatches; keeping them in step
+        // must hold the estimate near zero on a clean channel.
+        let data = vec![Cplx::new(0.5, 0.5); DATA_CARRIERS];
+        let mut tx = OfdmModulator::new();
+        let mut rx = OfdmDemodulator::new();
+        for _ in 0..10 {
+            let s = tx.modulate(&data);
+            let _ = rx.demodulate(&s);
+            assert!(rx.last_pilot_phase().abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end transmit and receive pipelines (the Figure 1 chains, in
+//! functional form).
+
+use wilis_fec::{
+    BcjrDecoder, ConvCode, ConvEncoder, Depuncturer, Puncturer, SoftDecoder, SovaDecoder,
+    ViterbiDecoder,
+};
+use wilis_fxp::Cplx;
+
+use crate::demapper::{Demapper, SnrScaling};
+use crate::interleave::{Deinterleaver, Interleaver};
+use crate::mapper::Mapper;
+use crate::ofdm::{OfdmDemodulator, OfdmModulator, SYMBOL_LEN};
+use crate::packet::{PacketBuilder, PacketFields, TAIL_BITS};
+use crate::rate::PhyRate;
+use crate::scrambler::Scrambler;
+
+/// The transmit pipeline: scramble → encode → puncture → interleave → map
+/// → OFDM modulate.
+#[derive(Debug, Clone, Copy)]
+pub struct Transmitter {
+    rate: PhyRate,
+}
+
+/// A transmitted packet: its baseband samples and layout.
+#[derive(Debug, Clone)]
+pub struct TxResult {
+    /// Time-domain baseband samples (80 per OFDM symbol).
+    pub samples: Vec<Cplx>,
+    /// The packet layout (needed by the receiver).
+    pub fields: PacketFields,
+    /// Payload length in bits (convenience copy of `fields.payload_bits`).
+    pub payload_bits: usize,
+}
+
+impl Transmitter {
+    /// A transmitter at `rate`.
+    pub fn new(rate: PhyRate) -> Self {
+        Self { rate }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> PhyRate {
+        self.rate
+    }
+
+    /// Modulates `payload` (a bit slice) into baseband samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a bit slice or the scramble seed is
+    /// invalid.
+    pub fn transmit(&self, payload: &[u8], scramble_seed: u8) -> TxResult {
+        let (data_bits, fields) = PacketBuilder::new(self.rate).assemble(payload, scramble_seed);
+        let code = ConvCode::ieee80211();
+        let coded = ConvEncoder::new(&code).encode(&data_bits);
+        let punctured = Puncturer::new(self.rate.code_rate()).puncture(&coded);
+        debug_assert_eq!(punctured.len(), fields.coded_bits());
+
+        let interleaver = Interleaver::new(self.rate);
+        let mapper = Mapper::new(self.rate.modulation());
+        let mut ofdm = OfdmModulator::new();
+        let cbps = self.rate.coded_bits_per_symbol();
+        let mut samples = Vec::with_capacity(fields.n_symbols * SYMBOL_LEN);
+        for sym_bits in punctured.chunks(cbps) {
+            let interleaved = interleaver.interleave(sym_bits);
+            let points = mapper.map(&interleaved);
+            samples.extend(ofdm.modulate(&points));
+        }
+        TxResult {
+            samples,
+            fields,
+            payload_bits: payload.len(),
+        }
+    }
+}
+
+/// The receive pipeline: OFDM demodulate → soft demap → deinterleave →
+/// depuncture → soft decode → descramble.
+pub struct Receiver {
+    rate: PhyRate,
+    demapper: Demapper,
+    decoder: Box<dyn SoftDecoder>,
+}
+
+/// A received packet: payload decisions plus the SoftPHY side information.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// Descrambled payload bit decisions.
+    pub payload: Vec<u8>,
+    /// Per-payload-bit SoftPHY hints (6-bit confidence, 0..=63).
+    pub hints: Vec<u16>,
+    /// Per-payload-bit raw soft magnitudes from the decoder (pre-hint
+    /// quantization), for calibration studies.
+    pub soft_magnitudes: Vec<u32>,
+    /// Which decoder produced this result.
+    pub decoder_id: &'static str,
+}
+
+impl RxResult {
+    /// Counts bit errors against the transmitted payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn bit_errors(&self, sent: &[u8]) -> usize {
+        assert_eq!(sent.len(), self.payload.len(), "payload length mismatch");
+        self.payload
+            .iter()
+            .zip(sent)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl Receiver {
+    /// A receiver with an explicit decoder and demapper.
+    pub fn new(rate: PhyRate, demapper: Demapper, decoder: Box<dyn SoftDecoder>) -> Self {
+        Self {
+            rate,
+            demapper,
+            decoder,
+        }
+    }
+
+    /// A hard-decision baseline receiver (Viterbi, 8-bit demapper).
+    pub fn viterbi(rate: PhyRate) -> Self {
+        Self::new(
+            rate,
+            Demapper::new(rate.modulation(), 8, SnrScaling::Off),
+            Box::new(ViterbiDecoder::new(&ConvCode::ieee80211())),
+        )
+    }
+
+    /// The demapper width of the SoftPHY hint path for a modulation: 4
+    /// bits for BPSK/QPSK, 5 for the QAM constellations — sized so the
+    /// 6-bit hint range spans BER 10⁻¹..10⁻⁷ (kept in sync with
+    /// `wilis-softphy`'s scaling factors, which assume these widths).
+    pub fn hint_demapper_bits(modulation: crate::Modulation) -> u32 {
+        match modulation {
+            crate::Modulation::Bpsk | crate::Modulation::Qpsk => 4,
+            crate::Modulation::Qam16 | crate::Modulation::Qam64 => 5,
+        }
+    }
+
+    /// A SoftPHY receiver using SOVA with the paper's `l = k = 64`, on
+    /// the hint-path demapper (see [`Receiver::hint_demapper_bits`]).
+    pub fn sova(rate: PhyRate) -> Self {
+        let bits = Self::hint_demapper_bits(rate.modulation());
+        Self::new(
+            rate,
+            Demapper::new(rate.modulation(), bits, SnrScaling::Off),
+            Box::new(SovaDecoder::new(&ConvCode::ieee80211(), 64, 64)),
+        )
+    }
+
+    /// A SoftPHY receiver using sliding-window BCJR with block length 64,
+    /// on the hint-path demapper (see [`Receiver::hint_demapper_bits`]).
+    pub fn bcjr(rate: PhyRate) -> Self {
+        let bits = Self::hint_demapper_bits(rate.modulation());
+        Self::new(
+            rate,
+            Demapper::new(rate.modulation(), bits, SnrScaling::Off),
+            Box::new(BcjrDecoder::new(&ConvCode::ieee80211(), 64)),
+        )
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> PhyRate {
+        self.rate
+    }
+
+    /// Demodulates and decodes a packet of known payload length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not exactly the packet's symbol count, or the
+    /// scramble seed is invalid.
+    pub fn receive(&mut self, samples: &[Cplx], payload_bits: usize, scramble_seed: u8) -> RxResult {
+        let fields = PacketFields::for_payload(self.rate, payload_bits);
+        assert_eq!(
+            samples.len(),
+            fields.n_symbols * SYMBOL_LEN,
+            "sample count does not match packet layout"
+        );
+        let deinterleaver = Deinterleaver::new(self.rate);
+        let mut ofdm = OfdmDemodulator::new();
+        let cbps = self.rate.coded_bits_per_symbol();
+        let mut punctured_llrs = Vec::with_capacity(fields.coded_bits());
+        for sym_samples in samples.chunks(SYMBOL_LEN) {
+            let carriers = ofdm.demodulate(sym_samples);
+            let llrs = self.demapper.demap(&carriers);
+            debug_assert_eq!(llrs.len(), cbps);
+            punctured_llrs.extend(deinterleaver.deinterleave(&llrs));
+        }
+        let mother_len = fields.data_bits() * 2;
+        let mother = Depuncturer::new(self.rate.code_rate()).depuncture(&punctured_llrs, mother_len);
+        let out = self.decoder.decode_terminated(&mother);
+        debug_assert_eq!(out.bits.len(), fields.data_bits() - TAIL_BITS);
+
+        let payload =
+            PacketBuilder::new(self.rate).disassemble(&out.bits, &fields, scramble_seed);
+        // Hints and magnitudes for the payload region only (descrambling
+        // flips bit meanings, not confidences).
+        let start = crate::packet::SERVICE_BITS;
+        let hints = (start..start + payload_bits).map(|i| out.hint(i)).collect();
+        let soft_magnitudes = out.soft[start..start + payload_bits]
+            .iter()
+            .map(|&s| s.unsigned_abs())
+            .collect();
+        RxResult {
+            payload,
+            hints,
+            soft_magnitudes,
+            decoder_id: self.decoder.id(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Receiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Receiver({}, {} decoder, {}-bit demapper)",
+            self.rate,
+            self.decoder.id(),
+            self.demapper.output_bits()
+        )
+    }
+}
+
+/// Verifies the scrambler seed used by TX and RX agree; helper for tests
+/// that pass seeds around.
+pub(crate) fn _seed_check(seed: u8) -> Scrambler {
+    Scrambler::new(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 29 + 5) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn clean_roundtrip_every_rate_every_decoder() {
+        for rate in PhyRate::all() {
+            let data = payload(600);
+            let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+            for mut rx in [
+                Receiver::viterbi(rate),
+                Receiver::sova(rate),
+                Receiver::bcjr(rate),
+            ] {
+                let got = rx.receive(&tx.samples, data.len(), 0x5D);
+                assert_eq!(
+                    got.bit_errors(&data),
+                    0,
+                    "{rate} with {}",
+                    got.decoder_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let rate = PhyRate::BpskHalf;
+        let tx = Transmitter::new(rate).transmit(&[], 0x11);
+        let got = Receiver::viterbi(rate).receive(&tx.samples, 0, 0x11);
+        assert!(got.payload.is_empty());
+        assert_eq!(tx.fields.n_symbols, 1);
+    }
+
+    #[test]
+    fn hints_cover_payload_exactly() {
+        let rate = PhyRate::Qam16Half;
+        let data = payload(1704);
+        let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+        let got = Receiver::sova(rate).receive(&tx.samples, data.len(), 0x5D);
+        assert_eq!(got.hints.len(), 1704);
+        assert_eq!(got.soft_magnitudes.len(), 1704);
+        assert!(got.hints.iter().all(|&h| h <= 63));
+        // Clean channel: confidence should be mostly pegged high.
+        let high = got.hints.iter().filter(|&&h| h >= 32).count();
+        assert!(high > 1500, "only {high}/1704 high-confidence hints");
+    }
+
+    #[test]
+    fn wrong_seed_corrupts_payload_but_not_confidence() {
+        let rate = PhyRate::QpskHalf;
+        let data = payload(400);
+        let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+        let got = Receiver::viterbi(rate).receive(&tx.samples, data.len(), 0x2A);
+        assert!(
+            got.bit_errors(&data) > 100,
+            "descrambling with the wrong seed must scramble the payload"
+        );
+    }
+
+    #[test]
+    fn sample_count_matches_fields() {
+        let rate = PhyRate::Qam64ThreeQuarters;
+        let data = payload(1500 * 8);
+        let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+        assert_eq!(tx.samples.len(), tx.fields.n_symbols * SYMBOL_LEN);
+        // 12000 data bits at 216/symbol (+22 overhead): 56 symbols.
+        assert_eq!(tx.fields.n_symbols, 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match packet layout")]
+    fn truncated_samples_panic() {
+        let rate = PhyRate::BpskHalf;
+        let tx = Transmitter::new(rate).transmit(&payload(100), 0x5D);
+        let _ = Receiver::viterbi(rate).receive(&tx.samples[..80], 100, 0x5D);
+    }
+}

@@ -1,0 +1,171 @@
+//! The eight 802.11a/g PHY rates (the rows of the paper's Figure 2).
+
+use std::fmt;
+
+use wilis_fec::CodeRate;
+
+use crate::mapper::Modulation;
+use crate::ofdm::DATA_CARRIERS;
+
+/// One of the eight 802.11a/g modulation-and-coding rates.
+///
+/// # Example
+///
+/// ```
+/// use wilis_phy::PhyRate;
+///
+/// let r = PhyRate::Qam64ThreeQuarters;
+/// assert_eq!(r.mbps(), 54.0);
+/// assert_eq!(r.data_bits_per_symbol(), 216);
+/// assert_eq!(PhyRate::all().len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhyRate {
+    /// BPSK, rate 1/2 — 6 Mbps.
+    BpskHalf,
+    /// BPSK, rate 3/4 — 9 Mbps.
+    BpskThreeQuarters,
+    /// QPSK, rate 1/2 — 12 Mbps.
+    QpskHalf,
+    /// QPSK, rate 3/4 — 18 Mbps.
+    QpskThreeQuarters,
+    /// 16-QAM, rate 1/2 — 24 Mbps.
+    Qam16Half,
+    /// 16-QAM, rate 3/4 — 36 Mbps.
+    Qam16ThreeQuarters,
+    /// 64-QAM, rate 2/3 — 48 Mbps.
+    Qam64TwoThirds,
+    /// 64-QAM, rate 3/4 — 54 Mbps.
+    Qam64ThreeQuarters,
+}
+
+impl PhyRate {
+    /// All eight rates, slowest to fastest — the natural order for rate
+    /// adaptation.
+    pub fn all() -> [PhyRate; 8] {
+        [
+            PhyRate::BpskHalf,
+            PhyRate::BpskThreeQuarters,
+            PhyRate::QpskHalf,
+            PhyRate::QpskThreeQuarters,
+            PhyRate::Qam16Half,
+            PhyRate::Qam16ThreeQuarters,
+            PhyRate::Qam64TwoThirds,
+            PhyRate::Qam64ThreeQuarters,
+        ]
+    }
+
+    /// The subcarrier modulation.
+    pub fn modulation(self) -> Modulation {
+        match self {
+            PhyRate::BpskHalf | PhyRate::BpskThreeQuarters => Modulation::Bpsk,
+            PhyRate::QpskHalf | PhyRate::QpskThreeQuarters => Modulation::Qpsk,
+            PhyRate::Qam16Half | PhyRate::Qam16ThreeQuarters => Modulation::Qam16,
+            PhyRate::Qam64TwoThirds | PhyRate::Qam64ThreeQuarters => Modulation::Qam64,
+        }
+    }
+
+    /// The convolutional code rate (after puncturing).
+    pub fn code_rate(self) -> CodeRate {
+        match self {
+            PhyRate::BpskHalf | PhyRate::QpskHalf | PhyRate::Qam16Half => CodeRate::Half,
+            PhyRate::Qam64TwoThirds => CodeRate::TwoThirds,
+            _ => CodeRate::ThreeQuarters,
+        }
+    }
+
+    /// Coded bits per OFDM symbol (N_CBPS).
+    pub fn coded_bits_per_symbol(self) -> usize {
+        DATA_CARRIERS * self.modulation().bits_per_symbol()
+    }
+
+    /// Data bits per OFDM symbol (N_DBPS).
+    pub fn data_bits_per_symbol(self) -> usize {
+        let (n, d) = self.code_rate().fraction();
+        self.coded_bits_per_symbol() * n as usize / d as usize
+    }
+
+    /// Nominal line rate in Mbps (one OFDM symbol every 4 µs).
+    pub fn mbps(self) -> f64 {
+        self.data_bits_per_symbol() as f64 / 4.0
+    }
+
+    /// Nominal line rate in bits per second.
+    pub fn bps(self) -> f64 {
+        self.mbps() * 1e6
+    }
+
+    /// The next faster rate, if any.
+    pub fn faster(self) -> Option<PhyRate> {
+        let all = Self::all();
+        let idx = all.iter().position(|&r| r == self).expect("rate in table");
+        all.get(idx + 1).copied()
+    }
+
+    /// The next slower rate, if any.
+    pub fn slower(self) -> Option<PhyRate> {
+        let all = Self::all();
+        let idx = all.iter().position(|&r| r == self).expect("rate in table");
+        idx.checked_sub(1).map(|i| all[i])
+    }
+
+    /// A short label matching the paper's tables (e.g. `"QAM-16 3/4"`).
+    pub fn label(self) -> String {
+        format!("{} {}", self.modulation(), self.code_rate())
+    }
+}
+
+impl fmt::Display for PhyRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} Mbps)", self.label(), self.mbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_80211g() {
+        let expect: [(PhyRate, f64, usize, usize); 8] = [
+            (PhyRate::BpskHalf, 6.0, 48, 24),
+            (PhyRate::BpskThreeQuarters, 9.0, 48, 36),
+            (PhyRate::QpskHalf, 12.0, 96, 48),
+            (PhyRate::QpskThreeQuarters, 18.0, 96, 72),
+            (PhyRate::Qam16Half, 24.0, 192, 96),
+            (PhyRate::Qam16ThreeQuarters, 36.0, 192, 144),
+            (PhyRate::Qam64TwoThirds, 48.0, 288, 192),
+            (PhyRate::Qam64ThreeQuarters, 54.0, 288, 216),
+        ];
+        for (rate, mbps, cbps, dbps) in expect {
+            assert_eq!(rate.mbps(), mbps, "{rate}");
+            assert_eq!(rate.coded_bits_per_symbol(), cbps, "{rate}");
+            assert_eq!(rate.data_bits_per_symbol(), dbps, "{rate}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_speed() {
+        let all = PhyRate::all();
+        for w in all.windows(2) {
+            assert!(w[0].mbps() < w[1].mbps());
+        }
+    }
+
+    #[test]
+    fn faster_slower_navigation() {
+        assert_eq!(PhyRate::BpskHalf.slower(), None);
+        assert_eq!(PhyRate::Qam64ThreeQuarters.faster(), None);
+        assert_eq!(PhyRate::QpskHalf.faster(), Some(PhyRate::QpskThreeQuarters));
+        assert_eq!(
+            PhyRate::QpskHalf.slower(),
+            Some(PhyRate::BpskThreeQuarters)
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PhyRate::Qam16Half.label(), "QAM-16 1/2");
+        assert_eq!(PhyRate::BpskHalf.to_string(), "BPSK 1/2 (6 Mbps)");
+    }
+}

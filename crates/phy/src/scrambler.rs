@@ -1,0 +1,119 @@
+//! The 802.11 frame-synchronous scrambler, `x^7 + x^4 + 1`.
+//!
+//! Scrambling whitens the payload so the interleaver and constellation see
+//! balanced bit statistics ("avoidance of bursty errors by shuffling bits"
+//! is the interleaver's job; the scrambler removes long runs). Descrambling
+//! is the same XOR with the same initial state.
+
+/// A 7-bit LFSR scrambler (802.11-2007 §17.3.5.4).
+///
+/// # Example
+///
+/// ```
+/// use wilis_phy::Scrambler;
+///
+/// let data = vec![0u8, 1, 1, 0, 1, 0, 0, 1, 1, 1];
+/// let scrambled = Scrambler::new(0x5D).scramble(&data);
+/// let recovered = Scrambler::new(0x5D).scramble(&scrambled);
+/// assert_eq!(recovered, data);
+/// assert_ne!(scrambled, data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scrambler {
+    state: u8,
+}
+
+impl Scrambler {
+    /// A scrambler with the given 7-bit initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero (an all-zero LFSR never advances) or wider
+    /// than 7 bits.
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0, "all-zero scrambler state is degenerate");
+        assert!(seed < 0x80, "scrambler state is 7 bits");
+        Self { state: seed }
+    }
+
+    /// Produces the next bit of the scrambling sequence.
+    pub fn next_bit(&mut self) -> u8 {
+        // Feedback: x^7 + x^4 + 1 — XOR of bit 6 and bit 3.
+        let fb = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | fb) & 0x7F;
+        fb
+    }
+
+    /// XORs `bits` with the scrambling sequence (involution: applying it
+    /// twice with the same seed recovers the input).
+    pub fn scramble(mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| b ^ self.next_bit()).collect()
+    }
+
+    /// Scrambles in place, advancing the internal state (streaming form).
+    pub fn scramble_in_place(&mut self, bits: &mut [u8]) {
+        for b in bits {
+            *b ^= self.next_bit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_has_period_127() {
+        let mut s = Scrambler::new(1);
+        let seq: Vec<u8> = (0..254).map(|_| s.next_bit()).collect();
+        assert_eq!(&seq[..127], &seq[127..], "maximal-length LFSR period");
+        // And within a period it is not constant.
+        assert!(seq[..127].iter().any(|&b| b == 1));
+        assert!(seq[..127].iter().any(|&b| b == 0));
+    }
+
+    #[test]
+    fn known_80211_prefix() {
+        // IEEE 802.11-2007 17.3.5.4: with all-ones initial state the first
+        // 16 output bits are 0000 1110 1111 0010 (transmission order).
+        let mut s = Scrambler::new(0x7F);
+        let seq: Vec<u8> = (0..16).map(|_| s.next_bit()).collect();
+        assert_eq!(seq, vec![0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn involution_for_any_seed() {
+        let data: Vec<u8> = (0..200).map(|i| (i % 3 == 0) as u8).collect();
+        for seed in [1u8, 0x2A, 0x5D, 0x7F] {
+            let once = Scrambler::new(seed).scramble(&data);
+            let twice = Scrambler::new(seed).scramble(&once);
+            assert_eq!(twice, data, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn balances_bit_statistics() {
+        let zeros = vec![0u8; 127];
+        let scrambled = Scrambler::new(0x11).scramble(&zeros);
+        let ones = scrambled.iter().filter(|&&b| b == 1).count();
+        // A maximal-length sequence has 64 ones per 127-bit period.
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_seed_rejected() {
+        let _ = Scrambler::new(0);
+    }
+
+    #[test]
+    fn streaming_matches_block() {
+        let data: Vec<u8> = (0..50).map(|i| (i % 2) as u8).collect();
+        let block = Scrambler::new(0x33).scramble(&data);
+        let mut streaming = Scrambler::new(0x33);
+        let mut buf = data.clone();
+        streaming.scramble_in_place(&mut buf[..20]);
+        streaming.scramble_in_place(&mut buf[20..]);
+        assert_eq!(buf, block);
+    }
+}

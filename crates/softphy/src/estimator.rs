@@ -1,0 +1,209 @@
+//! The BER estimator: the paper's two-level lookup plus the per-packet
+//! mean (§4.2).
+
+use std::fmt;
+
+use wilis_fec::CodeRate;
+use wilis_phy::{Modulation, PhyRate};
+
+use crate::scaling::ScalingFactors;
+use crate::table::{BerTable, LogLinearFit};
+
+/// Which soft decoder produced the hints — the first level of the paper's
+/// two-level lookup (the second being the hint itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// Two-traceback-unit SOVA.
+    Sova,
+    /// Sliding-window BCJR.
+    Bcjr,
+}
+
+impl DecoderKind {
+    /// The decoder scale factor `S_dec` (equation 5). These constants were
+    /// calibrated once against this repository's decoders by the Figure 5
+    /// procedure (`calibrate` module) at each modulation's mid SNR, exactly
+    /// how the paper derives its lookup tables from measured curves.
+    pub fn s_dec(self) -> f64 {
+        match self {
+            // SOVA margins come from single ACS differences of
+            // correlation metrics; BCJR max-log sums both directions and
+            // reports a slightly larger numeric scale on the same inputs.
+            // Values calibrated against this repository's decoders with the
+            // Figure 5 procedure (see `calibrate`); re-run it after any
+            // metric-path change.
+            DecoderKind::Sova => 0.45,
+            DecoderKind::Bcjr => 0.49,
+        }
+    }
+
+    /// Short identifier matching [`wilis_fec::SoftDecoder::id`].
+    pub fn id(self) -> &'static str {
+        match self {
+            DecoderKind::Sova => "sova",
+            DecoderKind::Bcjr => "bcjr",
+        }
+    }
+}
+
+impl fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DecoderKind::Sova => "SOVA",
+            DecoderKind::Bcjr => "BCJR",
+        })
+    }
+}
+
+/// Per-bit and per-packet BER estimation from SoftPHY hints.
+///
+/// Hardware-wise this is a small ROM (64 entries per modulation/decoder
+/// pair) plus an accumulator for the packet mean — the "around 10% increase
+/// in the size of a transceiver" the paper concludes is acceptable.
+///
+/// # Example
+///
+/// ```
+/// use wilis_softphy::{BerEstimator, DecoderKind};
+/// use wilis_phy::Modulation;
+///
+/// let est = BerEstimator::analytic(Modulation::Qpsk, DecoderKind::Sova);
+/// let pber = est.per_packet(&[50, 60, 40, 55]);
+/// assert!(pber > 0.0 && pber < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BerEstimator {
+    modulation: Modulation,
+    decoder: DecoderKind,
+    table: BerTable,
+}
+
+impl BerEstimator {
+    /// An estimator whose table comes from equations 4 + 5 with the
+    /// constant mid-range SNR (the paper's deployed configuration),
+    /// assuming the unpunctured rate-1/2 code.
+    pub fn analytic(modulation: Modulation, decoder: DecoderKind) -> Self {
+        Self::analytic_with_code_rate(modulation, decoder, CodeRate::Half)
+    }
+
+    /// An estimator for a full PHY rate: modulation plus the puncturing
+    /// correction for its code rate (see
+    /// [`ScalingFactors::code_rate_correction`]).
+    pub fn analytic_for_rate(rate: PhyRate, decoder: DecoderKind) -> Self {
+        Self::analytic_with_code_rate(rate.modulation(), decoder, rate.code_rate())
+    }
+
+    /// An estimator with an explicit code rate.
+    pub fn analytic_with_code_rate(
+        modulation: Modulation,
+        decoder: DecoderKind,
+        code_rate: CodeRate,
+    ) -> Self {
+        let s_dec = decoder.s_dec() * ScalingFactors::code_rate_correction(code_rate);
+        let factors = ScalingFactors::with_constant_snr(modulation, s_dec);
+        Self {
+            modulation,
+            decoder,
+            table: BerTable::from_scaling(&factors),
+        }
+    }
+
+    /// An estimator whose table comes from a measured log-linear fit (the
+    /// Figure 5 calibration path).
+    pub fn from_fit(modulation: Modulation, decoder: DecoderKind, fit: &LogLinearFit) -> Self {
+        Self {
+            modulation,
+            decoder,
+            table: BerTable::from_fit(fit),
+        }
+    }
+
+    /// The modulation this estimator was built for.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// The decoder this estimator was built for.
+    pub fn decoder(&self) -> DecoderKind {
+        self.decoder
+    }
+
+    /// The underlying lookup table.
+    pub fn table(&self) -> &BerTable {
+        &self.table
+    }
+
+    /// Per-bit BER estimate for one hint.
+    pub fn per_bit(&self, hint: u16) -> f64 {
+        self.table.lookup(hint.min(wilis_fec::MAX_HINT))
+    }
+
+    /// Per-packet BER: "the arithmetic mean of the per-bit BER estimates
+    /// in a packet" (§4.4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hints` is empty — an empty packet has no BER.
+    pub fn per_packet(&self, hints: &[u16]) -> f64 {
+        assert!(!hints.is_empty(), "per-packet BER of an empty packet");
+        hints.iter().map(|&h| self.per_bit(h)).sum::<f64>() / hints.len() as f64
+    }
+
+    /// Estimated probability the whole packet is error-free, assuming
+    /// independent bits: `Π (1 − BER_i)`. Used by rate selection as an
+    /// alternative statistic to thresholding the mean.
+    pub fn packet_success_probability(&self, hints: &[u16]) -> f64 {
+        hints.iter().map(|&h| 1.0 - self.per_bit(h)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_bit_monotone() {
+        let est = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Bcjr);
+        for h in 0..63u16 {
+            assert!(est.per_bit(h) >= est.per_bit(h + 1));
+        }
+    }
+
+    #[test]
+    fn per_packet_is_mean() {
+        let est = BerEstimator::analytic(Modulation::Qpsk, DecoderKind::Sova);
+        let hints = [10u16, 20, 30];
+        let expect = (est.per_bit(10) + est.per_bit(20) + est.per_bit(30)) / 3.0;
+        assert!((est.per_packet(&hints) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn success_probability_bounds() {
+        let est = BerEstimator::analytic(Modulation::Qam64, DecoderKind::Bcjr);
+        let good = est.packet_success_probability(&[63; 100]);
+        let bad = est.packet_success_probability(&[0; 100]);
+        assert!(good > 0.99);
+        assert!(bad < 1e-20);
+    }
+
+    #[test]
+    fn oversized_hint_clamps() {
+        let est = BerEstimator::analytic(Modulation::Bpsk, DecoderKind::Sova);
+        assert_eq!(est.per_bit(999), est.per_bit(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty packet")]
+    fn empty_packet_panics() {
+        let est = BerEstimator::analytic(Modulation::Bpsk, DecoderKind::Sova);
+        let _ = est.per_packet(&[]);
+    }
+
+    #[test]
+    fn decoder_scales_differ() {
+        // §4.2: S_dec differs between the decoders; the tables must too.
+        let sova = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Sova);
+        let bcjr = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Bcjr);
+        assert_ne!(sova.per_bit(30), bcjr.per_bit(30));
+    }
+}

@@ -1,0 +1,46 @@
+//! SoftPHY: turning decoder confidence hints into bit-error-rate estimates.
+//!
+//! The SoftPHY abstraction exports a per-bit confidence (the decoder's LLR)
+//! up the network stack, where protocols like PPR and SoftRate consume it.
+//! The paper's case study (§4.2) shows the hints produced by *hardware*
+//! SOVA and BCJR are only proportional to the true LLR:
+//!
+//! ```text
+//! LLR_true = (Es/N0) × S_modulation × S_decoder × LLR_hw     (eq. 5)
+//! BER_bit  = 1 / (1 + e^LLR_true)                            (eq. 4)
+//! ```
+//!
+//! because the hardware demapper drops the SNR and modulation factors and
+//! each decoder interprets its inputs on its own scale. Rather than build a
+//! run-time SNR estimator, the paper picks a *constant* mid-range SNR per
+//! modulation and bakes everything into a two-level lookup table:
+//! `(modulation, decoder) → (hint → BER)`. This crate implements that
+//! estimator, plus the Monte-Carlo calibration procedure that produced the
+//! paper's Figure 5 curves.
+//!
+//! # Example
+//!
+//! ```
+//! use wilis_softphy::{BerEstimator, DecoderKind};
+//! use wilis_phy::Modulation;
+//!
+//! let est = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Bcjr);
+//! // Hint 0 carries no confidence; high hints mean very reliable bits.
+//! assert!(est.per_bit(0) > 0.2);
+//! assert!(est.per_bit(60) < 1e-5);
+//! let pber = est.per_packet(&[60; 1000]);
+//! assert!(pber < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod estimator;
+mod scaling;
+mod table;
+
+pub use calibrate::{calibrate_hints, CalibrationConfig, HintBin, HintCalibration};
+pub use estimator::{BerEstimator, DecoderKind};
+pub use scaling::ScalingFactors;
+pub use table::{BerTable, LogLinearFit};

@@ -1,0 +1,224 @@
+//! Figure 6: predicted versus actual per-packet BER.
+//!
+//! QAM-16 rate 1/2, AWGN with varying SNR, 1704-bit packets. Every packet
+//! contributes one `(predicted PBER, actual PBER)` point; points are
+//! binned by predicted value (quarter-decade bins, matching the figure's
+//! log axes) and summarized as mean ± standard deviation of the actual
+//! PBER — the cross-with-error-bar format of the paper's plot.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wilis_channel::{AwgnChannel, Channel, SnrDb};
+use wilis_lis::stats::Running;
+use wilis_phy::{PhyRate, Transmitter};
+use wilis_softphy::calibrate::receiver_for;
+use wilis_softphy::{BerEstimator, DecoderKind, ScalingFactors};
+
+/// Configuration of the scatter experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// The PHY rate (paper: QAM-16 1/2).
+    pub rate: PhyRate,
+    /// Which decoder produces the hints.
+    pub decoder: DecoderKind,
+    /// SNR sweep; the paper varies SNR so predicted PBER covers 10⁻³..1.
+    pub snrs: Vec<SnrDb>,
+    /// Packets per SNR point.
+    pub packets_per_snr: u32,
+    /// Payload bits per packet (paper: 1704).
+    pub payload_bits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// The paper's configuration, sweeping around the QAM-16 waterfall.
+    pub fn paper(decoder: DecoderKind, packets_per_snr: u32) -> Self {
+        let mid = ScalingFactors::mid_snr(wilis_phy::Modulation::Qam16).db();
+        Self {
+            rate: PhyRate::Qam16Half,
+            decoder,
+            snrs: (-5..=3).map(|k| SnrDb::new(mid + 0.5 * k as f64)).collect(),
+            packets_per_snr,
+            payload_bits: 1704,
+            seed: 0xF16_6,
+        }
+    }
+}
+
+/// One packet's coordinates in the scatter plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// PBER predicted from the hints (the estimator output).
+    pub predicted: f64,
+    /// Ground-truth PBER (bit errors / payload bits).
+    pub actual: f64,
+}
+
+/// Quarter-decade summary bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Bin {
+    /// Bin lower edge (predicted PBER).
+    pub lo: f64,
+    /// Bin upper edge.
+    pub hi: f64,
+    /// Packets in the bin.
+    pub count: u64,
+    /// Mean actual PBER.
+    pub mean_actual: f64,
+    /// Standard deviation of actual PBER.
+    pub std_actual: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Raw per-packet points.
+    pub points: Vec<ScatterPoint>,
+    /// Quarter-decade bins over predicted PBER.
+    pub bins: Vec<Fig6Bin>,
+}
+
+/// Runs the scatter experiment.
+pub fn run(cfg: &Fig6Config) -> Fig6Result {
+    let tx = Transmitter::new(cfg.rate);
+    let estimator = BerEstimator::analytic(cfg.rate.modulation(), cfg.decoder);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut points = Vec::new();
+    for (si, &snr) in cfg.snrs.iter().enumerate() {
+        let mut rx = receiver_for(
+            cfg.rate,
+            cfg.decoder,
+            ScalingFactors::hint_demapper_bits(cfg.rate.modulation()),
+        );
+        let mut channel = AwgnChannel::new(snr, cfg.seed ^ ((si as u64) << 16));
+        for p in 0..cfg.packets_per_snr {
+            let payload: Vec<u8> =
+                (0..cfg.payload_bits).map(|_| rng.gen_range(0..2u8)).collect();
+            let scramble_seed = (p % 127 + 1) as u8;
+            let sent = tx.transmit(&payload, scramble_seed);
+            let mut samples = sent.samples;
+            channel.apply(&mut samples);
+            let got = rx.receive(&samples, payload.len(), scramble_seed);
+            points.push(ScatterPoint {
+                predicted: estimator.per_packet(&got.hints),
+                actual: got.bit_errors(&payload) as f64 / cfg.payload_bits as f64,
+            });
+        }
+    }
+    let bins = bin_points(&points);
+    Fig6Result { points, bins }
+}
+
+/// Bins points by `log10(predicted)` in quarter-decade steps over the
+/// figure's 10⁻³..10⁰ range.
+fn bin_points(points: &[ScatterPoint]) -> Vec<Fig6Bin> {
+    const DECADES: f64 = 3.0;
+    const PER_DECADE: usize = 4;
+    let n_bins = (DECADES * PER_DECADE as f64) as usize;
+    let mut acc = vec![Running::new(); n_bins];
+    for p in points {
+        if p.predicted <= 0.0 {
+            continue;
+        }
+        let pos = (p.predicted.log10() + DECADES) * PER_DECADE as f64;
+        if pos < 0.0 {
+            continue;
+        }
+        let idx = (pos as usize).min(n_bins - 1);
+        acc[idx].push(p.actual);
+    }
+    acc.into_iter()
+        .enumerate()
+        .filter(|(_, r)| r.count() > 0)
+        .map(|(i, r)| Fig6Bin {
+            lo: 10f64.powf(-DECADES + i as f64 / PER_DECADE as f64),
+            hi: 10f64.powf(-DECADES + (i + 1) as f64 / PER_DECADE as f64),
+            count: r.count(),
+            mean_actual: r.mean(),
+            std_actual: r.std_dev(),
+        })
+        .collect()
+}
+
+/// Renders the binned scatter in the paper's format.
+pub fn render(cfg: &Fig6Config, result: &Fig6Result) -> String {
+    let mut out = format!(
+        "Figure 6 ({}): predicted vs actual PBER (rate {}, {} packets)\n",
+        cfg.decoder,
+        cfg.rate,
+        result.points.len()
+    );
+    out.push_str(&format!(
+        "{:>22} {:>12} {:>12} {:>8}\n",
+        "predicted bin", "mean actual", "std", "packets"
+    ));
+    for b in &result.bins {
+        out.push_str(&format!(
+            "{:>10.2e}-{:<10.2e} {:>12.3e} {:>12.3e} {:>8}\n",
+            b.lo, b.hi, b.mean_actual, b.std_actual, b.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig6Config {
+        Fig6Config {
+            packets_per_snr: 6,
+            payload_bits: 600,
+            ..Fig6Config::paper(DecoderKind::Bcjr, 6)
+        }
+    }
+
+    #[test]
+    fn produces_points_and_bins() {
+        let result = run(&small());
+        assert_eq!(result.points.len(), 6 * 9);
+        assert!(!result.bins.is_empty());
+        let txt = render(&small(), &result);
+        assert!(txt.contains("Figure 6"));
+    }
+
+    #[test]
+    fn predictions_track_actuals_in_rank() {
+        // The qualitative content of Figure 6: packets predicted worse are
+        // actually worse. Compare mean actual PBER between the cleanest
+        // and dirtiest thirds by prediction.
+        let mut result = run(&Fig6Config {
+            packets_per_snr: 12,
+            payload_bits: 600,
+            ..Fig6Config::paper(DecoderKind::Bcjr, 12)
+        });
+        result
+            .points
+            .sort_by(|a, b| a.predicted.partial_cmp(&b.predicted).unwrap());
+        let n = result.points.len();
+        let clean: f64 =
+            result.points[..n / 3].iter().map(|p| p.actual).sum::<f64>() / (n / 3) as f64;
+        let dirty: f64 =
+            result.points[2 * n / 3..].iter().map(|p| p.actual).sum::<f64>() / (n - 2 * n / 3) as f64;
+        assert!(
+            dirty > clean,
+            "dirty-predicted packets should be worse: {clean:.2e} vs {dirty:.2e}"
+        );
+    }
+
+    #[test]
+    fn binning_respects_edges() {
+        let points = vec![
+            ScatterPoint { predicted: 0.5, actual: 0.4 },
+            ScatterPoint { predicted: 0.5, actual: 0.6 },
+            ScatterPoint { predicted: 1e-9, actual: 0.0 }, // below range: dropped
+            ScatterPoint { predicted: 0.0, actual: 0.0 },  // non-positive: dropped
+        ];
+        let bins = bin_points(&points);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 2);
+        assert!((bins[0].mean_actual - 0.5).abs() < 1e-12);
+        assert!(bins[0].lo <= 0.5 && 0.5 <= bins[0].hi);
+    }
+}

@@ -1,0 +1,54 @@
+//! BER waterfall curves: the workload the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example ber_waterfall [-- bits_per_point]
+//! ```
+//!
+//! Sweeps SNR for three representative rates and prints coded BER and
+//! packet error rate per decoder — the kind of characterization that
+//! requires simulating the *whole* pipeline, because fixed-point
+//! demapping, puncturing and windowed decoding all distort the waterfall
+//! in ways no isolated model captures (§1 of the paper).
+
+use wilis_channel::SnrDb;
+use wilis_phy::PhyRate;
+use wilis_softphy::{calibrate_hints, CalibrationConfig, DecoderKind};
+
+fn main() {
+    let bits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000);
+    println!("BER waterfalls ({bits} payload bits per point)\n");
+
+    let sweeps = [
+        (PhyRate::QpskHalf, vec![0.0, 1.0, 2.0, 3.0, 4.0]),
+        (PhyRate::Qam16Half, vec![5.0, 6.0, 7.0, 8.0, 9.0]),
+        (PhyRate::Qam64TwoThirds, vec![12.0, 13.0, 14.0, 15.0, 16.0]),
+    ];
+
+    for (rate, snrs) in sweeps {
+        println!("{rate}");
+        println!(
+            "  {:>6} {:>14} {:>14} {:>10}",
+            "SNR dB", "SOVA BER", "BCJR BER", "PER(BCJR)"
+        );
+        for &snr in &snrs {
+            let mut row = format!("  {snr:>6.1}");
+            let mut per = 0.0;
+            for decoder in [DecoderKind::Sova, DecoderKind::Bcjr] {
+                let cal = calibrate_hints(&CalibrationConfig::new(
+                    rate,
+                    decoder,
+                    SnrDb::new(snr),
+                    bits,
+                ));
+                row.push_str(&format!(" {:>14.3e}", cal.overall_ber));
+                per = cal.packet_errors as f64 / cal.packets as f64;
+            }
+            println!("{row} {:>9.1}%", per * 100.0);
+        }
+        println!();
+    }
+    println!("Raise the bits-per-point argument to resolve deeper BER floors.");
+}

@@ -1,0 +1,69 @@
+//! Partial Packet Recovery: repairing a corrupted packet from its hints.
+//!
+//! ```text
+//! cargo run --release --example partial_packet_recovery
+//! ```
+//!
+//! PPR is the paper's first motivating consumer of per-bit confidence:
+//! instead of retransmitting a whole corrupted packet (ARQ), request only
+//! the chunks whose bits look unreliable. This example corrupts a packet
+//! with a noise burst, plans a PPR retransmission from the SoftPHY hints,
+//! and compares the cost against whole-packet ARQ.
+
+use wilis::prelude::*;
+use wilis_mac::ppr::{evaluate, PprConfig};
+
+fn main() {
+    let rate = PhyRate::Qam16Half;
+    let payload: Vec<u8> = (0..1704).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+    let tx = Transmitter::new(rate).transmit(&payload, 0x5D);
+
+    // A channel that is clean except for a burst in the middle of the
+    // packet - the bursty interference case PPR was designed for.
+    let mut samples = tx.samples.clone();
+    AwgnChannel::new(SnrDb::new(30.0), 1).apply(&mut samples);
+    let burst = samples.len() / 2..samples.len() / 2 + 240; // ~3 OFDM symbols
+    let mut burst_noise = vec![Cplx::ZERO; burst.len()];
+    AwgnChannel::new(SnrDb::new(-3.0), 2).apply(&mut burst_noise);
+    for (s, n) in samples[burst.clone()].iter_mut().zip(&burst_noise) {
+        *s += *n;
+    }
+
+    let mut rx = Receiver::bcjr(rate);
+    let got = rx.receive(&samples, payload.len(), 0x5D);
+    let errors: Vec<bool> = got
+        .payload
+        .iter()
+        .zip(&payload)
+        .map(|(a, b)| a != b)
+        .collect();
+    let n_errors = errors.iter().filter(|&&e| e).count();
+    println!(
+        "burst-corrupted packet: {n_errors} bit errors in {} bits",
+        payload.len()
+    );
+
+    println!(
+        "\n{:>10} {:>12} {:>14} {:>12} {:>10}",
+        "threshold", "chunks sent", "bits resent", "% of packet", "recovered"
+    );
+    for threshold in [4u16, 8, 16, 24] {
+        let cfg = PprConfig::new(71, threshold); // 24 chunks of 71 bits
+        let plan = cfg.plan(&got.hints);
+        let outcome = evaluate(&cfg, &plan, &errors);
+        println!(
+            "{:>10} {:>12} {:>14} {:>11.1}% {:>10}",
+            threshold,
+            plan.iter().filter(|&&p| p).count(),
+            outcome.retransmitted_bits,
+            100.0 * outcome.retransmit_fraction(),
+            if outcome.recovered() { "yes" } else { "no" }
+        );
+    }
+
+    println!("\nconventional ARQ would retransmit all {} bits (100%)", payload.len());
+    println!(
+        "PPR at the right threshold repairs the same packet for a fraction \
+         of the airtime - the efficiency gain the paper cites from [17]."
+    );
+}

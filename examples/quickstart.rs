@@ -1,0 +1,65 @@
+//! Quickstart: one packet through the full pipeline, with SoftPHY output.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a QAM-16 transceiver from the plug-n-play system, sends a packet
+//! through an AWGN channel, and prints what the SoftPHY layer sees: the
+//! hint distribution, the predicted packet BER, and the ground truth.
+
+use wilis::prelude::*;
+
+fn main() {
+    let rate = PhyRate::Qam16Half;
+    let snr = SnrDb::new(8.0);
+    println!("WiLIS quickstart: {rate} over AWGN at {snr}\n");
+
+    // Assemble the system the AWB way: pick implementations by name.
+    let system = WilisSystem::new();
+    println!("available decoders: {}", system.decoder_names().join(", "));
+    let config = SystemConfig::new(rate, "bcjr");
+    let transmitter = system.transmitter(&config);
+    let mut receiver = system.receiver(&config).expect("bcjr is registered");
+
+    // A 1704-bit payload, the paper's Figure 6 packet size.
+    let payload: Vec<u8> = (0..1704).map(|i| ((i * 37 + 11) % 2) as u8).collect();
+    let tx = transmitter.transmit(&payload, 0x5D);
+    println!(
+        "transmitted {} payload bits in {} OFDM symbols ({} samples)",
+        payload.len(),
+        tx.fields.n_symbols,
+        tx.samples.len()
+    );
+
+    // The software channel: the co-simulation's other half.
+    let mut samples = tx.samples.clone();
+    AwgnChannel::new(snr, 42).apply(&mut samples);
+
+    let got = receiver.receive(&samples, payload.len(), 0x5D);
+    let errors = got.bit_errors(&payload);
+
+    // SoftPHY: per-bit confidence -> per-packet BER estimate.
+    let estimator = BerEstimator::analytic(rate.modulation(), DecoderKind::Bcjr);
+    let predicted = estimator.per_packet(&got.hints);
+    let mut histogram = [0u32; 8];
+    for &h in &got.hints {
+        histogram[(h / 8) as usize] += 1;
+    }
+
+    println!("\nhint distribution (8 bins of 8):");
+    for (i, count) in histogram.iter().enumerate() {
+        let bar = "#".repeat((count * 48 / payload.len() as u32) as usize);
+        println!("  {:>2}-{:>2} {:>5} {}", i * 8, i * 8 + 7, count, bar);
+    }
+    println!("\npredicted packet BER : {predicted:.3e}");
+    println!(
+        "actual   packet BER : {:.3e} ({errors} of {} bits wrong)",
+        errors as f64 / payload.len() as f64,
+        payload.len()
+    );
+    println!(
+        "packet delivered    : {}",
+        if errors == 0 { "yes" } else { "no (ARQ would retransmit)" }
+    );
+}

@@ -1,0 +1,171 @@
+//! Integration: full transceiver round trips across crates.
+
+use wilis::prelude::*;
+
+fn payload(n: usize, phase: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 31 + phase) % 2) as u8).collect()
+}
+
+#[test]
+fn every_rate_every_decoder_roundtrips_at_high_snr() {
+    for rate in PhyRate::all() {
+        let data = payload(1000, 3);
+        let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+        let mut samples = tx.samples.clone();
+        AwgnChannel::new(SnrDb::new(30.0), 99).apply(&mut samples);
+        for mut rx in [
+            Receiver::viterbi(rate),
+            Receiver::sova(rate),
+            Receiver::bcjr(rate),
+        ] {
+            let got = rx.receive(&samples, data.len(), 0x5D);
+            assert_eq!(got.bit_errors(&data), 0, "{rate} {}", got.decoder_id);
+        }
+    }
+}
+
+#[test]
+fn plug_n_play_system_swaps_decoders_without_reconfiguration() {
+    // The §2 "Plug-n-Play" property: identical topology, different
+    // implementation per slot, same functional result on a clean channel.
+    let system = WilisSystem::new();
+    let data = payload(600, 1);
+    let mut outputs = Vec::new();
+    for name in system.decoder_names() {
+        let cfg = SystemConfig::new(PhyRate::QpskThreeQuarters, &name);
+        let tx = system.transmitter(&cfg).transmit(&data, 0x2A);
+        let mut rx = system.receiver(&cfg).unwrap();
+        outputs.push(rx.receive(&tx.samples, data.len(), 0x2A).payload);
+    }
+    for out in &outputs {
+        assert_eq!(*out, data);
+    }
+}
+
+#[test]
+fn soft_decoders_match_hard_decoder_error_rates_or_better() {
+    // At a noisy operating point, SOVA's hard decisions equal Viterbi's
+    // exactly (given identical soft inputs), and BCJR must be within a
+    // whisker (max-log MAP vs ML). All three get the same 5-bit demapper
+    // so their inputs are bit-identical.
+    use wilis::fec::{BcjrDecoder, ConvCode, SovaDecoder, ViterbiDecoder};
+    use wilis::phy::{Demapper, SnrScaling};
+    let rate = PhyRate::Qam16Half;
+    let snr = SnrDb::new(7.0);
+    let code = ConvCode::ieee80211();
+    let demap = || Demapper::new(rate.modulation(), 5, SnrScaling::Off);
+    let mut totals = [0usize; 3];
+    for trial in 0..20 {
+        let data = payload(1200, trial);
+        let tx = Transmitter::new(rate).transmit(&data, (trial % 127 + 1) as u8);
+        let mut samples = tx.samples.clone();
+        AwgnChannel::new(snr, trial as u64).apply(&mut samples);
+        let receivers: [Receiver; 3] = [
+            Receiver::new(rate, demap(), Box::new(ViterbiDecoder::new(&code))),
+            Receiver::new(rate, demap(), Box::new(SovaDecoder::new(&code, 64, 64))),
+            Receiver::new(rate, demap(), Box::new(BcjrDecoder::new(&code, 64))),
+        ];
+        for (i, mut rx) in receivers.into_iter().enumerate() {
+            totals[i] += rx
+                .receive(&samples, data.len(), (trial % 127 + 1) as u8)
+                .bit_errors(&data);
+        }
+    }
+    let [viterbi, sova, bcjr] = totals;
+    assert_eq!(sova, viterbi, "SOVA follows the ML path");
+    assert!(
+        bcjr <= viterbi * 12 / 10 + 5,
+        "BCJR {bcjr} vs Viterbi {viterbi}"
+    );
+}
+
+#[test]
+fn fading_with_genie_equalization_roundtrips() {
+    let rate = PhyRate::QpskHalf;
+    let data = payload(700, 5);
+    let mut channel = ReplayChannel::fading(SnrDb::new(25.0), 20.0, 20e6, 8);
+    // Find a moment when the channel is not in a deep fade.
+    let mut start = 0u64;
+    while channel.current_gain().norm_sq() < 0.5 {
+        start += 20_000;
+        channel.seek(start);
+    }
+    let gain = channel.current_gain();
+    let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+    let mut samples = tx.samples.clone();
+    channel.apply(&mut samples);
+    let inv = Cplx::ONE / gain;
+    for s in &mut samples {
+        *s *= inv;
+    }
+    let got = Receiver::bcjr(rate).receive(&samples, data.len(), 0x5D);
+    assert_eq!(got.bit_errors(&data), 0);
+}
+
+#[test]
+fn burst_noise_failure_injection_localizes_damage() {
+    // Failure injection: a mid-packet burst must not corrupt bits far
+    // outside the burst (the interleaver spreads within a symbol, not
+    // across the packet).
+    let rate = PhyRate::Qam16Half;
+    let data = payload(1704, 7);
+    let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+    let mut samples = tx.samples.clone();
+    // Clean channel plus a hard burst across two OFDM symbols.
+    let mid = samples.len() / 2;
+    let mut burst = vec![Cplx::ZERO; 160];
+    AwgnChannel::new(SnrDb::new(-6.0), 3).apply(&mut burst);
+    for (s, n) in samples[mid..mid + 160].iter_mut().zip(&burst) {
+        *s += *n;
+    }
+    let got = Receiver::sova(rate).receive(&samples, data.len(), 0x5D);
+    let errors: Vec<usize> = got
+        .payload
+        .iter()
+        .zip(&data)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!errors.is_empty(), "a -6 dB burst must do damage");
+    // All errors confined to the middle third of the packet.
+    let lo = data.len() / 3;
+    let hi = 2 * data.len() / 3;
+    assert!(
+        errors.iter().all(|&i| (lo..hi).contains(&i)),
+        "errors escaped the burst region: {errors:?}"
+    );
+    // And the hints must flag the damaged region as unreliable.
+    let hint_mid: f64 = got.hints[lo..hi].iter().map(|&h| f64::from(h)).sum::<f64>()
+        / (hi - lo) as f64;
+    let hint_edge: f64 = got.hints[..lo].iter().map(|&h| f64::from(h)).sum::<f64>() / lo as f64;
+    assert!(
+        hint_mid < hint_edge,
+        "burst region should look less confident: {hint_mid:.1} vs {hint_edge:.1}"
+    );
+}
+
+#[test]
+fn mid_packet_snr_step_shows_in_hints() {
+    // Failure injection: the channel degrades halfway through the packet;
+    // the second half's hints must drop even if the packet still decodes.
+    let rate = PhyRate::QpskHalf;
+    let data = payload(1600, 9);
+    let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+    let mut samples = tx.samples.clone();
+    let half = samples.len() / 2;
+    let mut ch = AwgnChannel::new(SnrDb::new(20.0), 17);
+    ch.apply(&mut samples[..half]);
+    ch.set_snr(SnrDb::new(0.0));
+    ch.apply(&mut samples[half..]);
+    let got = Receiver::bcjr(rate).receive(&samples, data.len(), 0x5D);
+    // Most clean bits clamp to hint 63, so the mean barely moves; the
+    // tell-tale is the count of *weak* hints near error events.
+    let weak = |hints: &[u16]| hints.iter().filter(|&&h| h < 32).count();
+    let w1 = weak(&got.hints[..800]);
+    let w2 = weak(&got.hints[800..]);
+    assert!(
+        w2 > 3 * w1.max(1),
+        "degraded half should carry many more weak hints: {w1} vs {w2}"
+    );
+}

@@ -1,0 +1,175 @@
+//! Integration: the paper's latency arithmetic holds on the
+//! latency-insensitive engine, end to end.
+
+use wilis::fec::pipeline::{bcjr_pipeline_latency, sova_pipeline_latency};
+use wilis::fec::{BcjrDecoder, ConvCode, SovaDecoder};
+use wilis::lis::{Freq, LinkSpec, Module, Sink, Source, SystemBuilder};
+
+#[test]
+fn paper_headline_latencies() {
+    // §4.3.1: SOVA with l = k = 64 is 140 cycles; §4.3.2: BCJR with
+    // n = 64 is 135 cycles.
+    assert_eq!(sova_pipeline_latency(64, 64), 140);
+    assert_eq!(bcjr_pipeline_latency(64), 135);
+}
+
+#[test]
+fn formulas_hold_across_the_design_space() {
+    for l in [8u64, 16, 48, 96] {
+        for k in [8u64, 32, 64] {
+            assert_eq!(sova_pipeline_latency(l, k), l + k + 12, "l={l} k={k}");
+        }
+    }
+    for n in [8u64, 32, 64, 128] {
+        assert_eq!(bcjr_pipeline_latency(n), 2 * n + 7, "n={n}");
+    }
+}
+
+#[test]
+fn both_decoders_meet_the_80211_deadline_at_60mhz() {
+    // §4.3: the decoders run at 60 MHz; 802.11a/g allows 25 µs.
+    let cycle_secs = 1.0 / 60e6;
+    let sova_secs = sova_pipeline_latency(64, 64) as f64 * cycle_secs;
+    let bcjr_secs = bcjr_pipeline_latency(64) as f64 * cycle_secs;
+    assert!(sova_secs < 25e-6, "SOVA {sova_secs:.2e}s");
+    assert!(bcjr_secs < 25e-6, "BCJR {bcjr_secs:.2e}s");
+    // And the paper's specific numbers: ~2.3 us and ~2.2 us.
+    assert!((sova_secs - 2.33e-6).abs() < 0.1e-6);
+    assert!((bcjr_secs - 2.25e-6).abs() < 0.1e-6);
+}
+
+#[test]
+fn decoder_objects_report_matching_latency_models() {
+    let code = ConvCode::ieee80211();
+    assert_eq!(
+        SovaDecoder::new(&code, 64, 64).latency_cycles(),
+        sova_pipeline_latency(64, 64)
+    );
+    assert_eq!(
+        BcjrDecoder::new(&code, 64).latency_cycles(),
+        bcjr_pipeline_latency(64)
+    );
+}
+
+/// A module that forwards tokens, counting them.
+struct Forward {
+    inp: Source<u32>,
+    out: Sink<u32>,
+    forwarded: u64,
+}
+
+impl Module for Forward {
+    fn name(&self) -> &str {
+        "forward"
+    }
+    fn tick(&mut self) {
+        if self.out.can_enq() {
+            if let Some(v) = self.inp.deq() {
+                self.out.enq(v);
+                self.forwarded += 1;
+            }
+        }
+    }
+}
+
+struct Producer {
+    out: Sink<u32>,
+    sent: u32,
+    limit: u32,
+}
+
+impl Module for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn tick(&mut self) {
+        if self.sent < self.limit && self.out.can_enq() {
+            self.out.enq(self.sent);
+            self.sent += 1;
+        }
+    }
+    fn is_idle(&self) -> bool {
+        self.sent >= self.limit
+    }
+}
+
+struct Collector {
+    inp: Source<u32>,
+    got: Vec<u32>,
+}
+
+impl Module for Collector {
+    fn name(&self) -> &str {
+        "collector"
+    }
+    fn tick(&mut self) {
+        if let Some(v) = self.inp.deq() {
+            self.got.push(v);
+        }
+    }
+}
+
+#[test]
+fn multi_clock_35_60_mhz_pipeline_conserves_tokens() {
+    // The paper's clock configuration: baseband at 35 MHz, BER unit at
+    // 60 MHz, joined by automatically inserted clock-domain crossings.
+    let mut b = SystemBuilder::new();
+    let baseband = b.clock("baseband", Freq::mhz(35));
+    let ber_unit = b.clock("ber", Freq::mhz(60));
+
+    let (p_tx, f_rx) = b.link::<u32>(&baseband, &baseband, LinkSpec::new(2));
+    let (f_tx, c_rx) = b.link::<u32>(&baseband, &ber_unit, LinkSpec::new(4));
+    b.add_module(
+        &baseband,
+        Producer {
+            out: p_tx,
+            sent: 0,
+            limit: 5000,
+        },
+    );
+    b.add_module(
+        &baseband,
+        Forward {
+            inp: f_rx,
+            out: f_tx,
+            forwarded: 0,
+        },
+    );
+    let collector = b.add_module(&ber_unit, Collector { inp: c_rx, got: Vec::new() });
+
+    let mut sys = b.build();
+    sys.run_until_quiescent(10_000_000);
+    let got = &sys.module::<Collector>(collector).got;
+    assert_eq!(got.len(), 5000, "no tokens lost across the 35/60 CDC");
+    assert!(got.windows(2).all(|w| w[1] == w[0] + 1), "order preserved");
+    // The 60 MHz domain saw ~60/35 times the edges of the 35 MHz domain.
+    let ratio = ber_unit.edges() as f64 / baseband.edges() as f64;
+    assert!((ratio - 60.0 / 35.0).abs() < 0.01, "clock ratio {ratio}");
+}
+
+#[test]
+fn throughput_matched_by_faster_clock() {
+    // §2 "Automatic Multi-Clock Support": the BER unit runs at 60 MHz
+    // because it works per-bit while the baseband works per-sample. In a
+    // token model: a consumer at 60 MHz keeps up with a 35 MHz producer
+    // with a small FIFO and no backpressure stalls.
+    let mut b = SystemBuilder::new();
+    let fast = b.clock("fast", Freq::mhz(60));
+    let slow = b.clock("slow", Freq::mhz(35));
+    let (tx, rx) = b.link::<u32>(&slow, &fast, LinkSpec::new(2));
+    b.add_module(
+        &slow,
+        Producer {
+            out: tx,
+            sent: 0,
+            limit: 10_000,
+        },
+    );
+    let c = b.add_module(&fast, Collector { inp: rx, got: Vec::new() });
+    let mut sys = b.build();
+    sys.run_until_quiescent(10_000_000);
+    assert_eq!(sys.module::<Collector>(c).got.len(), 10_000);
+    // Producer never stalled long: it finished within ~limit edges of its
+    // own clock plus pipeline slack.
+    assert!(slow.edges() < 10_000 + 64, "producer stalled: {} edges", slow.edges());
+}

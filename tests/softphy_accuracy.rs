@@ -1,0 +1,120 @@
+//! Integration: the SoftPHY estimation chain is accurate end to end.
+
+use wilis::prelude::*;
+use wilis::softphy::{calibrate_hints, CalibrationConfig};
+
+#[test]
+fn hints_rank_actual_errors() {
+    // The defining SoftPHY property: bits with low hints are wrong far
+    // more often than bits with high hints.
+    let cal = calibrate_hints(&CalibrationConfig::new(
+        PhyRate::Qam16Half,
+        DecoderKind::Bcjr,
+        SnrDb::new(7.0),
+        120_000,
+    ));
+    let low: (u64, u64) = cal.bins[..8]
+        .iter()
+        .fold((0, 0), |(b, e), bin| (b + bin.bits, e + bin.errors));
+    let high: (u64, u64) = cal.bins[32..]
+        .iter()
+        .fold((0, 0), |(b, e), bin| (b + bin.bits, e + bin.errors));
+    assert!(low.0 > 0 && high.0 > 0, "both ranges populated");
+    let low_ber = low.1 as f64 / low.0 as f64;
+    let high_ber = (high.1 as f64 + 0.5) / high.0 as f64; // +0.5: may be zero
+    assert!(
+        low_ber > 20.0 * high_ber,
+        "low-hint BER {low_ber:.2e} vs high-hint {high_ber:.2e}"
+    );
+}
+
+#[test]
+fn per_packet_estimates_order_packets_by_quality() {
+    // Across an SNR sweep, the mean predicted PBER must fall as the
+    // channel improves - and so must the actual PBER.
+    let rate = PhyRate::Qam16Half;
+    let est = BerEstimator::analytic(rate.modulation(), DecoderKind::Sova);
+    let mut rows = Vec::new();
+    for snr_db in [6.0, 7.0, 8.5] {
+        let mut channel = AwgnChannel::new(SnrDb::new(snr_db), 31);
+        let mut rx = wilis::softphy::calibrate::receiver_for(
+            rate,
+            DecoderKind::Sova,
+            wilis::softphy::ScalingFactors::hint_demapper_bits(rate.modulation()),
+        );
+        let mut predicted = 0.0;
+        let mut actual = 0.0;
+        let packets = 25;
+        for p in 0..packets {
+            let payload: Vec<u8> = (0..1704).map(|i| ((i * 7 + p) % 2) as u8).collect();
+            let seed = (p % 127 + 1) as u8;
+            let tx = Transmitter::new(rate).transmit(&payload, seed);
+            let mut samples = tx.samples;
+            channel.apply(&mut samples);
+            let got = rx.receive(&samples, payload.len(), seed);
+            predicted += est.per_packet(&got.hints);
+            actual += got.bit_errors(&payload) as f64 / payload.len() as f64;
+        }
+        rows.push((predicted / packets as f64, actual / packets as f64));
+    }
+    for w in rows.windows(2) {
+        assert!(
+            w[1].0 < w[0].0,
+            "predicted PBER must fall with SNR: {rows:?}"
+        );
+        assert!(
+            w[1].1 <= w[0].1,
+            "actual PBER must fall with SNR: {rows:?}"
+        );
+    }
+    // And predictions are within an order of magnitude of reality at the
+    // noisy end (the paper's Figure 6 cluster-around-the-line property).
+    let (pred, act) = rows[0];
+    assert!(
+        pred / act < 12.0 && act / pred < 12.0,
+        "predicted {pred:.2e} vs actual {act:.2e}"
+    );
+}
+
+#[test]
+fn estimator_tables_agree_with_measured_curves() {
+    // Build an estimator from a measured fit and compare against the
+    // analytic constant-SNR table at the same operating point: they should
+    // agree within an order of magnitude over the mid-hint range.
+    let modulation = Modulation::Qam16;
+    let cal = calibrate_hints(&CalibrationConfig::new(
+        PhyRate::Qam16Half,
+        DecoderKind::Bcjr,
+        wilis::softphy::ScalingFactors::mid_snr(modulation),
+        150_000,
+    ));
+    let fit = cal.fit.expect("mid-SNR run has errors to fit");
+    let measured = BerEstimator::from_fit(modulation, DecoderKind::Bcjr, &fit);
+    let analytic = BerEstimator::analytic(modulation, DecoderKind::Bcjr);
+    for hint in (6..=30).step_by(6) {
+        let m = measured.per_bit(hint);
+        let a = analytic.per_bit(hint);
+        assert!(
+            m / a < 30.0 && a / m < 30.0,
+            "hint {hint}: measured {m:.2e} vs analytic {a:.2e}"
+        );
+    }
+}
+
+#[test]
+fn bcjr_hints_discriminate_at_least_as_well_as_sova() {
+    // §4.4: "BCJR produces superior BER estimates". Compare fitted slopes
+    // at the same operating point: steeper (more negative) = more
+    // discriminating hints.
+    let cfg = |d| CalibrationConfig::new(PhyRate::Qam16Half, d, SnrDb::new(7.25), 150_000);
+    let sova = calibrate_hints(&cfg(DecoderKind::Sova));
+    let bcjr = calibrate_hints(&cfg(DecoderKind::Bcjr));
+    let (s, b) = (
+        sova.fit.expect("sova fit").slope,
+        bcjr.fit.expect("bcjr fit").slope,
+    );
+    assert!(
+        b <= s + 0.01,
+        "BCJR slope {b:.4} should not be flatter than SOVA {s:.4}"
+    );
+}
