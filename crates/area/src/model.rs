@@ -160,28 +160,61 @@ mod tests {
     #[test]
     fn calibration_points_match_paper() {
         let p = DecoderParams::paper_default();
-        assert_eq!(bmu(&p), UnitArea { luts: 63, registers: 41 });
-        assert_eq!(pmu(&p), UnitArea { luts: 4672, registers: 0 });
+        assert_eq!(
+            bmu(&p),
+            UnitArea {
+                luts: 63,
+                registers: 41
+            }
+        );
+        assert_eq!(
+            pmu(&p),
+            UnitArea {
+                luts: 4672,
+                registers: 0
+            }
+        );
         assert_eq!(
             viterbi_traceback(&p),
-            UnitArea { luts: 5144, registers: 3927 }
+            UnitArea {
+                luts: 5144,
+                registers: 3927
+            }
         );
         assert_eq!(
             sova_soft_traceback(&p),
-            UnitArea { luts: 13456, registers: 13402 }
+            UnitArea {
+                luts: 13456,
+                registers: 13402
+            }
         );
         assert_eq!(
             bcjr_final_reversal(&p),
-            UnitArea { luts: 8651, registers: 30048 }
+            UnitArea {
+                luts: 8651,
+                registers: 30048
+            }
         );
         assert_eq!(
             bcjr_initial_reversal(&p),
-            UnitArea { luts: 804, registers: 2608 }
+            UnitArea {
+                luts: 804,
+                registers: 2608
+            }
         );
-        assert_eq!(bcjr_decision(&p), UnitArea { luts: 6561, registers: 822 });
+        assert_eq!(
+            bcjr_decision(&p),
+            UnitArea {
+                luts: 6561,
+                registers: 822
+            }
+        );
         assert_eq!(
             sova_path_detect(&p),
-            UnitArea { luts: 7362, registers: 4706 }
+            UnitArea {
+                luts: 7362,
+                registers: 4706
+            }
         );
     }
 
@@ -211,9 +244,21 @@ mod tests {
 
     #[test]
     fn unit_area_sums() {
-        let a = UnitArea { luts: 10, registers: 20 };
-        let b = UnitArea { luts: 1, registers: 2 };
-        assert_eq!(a.plus(b), UnitArea { luts: 11, registers: 22 });
+        let a = UnitArea {
+            luts: 10,
+            registers: 20,
+        };
+        let b = UnitArea {
+            luts: 1,
+            registers: 2,
+        };
+        assert_eq!(
+            a.plus(b),
+            UnitArea {
+                luts: 11,
+                registers: 22
+            }
+        );
         assert_eq!(a.to_string(), "10 LUTs / 20 FFs");
     }
 }

@@ -73,7 +73,10 @@ pub fn synthesize(decoder: DecoderChoice, params: &DecoderParams) -> SynthesisTa
             // its PMU + BMU (7569−5144 = 2425 LUT, 4538−3927 = 611 FF at
             // defaults) which our PMU/BMU formulas approximate by scaling.
             let tu = viterbi_traceback(params);
-            units.push(AreaReport { name: "Traceback Unit", area: tu });
+            units.push(AreaReport {
+                name: "Traceback Unit",
+                area: tu,
+            });
             let pmu_a = pmu(params);
             let bmu_a = bmu(params);
             // Residual registers of the metric pipeline.
@@ -88,8 +91,14 @@ pub fn synthesize(decoder: DecoderChoice, params: &DecoderParams) -> SynthesisTa
         DecoderChoice::Sova => {
             let soft_tu = sova_soft_traceback(params);
             let detect = sova_path_detect(params);
-            units.push(AreaReport { name: "Soft TU", area: soft_tu });
-            units.push(AreaReport { name: "Soft Path Detect", area: detect });
+            units.push(AreaReport {
+                name: "Soft TU",
+                area: soft_tu,
+            });
+            units.push(AreaReport {
+                name: "Soft Path Detect",
+                area: detect,
+            });
             // The detector is inside the soft TU (the paper's rows overlap);
             // the total adds the TU once, plus PMU-side glue.
             soft_tu.plus(glue(DecoderChoice::Sova, params))
@@ -100,11 +109,26 @@ pub fn synthesize(decoder: DecoderChoice, params: &DecoderParams) -> SynthesisTa
             let final_rev = bcjr_final_reversal(params);
             let pmu_a = pmu(params);
             let bmu_a = bmu(params);
-            units.push(AreaReport { name: "Soft Decision Unit", area: decision });
-            units.push(AreaReport { name: "Initial Rev. Buf.", area: init_rev });
-            units.push(AreaReport { name: "Final Rev. Buf.", area: final_rev });
-            units.push(AreaReport { name: "Path Metric Unit", area: pmu_a });
-            units.push(AreaReport { name: "Branch Metric Unit", area: bmu_a });
+            units.push(AreaReport {
+                name: "Soft Decision Unit",
+                area: decision,
+            });
+            units.push(AreaReport {
+                name: "Initial Rev. Buf.",
+                area: init_rev,
+            });
+            units.push(AreaReport {
+                name: "Final Rev. Buf.",
+                area: final_rev,
+            });
+            units.push(AreaReport {
+                name: "Path Metric Unit",
+                area: pmu_a,
+            });
+            units.push(AreaReport {
+                name: "Branch Metric Unit",
+                area: bmu_a,
+            });
             // Three PMUs: forward, backward, provisional backward (§4.3.2).
             decision
                 .plus(init_rev)
@@ -160,7 +184,11 @@ impl fmt::Display for SynthesisTable {
             self.total.registers
         )?;
         for u in &self.units {
-            writeln!(f, "  {:<20} {:>8} {:>10}", u.name, u.area.luts, u.area.registers)?;
+            writeln!(
+                f,
+                "  {:<20} {:>8} {:>10}",
+                u.name, u.area.luts, u.area.registers
+            )?;
         }
         Ok(())
     }
@@ -178,11 +206,29 @@ mod tests {
     fn totals_match_figure8_within_rounding() {
         // Paper: BCJR 32936/38420, SOVA 15114/15168, Viterbi 7569/4538.
         let bcjr = synthesize(DecoderChoice::Bcjr, &paper());
-        assert_eq!(bcjr.total, UnitArea { luts: 32936, registers: 38420 });
+        assert_eq!(
+            bcjr.total,
+            UnitArea {
+                luts: 32936,
+                registers: 38420
+            }
+        );
         let sova = synthesize(DecoderChoice::Sova, &paper());
-        assert_eq!(sova.total, UnitArea { luts: 15114, registers: 15168 });
+        assert_eq!(
+            sova.total,
+            UnitArea {
+                luts: 15114,
+                registers: 15168
+            }
+        );
         let viterbi = synthesize(DecoderChoice::Viterbi, &paper());
-        assert_eq!(viterbi.total, UnitArea { luts: 7569, registers: 4538 });
+        assert_eq!(
+            viterbi.total,
+            UnitArea {
+                luts: 7569,
+                registers: 4538
+            }
+        );
     }
 
     #[test]
@@ -227,7 +273,11 @@ mod tests {
         let mut p = paper();
         p.input_bits = 3;
         p.metric_bits = 6;
-        for d in [DecoderChoice::Viterbi, DecoderChoice::Sova, DecoderChoice::Bcjr] {
+        for d in [
+            DecoderChoice::Viterbi,
+            DecoderChoice::Sova,
+            DecoderChoice::Bcjr,
+        ] {
             let narrow = synthesize(d, &p).total;
             let wide = synthesize(d, &paper()).total;
             assert!(narrow.luts < wide.luts, "{d}");

@@ -42,7 +42,11 @@ fn main() {
             ..DecoderParams::paper_default()
         };
         let area = synthesize(DecoderChoice::Bcjr, &params);
-        let bmu = area.units.iter().find(|u| u.name == "Branch Metric Unit").unwrap();
+        let bmu = area
+            .units
+            .iter()
+            .find(|u| u.name == "Branch Metric Unit")
+            .unwrap();
         println!(
             "{:>6} {:>12.3e} {:>14} {:>10} {:>12}",
             width, cal.overall_ber, slope, bmu.area.luts, area.total.luts

@@ -11,7 +11,8 @@ use wilis::area::{synthesize, DecoderChoice, DecoderParams};
 use wilis::channel::SnrDb;
 use wilis::fec::pipeline::{bcjr_pipeline_latency, sova_pipeline_latency};
 use wilis::fec::{BcjrDecoder, ConvCode, SovaDecoder};
-use wilis::phy::{Demapper, PhyRate, Receiver, SnrScaling, Transmitter};
+use wilis::fxp::Cplx;
+use wilis::phy::{Demapper, PhyRate, PhyScratch, Receiver, RxResult, SnrScaling, Transmitter};
 use wilis::prelude::{AwgnChannel, Channel};
 use wilis_bench::{banner, budget};
 
@@ -21,13 +22,17 @@ fn ber_with(rx: &mut Receiver, bits: u64) -> f64 {
     let mut errors = 0u64;
     let mut total = 0u64;
     let packet = 1704usize;
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut got = RxResult::default();
     while total < bits {
-        let payload: Vec<u8> = (0..packet).map(|i| ((i * 7 + total as usize) % 2) as u8).collect();
+        payload.clear();
+        payload.extend((0..packet).map(|i| ((i * 7 + total as usize) % 2) as u8));
         let seed = (total / packet as u64 % 127 + 1) as u8;
-        let sent = tx.transmit(&payload, seed);
-        let mut samples = sent.samples;
+        tx.tx_into(&payload, seed, &mut scratch, &mut samples);
         channel.apply(&mut samples);
-        let got = rx.receive(&samples, payload.len(), seed);
+        rx.rx_from(&samples, payload.len(), seed, &mut scratch, &mut got);
         errors += got.bit_errors(&payload) as u64;
         total += packet as u64;
     }
@@ -42,7 +47,10 @@ fn main() {
     ));
 
     println!("SOVA traceback window (l = k):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "l=k", "BER", "latency", "LUTs");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "l=k", "BER", "latency", "LUTs"
+    );
     for w in [8usize, 16, 32, 64, 128] {
         let mut rx = Receiver::new(
             PhyRate::Qam16Half,
@@ -50,7 +58,10 @@ fn main() {
             Box::new(SovaDecoder::new(&code, w, w)),
         );
         let ber = ber_with(&mut rx, bits);
-        let params = DecoderParams { window: w, ..DecoderParams::paper_default() };
+        let params = DecoderParams {
+            window: w,
+            ..DecoderParams::paper_default()
+        };
         println!(
             "{:>6} {:>12.3e} {:>12} {:>12}",
             w,
@@ -69,7 +80,10 @@ fn main() {
             Box::new(BcjrDecoder::new(&code, n)),
         );
         let ber = ber_with(&mut rx, bits);
-        let params = DecoderParams { window: n, ..DecoderParams::paper_default() };
+        let params = DecoderParams {
+            window: n,
+            ..DecoderParams::paper_default()
+        };
         println!(
             "{:>6} {:>12.3e} {:>12} {:>12}",
             n,

@@ -1,74 +1,59 @@
 //! §3: the software channel is the co-simulation bottleneck.
 //!
-//! Criterion microbenchmarks of the pieces whose relative cost justifies
-//! the hybrid split: Gaussian noise generation (the measured hot spot),
-//! parallel AWGN application, and the baseband TX chain for scale.
+//! Microbenchmarks of the pieces whose relative cost justifies the hybrid
+//! split: Gaussian noise generation (the measured hot spot), parallel AWGN
+//! application, and the baseband TX chain for scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wilis::channel::parallel::apply_awgn_parallel;
 use wilis::channel::{AwgnChannel, Channel, GaussianSource, SnrDb};
 use wilis::fxp::Cplx;
 use wilis::phy::{PhyRate, Transmitter};
+use wilis_bench::banner;
+use wilis_bench::harness::{bench, report};
 
-fn noise_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noise_generation");
+fn main() {
+    banner("Channel throughput (section 3: noise generation saturates the host)");
     let n = 65_536usize;
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("gaussian_fill_64k", |b| {
-        let mut g = GaussianSource::new(1);
-        let mut buf = vec![0.0f64; n];
-        b.iter(|| {
-            g.fill(&mut buf);
-            std::hint::black_box(buf[0]);
-        });
-    });
-    group.finish();
-}
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        3
+    } else {
+        20
+    };
 
-fn awgn_application(c: &mut Criterion) {
-    let mut group = c.benchmark_group("awgn_apply");
-    let n = 65_536usize;
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("serial_64k", |b| {
-        let mut ch = AwgnChannel::new(SnrDb::new(10.0), 2);
-        let mut buf = vec![Cplx::ONE; n];
-        b.iter(|| {
-            ch.apply(&mut buf);
-            std::hint::black_box(buf[0]);
-        });
+    let mut g = GaussianSource::new(1);
+    let mut buf = vec![0.0f64; n];
+    let m = bench("noise/gaussian_fill_64k", iters, || {
+        g.fill(&mut buf);
+        std::hint::black_box(buf[0]);
     });
-    for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel_64k", threads),
-            &threads,
-            |b, &threads| {
-                let mut buf = vec![Cplx::ONE; n];
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    apply_awgn_parallel(&mut buf, SnrDb::new(10.0), seed, threads);
-                    std::hint::black_box(buf[0]);
-                });
-            },
-        );
+    report(&m);
+    println!("  -> {:.1} Msamples/s", m.throughput(n as u64) / 1e6);
+
+    let mut ch = AwgnChannel::new(SnrDb::new(10.0), 2);
+    let mut cbuf = vec![Cplx::ONE; n];
+    let m = bench("awgn/serial_64k", iters, || {
+        ch.apply(&mut cbuf);
+        std::hint::black_box(cbuf[0]);
+    });
+    report(&m);
+    let serial = m.mean_secs;
+
+    for threads in [2usize, 4, 8] {
+        let mut pbuf = vec![Cplx::ONE; n];
+        let mut seed = 0u64;
+        let m = bench(&format!("awgn/parallel_64k/t{threads}"), iters, || {
+            seed += 1;
+            apply_awgn_parallel(&mut pbuf, SnrDb::new(10.0), seed, threads);
+            std::hint::black_box(pbuf[0]);
+        });
+        report(&m);
+        println!("  -> speedup over serial: {:.2}x", serial / m.mean_secs);
     }
-    group.finish();
-}
 
-fn baseband_tx(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseband");
     let payload: Vec<u8> = (0..1704).map(|i| (i % 2) as u8).collect();
-    group.throughput(Throughput::Elements(payload.len() as u64));
-    group.bench_function("tx_qam16_1704b", |b| {
-        let tx = Transmitter::new(PhyRate::Qam16Half);
-        b.iter(|| std::hint::black_box(tx.transmit(&payload, 0x5D).samples.len()));
+    let tx = Transmitter::new(PhyRate::Qam16Half);
+    let m = bench("baseband/tx_qam16_1704b", iters, || {
+        std::hint::black_box(tx.transmit(&payload, 0x5D).samples.len());
     });
-    group.finish();
+    report(&m);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
-    targets = noise_generation, awgn_application, baseband_tx
-}
-criterion_main!(benches);

@@ -5,7 +5,11 @@ use wilis_bench::banner;
 
 fn main() {
     banner("Figure 2: simulation speed per rate (model + native measurement)");
-    let packets = if std::env::var("WILIS_FAST").is_ok() { 2 } else { 12 };
+    let packets = if std::env::var("WILIS_FAST").is_ok() {
+        2
+    } else {
+        12
+    };
     let rows = fig2::run(packets);
     print!("{}", fig2::render(&rows));
     println!(

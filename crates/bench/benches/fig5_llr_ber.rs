@@ -1,7 +1,7 @@
 //! Figure 5: BER vs SoftPHY hints for BCJR and SOVA.
 
-use wilis::softphy::DecoderKind;
 use wilis::experiment::fig5;
+use wilis::softphy::DecoderKind;
 use wilis_bench::{banner, budget};
 
 fn main() {

@@ -1,7 +1,7 @@
 //! Figure 6: predicted vs actual per-packet BER.
 
-use wilis::softphy::DecoderKind;
 use wilis::experiment::fig6;
+use wilis::softphy::DecoderKind;
 use wilis_bench::{banner, budget};
 
 fn main() {

@@ -1,6 +1,5 @@
 //! Figure 7: SoftRate selection accuracy under fading.
 
-use wilis::softphy::DecoderKind;
 use wilis::experiment::fig7;
 use wilis_bench::{banner, budget};
 
@@ -10,10 +9,7 @@ fn main() {
         "Figure 7: SoftRate under 20 Hz fading + 10 dB AWGN ({packets} packet slots)"
     ));
     let cfg = fig7::Fig7Config::paper(packets);
-    let results = vec![
-        fig7::run(&cfg, DecoderKind::Bcjr),
-        fig7::run(&cfg, DecoderKind::Sova),
-    ];
+    let results = fig7::run_both(&cfg);
     print!("{}", fig7::render(&results));
     println!(
         "\nPaper reference: both implementations pick the optimal rate >80% of the\n\

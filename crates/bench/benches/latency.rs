@@ -5,7 +5,10 @@ use wilis_bench::banner;
 
 fn main() {
     banner("Decoder pipeline latency (measured on the latency-insensitive engine)");
-    println!("{:<26} {:>10} {:>10} {:>12}", "Configuration", "measured", "formula", "at 60 MHz");
+    println!(
+        "{:<26} {:>10} {:>10} {:>12}",
+        "Configuration", "measured", "formula", "at 60 MHz"
+    );
     for (l, k) in [(32u64, 32u64), (64, 64), (96, 96)] {
         let measured = sova_pipeline_latency(l, k);
         let us = measured as f64 / 60.0;

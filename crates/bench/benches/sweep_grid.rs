@@ -1,0 +1,78 @@
+//! Scenario-engine throughput: serial vs parallel wall time on the
+//! Figure 5 grid, with JSON lines for the perf trajectory.
+//!
+//! The paper's co-simulation is throughput-bound by the software side
+//! (§3); this bench tracks the reproduction's answer — the batched sweep
+//! runner — and records the speedup the worker pool buys at each thread
+//! count, plus the bit-identity check that makes the parallelism free of
+//! semantic cost.
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report};
+use wilis_bench::{banner, budget};
+
+fn fig5_grid(packets: u32) -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["sova", "bcjr"])
+        .snrs_db(&[6.0, 7.0, 8.0])
+        .seeds(&[1, 2])
+        .packets(packets)
+        .payload_bits(1704)
+}
+
+fn main() {
+    // Default budget: ~4.1M payload bits across the grid per measurement.
+    let packets = (budget(100_000) / 1704).max(4) as u32;
+    let grid = fig5_grid(packets);
+    let scenarios = grid.scenarios();
+    banner(&format!(
+        "sweep_grid: {} scenarios x {} packets of 1704 bits (WILIS_BITS to scale)",
+        scenarios.len(),
+        packets
+    ));
+
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        3
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bits = scenarios.len() as u64 * u64::from(packets) * 1704;
+
+    let serial_reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    let mut json = Vec::new();
+    let mut serial_secs = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let runner = SweepRunner::new(threads);
+        let m = bench(&format!("sweep_grid/t{threads}"), iters, || {
+            let results = runner.run(&scenarios).unwrap();
+            assert_eq!(results, serial_reference, "determinism violated");
+        });
+        report(&m);
+        if threads == 1 {
+            serial_secs = m.mean_secs;
+        }
+        let speedup = serial_secs / m.mean_secs;
+        println!(
+            "  -> {:.2} Mb/s simulated, speedup {speedup:.2}x{}",
+            bits as f64 / m.mean_secs / 1e6,
+            if threads > host {
+                " (oversubscribed)"
+            } else {
+                ""
+            }
+        );
+        json.push(format!(
+            "{{\"bench\":\"sweep_grid\",\"threads\":{threads},\"mean_secs\":{:.9},\"bits\":{bits},\"speedup\":{speedup:.4}}}",
+            m.mean_secs
+        ));
+    }
+    println!("\nJSON:");
+    for line in &json {
+        println!("{line}");
+    }
+}

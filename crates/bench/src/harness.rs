@@ -1,0 +1,96 @@
+//! A minimal wall-clock measurement harness.
+//!
+//! The container this repository builds in has no network access, so the
+//! bench targets cannot depend on criterion; this module provides the
+//! small subset the figure benches need — warmup, repeated timing, simple
+//! statistics, and machine-readable JSON lines for the perf trajectory.
+
+use std::time::Instant;
+
+/// One benchmark measurement: wall time per iteration over `iters` runs.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations (after one warmup run).
+    pub iters: u32,
+    /// Mean seconds per iteration.
+    pub mean_secs: f64,
+    /// Fastest iteration, seconds.
+    pub min_secs: f64,
+    /// Slowest iteration, seconds.
+    pub max_secs: f64,
+}
+
+impl Measurement {
+    /// Elements per second given `elems` processed per iteration.
+    pub fn throughput(&self, elems: u64) -> f64 {
+        elems as f64 / self.mean_secs
+    }
+
+    /// One line of JSON (stable key order) for downstream tooling.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"mean_secs\":{:.9},\"min_secs\":{:.9},\"max_secs\":{:.9}}}",
+            self.name, self.iters, self.mean_secs, self.min_secs, self.max_secs
+        )
+    }
+}
+
+/// Times `f` for `iters` iterations after one untimed warmup call.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) -> Measurement {
+    assert!(iters > 0, "need at least one iteration");
+    f(); // warmup
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    Measurement {
+        name: name.to_string(),
+        iters,
+        mean_secs: mean,
+        min_secs: min,
+        max_secs: max,
+    }
+}
+
+/// Prints a measurement as an aligned human-readable row.
+pub fn report(m: &Measurement) {
+    println!(
+        "{:<36} {:>10.3} ms/iter  (min {:.3}, max {:.3}, {} iters)",
+        m.name,
+        m.mean_secs * 1e3,
+        m.min_secs * 1e3,
+        m.max_secs * 1e3,
+        m.iters
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let mut x = 0u64;
+        let m = bench("spin", 3, || {
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(i);
+            }
+        });
+        std::hint::black_box(x);
+        assert_eq!(m.iters, 3);
+        assert!(m.mean_secs >= 0.0 && m.min_secs <= m.max_secs);
+        let json = m.to_json();
+        assert!(json.contains("\"name\":\"spin\""));
+    }
+}

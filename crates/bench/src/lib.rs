@@ -10,6 +10,7 @@
 //! | `fig7_softrate` | Figure 7 — SoftRate selection accuracy |
 //! | `fig8_area` | Figure 8 — decoder synthesis results |
 //! | `channel_throughput` | §3 — noise generation saturates the host |
+//! | `sweep_grid` | scenario engine — serial vs parallel Figure 5 grid |
 //! | `latency` | §4.3 — decoder pipeline latency formulas |
 //! | `decoupling` | §2 — decoupled vs lock-step transfer throughput |
 //! | `ablation_bitwidth` | §4.1 — demapper width 3..8 bits |
@@ -17,9 +18,15 @@
 //!
 //! Run them all with `cargo bench --workspace`; scale the Monte-Carlo
 //! budgets with `WILIS_BITS=<bits>`.
+//!
+//! The targets are plain `harness = false` binaries timed with
+//! [`harness`] — a deliberately small measurement loop, because this
+//! repository builds offline with no external crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Standard header printed by each figure bench.
 pub fn banner(title: &str) {

@@ -80,7 +80,11 @@ mod tests {
         let n = 100_000;
         let mut samples = vec![Cplx::ONE; n];
         ch.apply(&mut samples);
-        let measured: f64 = samples.iter().map(|s| (*s - Cplx::ONE).norm_sq()).sum::<f64>() / n as f64;
+        let measured: f64 = samples
+            .iter()
+            .map(|s| (*s - Cplx::ONE).norm_sq())
+            .sum::<f64>()
+            / n as f64;
         let expected = snr.noise_power();
         assert!(
             (measured / expected - 1.0).abs() < 0.03,
@@ -117,7 +121,11 @@ mod tests {
         let mut ch = AwgnChannel::new(SnrDb::new(0.0), 23);
         let mut buf = vec![Cplx::ZERO; 100_000];
         ch.apply(&mut buf);
-        let mean: Cplx = buf.iter().copied().sum::<Cplx>().scale(1.0 / buf.len() as f64);
+        let mean: Cplx = buf
+            .iter()
+            .copied()
+            .sum::<Cplx>()
+            .scale(1.0 / buf.len() as f64);
         assert!(mean.norm() < 0.02, "mean {mean}");
     }
 }

@@ -3,7 +3,6 @@
 
 use std::f64::consts::PI;
 
-use rand::Rng;
 use wilis_fxp::Cplx;
 
 use crate::gaussian::GaussianSource;
@@ -129,7 +128,8 @@ impl FadingAwgnChannel {
 
     /// The fading gain that will apply to the next sample.
     pub fn current_gain(&self) -> Cplx {
-        self.fading.gain_at(self.consumed as f64 / self.sample_rate_hz)
+        self.fading
+            .gain_at(self.consumed as f64 / self.sample_rate_hz)
     }
 
     /// Absolute channel time of the next sample, in seconds.

@@ -8,8 +8,7 @@
 //! method over a seedable PRNG, so the `channel_throughput` bench measures
 //! something representative.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use wilis_fxp::rng::SmallRng;
 
 /// A seedable source of standard-normal (`N(0, 1)`) samples.
 ///
@@ -78,7 +77,7 @@ impl GaussianSource {
 
     /// Access to the underlying uniform RNG, for callers that mix uniform
     /// and normal draws from one deterministic stream.
-    pub fn rng_mut(&mut self) -> &mut impl RngCore {
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
         &mut self.rng
     }
 }
@@ -100,7 +99,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = GaussianSource::new(1);
         let mut b = GaussianSource::new(2);
-        let same = (0..100).filter(|_| a.next_sample() == b.next_sample()).count();
+        let same = (0..100)
+            .filter(|_| a.next_sample() == b.next_sample())
+            .count();
         assert!(same < 5);
     }
 

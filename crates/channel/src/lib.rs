@@ -38,6 +38,7 @@
 mod awgn;
 mod fading;
 mod gaussian;
+mod model;
 pub mod parallel;
 mod replay;
 mod snr;
@@ -45,6 +46,7 @@ mod snr;
 pub use awgn::AwgnChannel;
 pub use fading::{FadingAwgnChannel, RayleighFading};
 pub use gaussian::GaussianSource;
+pub use model::{AwgnModel, ChannelModel, FadingModel, ReplayModel, MODEL_SAMPLE_RATE_HZ};
 pub use replay::ReplayChannel;
 pub use snr::SnrDb;
 

@@ -7,7 +7,6 @@
 //! is split across a worker pool, each worker running an independent,
 //! deterministically seeded Gaussian stream.
 
-use crossbeam::thread;
 use wilis_fxp::Cplx;
 
 use crate::gaussian::GaussianSource;
@@ -47,15 +46,16 @@ pub fn apply_awgn_parallel(samples: &mut [Cplx], snr: SnrDb, seed: u64, threads:
     }
     // Interleave chunks across workers round-robin so all workers see
     // similar load; each chunk's seed depends only on its index.
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut work: Vec<Vec<(usize, &mut [Cplx])>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, chunk) in chunks.into_iter().enumerate() {
             work[i % threads].push((i, chunk));
         }
         for bundle in work {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (index, chunk) in bundle {
-                    let mut g = GaussianSource::new(seed ^ (index as u64).wrapping_mul(0x9e37_79b9));
+                    let mut g =
+                        GaussianSource::new(seed ^ (index as u64).wrapping_mul(0x9e37_79b9));
                     for s in chunk {
                         let (nr, ni) = g.next_pair();
                         s.re += nr * sigma;
@@ -64,8 +64,7 @@ pub fn apply_awgn_parallel(samples: &mut [Cplx], snr: SnrDb, seed: u64, threads:
                 }
             });
         }
-    })
-    .expect("channel worker panicked");
+    });
 }
 
 /// Chunk granularity for parallel noise generation, in samples.

@@ -109,8 +109,8 @@ impl SpeedModel {
         // Each candidate bottleneck, expressed as symbols/second.
         let chan = self.channel_samples_per_sec / samples_per_symbol;
         let fpga = self.fpga_sample_rate / samples_per_symbol;
-        let link = self.link.bandwidth_bytes_per_sec()
-            / (samples_per_symbol * self.bytes_per_sample);
+        let link =
+            self.link.bandwidth_bytes_per_sec() / (samples_per_symbol * self.bytes_per_sample);
         let (symbols_per_sec, bottleneck) = [
             (chan, Bottleneck::SoftwareChannel),
             (fpga, Bottleneck::FpgaPipeline),
@@ -176,7 +176,11 @@ mod tests {
         // Paper: 22.244 Mb/s at QAM-64 3/4 (41.3%); the flat-fraction model
         // gives ~18.6 Mb/s (34.5%) - same order, same ranking.
         let row = SpeedModel::paper().row(PhyRate::Qam64ThreeQuarters);
-        assert!(row.sim_mbps > 15.0 && row.sim_mbps < 25.0, "{}", row.sim_mbps);
+        assert!(
+            row.sim_mbps > 15.0 && row.sim_mbps < 25.0,
+            "{}",
+            row.sim_mbps
+        );
     }
 
     #[test]

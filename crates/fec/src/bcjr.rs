@@ -19,10 +19,8 @@
 
 use crate::bmu::Bmu;
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::{
-    backward_acs, forward_acs, known_state_column, normalize, saturate_llr, uncertain_column,
-    NEG_INF,
-};
+use crate::pmu::{backward_acs, forward_acs, normalize, saturate_llr, NEG_INF};
+use crate::scratch::TrellisScratch;
 use crate::trellis::Trellis;
 use crate::ConvCode;
 
@@ -46,6 +44,8 @@ use crate::ConvCode;
 pub struct BcjrDecoder {
     code: ConvCode,
     trellis: Trellis,
+    bmu: Bmu,
+    scratch: TrellisScratch,
     /// Sliding-window block length; the paper uses 64 and notes blocks
     /// smaller than 32 degrade accuracy.
     block_len: usize,
@@ -63,6 +63,8 @@ impl BcjrDecoder {
         Self {
             code: code.clone(),
             trellis: Trellis::new(code),
+            bmu: Bmu::new(code.n_out()),
+            scratch: TrellisScratch::new(),
             block_len,
         }
     }
@@ -83,33 +85,38 @@ impl BcjrDecoder {
         &self.code
     }
 
-    /// Backward pass over steps `range` (given per-step branch metrics),
-    /// starting from `boundary` (the metric column just *after* the last
-    /// step of the range). Returns the column for every step in the range,
-    /// i.e. `beta[t]` for `t` in `range`, where `beta[t]` applies *before*
-    /// consuming step `t`... indexed relative to the range start.
-    fn backward_block(
-        &self,
-        bms: &[Vec<i64>],
+    /// The `beta` column applying *before* step `t` of `range`, for every
+    /// `t`, written into `betas` (flattened, `range.len() × n_states`,
+    /// indexed relative to the range start). `boundary` is the column just
+    /// *after* the last step of the range.
+    fn backward_block_flat(
+        trellis: &Trellis,
+        bms: &[i64],
+        n_patterns: usize,
         range: std::ops::Range<usize>,
         boundary: &[i64],
-    ) -> Vec<Vec<i64>> {
-        let n_states = self.trellis.n_states();
-        let mut betas = vec![vec![0i64; n_states]; range.len()];
-        let mut after = boundary.to_vec();
+        betas: &mut [i64],
+    ) {
+        let n_states = trellis.n_states();
+        let len = range.len();
+        debug_assert_eq!(betas.len(), len * n_states);
         for (local, t) in range.clone().enumerate().rev() {
-            let mut col = vec![0i64; n_states];
-            backward_acs(&self.trellis, &bms[t], &after, &mut col);
-            normalize(&mut col);
-            betas[local] = col.clone();
-            after = col;
+            let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
+            let (head, tail) = betas.split_at_mut((local + 1) * n_states);
+            let after: &[i64] = if local + 1 < len {
+                &tail[..n_states]
+            } else {
+                boundary
+            };
+            let row = &mut head[local * n_states..];
+            backward_acs(trellis, bm, after, row);
+            normalize(row);
         }
-        betas
     }
 }
 
 impl SoftDecoder for BcjrDecoder {
-    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let n_out = self.trellis.n_out();
         assert!(
             llrs.len() % n_out == 0,
@@ -123,80 +130,100 @@ impl SoftDecoder for BcjrDecoder {
             "block shorter than the code tail"
         );
         let n_states = self.trellis.n_states();
+        let n_patterns = 1usize << n_out;
 
         // Branch metrics for every step (the hardware streams these through
-        // the reversal buffers; we precompute per-frame for clarity).
-        let mut bmu = Bmu::new(n_out);
-        let bms: Vec<Vec<i64>> = (0..steps)
-            .map(|t| bmu.compute(&llrs[t * n_out..(t + 1) * n_out]).to_vec())
-            .collect();
+        // the reversal buffers; we precompute per-frame into the scratch).
+        self.scratch.bms.clear();
+        self.scratch.bms.resize(steps * n_patterns, 0);
+        for t in 0..steps {
+            let bm = self.bmu.compute(&llrs[t * n_out..(t + 1) * n_out]);
+            self.scratch.bms[t * n_patterns..(t + 1) * n_patterns].copy_from_slice(bm);
+        }
 
-        let mut alpha = known_state_column(n_states, 0);
-        let mut bits = Vec::with_capacity(steps);
-        let mut soft = Vec::with_capacity(steps);
+        self.scratch.init_columns(n_states, 0);
+        let TrellisScratch {
+            pm: alpha,
+            next: next_alpha,
+            bms,
+            betas,
+            boundary,
+            col,
+            ..
+        } = &mut self.scratch;
+        let trellis = &self.trellis;
+        out.bits.clear();
+        out.soft.clear();
 
         let mut t0 = 0usize;
         while t0 < steps {
             let t1 = (t0 + self.block_len).min(steps);
             // Beta boundary for the end of this block.
-            let boundary = if t1 == steps {
+            if t1 == steps {
                 // Terminated frame: the path ends in state zero.
-                known_state_column(n_states, 0)
+                boundary.clear();
+                boundary.resize(n_states, NEG_INF);
+                boundary[0] = 0;
             } else {
                 // Provisional backward pass over the *next* block, started
-                // from the "uncertain" uniform column (§4.3.2).
+                // from the "uncertain" uniform column (§4.3.2), keeping
+                // only the column that lands on t1.
                 let t2 = (t1 + self.block_len).min(steps);
-                let provisional =
-                    self.backward_block(&bms, t1..t2, &uncertain_column(n_states));
-                provisional
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| uncertain_column(n_states))
-            };
-            let betas = self.backward_block(&bms, t0..t1, &boundary);
+                boundary.clear();
+                boundary.resize(n_states, 0);
+                col.clear();
+                col.resize(n_states, 0);
+                for t in (t1..t2).rev() {
+                    let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
+                    backward_acs(trellis, bm, boundary, col);
+                    normalize(col);
+                    std::mem::swap(boundary, col);
+                }
+            }
+            betas.clear();
+            betas.resize((t1 - t0) * n_states, 0);
+            Self::backward_block_flat(trellis, bms, n_patterns, t0..t1, boundary, betas);
 
             // Forward pass + decision unit over this block.
-            let mut next_alpha = vec![0i64; n_states];
             for t in t0..t1 {
-                let bm = &bms[t];
+                let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
                 // beta that applies after consuming step t:
                 let beta_after: &[i64] = if t + 1 < t1 {
-                    &betas[t + 1 - t0]
+                    &betas[(t + 1 - t0) * n_states..(t + 2 - t0) * n_states]
                 } else {
-                    &boundary
+                    boundary
                 };
                 let mut best = [NEG_INF; 2];
-                for s in 0..n_states {
-                    if alpha[s] <= NEG_INF / 2 {
+                for (s, &a) in alpha.iter().enumerate() {
+                    if a <= NEG_INF / 2 {
                         continue;
                     }
-                    for b in 0..2usize {
-                        let tr = self.trellis.next(s, b as u8);
-                        let m = alpha[s]
+                    for (b, best_b) in best.iter_mut().enumerate() {
+                        let tr = trellis.next(s, b as u8);
+                        let m = a
                             .saturating_add(bm[tr.output as usize])
                             .saturating_add(beta_after[tr.next as usize]);
-                        if m > best[b] {
-                            best[b] = m;
+                        if m > *best_b {
+                            *best_b = m;
                         }
                     }
                 }
                 // The decision unit: most-likely-1 minus most-likely-0
                 // path metrics — the single added subtracter of §4.3.2.
                 let llr = best[1].saturating_sub(best[0]);
-                bits.push(u8::from(llr > 0));
-                soft.push(saturate_llr(llr));
+                out.bits.push(u8::from(llr > 0));
+                out.soft.push(saturate_llr(llr));
 
-                forward_acs(&self.trellis, bm, &alpha, &mut next_alpha, None, None);
-                normalize(&mut next_alpha);
-                std::mem::swap(&mut alpha, &mut next_alpha);
+                forward_acs(trellis, bm, alpha, next_alpha, None, None);
+                normalize(next_alpha);
+                std::mem::swap(alpha, next_alpha);
             }
             t0 = t1;
         }
 
         let info = steps - self.code.tail_len();
-        bits.truncate(info);
-        soft.truncate(info);
-        DecodeOutput { bits, soft }
+        out.bits.truncate(info);
+        out.soft.truncate(info);
     }
 
     fn id(&self) -> &'static str {
@@ -271,8 +298,14 @@ mod tests {
             llrs[step * 2 + 1] = -llrs[step * 2 + 1];
         }
         let out = BcjrDecoder::new(&code, 64).decode_terminated(&llrs);
-        let near: f64 = (55..66).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 11.0;
-        let far: f64 = (5..25).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 20.0;
+        let near: f64 = (55..66)
+            .map(|i| out.soft[i].unsigned_abs() as f64)
+            .sum::<f64>()
+            / 11.0;
+        let far: f64 = (5..25)
+            .map(|i| out.soft[i].unsigned_abs() as f64)
+            .sum::<f64>()
+            / 20.0;
         assert!(
             near < far / 2.0,
             "damaged region confidence {near} vs clean {far}"

@@ -39,7 +39,7 @@ pub fn branch_metrics(step_llrs: &[Llr]) -> Vec<i64> {
     );
     let patterns = 1usize << step_llrs.len();
     let mut metrics = vec![0i64; patterns];
-    for pattern in 0..patterns {
+    for (pattern, slot) in metrics.iter_mut().enumerate() {
         let mut m = 0i64;
         for (j, &llr) in step_llrs.iter().enumerate() {
             if (pattern >> j) & 1 == 1 {
@@ -48,7 +48,7 @@ pub fn branch_metrics(step_llrs: &[Llr]) -> Vec<i64> {
                 m -= i64::from(llr);
             }
         }
-        metrics[pattern] = m;
+        *slot = m;
     }
     metrics
 }

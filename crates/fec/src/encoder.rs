@@ -48,25 +48,55 @@ impl ConvEncoder {
             .collect()
     }
 
+    /// Encodes a bit slice without termination, appending coded bits to
+    /// `out`; the encoder state carries over to subsequent calls. This is
+    /// the allocation-free form the scenario engine's hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input bit is not 0 or 1.
+    pub fn encode_into(&mut self, bits: &[u8], out: &mut Vec<u8>) {
+        let n_out = self.code.n_out();
+        out.reserve(bits.len() * n_out);
+        for &b in bits {
+            assert!(b < 2, "binary input expected, got {b}");
+            let tr = self.trellis.next(self.state, b);
+            self.state = tr.next as usize;
+            for j in 0..n_out {
+                out.push((tr.output >> j) & 1);
+            }
+        }
+    }
+
     /// Encodes a bit slice without termination; the encoder state carries
     /// over to subsequent calls.
     pub fn encode(&mut self, bits: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(bits.len() * self.code.n_out());
-        for &b in bits {
-            out.extend(self.push(b));
-        }
+        self.encode_into(bits, &mut out);
         out
+    }
+
+    /// Terminated-block form of [`ConvEncoder::encode_into`]: the data
+    /// bits followed by `K - 1` zero tail bits, returning the encoder to
+    /// state zero.
+    pub fn encode_terminated_into(&mut self, bits: &[u8], out: &mut Vec<u8>) {
+        self.encode_into(bits, out);
+        for _ in 0..self.code.tail_len() {
+            let tr = self.trellis.next(self.state, 0);
+            self.state = tr.next as usize;
+            for j in 0..self.code.n_out() {
+                out.push((tr.output >> j) & 1);
+            }
+        }
+        debug_assert_eq!(self.state, 0, "tail must flush to state zero");
     }
 
     /// Encodes a complete block: the data bits followed by `K - 1` zero
     /// tail bits, returning the encoder to state zero (the 802.11a
     /// convention the decoders' terminated mode assumes).
     pub fn encode_terminated(&mut self, bits: &[u8]) -> Vec<u8> {
-        let mut out = self.encode(bits);
-        for _ in 0..self.code.tail_len() {
-            out.extend(self.push(0));
-        }
-        debug_assert_eq!(self.state, 0, "tail must flush to state zero");
+        let mut out = Vec::with_capacity((bits.len() + self.code.tail_len()) * self.code.n_out());
+        self.encode_terminated_into(bits, &mut out);
         out
     }
 

@@ -52,6 +52,7 @@ mod llr;
 pub mod pipeline;
 pub mod pmu;
 mod puncture;
+mod scratch;
 mod sova;
 mod trellis;
 mod viterbi;
@@ -61,6 +62,7 @@ pub use code::ConvCode;
 pub use encoder::ConvEncoder;
 pub use llr::{hard_llr, DecodeOutput, Llr, SoftDecoder, HINT_BITS, MAX_HINT};
 pub use puncture::{CodeRate, Depuncturer, Puncturer};
+pub use scratch::TrellisScratch;
 pub use sova::SovaDecoder;
 pub use trellis::Trellis;
 pub use viterbi::ViterbiDecoder;

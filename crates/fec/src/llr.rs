@@ -41,7 +41,11 @@ pub fn hard_llr(bit: u8, magnitude: Llr) -> Llr {
 }
 
 /// The result of decoding one terminated block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The buffers are reusable: passing the same `DecodeOutput` to
+/// [`SoftDecoder::decode_terminated_into`] repeatedly retains their
+/// capacity, so the steady-state decode path performs no heap allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecodeOutput {
     /// Hard decisions for the information bits (tail excluded), values 0/1.
     pub bits: Vec<u8>,
@@ -76,13 +80,30 @@ impl DecodeOutput {
 /// in state zero (802.11a convention). Implementations return only the
 /// information bits.
 pub trait SoftDecoder {
-    /// Decodes one terminated block.
+    /// Decodes one terminated block into `out`, reusing its buffers.
+    ///
+    /// This is the hot-path entry point: together with the decoder's
+    /// internal [`crate::TrellisScratch`], repeated calls on same-sized
+    /// blocks perform no heap allocation after the first.
     ///
     /// # Panics
     ///
     /// Panics if `llrs.len()` is not a multiple of the code's `n_out`, or
     /// the block is shorter than the tail.
-    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput;
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput);
+
+    /// Decodes one terminated block into a freshly allocated output — the
+    /// convenience form of [`SoftDecoder::decode_terminated_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SoftDecoder::decode_terminated_into`].
+    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
+        let mut out = DecodeOutput::default();
+        self.decode_terminated_into(llrs, &mut out);
+        out
+    }
 
     /// A short identifier (`"viterbi"`, `"sova"`, `"bcjr"`), used by the
     /// plug-n-play registry and result labels.

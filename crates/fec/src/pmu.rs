@@ -61,12 +61,12 @@ pub fn forward_acs(
 pub fn backward_acs(trellis: &Trellis, bm: &[i64], next: &[i64], out: &mut [i64]) {
     debug_assert_eq!(next.len(), trellis.n_states());
     debug_assert_eq!(out.len(), trellis.n_states());
-    for state in 0..trellis.n_states() {
+    for (state, slot) in out.iter_mut().enumerate() {
         let t0 = trellis.next(state, 0);
         let t1 = trellis.next(state, 1);
         let c0 = next[t0.next as usize].saturating_add(bm[t0.output as usize]);
         let c1 = next[t1.next as usize].saturating_add(bm[t1.output as usize]);
-        out[state] = c0.max(c1);
+        *slot = c0.max(c1);
     }
 }
 
@@ -189,7 +189,9 @@ mod tests {
         let mut out = vec![0i64; t.n_states()];
         forward_acs(&t, &bm, &prev, &mut out, None, None);
         // Only successors of state 2 should be reachable.
-        let reachable: Vec<usize> = (0..t.n_states()).filter(|&s| out[s] > NEG_INF / 2).collect();
+        let reachable: Vec<usize> = (0..t.n_states())
+            .filter(|&s| out[s] > NEG_INF / 2)
+            .collect();
         let expect: Vec<usize> = (0..2u8).map(|b| t.next(2, b).next as usize).collect();
         let mut expect_sorted = expect;
         expect_sorted.sort_unstable();

@@ -1,16 +1,16 @@
-//! Property-based tests across the FEC stack.
+//! Randomized property tests across the FEC stack (deterministic,
+//! self-seeded — the offline analog of a proptest suite).
 
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use wilis_fxp::rng::SmallRng;
 
 use crate::{
     hard_llr, BcjrDecoder, CodeRate, ConvCode, ConvEncoder, Depuncturer, Llr, Puncturer,
     SoftDecoder, SovaDecoder, ViterbiDecoder,
 };
 
-fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..2, 8..max_len)
+fn random_bits(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_i64(8, max_len as i64) as usize;
+    (0..n).map(|_| rng.gen_bit()).collect()
 }
 
 fn clean_llrs(code: &ConvCode, data: &[u8]) -> Vec<Llr> {
@@ -21,117 +21,164 @@ fn clean_llrs(code: &ConvCode, data: &[u8]) -> Vec<Llr> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// All three decoders invert the encoder on a clean channel, for any
-    /// payload.
-    #[test]
-    fn decoders_invert_encoder(data in arb_bits(96)) {
-        let code = ConvCode::ieee80211();
+/// All three decoders invert the encoder on a clean channel, for any
+/// payload.
+#[test]
+fn decoders_invert_encoder() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC1);
+    let code = ConvCode::ieee80211();
+    for _ in 0..48 {
+        let data = random_bits(&mut rng, 96);
         let llrs = clean_llrs(&code, &data);
-        prop_assert_eq!(&ViterbiDecoder::new(&code).decode_terminated(&llrs).bits, &data);
-        prop_assert_eq!(&SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs).bits, &data);
-        prop_assert_eq!(&BcjrDecoder::new(&code, 64).decode_terminated(&llrs).bits, &data);
+        assert_eq!(
+            ViterbiDecoder::new(&code).decode_terminated(&llrs).bits,
+            data
+        );
+        assert_eq!(
+            SovaDecoder::new(&code, 64, 64)
+                .decode_terminated(&llrs)
+                .bits,
+            data
+        );
+        assert_eq!(
+            BcjrDecoder::new(&code, 64).decode_terminated(&llrs).bits,
+            data
+        );
     }
+}
 
-    /// Puncture/depuncture are inverses on the kept positions for every
-    /// rate and length.
-    #[test]
-    fn puncture_roundtrip(len in 1usize..200, rate_idx in 0usize..3) {
-        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+/// Puncture/depuncture are inverses on the kept positions for every
+/// rate and length.
+#[test]
+fn puncture_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC2);
+    for _ in 0..48 {
+        let len = rng.gen_i64(1, 199) as usize;
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters]
+            [rng.gen_i64(0, 2) as usize];
         let mother: Vec<Llr> = (0..len as i32).map(|i| i + 1).collect();
         let tx = Puncturer::new(rate).puncture(&mother);
         let rx = Depuncturer::new(rate).depuncture(&tx, len);
-        prop_assert_eq!(rx.len(), len);
+        assert_eq!(rx.len(), len);
         let mask = rate.mask();
         for (i, (&orig, &got)) in mother.iter().zip(&rx).enumerate() {
             if mask[i % mask.len()] == 1 {
-                prop_assert_eq!(got, orig);
+                assert_eq!(got, orig);
             } else {
-                prop_assert_eq!(got, 0);
+                assert_eq!(got, 0);
             }
         }
     }
+}
 
-    /// Punctured clean streams still decode exactly (the erasure pattern is
-    /// within the code's correction power on a noiseless channel).
-    #[test]
-    fn punctured_clean_roundtrip(data in arb_bits(64), rate_idx in 0usize..3) {
-        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
-        let code = ConvCode::ieee80211();
+/// Punctured clean streams still decode exactly (the erasure pattern is
+/// within the code's correction power on a noiseless channel).
+#[test]
+fn punctured_clean_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC3);
+    let code = ConvCode::ieee80211();
+    for _ in 0..24 {
+        let data = random_bits(&mut rng, 64);
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters]
+            [rng.gen_i64(0, 2) as usize];
         let coded = ConvEncoder::new(&code).encode_terminated(&data);
         let tx = Puncturer::new(rate).puncture(&coded);
         let rx_llrs: Vec<Llr> = tx.iter().map(|&b| hard_llr(b, 7)).collect();
         let mother = Depuncturer::new(rate).depuncture(&rx_llrs, coded.len());
-        prop_assert_eq!(&ViterbiDecoder::new(&code).decode_terminated(&mother).bits, &data);
-        prop_assert_eq!(&BcjrDecoder::new(&code, 64).decode_terminated(&mother).bits, &data);
+        assert_eq!(
+            ViterbiDecoder::new(&code).decode_terminated(&mother).bits,
+            data
+        );
+        assert_eq!(
+            BcjrDecoder::new(&code, 64).decode_terminated(&mother).bits,
+            data
+        );
     }
+}
 
-    /// SOVA's hard decisions equal Viterbi's on arbitrary (noisy) inputs:
-    /// both follow the maximum-likelihood path.
-    #[test]
-    fn sova_bits_equal_viterbi(seed in any::<u64>(), len in 16usize..80) {
-        let code = ConvCode::ieee80211();
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// SOVA's hard decisions equal Viterbi's on arbitrary (noisy) inputs:
+/// both follow the maximum-likelihood path.
+#[test]
+fn sova_bits_equal_viterbi() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC4);
+    let code = ConvCode::ieee80211();
+    for _ in 0..48 {
+        let len = rng.gen_i64(16, 79) as usize;
         let steps = len + code.tail_len();
-        let llrs: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_range(-7i32..=7)).collect();
+        let llrs: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_i64(-7, 7) as Llr).collect();
         let v = ViterbiDecoder::new(&code).decode_terminated(&llrs);
         let s = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
-        prop_assert_eq!(v.bits, s.bits);
+        assert_eq!(v.bits, s.bits);
     }
+}
 
-    /// Soft outputs of both soft decoders carry the sign of the decision.
-    #[test]
-    fn soft_sign_consistency(seed in any::<u64>(), len in 16usize..64) {
-        let code = ConvCode::ieee80211();
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Soft outputs of both soft decoders carry the sign of the decision.
+#[test]
+fn soft_sign_consistency() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC5);
+    let code = ConvCode::ieee80211();
+    for _ in 0..48 {
+        let len = rng.gen_i64(16, 63) as usize;
         let steps = len + code.tail_len();
-        let llrs: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_range(-7i32..=7)).collect();
+        let llrs: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_i64(-7, 7) as Llr).collect();
         for out in [
             SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs),
             BcjrDecoder::new(&code, 64).decode_terminated(&llrs),
         ] {
             for (i, (&bit, &s)) in out.bits.iter().zip(&out.soft).enumerate() {
-                if s > 0 { prop_assert_eq!(bit, 1, "bit {}", i); }
-                if s < 0 { prop_assert_eq!(bit, 0, "bit {}", i); }
+                if s > 0 {
+                    assert_eq!(bit, 1, "bit {i}");
+                }
+                if s < 0 {
+                    assert_eq!(bit, 0, "bit {i}");
+                }
             }
         }
     }
+}
 
-    /// Scaling every input LLR by a positive constant never changes any
-    /// decoder's hard decisions (the relative-ordering property that lets
-    /// hardware drop the SNR factor, §4.1) - and scales BCJR's soft outputs.
-    #[test]
-    fn hard_decisions_scale_invariant(seed in any::<u64>(), len in 16usize..48, scale in 2i32..5) {
-        let code = ConvCode::ieee80211();
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Scaling every input LLR by a positive constant never changes any
+/// decoder's hard decisions (the relative-ordering property that lets
+/// hardware drop the SNR factor, §4.1) - and scales BCJR's soft outputs.
+#[test]
+fn hard_decisions_scale_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC6);
+    let code = ConvCode::ieee80211();
+    for _ in 0..24 {
+        let len = rng.gen_i64(16, 47) as usize;
+        let scale = rng.gen_i64(2, 4) as i32;
         let steps = len + code.tail_len();
-        let base: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_range(-7i32..=7)).collect();
+        let base: Vec<Llr> = (0..steps * 2).map(|_| rng.gen_i64(-7, 7) as Llr).collect();
         let scaled: Vec<Llr> = base.iter().map(|&l| l * scale).collect();
         let v1 = ViterbiDecoder::new(&code).decode_terminated(&base);
         let v2 = ViterbiDecoder::new(&code).decode_terminated(&scaled);
-        prop_assert_eq!(v1.bits, v2.bits);
+        assert_eq!(v1.bits, v2.bits);
         let b1 = BcjrDecoder::new(&code, 64).decode_terminated(&base);
         let b2 = BcjrDecoder::new(&code, 64).decode_terminated(&scaled);
-        prop_assert_eq!(b1.bits, b2.bits);
+        assert_eq!(b1.bits, b2.bits);
         for (s1, s2) in b1.soft.iter().zip(&b2.soft) {
-            prop_assert_eq!(i64::from(*s1) * i64::from(scale), i64::from(*s2));
+            assert_eq!(i64::from(*s1) * i64::from(scale), i64::from(*s2));
         }
     }
+}
 
-    /// Latency formulas hold for arbitrary window sizes, measured on the
-    /// latency-insensitive engine.
-    #[test]
-    fn latency_formulas_hold(l in 1u64..48, k in 1u64..48, n in 1u64..48) {
-        prop_assert_eq!(crate::pipeline::sova_pipeline_latency(l, k), l + k + 12);
-        prop_assert_eq!(crate::pipeline::bcjr_pipeline_latency(n), 2 * n + 7);
+/// Latency formulas hold for arbitrary window sizes, measured on the
+/// latency-insensitive engine.
+#[test]
+fn latency_formulas_hold() {
+    let mut rng = SmallRng::seed_from_u64(0xFEC7);
+    for _ in 0..12 {
+        let l = rng.gen_i64(1, 47) as u64;
+        let k = rng.gen_i64(1, 47) as u64;
+        let n = rng.gen_i64(1, 47) as u64;
+        assert_eq!(crate::pipeline::sova_pipeline_latency(l, k), l + k + 12);
+        assert_eq!(crate::pipeline::bcjr_pipeline_latency(n), 2 * n + 7);
     }
 }
 
 #[test]
 fn decoders_beat_uncoded_at_moderate_noise() {
-    // End-to-end sanity: with Gaussian-perturbed LLRs at an Eb/N0 where
+    // End-to-end sanity: with noise-perturbed LLRs at a level where
     // uncoded BPSK has a few-percent error rate, every decoder must achieve
     // a materially lower BER. This pins the whole metric pipeline's sign
     // conventions together.
@@ -144,15 +191,14 @@ fn decoders_beat_uncoded_at_moderate_noise() {
     let mut errs = [0u64; 3];
     let mut total = 0u64;
     for _ in 0..n_blocks {
-        let data: Vec<u8> = (0..block).map(|_| rng.gen_range(0..2u8)).collect();
+        let data: Vec<u8> = (0..block).map(|_| rng.gen_bit()).collect();
         let coded = ConvEncoder::new(&code).encode_terminated(&data);
         let llrs: Vec<Llr> = coded
             .iter()
             .map(|&b| {
                 let tx = if b == 1 { 1.0 } else { -1.0 };
-                let y: f64 = tx + sigma * rng.sample::<f64, _>(rand::distributions::Standard) * 2.0
-                    - sigma;
-                // crude uniform-ish noise is fine here; quantize to 5 bits
+                // Crude uniform-ish noise is fine here; quantize to 5 bits.
+                let y: f64 = tx + sigma * (rng.next_f64() * 2.0 - 1.0) * 2.0;
                 ((y * 8.0).round() as i32).clamp(-15, 15)
             })
             .collect();
@@ -165,7 +211,9 @@ fn decoders_beat_uncoded_at_moderate_noise() {
         }
         let outs = [
             ViterbiDecoder::new(&code).decode_terminated(&llrs).bits,
-            SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs).bits,
+            SovaDecoder::new(&code, 64, 64)
+                .decode_terminated(&llrs)
+                .bits,
             BcjrDecoder::new(&code, 64).decode_terminated(&llrs).bits,
         ];
         for (d, out) in outs.iter().enumerate() {

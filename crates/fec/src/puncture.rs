@@ -83,15 +83,23 @@ impl Puncturer {
         Self { rate }
     }
 
+    /// Removes masked-out bits from a mother-coded stream, appending the
+    /// survivors to `out` (the allocation-free hot-path form).
+    pub fn puncture_into<T: Copy>(&self, coded: &[T], out: &mut Vec<T>) {
+        let mask = self.rate.mask();
+        out.reserve(self.punctured_len(coded.len()));
+        for (i, &b) in coded.iter().enumerate() {
+            if mask[i % mask.len()] == 1 {
+                out.push(b);
+            }
+        }
+    }
+
     /// Removes masked-out bits from a mother-coded stream.
     pub fn puncture<T: Copy>(&self, coded: &[T]) -> Vec<T> {
-        let mask = self.rate.mask();
-        coded
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask[i % mask.len()] == 1)
-            .map(|(_, &b)| b)
-            .collect()
+        let mut out = Vec::new();
+        self.puncture_into(coded, &mut out);
+        out
     }
 
     /// Number of transmitted bits for `mother_len` mother-coded bits.
@@ -125,6 +133,19 @@ impl Depuncturer {
     /// Panics if `llrs.len()` does not match the number of transmitted bits
     /// implied by `mother_len`.
     pub fn depuncture(&self, llrs: &[Llr], mother_len: usize) -> Vec<Llr> {
+        let mut out = Vec::with_capacity(mother_len);
+        self.depuncture_into(llrs, mother_len, &mut out);
+        out
+    }
+
+    /// Expands received soft values back to `mother_len` positions,
+    /// appending to `out` (the allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` does not match the number of transmitted bits
+    /// implied by `mother_len`.
+    pub fn depuncture_into(&self, llrs: &[Llr], mother_len: usize, out: &mut Vec<Llr>) {
         let expect = Puncturer::new(self.rate).punctured_len(mother_len);
         assert_eq!(
             llrs.len(),
@@ -133,16 +154,15 @@ impl Depuncturer {
             llrs.len()
         );
         let mask = self.rate.mask();
+        out.reserve(mother_len);
         let mut src = llrs.iter();
-        (0..mother_len)
-            .map(|i| {
-                if mask[i % mask.len()] == 1 {
-                    *src.next().expect("length checked above")
-                } else {
-                    0
-                }
-            })
-            .collect()
+        for i in 0..mother_len {
+            if mask[i % mask.len()] == 1 {
+                out.push(*src.next().expect("length checked above"));
+            } else {
+                out.push(0);
+            }
+        }
     }
 }
 

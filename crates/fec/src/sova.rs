@@ -23,7 +23,8 @@
 
 use crate::bmu::Bmu;
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::{forward_acs, known_state_column, saturate_llr};
+use crate::pmu::{forward_acs, saturate_llr};
+use crate::scratch::TrellisScratch;
 use crate::trellis::Trellis;
 use crate::ConvCode;
 
@@ -47,6 +48,8 @@ use crate::ConvCode;
 pub struct SovaDecoder {
     code: ConvCode,
     trellis: Trellis,
+    bmu: Bmu,
+    scratch: TrellisScratch,
     /// TU1 window (hard-decision convergence).
     l: usize,
     /// TU2 window (reliability update depth).
@@ -65,6 +68,8 @@ impl SovaDecoder {
         Self {
             code: code.clone(),
             trellis: Trellis::new(code),
+            bmu: Bmu::new(code.n_out()),
+            scratch: TrellisScratch::new(),
             l,
             k,
         }
@@ -94,7 +99,7 @@ impl SovaDecoder {
 }
 
 impl SoftDecoder for SovaDecoder {
-    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let n_out = self.trellis.n_out();
         assert!(
             llrs.len() % n_out == 0,
@@ -109,50 +114,54 @@ impl SoftDecoder for SovaDecoder {
         );
         let n_states = self.trellis.n_states();
 
-        // Forward pass, keeping survivors and ACS margins per step.
-        let mut bmu = Bmu::new(n_out);
-        let mut pm = known_state_column(n_states, 0);
-        let mut next = vec![0i64; n_states];
-        let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
-        let mut margins: Vec<Vec<i64>> = Vec::with_capacity(steps);
+        // Forward pass, keeping survivors and ACS margins per step in the
+        // flattened scratch matrices.
+        self.scratch.init_columns(n_states, 0);
+        self.scratch.init_survivors(steps, n_states);
+        self.scratch.margins.clear();
+        self.scratch.margins.resize(steps * n_states, 0);
         for step in 0..steps {
-            let bm = bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
-            let mut surv = vec![0u8; n_states];
-            let mut delta = vec![0i64; n_states];
+            let bm = self.bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let row = step * n_states..(step + 1) * n_states;
             forward_acs(
                 &self.trellis,
                 bm,
-                &pm,
-                &mut next,
-                Some(&mut surv),
-                Some(&mut delta),
+                &self.scratch.pm,
+                &mut self.scratch.next,
+                Some(&mut self.scratch.survivors[row.clone()]),
+                Some(&mut self.scratch.margins[row]),
             );
-            survivors.push(surv);
-            margins.push(delta);
-            std::mem::swap(&mut pm, &mut next);
+            std::mem::swap(&mut self.scratch.pm, &mut self.scratch.next);
         }
+        let s = &mut self.scratch;
+        let survivors = &s.survivors;
+        let margins = &s.margins;
 
         // TU1: maximum-likelihood state sequence. Terminated frame ends in
         // state zero; ml_states[t] is the state entering step t.
-        let mut ml_states = vec![0usize; steps + 1];
-        let mut ml_bits = vec![0u8; steps];
-        ml_states[steps] = 0;
+        s.ml_states.clear();
+        s.ml_states.resize(steps + 1, 0);
+        s.ml_bits.clear();
+        s.ml_bits.resize(steps, 0);
+        let (ml_states, ml_bits) = (&mut s.ml_states, &mut s.ml_bits);
         for t in (0..steps).rev() {
-            let s = ml_states[t + 1];
-            let edge = self.trellis.incoming(s)[survivors[t][s] as usize];
+            let state = ml_states[t + 1] as usize;
+            let edge = self.trellis.incoming(state)[survivors[t * n_states + state] as usize];
             ml_bits[t] = edge.input;
-            ml_states[t] = edge.prev as usize;
+            ml_states[t] = edge.prev as u32;
         }
 
         // TU2: Hagenauer-rule reliability update. For each ML step t, the
         // competing (second-best) path into ml_states[t+1] diverges
         // backwards; everywhere its decisions differ within the window, the
         // reliability drops to the ACS margin if smaller.
-        let mut reliability = vec![i64::MAX; steps];
+        s.reliability.clear();
+        s.reliability.resize(steps, i64::MAX);
+        let reliability = &mut s.reliability;
         for t in 0..steps {
-            let s_next = ml_states[t + 1];
-            let winner = survivors[t][s_next] as usize;
-            let margin = margins[t][s_next];
+            let s_next = ml_states[t + 1] as usize;
+            let winner = survivors[t * n_states + s_next] as usize;
+            let margin = margins[t * n_states + s_next];
             let loser_edge = self.trellis.incoming(s_next)[1 - winner];
             // The competing hypothesis for bit t itself.
             if loser_edge.input != ml_bits[t] && margin < reliability[t] {
@@ -163,12 +172,12 @@ impl SoftDecoder for SovaDecoder {
             let mut state = loser_edge.prev as usize;
             let window_start = t.saturating_sub(self.k);
             for i in (window_start..t).rev() {
-                let edge = self.trellis.incoming(state)[survivors[i][state] as usize];
+                let edge = self.trellis.incoming(state)[survivors[i * n_states + state] as usize];
                 if edge.input != ml_bits[i] && margin < reliability[i] {
                     reliability[i] = margin;
                 }
                 state = edge.prev as usize;
-                if state == ml_states[i] {
+                if state == ml_states[i] as usize {
                     // Paths have remerged; earlier decisions coincide.
                     break;
                 }
@@ -176,20 +185,17 @@ impl SoftDecoder for SovaDecoder {
         }
 
         let info = steps - self.code.tail_len();
-        let soft = (0..info)
-            .map(|t| {
-                let mag = saturate_llr(reliability[t]);
-                if ml_bits[t] == 1 {
-                    mag
-                } else {
-                    -mag
-                }
-            })
-            .collect();
-        DecodeOutput {
-            bits: ml_bits[..info].to_vec(),
-            soft,
-        }
+        out.bits.clear();
+        out.bits.extend_from_slice(&ml_bits[..info]);
+        out.soft.clear();
+        out.soft.extend((0..info).map(|t| {
+            let mag = saturate_llr(reliability[t]);
+            if ml_bits[t] == 1 {
+                mag
+            } else {
+                -mag
+            }
+        }));
     }
 
     fn id(&self) -> &'static str {
@@ -256,8 +262,14 @@ mod tests {
         // Mean confidence near the damage must be well below the clean
         // region's (the decoded bits may or may not be in error, but SOVA
         // must flag reduced reliability either way).
-        let near: f64 = (50..70).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 20.0;
-        let far: f64 = (5..25).map(|i| out.soft[i].unsigned_abs() as f64).sum::<f64>() / 20.0;
+        let near: f64 = (50..70)
+            .map(|i| out.soft[i].unsigned_abs() as f64)
+            .sum::<f64>()
+            / 20.0;
+        let far: f64 = (5..25)
+            .map(|i| out.soft[i].unsigned_abs() as f64)
+            .sum::<f64>()
+            / 20.0;
         assert!(
             near < far / 2.0,
             "damaged region confidence {near} vs clean {far}"
@@ -276,8 +288,16 @@ mod tests {
         }
         let wide = SovaDecoder::new(&code, 64, 64).decode_terminated(&llrs);
         let narrow = SovaDecoder::new(&code, 64, 1).decode_terminated(&llrs);
-        let sum_wide: i64 = wide.soft.iter().map(|&s| i64::from(s.unsigned_abs() as i32)).sum();
-        let sum_narrow: i64 = narrow.soft.iter().map(|&s| i64::from(s.unsigned_abs() as i32)).sum();
+        let sum_wide: i64 = wide
+            .soft
+            .iter()
+            .map(|&s| i64::from(s.unsigned_abs() as i32))
+            .sum();
+        let sum_narrow: i64 = narrow
+            .soft
+            .iter()
+            .map(|&s| i64::from(s.unsigned_abs() as i32))
+            .sum();
         assert!(
             sum_narrow >= sum_wide,
             "narrow window {sum_narrow} must not reduce confidence below wide {sum_wide}"

@@ -3,7 +3,8 @@
 
 use crate::bmu::Bmu;
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::{forward_acs, known_state_column};
+use crate::pmu::forward_acs;
+use crate::scratch::TrellisScratch;
 use crate::trellis::Trellis;
 use crate::ConvCode;
 
@@ -29,6 +30,8 @@ use crate::ConvCode;
 pub struct ViterbiDecoder {
     code: ConvCode,
     trellis: Trellis,
+    bmu: Bmu,
+    scratch: TrellisScratch,
     /// Traceback window length; retained for the latency/area models (the
     /// block decode itself is exact).
     traceback_len: usize,
@@ -51,6 +54,8 @@ impl ViterbiDecoder {
         Self {
             code: code.clone(),
             trellis: Trellis::new(code),
+            bmu: Bmu::new(code.n_out()),
+            scratch: TrellisScratch::new(),
             traceback_len,
         }
     }
@@ -64,10 +69,10 @@ impl ViterbiDecoder {
     pub fn code(&self) -> &ConvCode {
         &self.code
     }
+}
 
-    /// Runs the forward recursion, returning per-step survivor columns and
-    /// the final metric column. Shared with SOVA via crate-internal reuse.
-    pub(crate) fn forward_pass(&self, llrs: &[Llr]) -> (Vec<Vec<u8>>, Vec<i64>) {
+impl SoftDecoder for ViterbiDecoder {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let n_out = self.trellis.n_out();
         assert!(
             llrs.len() % n_out == 0,
@@ -81,44 +86,38 @@ impl ViterbiDecoder {
             "block shorter than the code tail"
         );
         let n_states = self.trellis.n_states();
-        let mut bmu = Bmu::new(n_out);
-        let mut pm = known_state_column(n_states, 0);
-        let mut next = vec![0i64; n_states];
-        let mut survivors = Vec::with_capacity(steps);
-        for step in 0..steps {
-            let bm = bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
-            let mut surv = vec![0u8; n_states];
-            forward_acs(&self.trellis, bm, &pm, &mut next, Some(&mut surv), None);
-            survivors.push(surv);
-            std::mem::swap(&mut pm, &mut next);
-        }
-        (survivors, pm)
-    }
 
-    /// Traces back from `end_state` through `survivors`, returning one
-    /// input bit per step in natural order.
-    pub(crate) fn traceback(&self, survivors: &[Vec<u8>], end_state: usize) -> Vec<u8> {
-        let mut bits = vec![0u8; survivors.len()];
-        let mut state = end_state;
-        for (t, surv) in survivors.iter().enumerate().rev() {
-            let edge = self.trellis.incoming(state)[surv[state] as usize];
-            bits[t] = edge.input;
+        // Forward ACS, survivors recorded into the flattened scratch.
+        self.scratch.init_columns(n_states, 0);
+        self.scratch.init_survivors(steps, n_states);
+        for step in 0..steps {
+            let bm = self.bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let surv = &mut self.scratch.survivors[step * n_states..(step + 1) * n_states];
+            forward_acs(
+                &self.trellis,
+                bm,
+                &self.scratch.pm,
+                &mut self.scratch.next,
+                Some(surv),
+                None,
+            );
+            std::mem::swap(&mut self.scratch.pm, &mut self.scratch.next);
+        }
+
+        // Terminated frame: the true path ends in state zero.
+        out.bits.clear();
+        out.bits.resize(steps, 0);
+        let mut state = 0usize;
+        for t in (0..steps).rev() {
+            let winner = self.scratch.survivors[t * n_states + state];
+            let edge = self.trellis.incoming(state)[winner as usize];
+            out.bits[t] = edge.input;
             state = edge.prev as usize;
         }
-        bits
-    }
-}
-
-impl SoftDecoder for ViterbiDecoder {
-    fn decode_terminated(&mut self, llrs: &[Llr]) -> DecodeOutput {
-        let (survivors, _final_pm) = self.forward_pass(llrs);
-        // Terminated frame: the true path ends in state zero.
-        let all_bits = self.traceback(&survivors, 0);
-        let info = all_bits.len() - self.code.tail_len();
-        DecodeOutput {
-            soft: vec![0; info],
-            bits: all_bits[..info].to_vec(),
-        }
+        let info = steps - self.code.tail_len();
+        out.bits.truncate(info);
+        out.soft.clear();
+        out.soft.resize(info, 0);
     }
 
     fn id(&self) -> &'static str {

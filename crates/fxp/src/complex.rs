@@ -229,10 +229,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "share a format")]
     fn mixed_part_formats_panic() {
-        let _ = CFixed::new(
-            Fixed::zero(q(4, 2)),
-            Fixed::zero(q(4, 3)),
-        );
+        let _ = CFixed::new(Fixed::zero(q(4, 2)), Fixed::zero(q(4, 3)));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod cplx;
 mod fixed;
 mod q;
 pub mod quantize;
+pub mod rng;
 
 pub use complex::CFixed;
 pub use cplx::Cplx;

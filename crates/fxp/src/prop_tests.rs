@@ -1,103 +1,145 @@
-//! Property-based tests on the fixed-point substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests on the fixed-point substrate (deterministic,
+//! self-seeded — the offline analog of a proptest suite).
 
 use crate::quantize::{quantize_f64, requantize, Rounding};
+use crate::rng::SmallRng;
 use crate::{CFixed, Fixed, QFormat};
 
-fn arb_format() -> impl Strategy<Value = QFormat> {
-    (1u32..20, 0u32..20).prop_map(|(i, f)| QFormat::new(i, f).unwrap())
+const CASES: u64 = 128;
+
+fn formats(rng: &mut SmallRng) -> QFormat {
+    let i = rng.gen_i64(1, 19) as u32;
+    let f = rng.gen_i64(0, 19) as u32;
+    QFormat::new(i, f).unwrap()
 }
 
-fn arb_rounding() -> impl Strategy<Value = Rounding> {
-    prop_oneof![Just(Rounding::Truncate), Just(Rounding::Nearest)]
-}
-
-proptest! {
-    #[test]
-    fn quantize_always_in_range(v in -1e12f64..1e12, fmt in arb_format(), r in arb_rounding()) {
-        let raw = quantize_f64(v, fmt, r);
-        prop_assert!(raw >= fmt.min_raw());
-        prop_assert!(raw <= fmt.max_raw());
+fn roundings(rng: &mut SmallRng) -> Rounding {
+    if rng.gen_bool(0.5) {
+        Rounding::Truncate
+    } else {
+        Rounding::Nearest
     }
+}
 
-    #[test]
-    fn quantize_error_bounded_by_lsb(fmt in arb_format(), r in arb_rounding(), frac in -0.999f64..0.999) {
+#[test]
+fn quantize_always_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A1);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let r = roundings(&mut rng);
+        let v = rng.gen_range(-1e12..1e12);
+        let raw = quantize_f64(v, fmt, r);
+        assert!(raw >= fmt.min_raw());
+        assert!(raw <= fmt.max_raw());
+    }
+}
+
+#[test]
+fn quantize_error_bounded_by_lsb() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A2);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let r = roundings(&mut rng);
         // Pick a value comfortably inside the representable range.
-        let v = fmt.max_f64() * frac * 0.5;
+        let v = fmt.max_f64() * rng.gen_range(-0.999..0.999) * 0.5;
         let raw = quantize_f64(v, fmt, r);
         let back = raw as f64 * fmt.lsb();
-        prop_assert!((back - v).abs() <= fmt.lsb() + 1e-12,
-            "value {v} quantized to {back}, err {} > lsb {}", (back - v).abs(), fmt.lsb());
+        assert!(
+            (back - v).abs() <= fmt.lsb() + 1e-12,
+            "value {v} quantized to {back}, err {} > lsb {}",
+            (back - v).abs(),
+            fmt.lsb()
+        );
     }
+}
 
-    #[test]
-    fn add_is_commutative(fmt in arb_format(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
-        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
-        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
-        prop_assert_eq!(x + y, y + x);
+#[test]
+fn add_and_mul_are_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A3);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let x = Fixed::from_f64(rng.gen_range(-1e4..1e4), fmt, Rounding::Nearest);
+        let y = Fixed::from_f64(rng.gen_range(-1e4..1e4), fmt, Rounding::Nearest);
+        assert_eq!(x + y, y + x);
+        assert_eq!(x * y, y * x);
     }
+}
 
-    #[test]
-    fn mul_is_commutative(fmt in arb_format(), a in -1e4f64..1e4, b in -1e4f64..1e4) {
-        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
-        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
-        prop_assert_eq!(x * y, y * x);
-    }
-
-    #[test]
-    fn results_never_escape_format(fmt in arb_format(), a in -1e9f64..1e9, b in -1e9f64..1e9) {
-        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
-        let y = Fixed::from_f64(b, fmt, Rounding::Nearest);
+#[test]
+fn results_never_escape_format() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A4);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let x = Fixed::from_f64(rng.gen_range(-1e9..1e9), fmt, Rounding::Nearest);
+        let y = Fixed::from_f64(rng.gen_range(-1e9..1e9), fmt, Rounding::Nearest);
         for v in [x + y, x - y, x * y, -x, x.abs()] {
-            prop_assert!(v.raw() >= fmt.min_raw() && v.raw() <= fmt.max_raw());
+            assert!(v.raw() >= fmt.min_raw() && v.raw() <= fmt.max_raw());
         }
     }
+}
 
-    #[test]
-    fn requantize_widen_then_narrow_is_identity(
-        fmt in arb_format(), a in -1e4f64..1e4, r in arb_rounding()
-    ) {
+#[test]
+fn requantize_widen_then_narrow_is_identity() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A5);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let r = roundings(&mut rng);
         // Widening preserves information, so narrowing back must recover it.
         let wide = QFormat::new(fmt.int_bits() + 8, fmt.frac_bits() + 8).unwrap();
-        let x = Fixed::from_f64(a, fmt, Rounding::Nearest);
+        let x = Fixed::from_f64(rng.gen_range(-1e4..1e4), fmt, Rounding::Nearest);
         let roundtrip = x.requantize(wide, r).requantize(fmt, r);
-        prop_assert_eq!(roundtrip, x);
+        assert_eq!(roundtrip, x);
     }
+}
 
-    #[test]
-    fn requantize_is_monotone(
-        raw_a in -100_000i64..100_000,
-        raw_b in -100_000i64..100_000,
-        r in arb_rounding(),
-    ) {
-        let from = QFormat::new(20, 8).unwrap();
-        let to = QFormat::new(4, 2).unwrap();
-        let (a, b) = (requantize(raw_a, from, to, r), requantize(raw_b, from, to, r));
+#[test]
+fn requantize_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A6);
+    let from = QFormat::new(20, 8).unwrap();
+    let to = QFormat::new(4, 2).unwrap();
+    for _ in 0..CASES {
+        let r = roundings(&mut rng);
+        let raw_a = rng.gen_i64(-100_000, 100_000);
+        let raw_b = rng.gen_i64(-100_000, 100_000);
+        let (a, b) = (
+            requantize(raw_a, from, to, r),
+            requantize(raw_b, from, to, r),
+        );
         if raw_a <= raw_b {
-            prop_assert!(a <= b);
+            assert!(a <= b);
         } else {
-            prop_assert!(a >= b);
+            assert!(a >= b);
         }
     }
+}
 
-    #[test]
-    fn complex_mul_by_conjugate_is_real(fmt_f in 6u32..14, re in -3.0f64..3.0, im in -3.0f64..3.0) {
-        let fmt = QFormat::new(8, fmt_f).unwrap();
+#[test]
+fn complex_mul_by_conjugate_is_real() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A7);
+    for _ in 0..CASES {
+        let fmt = QFormat::new(8, rng.gen_i64(6, 13) as u32).unwrap();
+        let re = rng.gen_range(-3.0..3.0);
+        let im = rng.gen_range(-3.0..3.0);
         let a = CFixed::from_f64(re, im, fmt, Rounding::Nearest);
         let p = a * a.conj();
         // Imaginary part of a*conj(a) is exactly zero in exact arithmetic;
         // fixed point rounding may leave at most a couple of LSBs.
-        prop_assert!(p.im().to_f64().abs() <= 2.0 * fmt.lsb());
-        prop_assert!(p.re().to_f64() >= 0.0);
+        assert!(p.im().to_f64().abs() <= 2.0 * fmt.lsb());
+        assert!(p.re().to_f64() >= 0.0);
     }
+}
 
-    #[test]
-    fn complex_add_matches_parts(fmt in arb_format(), a in -100.0f64..100.0, b in -100.0f64..100.0) {
+#[test]
+fn complex_add_matches_parts() {
+    let mut rng = SmallRng::seed_from_u64(0xF0A8);
+    for _ in 0..CASES {
+        let fmt = formats(&mut rng);
+        let a = rng.gen_range(-100.0..100.0);
+        let b = rng.gen_range(-100.0..100.0);
         let x = CFixed::from_f64(a, b, fmt, Rounding::Nearest);
         let y = CFixed::from_f64(b, a, fmt, Rounding::Nearest);
         let s = x + y;
-        prop_assert_eq!(s.re(), x.re() + y.re());
-        prop_assert_eq!(s.im(), x.im() + y.im());
+        assert_eq!(s.re(), x.re() + y.re());
+        assert_eq!(s.im(), x.im() + y.im());
     }
 }

@@ -76,11 +76,8 @@ pub fn requantize(raw: i64, from: QFormat, to: QFormat, rounding: Rounding) -> i
         0 => raw,
         up if up > 0 => {
             // Gaining fractional bits: exact, barring overflow (saturated below).
-            raw.checked_shl(up as u32).unwrap_or(if raw >= 0 {
-                i64::MAX
-            } else {
-                i64::MIN
-            })
+            raw.checked_shl(up as u32)
+                .unwrap_or(if raw >= 0 { i64::MAX } else { i64::MIN })
         }
         down => {
             let shift = (-down) as u32;
@@ -134,7 +131,10 @@ mod tests {
     #[test]
     fn quantize_infinities_saturate() {
         let fmt = q(4, 4);
-        assert_eq!(quantize_f64(f64::INFINITY, fmt, Rounding::Nearest), fmt.max_raw());
+        assert_eq!(
+            quantize_f64(f64::INFINITY, fmt, Rounding::Nearest),
+            fmt.max_raw()
+        );
         assert_eq!(
             quantize_f64(f64::NEG_INFINITY, fmt, Rounding::Nearest),
             fmt.min_raw()
@@ -166,8 +166,14 @@ mod tests {
         // truncate: 1.4375 -> 1.0 -> wait: >> 3 of 23 = 2 (raw), i.e. 1.0
         assert_eq!(requantize(23, from, to, Rounding::Truncate), 2);
         // large value saturates to 3.5
-        assert_eq!(requantize(10_000, from, to, Rounding::Nearest), to.max_raw());
-        assert_eq!(requantize(-10_000, from, to, Rounding::Nearest), to.min_raw());
+        assert_eq!(
+            requantize(10_000, from, to, Rounding::Nearest),
+            to.max_raw()
+        );
+        assert_eq!(
+            requantize(-10_000, from, to, Rounding::Nearest),
+            to.min_raw()
+        );
     }
 
     #[test]

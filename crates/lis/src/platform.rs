@@ -96,7 +96,8 @@ impl LinkModel {
     /// of magnitude gain from batching).
     pub fn streaming_bytes_per_sec(&self, batch_bytes: u64) -> f64 {
         assert!(batch_bytes > 0, "batch size must be positive");
-        let per_batch = self.per_message_overhead_secs + batch_bytes as f64 / self.bandwidth_bytes_per_sec;
+        let per_batch =
+            self.per_message_overhead_secs + batch_bytes as f64 / self.bandwidth_bytes_per_sec;
         batch_bytes as f64 / per_batch
     }
 

@@ -491,7 +491,13 @@ mod tests {
                 limit: 50,
             },
         );
-        let c = b.add_module(&clk, Collector { inp: rx, got: vec![] });
+        let c = b.add_module(
+            &clk,
+            Collector {
+                inp: rx,
+                got: vec![],
+            },
+        );
         let mut sys = b.build();
         sys.run_until_quiescent(10_000);
         let got = &sys.module::<Collector>(c).got;
@@ -607,7 +613,13 @@ mod tests {
                 limit: 3,
             },
         );
-        let c = b.add_module(&clk, Collector { inp: rx, got: vec![] });
+        let c = b.add_module(
+            &clk,
+            Collector {
+                inp: rx,
+                got: vec![],
+            },
+        );
         let mut sys = b.build();
         sys.run_until_quiescent(1000);
         assert_eq!(sys.module::<Collector>(c).got, vec![0, 1, 2]);
@@ -655,7 +667,13 @@ mod tests {
                 limit: 0,
             },
         );
-        let cid = b.add_module(&clk, Collector { inp: rx, got: vec![] });
+        let cid = b.add_module(
+            &clk,
+            Collector {
+                inp: rx,
+                got: vec![],
+            },
+        );
         let mut sys = b.build();
         sys.step();
         assert_eq!(sys.module::<Counter>(id).n, 0);

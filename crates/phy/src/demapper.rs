@@ -128,7 +128,16 @@ impl Demapper {
     /// Demaps received symbols to per-bit soft values
     /// (`bits_per_symbol` LLRs per symbol, same bit order as the mapper).
     pub fn demap(&self, symbols: &[Cplx]) -> Vec<Llr> {
-        let mut out = Vec::with_capacity(symbols.len() * self.modulation.bits_per_symbol());
+        let mut out = Vec::new();
+        self.demap_into(symbols, &mut out);
+        out
+    }
+
+    /// Demaps received symbols into `out`, reusing its capacity (the
+    /// allocation-free hot-path form).
+    pub fn demap_into(&self, symbols: &[Cplx], out: &mut Vec<Llr>) {
+        out.clear();
+        out.reserve(symbols.len() * self.modulation.bits_per_symbol());
         let inv_k = 1.0 / self.modulation.kmod();
         let factor = Self::scale_factor(self.modulation, self.scaling);
         for s in symbols {
@@ -137,29 +146,28 @@ impl Demapper {
             let uq = s.im * inv_k;
             match self.modulation {
                 Modulation::Bpsk => {
-                    self.push(&mut out, ui * factor);
+                    self.push(out, ui * factor);
                 }
                 Modulation::Qpsk => {
-                    self.push(&mut out, ui * factor);
-                    self.push(&mut out, uq * factor);
+                    self.push(out, ui * factor);
+                    self.push(out, uq * factor);
                 }
                 Modulation::Qam16 => {
                     for u in [ui, uq] {
                         // Tosato–Bisaglia: Λ(b_high) = u, Λ(b_low) = 2 − |u|.
-                        self.push(&mut out, u * factor);
-                        self.push(&mut out, (2.0 - u.abs()) * factor);
+                        self.push(out, u * factor);
+                        self.push(out, (2.0 - u.abs()) * factor);
                     }
                 }
                 Modulation::Qam64 => {
                     for u in [ui, uq] {
-                        self.push(&mut out, u * factor);
-                        self.push(&mut out, (4.0 - u.abs()) * factor);
-                        self.push(&mut out, (2.0 - (u.abs() - 4.0).abs()) * factor);
+                        self.push(out, u * factor);
+                        self.push(out, (4.0 - u.abs()) * factor);
+                        self.push(out, (2.0 - (u.abs() - 4.0).abs()) * factor);
                     }
                 }
             }
         }
-        out
     }
 
     fn push(&self, out: &mut Vec<Llr>, analog: f64) {
@@ -200,11 +208,7 @@ mod tests {
                 let sym = mapper.map(&bits);
                 let llrs = demapper.demap(&sym);
                 for (i, (&b, &l)) in bits.iter().zip(&llrs).enumerate() {
-                    assert_eq!(
-                        b == 1,
-                        l > 0,
-                        "{m}: bit {i} of {bits:?} demapped to {l}"
-                    );
+                    assert_eq!(b == 1, l > 0, "{m}: bit {i} of {bits:?} demapped to {l}");
                 }
             }
         }
@@ -238,7 +242,10 @@ mod tests {
 
     #[test]
     fn snr_scaling_amplifies_magnitude() {
-        let sym = [Cplx::new(Modulation::Qam16.kmod(), Modulation::Qam16.kmod())];
+        let sym = [Cplx::new(
+            Modulation::Qam16.kmod(),
+            Modulation::Qam16.kmod(),
+        )];
         let off = Demapper::new(Modulation::Qam16, 12, SnrScaling::Off).demap(&sym);
         let hi = Demapper::new(Modulation::Qam16, 12, SnrScaling::TrueLinear(10.0)).demap(&sym);
         let lo = Demapper::new(Modulation::Qam16, 12, SnrScaling::TrueLinear(1.0)).demap(&sym);
@@ -274,7 +281,7 @@ mod tests {
             Modulation::Qam64,
         ] {
             let d = Demapper::new(m, 6, SnrScaling::Off);
-            let n = d.demap(&vec![Cplx::ONE; 5]).len();
+            let n = d.demap(&[Cplx::ONE; 5]).len();
             assert_eq!(n, 5 * m.bits_per_symbol());
         }
     }

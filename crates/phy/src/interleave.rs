@@ -61,16 +61,28 @@ impl Interleaver {
     ///
     /// Panics if `bits.len()` is not the rate's coded bits per symbol.
     pub fn interleave<T: Copy + Default>(&self, bits: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.interleave_into(bits, &mut out);
+        out
+    }
+
+    /// Permutes one symbol's worth of coded bits into `out`, reusing its
+    /// capacity (the allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not the rate's coded bits per symbol.
+    pub fn interleave_into<T: Copy + Default>(&self, bits: &[T], out: &mut Vec<T>) {
         assert_eq!(
             bits.len(),
             self.rate.coded_bits_per_symbol(),
             "interleaver operates on exactly one OFDM symbol"
         );
-        let mut out = vec![T::default(); bits.len()];
+        out.clear();
+        out.resize(bits.len(), T::default());
         for (k, &b) in bits.iter().enumerate() {
             out[self.perm[k]] = b;
         }
-        out
     }
 }
 
@@ -97,16 +109,28 @@ impl Deinterleaver {
     ///
     /// Panics if `llrs.len()` is not the rate's coded bits per symbol.
     pub fn deinterleave(&self, llrs: &[Llr]) -> Vec<Llr> {
+        let mut out = Vec::new();
+        self.deinterleave_append(llrs, &mut out);
+        out
+    }
+
+    /// Restores transmission order for one symbol of soft values,
+    /// *appending* to `out` — packets deinterleave symbol by symbol into
+    /// one stream, so the hot path accumulates rather than replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not the rate's coded bits per symbol.
+    pub fn deinterleave_append(&self, llrs: &[Llr], out: &mut Vec<Llr>) {
         assert_eq!(
             llrs.len(),
             self.rate.coded_bits_per_symbol(),
             "deinterleaver operates on exactly one OFDM symbol"
         );
-        let mut out = vec![0; llrs.len()];
-        for (k, &p) in self.perm.iter().enumerate() {
-            out[k] = llrs[p];
+        out.reserve(llrs.len());
+        for &p in self.perm.iter() {
+            out.push(llrs[p]);
         }
-        out
     }
 }
 

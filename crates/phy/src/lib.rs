@@ -39,8 +39,8 @@ pub use fft::{fft, ifft};
 pub use interleave::{Deinterleaver, Interleaver};
 pub use mapper::{Mapper, Modulation};
 pub use ofdm::{OfdmDemodulator, OfdmModulator, CP_LEN, DATA_CARRIERS, FFT_LEN, SYMBOL_LEN};
-pub use packet::{PacketBuilder, PacketFields};
-pub use pipeline::{Receiver, RxResult, Transmitter, TxResult};
+pub use packet::{PacketBuilder, PacketFields, SERVICE_BITS, TAIL_BITS};
+pub use pipeline::{PhyScratch, Receiver, RxResult, Transmitter, TxResult};
 pub use rate::PhyRate;
 pub use scrambler::Scrambler;
 

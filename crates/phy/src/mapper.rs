@@ -147,6 +147,18 @@ impl Mapper {
     ///
     /// Panics if `bits.len()` is not a multiple of `bits_per_symbol`.
     pub fn map(&self, bits: &[u8]) -> Vec<Cplx> {
+        let mut out = Vec::new();
+        self.map_into(bits, &mut out);
+        out
+    }
+
+    /// Maps a bit slice to symbols into `out`, reusing its capacity (the
+    /// allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `bits_per_symbol`.
+    pub fn map_into(&self, bits: &[u8], out: &mut Vec<Cplx>) {
         let bps = self.modulation.bits_per_symbol();
         assert!(
             bits.len() % bps == 0,
@@ -155,17 +167,17 @@ impl Mapper {
         );
         let k = self.modulation.kmod();
         let per_axis = self.modulation.bits_per_axis();
-        bits.chunks(bps)
-            .map(|chunk| {
-                if self.modulation == Modulation::Bpsk {
-                    Cplx::new(gray_axis(&chunk[..1]) * k, 0.0)
-                } else {
-                    let i = gray_axis(&chunk[..per_axis]) * k;
-                    let q = gray_axis(&chunk[per_axis..]) * k;
-                    Cplx::new(i, q)
-                }
-            })
-            .collect()
+        out.clear();
+        out.reserve(bits.len() / bps);
+        for chunk in bits.chunks(bps) {
+            out.push(if self.modulation == Modulation::Bpsk {
+                Cplx::new(gray_axis(&chunk[..1]) * k, 0.0)
+            } else {
+                let i = gray_axis(&chunk[..per_axis]) * k;
+                let q = gray_axis(&chunk[per_axis..]) * k;
+                Cplx::new(i, q)
+            });
+        }
     }
 
     /// Average symbol energy of the full constellation — exactly 1.0 after
@@ -253,8 +265,7 @@ mod tests {
             let bps = m.bits_per_symbol();
             let mut points = Vec::new();
             for v in 0..(1usize << bps) {
-                let bits: Vec<u8> =
-                    (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
+                let bits: Vec<u8> = (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
                 points.push(mapper.map(&bits)[0]);
             }
             for i in 0..points.len() {

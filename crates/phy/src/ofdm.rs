@@ -75,6 +75,8 @@ impl PilotPolarity {
 #[derive(Debug, Clone)]
 pub struct OfdmModulator {
     polarity: PilotPolarity,
+    /// Reusable frequency-domain working buffer.
+    freq: Vec<Cplx>,
 }
 
 impl OfdmModulator {
@@ -82,7 +84,14 @@ impl OfdmModulator {
     pub fn new() -> Self {
         Self {
             polarity: PilotPolarity::new(),
+            freq: vec![Cplx::ZERO; FFT_LEN],
         }
+    }
+
+    /// Rewinds to the start of a frame (pilot polarity index 0) without
+    /// reallocating — the per-packet reset of the scenario engine.
+    pub fn reset(&mut self) {
+        self.polarity = PilotPolarity::new();
     }
 
     /// Modulates one symbol of 48 data-subcarrier values into 80 time
@@ -92,8 +101,23 @@ impl OfdmModulator {
     ///
     /// Panics if `data.len() != DATA_CARRIERS`.
     pub fn modulate(&mut self, data: &[Cplx]) -> Vec<Cplx> {
+        let mut out = vec![Cplx::ZERO; SYMBOL_LEN];
+        self.modulate_into(data, &mut out);
+        out
+    }
+
+    /// Modulates one symbol directly into an 80-sample slice of the packet
+    /// buffer (the allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != DATA_CARRIERS` or `out.len() != SYMBOL_LEN`.
+    pub fn modulate_into(&mut self, data: &[Cplx], out: &mut [Cplx]) {
         assert_eq!(data.len(), DATA_CARRIERS, "one symbol of data carriers");
-        let mut freq = vec![Cplx::ZERO; FFT_LEN];
+        assert_eq!(out.len(), SYMBOL_LEN, "one OFDM symbol of samples");
+        let freq = &mut self.freq;
+        freq.clear();
+        freq.resize(FFT_LEN, Cplx::ZERO);
         for (value, k) in data.iter().zip(data_subcarriers()) {
             freq[bin_of(k)] = *value;
         }
@@ -101,17 +125,17 @@ impl OfdmModulator {
         for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
             freq[bin_of(k)] = Cplx::new(PILOT_BASE[i] * p, 0.0);
         }
-        ifft(&mut freq);
+        ifft(freq);
         // The IFFT's 1/N normalization spreads unit subcarrier energy
         // across N samples; rescale so average time-sample power equals
         // average subcarrier power (unit for unit-energy constellations).
         let scale = (FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
             * (FFT_LEN as f64).sqrt();
-        let body: Vec<Cplx> = freq.iter().map(|v| v.scale(scale)).collect();
-        let mut out = Vec::with_capacity(SYMBOL_LEN);
-        out.extend_from_slice(&body[FFT_LEN - CP_LEN..]);
-        out.extend_from_slice(&body);
-        out
+        for v in freq.iter_mut() {
+            *v = v.scale(scale);
+        }
+        out[..CP_LEN].copy_from_slice(&freq[FFT_LEN - CP_LEN..]);
+        out[CP_LEN..].copy_from_slice(freq);
     }
 }
 
@@ -125,6 +149,8 @@ impl Default for OfdmModulator {
 #[derive(Debug, Clone)]
 pub struct OfdmDemodulator {
     polarity: PilotPolarity,
+    /// Reusable frequency-domain working buffer.
+    freq: Vec<Cplx>,
     /// Residual common phase error measured from the pilots of the last
     /// demodulated symbol (exposed for instrumentation).
     last_pilot_phase: f64,
@@ -135,8 +161,16 @@ impl OfdmDemodulator {
     pub fn new() -> Self {
         Self {
             polarity: PilotPolarity::new(),
+            freq: vec![Cplx::ZERO; FFT_LEN],
             last_pilot_phase: 0.0,
         }
+    }
+
+    /// Rewinds to the start of a frame (pilot polarity index 0) without
+    /// reallocating — the per-packet reset of the scenario engine.
+    pub fn reset(&mut self) {
+        self.polarity = PilotPolarity::new();
+        self.last_pilot_phase = 0.0;
     }
 
     /// Demodulates one 80-sample OFDM symbol back to 48 data-subcarrier
@@ -147,9 +181,23 @@ impl OfdmDemodulator {
     ///
     /// Panics if `samples.len() != SYMBOL_LEN`.
     pub fn demodulate(&mut self, samples: &[Cplx]) -> Vec<Cplx> {
+        let mut out = Vec::new();
+        self.demodulate_into(samples, &mut out);
+        out
+    }
+
+    /// Demodulates one symbol into `out`, reusing its capacity (the
+    /// allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != SYMBOL_LEN`.
+    pub fn demodulate_into(&mut self, samples: &[Cplx], out: &mut Vec<Cplx>) {
         assert_eq!(samples.len(), SYMBOL_LEN, "one OFDM symbol of samples");
-        let mut freq: Vec<Cplx> = samples[CP_LEN..].to_vec();
-        fft(&mut freq);
+        let freq = &mut self.freq;
+        freq.clear();
+        freq.extend_from_slice(&samples[CP_LEN..]);
+        fft(freq);
         let scale = 1.0
             / ((FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
                 * (FFT_LEN as f64).sqrt());
@@ -162,9 +210,9 @@ impl OfdmDemodulator {
             .map(|(i, &k)| freq[bin_of(k)].scale(PILOT_BASE[i] * p))
             .sum();
         self.last_pilot_phase = pilot_sum.arg();
-        data_subcarriers()
-            .map(|k| freq[bin_of(k)].scale(scale))
-            .collect()
+        out.clear();
+        out.reserve(DATA_CARRIERS);
+        out.extend(data_subcarriers().map(|k| freq[bin_of(k)].scale(scale)));
     }
 
     /// Common phase (radians) measured from the last symbol's pilots.
@@ -223,8 +271,7 @@ mod tests {
         // time-domain sample power ~1, so channel SNR definitions line up.
         let data = vec![Cplx::new(1.0, 0.0); DATA_CARRIERS];
         let samples = OfdmModulator::new().modulate(&data);
-        let p: f64 =
-            samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
+        let p: f64 = samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64;
         assert!((p - 1.0).abs() < 0.3, "sample power {p}");
     }
 

@@ -100,18 +100,37 @@ impl PacketBuilder {
     /// Panics if any payload value is not 0 or 1, or the scramble seed is
     /// invalid (see [`Scrambler::new`]).
     pub fn assemble(&self, payload: &[u8], scramble_seed: u8) -> (Vec<u8>, PacketFields) {
+        let mut bits = Vec::new();
+        let fields = self.assemble_into(payload, scramble_seed, &mut bits);
+        (bits, fields)
+    }
+
+    /// Builds the scrambled DATA-field bits into `bits`, reusing its
+    /// capacity (the allocation-free hot-path form), and returns the
+    /// computed layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PacketBuilder::assemble`].
+    pub fn assemble_into(
+        &self,
+        payload: &[u8],
+        scramble_seed: u8,
+        bits: &mut Vec<u8>,
+    ) -> PacketFields {
         assert!(
             payload.iter().all(|&b| b < 2),
             "payload must be a bit slice"
         );
         let fields = PacketFields::for_payload(self.rate, payload.len());
-        let mut bits = Vec::with_capacity(fields.data_bits());
+        bits.clear();
+        bits.reserve(fields.data_bits());
         bits.extend(std::iter::repeat(0u8).take(SERVICE_BITS));
         bits.extend_from_slice(payload);
         bits.extend(std::iter::repeat(0u8).take(fields.pad_bits));
-        let mut scrambled = Scrambler::new(scramble_seed).scramble(&bits);
-        scrambled.extend(std::iter::repeat(0u8).take(TAIL_BITS));
-        (scrambled, fields)
+        Scrambler::new(scramble_seed).scramble_in_place(bits);
+        bits.extend(std::iter::repeat(0u8).take(TAIL_BITS));
+        fields
     }
 
     /// Recovers the payload from decoded (still scrambled) data-field bits.
@@ -120,19 +139,45 @@ impl PacketBuilder {
     ///
     /// Panics if `decoded.len()` does not match the layout's scrambled
     /// region (the decoder strips the tail already).
-    pub fn disassemble(
+    pub fn disassemble(&self, decoded: &[u8], fields: &PacketFields, scramble_seed: u8) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.disassemble_into(decoded, fields, scramble_seed, &mut payload);
+        payload
+    }
+
+    /// Recovers the payload into `payload`, reusing its capacity (the
+    /// allocation-free hot-path form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded.len()` does not match the layout's scrambled
+    /// region (the decoder strips the tail already).
+    pub fn disassemble_into(
         &self,
         decoded: &[u8],
         fields: &PacketFields,
         scramble_seed: u8,
-    ) -> Vec<u8> {
+        payload: &mut Vec<u8>,
+    ) {
         assert_eq!(
             decoded.len(),
             fields.scrambled_bits(),
             "decoded length mismatch"
         );
-        let clear = Scrambler::new(scramble_seed).scramble(decoded);
-        clear[SERVICE_BITS..SERVICE_BITS + fields.payload_bits].to_vec()
+        // Descramble only what reaches the payload: the scrambler stream
+        // must still be advanced over the SERVICE region to stay aligned.
+        let mut scrambler = Scrambler::new(scramble_seed);
+        payload.clear();
+        payload.reserve(fields.payload_bits);
+        for (i, &b) in decoded[..SERVICE_BITS + fields.payload_bits]
+            .iter()
+            .enumerate()
+        {
+            let clear = b ^ scrambler.next_bit();
+            if i >= SERVICE_BITS {
+                payload.push(clear);
+            }
+        }
     }
 }
 
@@ -151,10 +196,7 @@ mod tests {
                     "{rate} payload {payload}"
                 );
                 assert!(f.pad_bits < rate.data_bits_per_symbol());
-                assert_eq!(
-                    f.coded_bits(),
-                    f.n_symbols * rate.coded_bits_per_symbol()
-                );
+                assert_eq!(f.coded_bits(), f.n_symbols * rate.coded_bits_per_symbol());
             }
         }
     }

@@ -2,8 +2,8 @@
 //! functional form).
 
 use wilis_fec::{
-    BcjrDecoder, ConvCode, ConvEncoder, Depuncturer, Puncturer, SoftDecoder, SovaDecoder,
-    ViterbiDecoder,
+    BcjrDecoder, ConvCode, ConvEncoder, DecodeOutput, Depuncturer, Llr, Puncturer, SoftDecoder,
+    SovaDecoder, ViterbiDecoder,
 };
 use wilis_fxp::Cplx;
 
@@ -11,9 +11,97 @@ use crate::demapper::{Demapper, SnrScaling};
 use crate::interleave::{Deinterleaver, Interleaver};
 use crate::mapper::Mapper;
 use crate::ofdm::{OfdmDemodulator, OfdmModulator, SYMBOL_LEN};
-use crate::packet::{PacketBuilder, PacketFields, TAIL_BITS};
+use crate::packet::{PacketBuilder, PacketFields, SERVICE_BITS, TAIL_BITS};
 use crate::rate::PhyRate;
 use crate::scrambler::Scrambler;
+
+/// Rate-specific pipeline machinery cached inside a [`PhyScratch`]:
+/// permutation tables and the encoder trellis are built once per rate, not
+/// once per packet.
+#[derive(Debug, Clone)]
+struct RateMachinery {
+    rate: PhyRate,
+    encoder: ConvEncoder,
+    puncturer: Puncturer,
+    depuncturer: Depuncturer,
+    interleaver: Interleaver,
+    deinterleaver: Deinterleaver,
+    mapper: Mapper,
+}
+
+impl RateMachinery {
+    fn new(rate: PhyRate) -> Self {
+        Self {
+            rate,
+            encoder: ConvEncoder::new(&ConvCode::ieee80211()),
+            puncturer: Puncturer::new(rate.code_rate()),
+            depuncturer: Depuncturer::new(rate.code_rate()),
+            interleaver: Interleaver::new(rate),
+            deinterleaver: Deinterleaver::new(rate),
+            mapper: Mapper::new(rate.modulation()),
+        }
+    }
+}
+
+/// Reusable working memory for the TX and RX chains.
+///
+/// One `PhyScratch` per worker turns [`Transmitter::tx_into`] and
+/// [`Receiver::rx_from`] into allocation-free operations in the steady
+/// state: every intermediate buffer — coded bits, interleaved symbols,
+/// constellation points, LLR streams, decoder output — is retained and
+/// reused between packets, and the rate-specific machinery (permutation
+/// tables, encoder trellis) is rebuilt only when the rate changes.
+#[derive(Debug, Clone)]
+pub struct PhyScratch {
+    machinery: Option<RateMachinery>,
+    ofdm_tx: OfdmModulator,
+    ofdm_rx: OfdmDemodulator,
+    data_bits: Vec<u8>,
+    coded: Vec<u8>,
+    punctured: Vec<u8>,
+    interleaved: Vec<u8>,
+    points: Vec<Cplx>,
+    carriers: Vec<Cplx>,
+    symbol_llrs: Vec<Llr>,
+    punctured_llrs: Vec<Llr>,
+    mother: Vec<Llr>,
+    decoded: DecodeOutput,
+}
+
+impl PhyScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            machinery: None,
+            ofdm_tx: OfdmModulator::new(),
+            ofdm_rx: OfdmDemodulator::new(),
+            data_bits: Vec::new(),
+            coded: Vec::new(),
+            punctured: Vec::new(),
+            interleaved: Vec::new(),
+            points: Vec::new(),
+            carriers: Vec::new(),
+            symbol_llrs: Vec::new(),
+            punctured_llrs: Vec::new(),
+            mother: Vec::new(),
+            decoded: DecodeOutput::default(),
+        }
+    }
+
+    /// (Re)builds the rate-specific machinery when `rate` differs from the
+    /// cached one.
+    fn ensure_rate(&mut self, rate: PhyRate) {
+        if self.machinery.as_ref().map(|m| m.rate) != Some(rate) {
+            self.machinery = Some(RateMachinery::new(rate));
+        }
+    }
+}
+
+impl Default for PhyScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The transmit pipeline: scramble → encode → puncture → interleave → map
 /// → OFDM modulate.
@@ -51,27 +139,62 @@ impl Transmitter {
     /// Panics if the payload is not a bit slice or the scramble seed is
     /// invalid.
     pub fn transmit(&self, payload: &[u8], scramble_seed: u8) -> TxResult {
-        let (data_bits, fields) = PacketBuilder::new(self.rate).assemble(payload, scramble_seed);
-        let code = ConvCode::ieee80211();
-        let coded = ConvEncoder::new(&code).encode(&data_bits);
-        let punctured = Puncturer::new(self.rate.code_rate()).puncture(&coded);
-        debug_assert_eq!(punctured.len(), fields.coded_bits());
-
-        let interleaver = Interleaver::new(self.rate);
-        let mapper = Mapper::new(self.rate.modulation());
-        let mut ofdm = OfdmModulator::new();
-        let cbps = self.rate.coded_bits_per_symbol();
-        let mut samples = Vec::with_capacity(fields.n_symbols * SYMBOL_LEN);
-        for sym_bits in punctured.chunks(cbps) {
-            let interleaved = interleaver.interleave(sym_bits);
-            let points = mapper.map(&interleaved);
-            samples.extend(ofdm.modulate(&points));
-        }
+        let mut scratch = PhyScratch::new();
+        let mut samples = Vec::new();
+        let fields = self.tx_into(payload, scramble_seed, &mut scratch, &mut samples);
         TxResult {
             samples,
             fields,
             payload_bits: payload.len(),
         }
+    }
+
+    /// Modulates `payload` into `out`, reusing `scratch` — the
+    /// allocation-free form of [`Transmitter::transmit`] the scenario
+    /// engine's workers run in their steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a bit slice or the scramble seed is
+    /// invalid.
+    pub fn tx_into(
+        &self,
+        payload: &[u8],
+        scramble_seed: u8,
+        scratch: &mut PhyScratch,
+        out: &mut Vec<Cplx>,
+    ) -> PacketFields {
+        scratch.ensure_rate(self.rate);
+        let PhyScratch {
+            machinery,
+            ofdm_tx,
+            data_bits,
+            coded,
+            punctured,
+            interleaved,
+            points,
+            ..
+        } = scratch;
+        let m = machinery.as_mut().expect("machinery ensured above");
+
+        let fields = PacketBuilder::new(self.rate).assemble_into(payload, scramble_seed, data_bits);
+        m.encoder.reset();
+        coded.clear();
+        m.encoder.encode_into(data_bits, coded);
+        punctured.clear();
+        m.puncturer.puncture_into(coded, punctured);
+        debug_assert_eq!(punctured.len(), fields.coded_bits());
+
+        ofdm_tx.reset();
+        out.clear();
+        out.resize(fields.n_symbols * SYMBOL_LEN, Cplx::ZERO);
+        let cbps = self.rate.coded_bits_per_symbol();
+        for (i, sym_bits) in punctured.chunks(cbps).enumerate() {
+            m.interleaver.interleave_into(sym_bits, interleaved);
+            m.mapper.map_into(interleaved, points);
+            ofdm_tx.modulate_into(points, &mut out[i * SYMBOL_LEN..(i + 1) * SYMBOL_LEN]);
+        }
+        fields
     }
 }
 
@@ -84,7 +207,10 @@ pub struct Receiver {
 }
 
 /// A received packet: payload decisions plus the SoftPHY side information.
-#[derive(Debug, Clone)]
+///
+/// The buffers are reusable: passing the same `RxResult` to
+/// [`Receiver::rx_from`] repeatedly retains their capacity.
+#[derive(Debug, Clone, Default)]
 pub struct RxResult {
     /// Descrambled payload bit decisions.
     pub payload: Vec<u8>,
@@ -176,44 +302,89 @@ impl Receiver {
     ///
     /// Panics if `samples` is not exactly the packet's symbol count, or the
     /// scramble seed is invalid.
-    pub fn receive(&mut self, samples: &[Cplx], payload_bits: usize, scramble_seed: u8) -> RxResult {
+    pub fn receive(
+        &mut self,
+        samples: &[Cplx],
+        payload_bits: usize,
+        scramble_seed: u8,
+    ) -> RxResult {
+        let mut scratch = PhyScratch::new();
+        let mut out = RxResult::default();
+        self.rx_from(samples, payload_bits, scramble_seed, &mut scratch, &mut out);
+        out
+    }
+
+    /// Demodulates and decodes a packet into `out`, reusing `scratch` —
+    /// the allocation-free form of [`Receiver::receive`] the scenario
+    /// engine's workers run in their steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not exactly the packet's symbol count, or the
+    /// scramble seed is invalid.
+    pub fn rx_from(
+        &mut self,
+        samples: &[Cplx],
+        payload_bits: usize,
+        scramble_seed: u8,
+        scratch: &mut PhyScratch,
+        out: &mut RxResult,
+    ) {
         let fields = PacketFields::for_payload(self.rate, payload_bits);
         assert_eq!(
             samples.len(),
             fields.n_symbols * SYMBOL_LEN,
             "sample count does not match packet layout"
         );
-        let deinterleaver = Deinterleaver::new(self.rate);
-        let mut ofdm = OfdmDemodulator::new();
+        scratch.ensure_rate(self.rate);
+        let PhyScratch {
+            machinery,
+            ofdm_rx,
+            carriers,
+            symbol_llrs,
+            punctured_llrs,
+            mother,
+            decoded,
+            ..
+        } = scratch;
+        let m = machinery.as_ref().expect("machinery ensured above");
+
+        ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();
-        let mut punctured_llrs = Vec::with_capacity(fields.coded_bits());
+        punctured_llrs.clear();
+        punctured_llrs.reserve(fields.coded_bits());
         for sym_samples in samples.chunks(SYMBOL_LEN) {
-            let carriers = ofdm.demodulate(sym_samples);
-            let llrs = self.demapper.demap(&carriers);
-            debug_assert_eq!(llrs.len(), cbps);
-            punctured_llrs.extend(deinterleaver.deinterleave(&llrs));
+            ofdm_rx.demodulate_into(sym_samples, carriers);
+            self.demapper.demap_into(carriers, symbol_llrs);
+            debug_assert_eq!(symbol_llrs.len(), cbps);
+            m.deinterleaver
+                .deinterleave_append(symbol_llrs, punctured_llrs);
         }
         let mother_len = fields.data_bits() * 2;
-        let mother = Depuncturer::new(self.rate.code_rate()).depuncture(&punctured_llrs, mother_len);
-        let out = self.decoder.decode_terminated(&mother);
-        debug_assert_eq!(out.bits.len(), fields.data_bits() - TAIL_BITS);
+        mother.clear();
+        m.depuncturer
+            .depuncture_into(punctured_llrs, mother_len, mother);
+        self.decoder.decode_terminated_into(mother, decoded);
+        debug_assert_eq!(decoded.bits.len(), fields.data_bits() - TAIL_BITS);
 
-        let payload =
-            PacketBuilder::new(self.rate).disassemble(&out.bits, &fields, scramble_seed);
+        PacketBuilder::new(self.rate).disassemble_into(
+            &decoded.bits,
+            &fields,
+            scramble_seed,
+            &mut out.payload,
+        );
         // Hints and magnitudes for the payload region only (descrambling
         // flips bit meanings, not confidences).
-        let start = crate::packet::SERVICE_BITS;
-        let hints = (start..start + payload_bits).map(|i| out.hint(i)).collect();
-        let soft_magnitudes = out.soft[start..start + payload_bits]
-            .iter()
-            .map(|&s| s.unsigned_abs())
-            .collect();
-        RxResult {
-            payload,
-            hints,
-            soft_magnitudes,
-            decoder_id: self.decoder.id(),
-        }
+        out.hints.clear();
+        out.hints
+            .extend((SERVICE_BITS..SERVICE_BITS + payload_bits).map(|i| decoded.hint(i)));
+        out.soft_magnitudes.clear();
+        out.soft_magnitudes.extend(
+            decoded.soft[SERVICE_BITS..SERVICE_BITS + payload_bits]
+                .iter()
+                .map(|&s| s.unsigned_abs()),
+        );
+        out.decoder_id = self.decoder.id();
     }
 }
 
@@ -254,12 +425,7 @@ mod tests {
                 Receiver::bcjr(rate),
             ] {
                 let got = rx.receive(&tx.samples, data.len(), 0x5D);
-                assert_eq!(
-                    got.bit_errors(&data),
-                    0,
-                    "{rate} with {}",
-                    got.decoder_id
-                );
+                assert_eq!(got.bit_errors(&data), 0, "{rate} with {}", got.decoder_id);
             }
         }
     }

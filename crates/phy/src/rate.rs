@@ -157,10 +157,7 @@ mod tests {
         assert_eq!(PhyRate::BpskHalf.slower(), None);
         assert_eq!(PhyRate::Qam64ThreeQuarters.faster(), None);
         assert_eq!(PhyRate::QpskHalf.faster(), Some(PhyRate::QpskThreeQuarters));
-        assert_eq!(
-            PhyRate::QpskHalf.slower(),
-            Some(PhyRate::BpskThreeQuarters)
-        );
+        assert_eq!(PhyRate::QpskHalf.slower(), Some(PhyRate::BpskThreeQuarters));
     }
 
     #[test]

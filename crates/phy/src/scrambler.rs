@@ -68,8 +68,8 @@ mod tests {
         let seq: Vec<u8> = (0..254).map(|_| s.next_bit()).collect();
         assert_eq!(&seq[..127], &seq[127..], "maximal-length LFSR period");
         // And within a period it is not constant.
-        assert!(seq[..127].iter().any(|&b| b == 1));
-        assert!(seq[..127].iter().any(|&b| b == 0));
+        assert!(seq[..127].contains(&1));
+        assert!(seq[..127].contains(&0));
     }
 
     #[test]

@@ -12,14 +12,15 @@
 //! and the reproduced curves simply stop at a higher BER floor (about
 //! 10⁻⁵–10⁻⁶ at the default budgets; raise the budget to dig deeper).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use wilis_channel::{AwgnChannel, Channel, SnrDb};
 use wilis_fec::{BcjrDecoder, ConvCode, SovaDecoder, MAX_HINT};
+use wilis_fxp::rng::SmallRng;
 use wilis_phy::{Demapper, PhyRate, Receiver, SnrScaling, Transmitter};
 
 use crate::estimator::DecoderKind;
 use crate::table::LogLinearFit;
+use wilis_fxp::Cplx;
+use wilis_phy::{PhyScratch, RxResult};
 
 /// Configuration of one calibration run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,14 +94,42 @@ pub struct HintCalibration {
 }
 
 impl HintCalibration {
+    /// Builds a calibration from accumulated hint bins, applying the
+    /// canonical Figure 5 fit rule (bins with ≥ 16 observations and ≥ 1
+    /// error, weighted by error count). Shared by [`calibrate_hints`] and
+    /// the scenario-engine Figure 5 driver so the two paths can never
+    /// diverge.
+    pub fn from_bins(
+        config: CalibrationConfig,
+        bins: Vec<HintBin>,
+        packets: u64,
+        packet_errors: u64,
+        overall_ber: f64,
+    ) -> Self {
+        let samples: Vec<(u16, f64, f64)> = bins
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.bits >= 16 && b.errors >= 1)
+            .map(|(h, b)| (h as u16, b.errors as f64 / b.bits as f64, b.errors as f64))
+            .collect();
+        let fit = LogLinearFit::fit(&samples);
+        Self {
+            config,
+            bins,
+            packets,
+            packet_errors,
+            overall_ber,
+            fit,
+        }
+    }
+
     /// Iterates `(hint, ber)` over non-empty bins with at least one error
     /// — the plotted points of Figure 5.
     pub fn curve(&self) -> impl Iterator<Item = (u16, f64)> + '_ {
-        self.bins.iter().enumerate().filter_map(|(h, b)| {
-            b.ber()
-                .filter(|&ber| ber > 0.0)
-                .map(|ber| (h as u16, ber))
-        })
+        self.bins
+            .iter()
+            .enumerate()
+            .filter_map(|(h, b)| b.ber().filter(|&ber| ber > 0.0).map(|ber| (h as u16, ber)))
     }
 }
 
@@ -110,7 +139,9 @@ pub fn receiver_for(rate: PhyRate, decoder: DecoderKind, demapper_bits: u32) -> 
     let code = ConvCode::ieee80211();
     let demapper = Demapper::new(rate.modulation(), demapper_bits, SnrScaling::Off);
     match decoder {
-        DecoderKind::Sova => Receiver::new(rate, demapper, Box::new(SovaDecoder::new(&code, 64, 64))),
+        DecoderKind::Sova => {
+            Receiver::new(rate, demapper, Box::new(SovaDecoder::new(&code, 64, 64)))
+        }
         DecoderKind::Bcjr => Receiver::new(rate, demapper, Box::new(BcjrDecoder::new(&code, 64))),
     }
 }
@@ -133,18 +164,28 @@ pub fn calibrate_hints(cfg: &CalibrationConfig) -> HintCalibration {
     let mut total_bits = 0u64;
     let mut total_errors = 0u64;
 
+    // Steady-state working memory, reused across the whole run.
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut got = RxResult::default();
+
     while total_bits < cfg.min_bits {
-        let payload: Vec<u8> = (0..cfg.packet_bits).map(|_| rng.gen_range(0..2u8)).collect();
+        payload.clear();
+        payload.extend((0..cfg.packet_bits).map(|_| rng.gen_bit()));
         let scramble_seed = (packets % 127 + 1) as u8;
-        let sent = tx.transmit(&payload, scramble_seed);
-        let mut samples = sent.samples;
+        tx.tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
         channel.apply(&mut samples);
-        let got = rx.receive(&samples, payload.len(), scramble_seed);
+        rx.rx_from(
+            &samples,
+            payload.len(),
+            scramble_seed,
+            &mut scratch,
+            &mut got,
+        );
 
         let mut errs_this_packet = 0u64;
-        for ((sent_bit, got_bit), &hint) in
-            payload.iter().zip(&got.payload).zip(&got.hints)
-        {
+        for ((sent_bit, got_bit), &hint) in payload.iter().zip(&got.payload).zip(&got.hints) {
             let bin = &mut bins[usize::from(hint)];
             bin.bits += 1;
             if sent_bit != got_bit {
@@ -160,23 +201,13 @@ pub fn calibrate_hints(cfg: &CalibrationConfig) -> HintCalibration {
         }
     }
 
-    // Fit over bins with enough statistics for a meaningful BER point.
-    let samples: Vec<(u16, f64, f64)> = bins
-        .iter()
-        .enumerate()
-        .filter(|(_, b)| b.bits >= 16 && b.errors >= 1)
-        .map(|(h, b)| (h as u16, b.errors as f64 / b.bits as f64, b.errors as f64))
-        .collect();
-    let fit = LogLinearFit::fit(&samples);
-
-    HintCalibration {
-        config: *cfg,
+    HintCalibration::from_bins(
+        *cfg,
         bins,
         packets,
         packet_errors,
-        overall_ber: total_errors as f64 / total_bits as f64,
-        fit,
-    }
+        total_errors as f64 / total_bits as f64,
+    )
 }
 
 #[cfg(test)]
@@ -206,10 +237,22 @@ mod tests {
         let cal = quick(PhyRate::QpskHalf, DecoderKind::Bcjr, 1.0, 30_000);
         assert!(cal.overall_ber > 5e-4, "ber {}", cal.overall_ber);
         let fit = cal.fit.expect("enough errors to fit");
-        assert!(fit.slope < 0.0, "BER must fall with hint, slope {}", fit.slope);
+        assert!(
+            fit.slope < 0.0,
+            "BER must fall with hint, slope {}",
+            fit.slope
+        );
         // Low-hint bins should show materially higher BER than high-hint.
-        let low: Vec<f64> = cal.curve().filter(|&(h, _)| h <= 8).map(|(_, b)| b).collect();
-        let high: Vec<f64> = cal.curve().filter(|&(h, _)| h >= 24).map(|(_, b)| b).collect();
+        let low: Vec<f64> = cal
+            .curve()
+            .filter(|&(h, _)| h <= 8)
+            .map(|(_, b)| b)
+            .collect();
+        let high: Vec<f64> = cal
+            .curve()
+            .filter(|&(h, _)| h >= 24)
+            .map(|(_, b)| b)
+            .collect();
         if let (Some(&l), Some(&h)) = (low.first(), high.last()) {
             assert!(l > h, "low-hint {l} vs high-hint {h}");
         }

@@ -20,6 +20,26 @@ pub enum DecoderKind {
 }
 
 impl DecoderKind {
+    /// The plug-n-play registry name of this decoder (`"sova"`, `"bcjr"`)
+    /// — the single source of truth for the scenario engine and the
+    /// figure drivers.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            DecoderKind::Sova => "sova",
+            DecoderKind::Bcjr => "bcjr",
+        }
+    }
+
+    /// The inverse of [`DecoderKind::registry_name`]; `None` for names
+    /// without calibrated hints (e.g. `"viterbi"` or user registrations).
+    pub fn from_registry_name(name: &str) -> Option<Self> {
+        match name {
+            "sova" => Some(DecoderKind::Sova),
+            "bcjr" => Some(DecoderKind::Bcjr),
+            _ => None,
+        }
+    }
+
     /// The decoder scale factor `S_dec` (equation 5). These constants were
     /// calibrated once against this repository's decoders by the Figure 5
     /// procedure (`calibrate` module) at each modulation's mid SNR, exactly

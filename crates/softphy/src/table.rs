@@ -98,7 +98,10 @@ impl LogLinearFit {
         let sw: f64 = usable.iter().map(|&(_, _, w)| w).sum();
         let mx = usable.iter().map(|&(x, _, w)| w * x).sum::<f64>() / sw;
         let my = usable.iter().map(|&(_, y, w)| w * y).sum::<f64>() / sw;
-        let sxx: f64 = usable.iter().map(|&(x, _, w)| w * (x - mx) * (x - mx)).sum();
+        let sxx: f64 = usable
+            .iter()
+            .map(|&(x, _, w)| w * (x - mx) * (x - mx))
+            .sum();
         if sxx == 0.0 {
             return None;
         }
@@ -133,10 +136,7 @@ mod tests {
 
     #[test]
     fn analytic_table_is_monotone_decreasing() {
-        let t = BerTable::from_scaling(&ScalingFactors::with_constant_snr(
-            Modulation::Qam16,
-            0.5,
-        ));
+        let t = BerTable::from_scaling(&ScalingFactors::with_constant_snr(Modulation::Qam16, 0.5));
         for w in t.entries().windows(2) {
             assert!(w[1] <= w[0]);
         }
@@ -147,10 +147,7 @@ mod tests {
     fn table_reaches_below_1e7() {
         // §4.2: predictions must be usable down to ~1e-7 (QAM-16 with the
         // calibrated BCJR scale, the Figure 5/6 configuration).
-        let t = BerTable::from_scaling(&ScalingFactors::with_constant_snr(
-            Modulation::Qam16,
-            0.49,
-        ));
+        let t = BerTable::from_scaling(&ScalingFactors::with_constant_snr(Modulation::Qam16, 0.49));
         assert!(t.lookup(63) < 1e-7, "floor entry {}", t.lookup(63));
     }
 

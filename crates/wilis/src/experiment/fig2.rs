@@ -11,6 +11,8 @@ use wilis_cosim::native::{measure_native, NativeDecoder, NativeSpeed};
 use wilis_cosim::{SpeedModel, SpeedRow};
 use wilis_phy::PhyRate;
 
+use crate::scenario::SweepRunner;
+
 /// One rendered row of the Figure 2 table.
 #[derive(Debug, Clone)]
 pub struct Fig2Row {
@@ -27,12 +29,24 @@ pub struct Fig2Row {
 /// system) with that many packets.
 pub fn run(native_packets: u32) -> Vec<Fig2Row> {
     let model = SpeedModel::paper();
-    PhyRate::all()
-        .iter()
-        .map(|&rate| Fig2Row {
-            model: model.row(rate),
+    let rates = PhyRate::all();
+    // Model rows are pure functions of the rate: evaluate them across the
+    // scenario engine's worker pool. The native wall-clock measurement
+    // stays serial — concurrent trials would time contention, not the
+    // pipeline.
+    let rows = SweepRunner::auto().run_indexed(rates.len(), |i| model.row(rates[i]));
+    rows.into_iter()
+        .zip(rates)
+        .map(|(row, rate)| Fig2Row {
+            model: row,
             native: (native_packets > 0).then(|| {
-                measure_native(rate, NativeDecoder::Viterbi, native_packets, 1500 * 8, 0xF16)
+                measure_native(
+                    rate,
+                    NativeDecoder::Viterbi,
+                    native_packets,
+                    1500 * 8,
+                    0xF16,
+                )
             }),
         })
         .collect()
@@ -50,7 +64,11 @@ pub fn render(rows: &[Fig2Row]) -> String {
     ));
     for row in rows {
         let native = match &row.native {
-            Some(n) => format!("{:.3} ({:.1}%)", n.sim_mbps, 100.0 * n.fraction_of_line_rate),
+            Some(n) => format!(
+                "{:.3} ({:.1}%)",
+                n.sim_mbps,
+                100.0 * n.fraction_of_line_rate
+            ),
             None => "-".to_string(),
         };
         out.push_str(&format!(

@@ -12,8 +12,9 @@
 
 use wilis_channel::SnrDb;
 use wilis_phy::{Modulation, PhyRate};
-use wilis_softphy::{calibrate_hints, CalibrationConfig, DecoderKind, HintCalibration,
-    ScalingFactors};
+use wilis_softphy::{CalibrationConfig, DecoderKind, HintCalibration, ScalingFactors};
+
+use crate::scenario::{ScenarioResult, SweepGrid, SweepRunner};
 
 /// One Figure 5 curve: a labeled calibration run.
 #[derive(Debug, Clone)]
@@ -34,21 +35,64 @@ fn configurations() -> [(PhyRate, f64, &'static str); 3] {
     ]
 }
 
+/// Packet size each curve's bit budget is split into.
+const PACKET_BITS: usize = 1704;
+
+/// Rebuilds a [`HintCalibration`] from a scenario result — the engine
+/// already bins every payload bit by hint; the canonical Figure 5 fit
+/// rule lives in [`HintCalibration::from_bins`].
+fn calibration_from(cfg: CalibrationConfig, r: &ScenarioResult) -> HintCalibration {
+    HintCalibration::from_bins(
+        cfg,
+        r.hint_bins.clone(),
+        r.packets,
+        r.packet_errors,
+        r.ber(),
+    )
+}
+
 /// Runs the three curves for one decoder, spending `bits_per_curve`
-/// payload bits on each.
+/// payload bits on each — all three grid points execute concurrently on
+/// the scenario engine.
 pub fn run(decoder: DecoderKind, bits_per_curve: u64, seed: u64) -> Vec<Fig5Curve> {
-    configurations()
+    let packets = bits_per_curve.div_ceil(PACKET_BITS as u64).max(1) as u32;
+    let configs: Vec<(PhyRate, SnrDb, &str)> = configurations()
         .into_iter()
-        .enumerate()
-        .map(|(i, (rate, offset_db, label))| {
+        .map(|(rate, offset_db, label)| {
             let snr = SnrDb::new(ScalingFactors::mid_snr(rate.modulation()).db() + offset_db);
+            (rate, snr, label)
+        })
+        .collect();
+    let scenarios: Vec<_> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(rate, snr, _))| {
+            SweepGrid::new()
+                .rates(&[rate])
+                .decoders(&[decoder.registry_name()])
+                .snrs_db(&[snr.db()])
+                .seeds(&[seed ^ (i as u64) << 8])
+                .packets(packets)
+                .payload_bits(PACKET_BITS)
+                .scenarios()
+        })
+        .collect();
+    let results = SweepRunner::auto()
+        .run(&scenarios)
+        .expect("stock decoder and channel names");
+    configs
+        .iter()
+        .enumerate()
+        .zip(&results)
+        .map(|((i, &(rate, snr, label)), r)| {
             let cfg = CalibrationConfig {
                 seed: seed ^ (i as u64) << 8,
+                packet_bits: PACKET_BITS,
                 ..CalibrationConfig::new(rate, decoder, snr, bits_per_curve)
             };
             Fig5Curve {
                 label: format!("{label} [ours: {} @ {snr}]", rate.label()),
-                calibration: calibrate_hints(&cfg),
+                calibration: calibration_from(cfg, r),
             }
         })
         .collect()
@@ -63,10 +107,7 @@ pub fn render(decoder: DecoderKind, curves: &[Fig5Curve]) -> String {
         match curve.calibration.fit {
             Some(fit) => out.push_str(&format!(
                 "   log10(BER) = {:.3} + {:.4} x hint   (overall BER {:.2e}, {} packets)\n",
-                fit.intercept,
-                fit.slope,
-                curve.calibration.overall_ber,
-                curve.calibration.packets
+                fit.intercept, fit.slope, curve.calibration.overall_ber, curve.calibration.packets
             )),
             None => out.push_str(&format!(
                 "   too few errors to fit (overall BER {:.2e}); raise WILIS_BITS\n",

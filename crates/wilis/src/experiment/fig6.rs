@@ -6,13 +6,12 @@
 //! log axes) and summarized as mean ± standard deviation of the actual
 //! PBER — the cross-with-error-bar format of the paper's plot.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use wilis_channel::{AwgnChannel, Channel, SnrDb};
+use wilis_channel::SnrDb;
 use wilis_lis::stats::Running;
-use wilis_phy::{PhyRate, Transmitter};
-use wilis_softphy::calibrate::receiver_for;
-use wilis_softphy::{BerEstimator, DecoderKind, ScalingFactors};
+use wilis_phy::PhyRate;
+use wilis_softphy::{DecoderKind, ScalingFactors};
+
+use crate::scenario::{SweepGrid, SweepRunner};
 
 /// Configuration of the scatter experiment.
 #[derive(Debug, Clone)]
@@ -41,7 +40,7 @@ impl Fig6Config {
             snrs: (-5..=3).map(|k| SnrDb::new(mid + 0.5 * k as f64)).collect(),
             packets_per_snr,
             payload_bits: 1704,
-            seed: 0xF16_6,
+            seed: 0xF166,
         }
     }
 }
@@ -79,33 +78,37 @@ pub struct Fig6Result {
     pub bins: Vec<Fig6Bin>,
 }
 
-/// Runs the scatter experiment.
+/// Runs the scatter experiment: one scenario per SNR point, all executed
+/// concurrently on the scenario engine with per-packet stats recorded.
 pub fn run(cfg: &Fig6Config) -> Fig6Result {
-    let tx = Transmitter::new(cfg.rate);
-    let estimator = BerEstimator::analytic(cfg.rate.modulation(), cfg.decoder);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut points = Vec::new();
-    for (si, &snr) in cfg.snrs.iter().enumerate() {
-        let mut rx = receiver_for(
-            cfg.rate,
-            cfg.decoder,
-            ScalingFactors::hint_demapper_bits(cfg.rate.modulation()),
-        );
-        let mut channel = AwgnChannel::new(snr, cfg.seed ^ ((si as u64) << 16));
-        for p in 0..cfg.packets_per_snr {
-            let payload: Vec<u8> =
-                (0..cfg.payload_bits).map(|_| rng.gen_range(0..2u8)).collect();
-            let scramble_seed = (p % 127 + 1) as u8;
-            let sent = tx.transmit(&payload, scramble_seed);
-            let mut samples = sent.samples;
-            channel.apply(&mut samples);
-            let got = rx.receive(&samples, payload.len(), scramble_seed);
-            points.push(ScatterPoint {
-                predicted: estimator.per_packet(&got.hints),
-                actual: got.bit_errors(&payload) as f64 / cfg.payload_bits as f64,
-            });
-        }
-    }
+    let scenarios: Vec<_> = cfg
+        .snrs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &snr)| {
+            SweepGrid::new()
+                .rates(&[cfg.rate])
+                .decoders(&[cfg.decoder.registry_name()])
+                .snrs_db(&[snr.db()])
+                .seeds(&[cfg.seed ^ ((si as u64) << 16)])
+                .packets(cfg.packets_per_snr)
+                .payload_bits(cfg.payload_bits)
+                .scenarios()
+        })
+        .collect();
+    let results = SweepRunner::auto()
+        .record_packet_stats(true)
+        .run(&scenarios)
+        .expect("stock decoder and channel names");
+    let points: Vec<ScatterPoint> = results
+        .iter()
+        .flat_map(|r| {
+            r.packet_stats.iter().map(|p| ScatterPoint {
+                predicted: p.predicted,
+                actual: p.actual,
+            })
+        })
+        .collect();
     let bins = bin_points(&points);
     Fig6Result { points, bins }
 }
@@ -199,8 +202,11 @@ mod tests {
         let n = result.points.len();
         let clean: f64 =
             result.points[..n / 3].iter().map(|p| p.actual).sum::<f64>() / (n / 3) as f64;
-        let dirty: f64 =
-            result.points[2 * n / 3..].iter().map(|p| p.actual).sum::<f64>() / (n - 2 * n / 3) as f64;
+        let dirty: f64 = result.points[2 * n / 3..]
+            .iter()
+            .map(|p| p.actual)
+            .sum::<f64>()
+            / (n - 2 * n / 3) as f64;
         assert!(
             dirty > clean,
             "dirty-predicted packets should be worse: {clean:.2e} vs {dirty:.2e}"
@@ -210,10 +216,22 @@ mod tests {
     #[test]
     fn binning_respects_edges() {
         let points = vec![
-            ScatterPoint { predicted: 0.5, actual: 0.4 },
-            ScatterPoint { predicted: 0.5, actual: 0.6 },
-            ScatterPoint { predicted: 1e-9, actual: 0.0 }, // below range: dropped
-            ScatterPoint { predicted: 0.0, actual: 0.0 },  // non-positive: dropped
+            ScatterPoint {
+                predicted: 0.5,
+                actual: 0.4,
+            },
+            ScatterPoint {
+                predicted: 0.5,
+                actual: 0.6,
+            },
+            ScatterPoint {
+                predicted: 1e-9,
+                actual: 0.0,
+            }, // below range: dropped
+            ScatterPoint {
+                predicted: 0.0,
+                actual: 0.0,
+            }, // non-positive: dropped
         ];
         let bins = bin_points(&points);
         assert_eq!(bins.len(), 1);

@@ -16,17 +16,19 @@
 //! leaving the effective SNR `|h|² × SNR`, which is the quantity rate
 //! adaptation responds to.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use wilis_channel::{Channel, ReplayChannel, SnrDb};
+use wilis_fxp::rng::SmallRng;
 use wilis_fxp::Cplx;
 use wilis_mac::{SelectionStats, SoftRate};
-use wilis_phy::{PhyRate, Receiver, Transmitter, SYMBOL_LEN};
+use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter, SYMBOL_LEN};
 use wilis_softphy::calibrate::receiver_for;
 use wilis_softphy::{BerEstimator, DecoderKind, ScalingFactors};
 
-/// Baseband sample rate: 80 samples per 4 µs OFDM symbol.
-const SAMPLE_RATE_HZ: f64 = 20e6;
+use crate::scenario::SweepRunner;
+
+/// Baseband sample rate: 80 samples per 4 µs OFDM symbol (shared with
+/// the channel models so replay time and model time cannot diverge).
+const SAMPLE_RATE_HZ: f64 = wilis_channel::MODEL_SAMPLE_RATE_HZ;
 
 /// Configuration of the SoftRate trial.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +82,10 @@ fn equalize(samples: &mut [Cplx], gain: Cplx) {
 }
 
 /// Transmits `payload` at `rate` through the replayed channel starting at
-/// `start`, with genie equalization, and returns the receive result.
+/// `start`, with genie equalization, receiving into `got` and reusing
+/// `scratch`/`samples` (the steady-state form). Returns the airtime in
+/// samples.
+#[allow(clippy::too_many_arguments)]
 fn send_one(
     rate: PhyRate,
     rx: &mut Receiver,
@@ -88,15 +93,17 @@ fn send_one(
     start: u64,
     payload: &[u8],
     scramble_seed: u8,
-) -> (wilis_phy::RxResult, u64) {
-    let tx = Transmitter::new(rate).transmit(payload, scramble_seed);
+    scratch: &mut PhyScratch,
+    samples: &mut Vec<Cplx>,
+    got: &mut RxResult,
+) -> u64 {
+    let fields = Transmitter::new(rate).tx_into(payload, scramble_seed, scratch, samples);
     channel.seek(start);
     let gain = channel.current_gain();
-    let mut samples = tx.samples;
-    channel.apply(&mut samples);
-    equalize(&mut samples, gain);
-    let airtime = (tx.fields.n_symbols * SYMBOL_LEN) as u64;
-    (rx.receive(&samples, payload.len(), scramble_seed), airtime)
+    channel.apply(samples);
+    equalize(samples, gain);
+    rx.rx_from(samples, payload.len(), scramble_seed, scratch, got);
+    (fields.n_symbols * SYMBOL_LEN) as u64
 }
 
 /// Runs the Figure 7 trial for one decoder.
@@ -111,9 +118,18 @@ pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
     // Viterbi receiver per rate for the oracle.
     let mut soft_rx: Vec<Receiver> = PhyRate::all()
         .iter()
-        .map(|&r| receiver_for(r, decoder, ScalingFactors::hint_demapper_bits(r.modulation())))
+        .map(|&r| {
+            receiver_for(
+                r,
+                decoder,
+                ScalingFactors::hint_demapper_bits(r.modulation()),
+            )
+        })
         .collect();
-    let mut oracle_rx: Vec<Receiver> = PhyRate::all().iter().map(|&r| Receiver::viterbi(r)).collect();
+    let mut oracle_rx: Vec<Receiver> = PhyRate::all()
+        .iter()
+        .map(|&r| Receiver::viterbi(r))
+        .collect();
     let estimators: Vec<BerEstimator> = PhyRate::all()
         .iter()
         .map(|&r| BerEstimator::analytic_for_rate(r, decoder))
@@ -123,21 +139,33 @@ pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
     let mut delivered = 0u64;
     let mut position = 0u64;
 
+    // Per-trial working memory, reused across packets and rates.
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut got = RxResult::default();
+    let mut payload: Vec<u8> = Vec::new();
+
     for p in 0..cfg.packets {
-        let payload: Vec<u8> =
-            (0..cfg.payload_bits).map(|_| rng.gen_range(0..2u8)).collect();
+        payload.clear();
+        payload.extend((0..cfg.payload_bits).map(|_| rng.gen_bit()));
         let scramble_seed = (p % 127 + 1) as u8;
         let selected = softrate.current();
-        let idx = PhyRate::all().iter().position(|&r| r == selected).expect("in table");
+        let idx = PhyRate::all()
+            .iter()
+            .position(|&r| r == selected)
+            .expect("in table");
 
         // Protocol path: send at the selected rate, estimate PBER, adapt.
-        let (got, airtime) = send_one(
+        let airtime = send_one(
             selected,
             &mut soft_rx[idx],
             &mut channel,
             position,
             &payload,
             scramble_seed,
+            &mut scratch,
+            &mut samples,
+            &mut got,
         );
         let pber = estimators[idx].per_packet(&got.hints);
         softrate.observe(pber);
@@ -148,15 +176,18 @@ pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
         // Oracle: replay every rate against the identical channel.
         let mut optimal = None;
         for (ri, &rate) in PhyRate::all().iter().enumerate() {
-            let (oracle_got, _) = send_one(
+            send_one(
                 rate,
                 &mut oracle_rx[ri],
                 &mut channel,
                 position,
                 &payload,
                 scramble_seed,
+                &mut scratch,
+                &mut samples,
+                &mut got,
             );
-            if oracle_got.bit_errors(&payload) == 0 {
+            if got.bit_errors(&payload) == 0 {
                 optimal = Some(rate); // rates iterate slowest->fastest
             }
         }
@@ -171,6 +202,15 @@ pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
         mean_rate_mbps: rate_sum_mbps / f64::from(cfg.packets),
         delivery_rate: delivered as f64 / f64::from(cfg.packets),
     }
+}
+
+/// Runs both decoders' trials concurrently on the scenario engine's
+/// deterministic worker pool (each trial is internally sequential — rate
+/// adaptation carries state from packet to packet — but the two trials
+/// are independent).
+pub fn run_both(cfg: &Fig7Config) -> Vec<Fig7Result> {
+    let decoders = [DecoderKind::Bcjr, DecoderKind::Sova];
+    SweepRunner::auto().run_indexed(decoders.len(), |i| run(cfg, decoders[i]))
 }
 
 /// Renders both decoders' bars in the paper's format.

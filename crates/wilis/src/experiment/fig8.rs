@@ -11,6 +11,8 @@ pub fn run() -> Vec<SynthesisTable> {
 }
 
 /// Runs the table at a custom configuration (for the ablation benches).
+/// Closed-form arithmetic — the one figure with no Monte-Carlo loop to
+/// batch, so it deliberately stays off the scenario engine.
 pub fn run_with(params: &DecoderParams) -> Vec<SynthesisTable> {
     use wilis_area::{synthesize, DecoderChoice};
     vec![
@@ -25,7 +27,10 @@ pub fn render(tables: &[SynthesisTable]) -> String {
     let mut out = String::from(
         "Figure 8: synthesis results (paper: BCJR 32936/38420, SOVA 15114/15168, Viterbi 7569/4538)\n",
     );
-    out.push_str(&format!("{:<22} {:>8} {:>10}\n", "Module", "LUTs", "Registers"));
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>10}\n",
+        "Module", "LUTs", "Registers"
+    ));
     for t in tables {
         out.push_str(&t.to_string());
     }

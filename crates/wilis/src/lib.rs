@@ -49,8 +49,10 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod scenario;
 mod system;
 
+pub use scenario::{Scenario, ScenarioResult, SweepGrid, SweepRunner};
 pub use system::{DecoderSlot, SystemConfig, WilisSystem};
 
 /// The platform substrate (re-export of `wilis-lis`).
@@ -87,9 +89,9 @@ pub mod prelude {
         BcjrDecoder, ConvCode, ConvEncoder, SoftDecoder, SovaDecoder, ViterbiDecoder,
     };
     pub use wilis_fxp::Cplx;
-    pub use wilis_mac::{SoftRate, SelectionStats};
+    pub use wilis_mac::{SelectionStats, SoftRate};
     pub use wilis_phy::{Modulation, PhyRate, Receiver, Transmitter};
     pub use wilis_softphy::{BerEstimator, DecoderKind};
 
-    pub use crate::{SystemConfig, WilisSystem};
+    pub use crate::{Scenario, ScenarioResult, SweepGrid, SweepRunner, SystemConfig, WilisSystem};
 }

@@ -1,0 +1,688 @@
+//! The batched scenario engine: Monte-Carlo grids over
+//! (rate × decoder × channel × SNR × seed), executed across a worker pool
+//! with chunk-seeded determinism.
+//!
+//! Every figure of the paper's evaluation is, at bottom, a grid of
+//! independent transmit→channel→receive→decode trials. The paper spent
+//! 10¹² FPGA bits on Figure 5 alone; this module is the software analog of
+//! that throughput story: one [`Scenario`] describes one grid point, a
+//! [`SweepGrid`] enumerates a whole grid, and a [`SweepRunner`] executes it
+//! across threads — with results **bit-identical for any thread count**,
+//! because every packet's randomness is a pure function of its scenario
+//! seed and packet index (the same contract
+//! [`wilis_channel::parallel::apply_awgn_parallel`] proves at the sample
+//! level).
+//!
+//! The hot path is allocation-free in the steady state: each scenario
+//! execution owns one [`PhyScratch`] and one reusable [`RxResult`],
+//! reused across all of its packets, the decoders reuse their trellis
+//! scratch, and channels are seed-addressed [`ChannelModel`]s — so
+//! Monte-Carlo depth (packets per point) costs arithmetic, not the
+//! allocator. Per-scenario setup (registry lookups, trellis build) is
+//! deliberately rebuilt per grid point; it is negligible against any
+//! meaningful packet budget and keeping scenarios self-contained is what
+//! makes the determinism contract trivial.
+//!
+//! # Example
+//!
+//! ```
+//! use wilis::scenario::{SweepGrid, SweepRunner};
+//! use wilis::phy::PhyRate;
+//!
+//! let grid = SweepGrid::new()
+//!     .rates(&[PhyRate::QpskHalf])
+//!     .decoders(&["viterbi", "bcjr"])
+//!     .snrs_db(&[6.0, 8.0])
+//!     .packets(2)
+//!     .payload_bits(400);
+//! let results = SweepRunner::new(2).run(&grid.scenarios()).unwrap();
+//! assert_eq!(results.len(), 4);
+//! // Same grid, different thread count: bit-identical results.
+//! let serial = SweepRunner::new(1).run(&grid.scenarios()).unwrap();
+//! assert_eq!(results, serial);
+//! ```
+
+use std::sync::Arc;
+
+use wilis_channel::{AwgnModel, ChannelModel, FadingModel, ReplayModel, SnrDb};
+use wilis_fec::MAX_HINT;
+use wilis_fxp::rng::{mix_seed, SmallRng};
+use wilis_fxp::Cplx;
+use wilis_lis::registry::{Params, Registry, RegistryError};
+use wilis_phy::{PhyRate, PhyScratch, RxResult, Transmitter};
+use wilis_softphy::{BerEstimator, DecoderKind, HintBin, ScalingFactors};
+
+use crate::{SystemConfig, WilisSystem};
+
+/// A factory slot for seed-addressed channel models.
+pub type ChannelSlot = Registry<Box<dyn ChannelModel>>;
+
+/// The stock channel registry: `"awgn"` (param: `snr_db`), `"fading"`
+/// (params: `snr_db`, `doppler_hz`), `"replay"` (params: `snr_db`,
+/// `doppler_hz`, `base_seed`).
+pub fn channel_registry() -> ChannelSlot {
+    let mut reg: ChannelSlot = Registry::new("channel");
+    reg.register("awgn", |p| {
+        let snr = SnrDb::new(p.get_f64("snr_db").unwrap_or(10.0));
+        Box::new(AwgnModel::new(snr))
+    });
+    reg.register("fading", |p| {
+        let snr = SnrDb::new(p.get_f64("snr_db").unwrap_or(10.0));
+        let doppler = p.get_f64("doppler_hz").unwrap_or(20.0);
+        Box::new(FadingModel::new(snr, doppler))
+    });
+    reg.register("replay", |p| {
+        let snr = SnrDb::new(p.get_f64("snr_db").unwrap_or(10.0));
+        let doppler = p.get_f64("doppler_hz").unwrap_or(20.0);
+        let base = p.get_u64("base_seed").unwrap_or(0xF17);
+        Box::new(ReplayModel::new(snr, doppler, base))
+    });
+    reg
+}
+
+/// One point of a (rate × decoder × channel × SNR × seed) grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The PHY rate under test.
+    pub rate: PhyRate,
+    /// Decoder implementation name (resolved via [`WilisSystem`]'s
+    /// registry: `"viterbi"`, `"sova"`, `"bcjr"`, or a user registration).
+    pub decoder: String,
+    /// Channel model name (resolved via [`channel_registry`]).
+    pub channel: String,
+    /// Extra channel parameters (`doppler_hz`, `base_seed`, …); `snr_db`
+    /// is filled in from [`Scenario::snr_db`] at run time.
+    pub channel_params: Params,
+    /// Operating SNR in dB.
+    pub snr_db: f64,
+    /// Scenario seed: all packet payloads and channel realizations derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Monte-Carlo depth in packets.
+    pub packets: u32,
+    /// Payload bits per packet.
+    pub payload_bits: usize,
+}
+
+impl Scenario {
+    /// A human-readable grid-point label.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {} @{:.2}dB seed{}",
+            self.rate.label(),
+            self.decoder,
+            self.channel,
+            self.snr_db,
+            self.seed
+        )
+    }
+}
+
+/// Per-packet coordinates recorded when
+/// [`SweepRunner::record_packet_stats`] is on (the Figure 6 scatter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketStat {
+    /// PBER predicted from the SoftPHY hints (0 for hard decoders).
+    pub predicted: f64,
+    /// Ground-truth PBER (bit errors / payload bits).
+    pub actual: f64,
+}
+
+/// The Monte-Carlo outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Index of the scenario within the submitted grid.
+    pub scenario: usize,
+    /// The grid-point label (see [`Scenario::label`]).
+    pub label: String,
+    /// Packets simulated.
+    pub packets: u64,
+    /// Packets with at least one payload bit error.
+    pub packet_errors: u64,
+    /// Payload bits simulated.
+    pub bits: u64,
+    /// Payload bits decoded incorrectly.
+    pub bit_errors: u64,
+    /// Per-hint statistics, index = hint value (0..=63) — the Figure 5
+    /// binning.
+    pub hint_bins: Vec<HintBin>,
+    /// Sum of predicted per-packet BERs (mean = `/ packets`); 0 for hard
+    /// decoders.
+    pub predicted_pber_sum: f64,
+    /// Per-packet scatter points, populated only when the runner records
+    /// packet stats.
+    pub packet_stats: Vec<PacketStat>,
+}
+
+impl ScenarioResult {
+    /// Overall payload bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Packet error (loss) rate.
+    pub fn per(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.packet_errors as f64 / self.packets as f64
+        }
+    }
+
+    /// Mean predicted per-packet BER across the run.
+    pub fn mean_predicted_pber(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.predicted_pber_sum / self.packets as f64
+        }
+    }
+}
+
+/// A builder enumerating the cartesian product of a sweep's axes.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    rates: Vec<PhyRate>,
+    decoders: Vec<String>,
+    channels: Vec<String>,
+    snrs_db: Vec<f64>,
+    seeds: Vec<u64>,
+    packets: u32,
+    payload_bits: usize,
+    channel_params: Params,
+}
+
+impl SweepGrid {
+    /// A single-point grid at the paper's Figure 6 operating point
+    /// (QAM-16 1/2, BCJR, AWGN, 8 dB, 1704-bit packets); every axis can be
+    /// widened from here.
+    pub fn new() -> Self {
+        Self {
+            rates: vec![PhyRate::Qam16Half],
+            decoders: vec!["bcjr".to_string()],
+            channels: vec!["awgn".to_string()],
+            snrs_db: vec![8.0],
+            seeds: vec![1],
+            packets: 8,
+            payload_bits: 1704,
+            channel_params: Params::new(),
+        }
+    }
+
+    /// Sets the PHY-rate axis.
+    pub fn rates(mut self, rates: &[PhyRate]) -> Self {
+        self.rates = rates.to_vec();
+        self
+    }
+
+    /// Sets the decoder axis (registry names).
+    pub fn decoders(mut self, names: &[&str]) -> Self {
+        self.decoders = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the channel-model axis (registry names).
+    pub fn channels(mut self, names: &[&str]) -> Self {
+        self.channels = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the SNR axis in dB.
+    pub fn snrs_db(mut self, snrs: &[f64]) -> Self {
+        self.snrs_db = snrs.to_vec();
+        self
+    }
+
+    /// Sets the seed axis (independent Monte-Carlo replicas).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the Monte-Carlo depth per grid point, in packets.
+    pub fn packets(mut self, packets: u32) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Sets the payload size per packet, in bits.
+    pub fn payload_bits(mut self, bits: usize) -> Self {
+        self.payload_bits = bits;
+        self
+    }
+
+    /// Sets an extra channel parameter forwarded to the model factory
+    /// (e.g. `doppler_hz`).
+    pub fn channel_param(mut self, key: &str, value: &str) -> Self {
+        self.channel_params.set(key, value);
+        self
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+            * self.decoders.len()
+            * self.channels.len()
+            * self.snrs_db.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the grid points (rate-major, seed-minor).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &rate in &self.rates {
+            for decoder in &self.decoders {
+                for channel in &self.channels {
+                    for &snr_db in &self.snrs_db {
+                        for &seed in &self.seeds {
+                            out.push(Scenario {
+                                rate,
+                                decoder: decoder.clone(),
+                                channel: channel.clone(),
+                                channel_params: self.channel_params.clone(),
+                                snr_db,
+                                seed,
+                                packets: self.packets,
+                                payload_bits: self.payload_bits,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type EnvFactory = dyn Fn() -> (WilisSystem, ChannelSlot) + Send + Sync;
+
+/// Executes scenario grids across a worker pool.
+///
+/// Determinism contract: scenario `i` of a grid always produces the same
+/// [`ScenarioResult`], regardless of `threads`, because all of its
+/// randomness derives from `(scenario.seed, packet index)` and workers
+/// never share mutable state. Scenarios are dealt round-robin so long and
+/// short points interleave across workers.
+pub struct SweepRunner {
+    threads: usize,
+    record_packet_stats: bool,
+    env: Arc<EnvFactory>,
+}
+
+impl SweepRunner {
+    /// A runner with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        Self {
+            threads,
+            record_packet_stats: false,
+            env: Arc::new(|| (WilisSystem::new(), channel_registry())),
+        }
+    }
+
+    /// A runner sized to the host's available parallelism.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Record per-packet (predicted, actual) PBER pairs in the results —
+    /// the Figure 6 scatter data.
+    pub fn record_packet_stats(mut self, on: bool) -> Self {
+        self.record_packet_stats = on;
+        self
+    }
+
+    /// Replaces the environment factory, for sweeps over user decoder or
+    /// channel registrations. The factory runs once per *scenario* (each
+    /// grid point is self-contained — that is what makes the determinism
+    /// contract trivial), so keep it cheap relative to a scenario's packet
+    /// budget: register implementations inside it, load big assets outside
+    /// and share them via `Arc`.
+    pub fn with_env(
+        mut self,
+        env: impl Fn() -> (WilisSystem, ChannelSlot) + Send + Sync + 'static,
+    ) -> Self {
+        self.env = Arc::new(env);
+        self
+    }
+
+    /// Runs every scenario and returns results in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RegistryError`] if a scenario names an
+    /// unregistered decoder or channel. Names are validated *before* any
+    /// Monte-Carlo work starts, so a typo in one grid point fails the run
+    /// in microseconds instead of after the other points' budgets burn.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
+        // Fail fast on unknown names: resolve every distinct
+        // (decoder, channel) pair once against a throwaway environment.
+        let (system, channels) = (self.env)();
+        let mut checked: Vec<(&str, &str)> = Vec::new();
+        for sc in scenarios {
+            let pair = (sc.decoder.as_str(), sc.channel.as_str());
+            if !checked.contains(&pair) {
+                system.receiver(&SystemConfig::new(sc.rate, &sc.decoder))?;
+                channels.build(&sc.channel, &sc.channel_params)?;
+                checked.push(pair);
+            }
+        }
+        let record = self.record_packet_stats;
+        let env = Arc::clone(&self.env);
+        self.run_indexed(scenarios.len(), move |i| {
+            let (system, channels) = env();
+            run_scenario(&system, &channels, i, &scenarios[i], record)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// The deterministic-parallel primitive under [`SweepRunner::run`]:
+    /// evaluates `f(0..n)` across the worker pool and returns the results
+    /// in index order. `f` must be a pure function of its index for the
+    /// determinism contract to hold.
+    ///
+    /// Experiment drivers whose trials are not plain scenario grids (the
+    /// Figure 7 protocol trace, Figure 2's per-rate rows) parallelize
+    /// through this.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads.min(n.max(1));
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            // Deal indices round-robin, exactly like the parallel channel
+            // deals chunks: work assignment is static, results land by
+            // index, nothing depends on completion order.
+            let mut work: Vec<Vec<(usize, &mut Option<T>)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, slot) in results.iter_mut().enumerate() {
+                work[i % threads].push((i, slot));
+            }
+            for bundle in work {
+                scope.spawn(move || {
+                    for (i, slot) in bundle {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SweepRunner({} threads, packet stats {})",
+            self.threads,
+            if self.record_packet_stats {
+                "on"
+            } else {
+                "off"
+            }
+        )
+    }
+}
+
+/// Executes one scenario: the allocation-free steady-state loop at the
+/// heart of the engine.
+fn run_scenario(
+    system: &WilisSystem,
+    channels: &ChannelSlot,
+    index: usize,
+    sc: &Scenario,
+    record: bool,
+) -> Result<ScenarioResult, RegistryError> {
+    let tx = Transmitter::new(sc.rate);
+    let mut config = SystemConfig::new(sc.rate, &sc.decoder);
+    config.demapper_bits = ScalingFactors::hint_demapper_bits(sc.rate.modulation());
+    let mut rx = system.receiver(&config)?;
+    let mut channel_params = sc.channel_params.clone();
+    channel_params.set("snr_db", &format!("{}", sc.snr_db));
+    let mut channel = channels.build(&sc.channel, &channel_params)?;
+    let estimator = DecoderKind::from_registry_name(&sc.decoder)
+        .map(|kind| BerEstimator::analytic_for_rate(sc.rate, kind));
+
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut got = RxResult::default();
+    let mut hint_bins = vec![HintBin::default(); usize::from(MAX_HINT) + 1];
+    let mut packet_errors = 0u64;
+    let mut bit_errors = 0u64;
+    let mut predicted_pber_sum = 0.0f64;
+    let mut packet_stats = Vec::new();
+
+    for p in 0..sc.packets {
+        let packet_seed = mix_seed(sc.seed, u64::from(p));
+        let mut rng = SmallRng::seed_from_u64(packet_seed);
+        payload.clear();
+        payload.extend((0..sc.payload_bits).map(|_| rng.gen_bit()));
+        let scramble_seed = (p % 127 + 1) as u8;
+
+        tx.tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
+        channel.apply(&mut samples, mix_seed(packet_seed, 1));
+        rx.rx_from(
+            &samples,
+            payload.len(),
+            scramble_seed,
+            &mut scratch,
+            &mut got,
+        );
+
+        let mut errs_this_packet = 0u64;
+        for ((&sent, &got_bit), &hint) in payload.iter().zip(&got.payload).zip(&got.hints) {
+            let bin = &mut hint_bins[usize::from(hint)];
+            bin.bits += 1;
+            if sent != got_bit {
+                bin.errors += 1;
+                errs_this_packet += 1;
+            }
+        }
+        bit_errors += errs_this_packet;
+        if errs_this_packet > 0 {
+            packet_errors += 1;
+        }
+        let predicted = estimator
+            .as_ref()
+            .map(|est| est.per_packet(&got.hints))
+            .unwrap_or(0.0);
+        predicted_pber_sum += predicted;
+        if record {
+            packet_stats.push(PacketStat {
+                predicted,
+                actual: errs_this_packet as f64 / sc.payload_bits.max(1) as f64,
+            });
+        }
+    }
+
+    Ok(ScenarioResult {
+        scenario: index,
+        label: sc.label(),
+        packets: u64::from(sc.packets),
+        packet_errors,
+        bits: u64::from(sc.packets) * sc.payload_bits as u64,
+        bit_errors,
+        hint_bins,
+        predicted_pber_sum,
+        packet_stats,
+    })
+}
+
+/// Renders a result set as an aligned table (label, BER, PER, predicted).
+pub fn render_table(results: &[ScenarioResult]) -> String {
+    let mut out = format!(
+        "{:<44} {:>12} {:>9} {:>12}\n",
+        "scenario", "BER", "PER", "pred. PBER"
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<44} {:>12.3e} {:>8.1}% {:>12.3e}\n",
+            r.label,
+            r.ber(),
+            100.0 * r.per(),
+            r.mean_predicted_pber()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new()
+            .rates(&[PhyRate::QpskHalf, PhyRate::Qam16Half])
+            .decoders(&["viterbi", "bcjr"])
+            .snrs_db(&[6.0, 10.0])
+            .packets(3)
+            .payload_bits(300)
+    }
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let grid = small_grid();
+        assert_eq!(grid.len(), 8);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 8);
+        // Every grid point is distinct.
+        for (i, a) in scenarios.iter().enumerate() {
+            for b in &scenarios[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenarios = small_grid().scenarios();
+        let serial = SweepRunner::new(1).run(&scenarios).unwrap();
+        let parallel = SweepRunner::new(4).run(&scenarios).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn high_snr_scenarios_deliver() {
+        let scenarios = SweepGrid::new()
+            .snrs_db(&[30.0])
+            .packets(2)
+            .payload_bits(200)
+            .scenarios();
+        let results = SweepRunner::new(2).run(&scenarios).unwrap();
+        assert_eq!(results[0].bit_errors, 0);
+        assert_eq!(results[0].per(), 0.0);
+    }
+
+    #[test]
+    fn unknown_decoder_is_an_error() {
+        let scenarios = SweepGrid::new().decoders(&["turbo"]).scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn unknown_channel_is_an_error() {
+        let scenarios = SweepGrid::new().channels(&["vacuum"]).scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("vacuum"));
+    }
+
+    #[test]
+    fn hint_bins_conserve_bits() {
+        let scenarios = SweepGrid::new()
+            .snrs_db(&[7.0])
+            .packets(4)
+            .payload_bits(512)
+            .scenarios();
+        let r = &SweepRunner::new(2).run(&scenarios).unwrap()[0];
+        let binned: u64 = r.hint_bins.iter().map(|b| b.bits).sum();
+        assert_eq!(binned, r.bits);
+    }
+
+    #[test]
+    fn packet_stats_recorded_on_demand() {
+        let scenarios = SweepGrid::new().packets(3).payload_bits(200).scenarios();
+        let without = SweepRunner::new(1).run(&scenarios).unwrap();
+        assert!(without[0].packet_stats.is_empty());
+        let with = SweepRunner::new(1)
+            .record_packet_stats(true)
+            .run(&scenarios)
+            .unwrap();
+        assert_eq!(with[0].packet_stats.len(), 3);
+    }
+
+    #[test]
+    fn run_indexed_orders_results() {
+        let runner = SweepRunner::new(3);
+        let out = runner.run_indexed(10, |i| i * i);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_channel_models_run() {
+        let scenarios = SweepGrid::new()
+            .channels(&["awgn", "fading", "replay"])
+            .snrs_db(&[12.0])
+            .packets(2)
+            .payload_bits(200)
+            .scenarios();
+        let results = SweepRunner::new(3).run(&scenarios).unwrap();
+        assert_eq!(results.len(), 3);
+        let table = render_table(&results);
+        assert!(table.contains("awgn") && table.contains("fading") && table.contains("replay"));
+    }
+
+    #[test]
+    fn fading_scenarios_lose_more_than_awgn_at_the_waterfall() {
+        // Physics check: at the same mean SNR near the QAM-16 waterfall,
+        // Rayleigh fading's deep fades must lose more packets than AWGN.
+        let grid = SweepGrid::new()
+            .channels(&["awgn", "fading"])
+            .snrs_db(&[8.0])
+            .packets(40)
+            .payload_bits(400);
+        let results = SweepRunner::auto().run(&grid.scenarios()).unwrap();
+        assert!(
+            results[1].per() > results[0].per(),
+            "fading PER {:.2} should exceed AWGN PER {:.2}",
+            results[1].per(),
+            results[0].per()
+        );
+    }
+}

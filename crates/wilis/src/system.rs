@@ -104,7 +104,11 @@ impl Default for WilisSystem {
 
 impl std::fmt::Debug for WilisSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WilisSystem(decoders: {})", self.decoder_names().join(", "))
+        write!(
+            f,
+            "WilisSystem(decoders: {})",
+            self.decoder_names().join(", ")
+        )
     }
 }
 

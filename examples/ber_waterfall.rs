@@ -1,4 +1,5 @@
-//! BER waterfall curves: the workload the paper's introduction motivates.
+//! BER waterfall curves: the workload the paper's introduction motivates,
+//! run as one batched grid on the scenario engine.
 //!
 //! ```text
 //! cargo run --release --example ber_waterfall [-- bits_per_point]
@@ -8,18 +9,22 @@
 //! packet error rate per decoder — the kind of characterization that
 //! requires simulating the *whole* pipeline, because fixed-point
 //! demapping, puncturing and windowed decoding all distort the waterfall
-//! in ways no isolated model captures (§1 of the paper).
+//! in ways no isolated model captures (§1 of the paper). Every
+//! (rate, decoder, SNR) point is one [`wilis::Scenario`]; the whole grid
+//! executes across the worker pool with bit-identical results for any
+//! thread count.
 
-use wilis_channel::SnrDb;
-use wilis_phy::PhyRate;
-use wilis_softphy::{calibrate_hints, CalibrationConfig, DecoderKind};
+use wilis::phy::PhyRate;
+use wilis::scenario::{SweepGrid, SweepRunner};
+
+const PACKET_BITS: usize = 1704;
 
 fn main() {
     let bits: u64 = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(60_000);
-    println!("BER waterfalls ({bits} payload bits per point)\n");
+    let packets = bits.div_ceil(PACKET_BITS as u64).max(1) as u32;
 
     let sweeps = [
         (PhyRate::QpskHalf, vec![0.0, 1.0, 2.0, 3.0, 4.0]),
@@ -27,26 +32,48 @@ fn main() {
         (PhyRate::Qam64TwoThirds, vec![12.0, 13.0, 14.0, 15.0, 16.0]),
     ];
 
-    for (rate, snrs) in sweeps {
+    // One grid for everything: 3 rates x 2 decoders x 5 SNRs = 30 points.
+    let scenarios: Vec<_> = sweeps
+        .iter()
+        .flat_map(|(rate, snrs)| {
+            SweepGrid::new()
+                .rates(&[*rate])
+                .decoders(&["sova", "bcjr"])
+                .snrs_db(snrs)
+                .packets(packets)
+                .payload_bits(PACKET_BITS)
+                .scenarios()
+        })
+        .collect();
+
+    let runner = SweepRunner::auto();
+    println!(
+        "BER waterfalls: {} grid points x {} packets on {} worker(s)\n",
+        scenarios.len(),
+        packets,
+        runner.threads()
+    );
+    let results = runner.run(&scenarios).expect("stock names");
+
+    // Results arrive in submission order: per rate, SOVA block then BCJR
+    // block, each over the rate's SNR list.
+    let mut cursor = 0usize;
+    for (rate, snrs) in &sweeps {
         println!("{rate}");
         println!(
             "  {:>6} {:>14} {:>14} {:>10}",
             "SNR dB", "SOVA BER", "BCJR BER", "PER(BCJR)"
         );
-        for &snr in &snrs {
-            let mut row = format!("  {snr:>6.1}");
-            let mut per = 0.0;
-            for decoder in [DecoderKind::Sova, DecoderKind::Bcjr] {
-                let cal = calibrate_hints(&CalibrationConfig::new(
-                    rate,
-                    decoder,
-                    SnrDb::new(snr),
-                    bits,
-                ));
-                row.push_str(&format!(" {:>14.3e}", cal.overall_ber));
-                per = cal.packet_errors as f64 / cal.packets as f64;
-            }
-            println!("{row} {:>9.1}%", per * 100.0);
+        let sova = &results[cursor..cursor + snrs.len()];
+        let bcjr = &results[cursor + snrs.len()..cursor + 2 * snrs.len()];
+        cursor += 2 * snrs.len();
+        for ((snr, s), b) in snrs.iter().zip(sova).zip(bcjr) {
+            println!(
+                "  {snr:>6.1} {:>14.3e} {:>14.3e} {:>9.1}%",
+                s.ber(),
+                b.ber(),
+                100.0 * b.per()
+            );
         }
         println!();
     }

@@ -66,7 +66,10 @@ fn main() {
     mux.add_channel("baseband samples", 55e6)
         .add_channel("debug taps", 5e6)
         .add_channel("stats scan chain", 1e6);
-    println!("\nmultiplexed services on the FSB (utilization {:.1}%):", 100.0 * mux.utilization());
+    println!(
+        "\nmultiplexed services on the FSB (utilization {:.1}%):",
+        100.0 * mux.utilization()
+    );
     for (name, achieved) in mux.achieved_bytes_per_sec() {
         println!("  {name:<20} {:.1} MB/s", achieved / 1e6);
     }

@@ -61,7 +61,10 @@ fn main() {
         );
     }
 
-    println!("\nconventional ARQ would retransmit all {} bits (100%)", payload.len());
+    println!(
+        "\nconventional ARQ would retransmit all {} bits (100%)",
+        payload.len()
+    );
     println!(
         "PPR at the right threshold repairs the same packet for a fraction \
          of the airtime - the efficiency gain the paper cites from [17]."

@@ -60,6 +60,29 @@ fn main() {
     );
     println!(
         "packet delivered    : {}",
-        if errors == 0 { "yes" } else { "no (ARQ would retransmit)" }
+        if errors == 0 {
+            "yes"
+        } else {
+            "no (ARQ would retransmit)"
+        }
     );
+
+    // And the batched view of the same experiment: a small
+    // (decoder x SNR) grid on the scenario engine — the workload behind
+    // every figure, executed with bit-identical results for any thread
+    // count.
+    let grid = SweepGrid::new()
+        .rates(&[rate])
+        .decoders(&["viterbi", "sova", "bcjr"])
+        .snrs_db(&[6.0, 8.0, 10.0])
+        .packets(4)
+        .payload_bits(1704);
+    let runner = SweepRunner::auto();
+    let results = runner.run(&grid.scenarios()).expect("stock names");
+    println!(
+        "\nscenario sweep ({} grid points on {} worker(s)):",
+        results.len(),
+        runner.threads()
+    );
+    print!("{}", wilis::scenario::render_table(&results));
 }

@@ -9,13 +9,12 @@
 //! picked, the PBER estimate that drove the decision, and whether the
 //! packet survived — a compact view of cross-layer adaptation at work.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use wilis::fxp::rng::SmallRng;
 use wilis::prelude::*;
 use wilis_phy::SYMBOL_LEN;
 use wilis_softphy::calibrate::receiver_for;
 
-const SAMPLE_RATE: f64 = 20e6;
+const SAMPLE_RATE: f64 = wilis::channel::MODEL_SAMPLE_RATE_HZ;
 
 fn main() {
     let packets: u32 = std::env::args()
@@ -36,7 +35,7 @@ fn main() {
 
     let mut position = 0u64;
     for p in 0..packets {
-        let payload: Vec<u8> = (0..800).map(|_| rng.gen_range(0..2u8)).collect();
+        let payload: Vec<u8> = (0..800).map(|_| rng.gen_bit()).collect();
         let scramble_seed = (p % 127 + 1) as u8;
         let rate = softrate.current();
 

@@ -109,7 +109,8 @@ impl Module for RxModule {
             let seed = (frame.id % 127 + 1) as u8;
             let mut rx = Receiver::bcjr(self.rate);
             let got = rx.receive(&frame.samples, frame.payload.len(), seed);
-            self.results.push((frame.id, got.bit_errors(&frame.payload)));
+            self.results
+                .push((frame.id, got.bit_errors(&frame.payload)));
         }
     }
 }

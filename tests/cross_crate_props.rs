@@ -1,51 +1,56 @@
-//! Property-based integration tests spanning crates.
+//! Randomized integration tests spanning crates (deterministic,
+//! self-seeded — the offline analog of a proptest suite).
 
-use proptest::prelude::*;
+use wilis::fxp::rng::SmallRng;
 use wilis::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The full system is the identity on a clean channel for any payload,
-    /// rate and decoder choice.
-    #[test]
-    fn system_identity_on_clean_channel(
-        rate_idx in 0usize..8,
-        dec_idx in 0usize..3,
-        payload in proptest::collection::vec(0u8..2, 1..600),
-        seed in 1u8..0x80,
-    ) {
-        let rate = PhyRate::all()[rate_idx];
-        let name = ["viterbi", "sova", "bcjr"][dec_idx];
-        let system = WilisSystem::new();
+/// The full system is the identity on a clean channel for any payload,
+/// rate and decoder choice.
+#[test]
+fn system_identity_on_clean_channel() {
+    let mut rng = SmallRng::seed_from_u64(0xCC1);
+    let system = WilisSystem::new();
+    for _ in 0..16 {
+        let rate = PhyRate::all()[rng.gen_i64(0, 7) as usize];
+        let name = ["viterbi", "sova", "bcjr"][rng.gen_i64(0, 2) as usize];
+        let n = rng.gen_i64(1, 599) as usize;
+        let payload: Vec<u8> = (0..n).map(|_| rng.gen_bit()).collect();
+        let seed = rng.gen_i64(1, 0x7F) as u8;
         let cfg = SystemConfig::new(rate, name);
         let tx = system.transmitter(&cfg).transmit(&payload, seed);
         let mut rx = system.receiver(&cfg).unwrap();
         let got = rx.receive(&tx.samples, payload.len(), seed);
-        prop_assert_eq!(got.bit_errors(&payload), 0);
+        assert_eq!(got.bit_errors(&payload), 0);
     }
+}
 
-    /// Hints are always within the 6-bit range and accompany every payload
-    /// bit, noisy or not.
-    #[test]
-    fn hints_are_total_and_bounded(
-        snr_db in -2.0f64..30.0,
-        chan_seed in any::<u64>(),
-    ) {
+/// Hints are always within the 6-bit range and accompany every payload
+/// bit, noisy or not.
+#[test]
+fn hints_are_total_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xCC2);
+    for _ in 0..16 {
+        let snr_db = rng.gen_range(-2.0..30.0);
+        let chan_seed = rng.next_u64();
         let rate = PhyRate::Qam16Half;
         let payload: Vec<u8> = (0..400).map(|i| ((i * 3) % 2) as u8).collect();
         let tx = Transmitter::new(rate).transmit(&payload, 0x5D);
         let mut samples = tx.samples.clone();
         AwgnChannel::new(SnrDb::new(snr_db), chan_seed).apply(&mut samples);
         let got = Receiver::sova(rate).receive(&samples, payload.len(), 0x5D);
-        prop_assert_eq!(got.hints.len(), payload.len());
-        prop_assert!(got.hints.iter().all(|&h| h <= 63));
+        assert_eq!(got.hints.len(), payload.len());
+        assert!(got.hints.iter().all(|&h| h <= 63));
     }
+}
 
-    /// The replay channel makes rate trials commensurable: two different
-    /// rates observe the identical fading gain at the same instant.
-    #[test]
-    fn replay_oracle_sees_one_channel(seed in any::<u64>(), start in 0u64..10_000_000) {
+/// The replay channel makes rate trials commensurable: two different
+/// trials observe the identical fading gain at the same instant.
+#[test]
+fn replay_oracle_sees_one_channel() {
+    let mut rng = SmallRng::seed_from_u64(0xCC3);
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        let start = rng.gen_i64(0, 10_000_000) as u64;
         let a = {
             let mut ch = ReplayChannel::fading(SnrDb::new(10.0), 20.0, 20e6, seed);
             ch.seek(start);
@@ -59,33 +64,43 @@ proptest! {
             ch.seek(start);
             ch.current_gain()
         };
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// SoftRate's selected rate is always one of the eight table rates and
-    /// moves by at most one step per observation.
-    #[test]
-    fn softrate_moves_one_step_at_a_time(pbers in proptest::collection::vec(0.0f64..0.2, 1..40)) {
+/// SoftRate's selected rate is always one of the eight table rates and
+/// moves by at most one step per observation.
+#[test]
+fn softrate_moves_one_step_at_a_time() {
+    let mut rng = SmallRng::seed_from_u64(0xCC4);
+    for _ in 0..16 {
         let mut sr = SoftRate::new(PhyRate::Qam16Half);
         let mut prev = sr.current();
-        for pber in pbers {
+        let n = rng.gen_i64(1, 40) as usize;
+        for _ in 0..n {
+            let pber = rng.gen_range(0.0..0.2);
             sr.observe(pber.max(1e-12));
             let cur = sr.current();
             let all = PhyRate::all();
             let pi = all.iter().position(|&r| r == prev).unwrap() as i64;
             let ci = all.iter().position(|&r| r == cur).unwrap() as i64;
-            prop_assert!((pi - ci).abs() <= 1, "jumped {prev} -> {cur}");
+            assert!((pi - ci).abs() <= 1, "jumped {prev} -> {cur}");
             prev = cur;
         }
     }
+}
 
-    /// Per-packet BER estimates are means of per-bit estimates: bounded by
-    /// the worst and best bin of the table, for any hint mix.
-    #[test]
-    fn pber_bounded_by_table_extremes(hints in proptest::collection::vec(0u16..64, 1..500)) {
-        let est = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Bcjr);
+/// Per-packet BER estimates are means of per-bit estimates: bounded by
+/// the worst and best bin of the table, for any hint mix.
+#[test]
+fn pber_bounded_by_table_extremes() {
+    let mut rng = SmallRng::seed_from_u64(0xCC5);
+    let est = BerEstimator::analytic(Modulation::Qam16, DecoderKind::Bcjr);
+    for _ in 0..16 {
+        let n = rng.gen_i64(1, 500) as usize;
+        let hints: Vec<u16> = (0..n).map(|_| rng.gen_i64(0, 63) as u16).collect();
         let pber = est.per_packet(&hints);
-        prop_assert!(pber <= est.per_bit(0) + 1e-15);
-        prop_assert!(pber >= est.per_bit(63) - 1e-15);
+        assert!(pber <= est.per_bit(0) + 1e-15);
+        assert!(pber >= est.per_bit(63) - 1e-15);
     }
 }

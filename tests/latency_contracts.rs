@@ -135,7 +135,13 @@ fn multi_clock_35_60_mhz_pipeline_conserves_tokens() {
             forwarded: 0,
         },
     );
-    let collector = b.add_module(&ber_unit, Collector { inp: c_rx, got: Vec::new() });
+    let collector = b.add_module(
+        &ber_unit,
+        Collector {
+            inp: c_rx,
+            got: Vec::new(),
+        },
+    );
 
     let mut sys = b.build();
     sys.run_until_quiescent(10_000_000);
@@ -165,11 +171,21 @@ fn throughput_matched_by_faster_clock() {
             limit: 10_000,
         },
     );
-    let c = b.add_module(&fast, Collector { inp: rx, got: Vec::new() });
+    let c = b.add_module(
+        &fast,
+        Collector {
+            inp: rx,
+            got: Vec::new(),
+        },
+    );
     let mut sys = b.build();
     sys.run_until_quiescent(10_000_000);
     assert_eq!(sys.module::<Collector>(c).got.len(), 10_000);
     // Producer never stalled long: it finished within ~limit edges of its
     // own clock plus pipeline slack.
-    assert!(slow.edges() < 10_000 + 64, "producer stalled: {} edges", slow.edges());
+    assert!(
+        slow.edges() < 10_000 + 64,
+        "producer stalled: {} edges",
+        slow.edges()
+    );
 }

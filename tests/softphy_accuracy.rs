@@ -62,10 +62,7 @@ fn per_packet_estimates_order_packets_by_quality() {
             w[1].0 < w[0].0,
             "predicted PBER must fall with SNR: {rows:?}"
         );
-        assert!(
-            w[1].1 <= w[0].1,
-            "actual PBER must fall with SNR: {rows:?}"
-        );
+        assert!(w[1].1 <= w[0].1, "actual PBER must fall with SNR: {rows:?}");
     }
     // And predictions are within an order of magnitude of reality at the
     // noisy end (the paper's Figure 6 cluster-around-the-line property).
@@ -106,7 +103,7 @@ fn bcjr_hints_discriminate_at_least_as_well_as_sova() {
     // §4.4: "BCJR produces superior BER estimates". Compare fitted slopes
     // at the same operating point: steeper (more negative) = more
     // discriminating hints.
-    let cfg = |d| CalibrationConfig::new(PhyRate::Qam16Half, d, SnrDb::new(7.25), 150_000);
+    let cfg = |d| CalibrationConfig::new(PhyRate::Qam16Half, d, SnrDb::new(7.25), 400_000);
     let sova = calibrate_hints(&cfg(DecoderKind::Sova));
     let bcjr = calibrate_hints(&cfg(DecoderKind::Bcjr));
     let (s, b) = (

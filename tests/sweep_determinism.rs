@@ -1,0 +1,85 @@
+//! The scenario engine's headline contract: a sweep grid produces
+//! bit-identical results for any worker count — the whole-stack analog of
+//! the `apply_awgn_parallel` doctest at the channel layer.
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{SweepGrid, SweepRunner};
+
+/// A Figure-5-style grid: the three paper configurations (QAM-16 at the
+/// waterfall midpoint, QPSK at its midpoint, QAM-16 one dB up), both soft
+/// decoders, a couple of seeds.
+fn fig5_style_grid() -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["sova", "bcjr"])
+        .snrs_db(&[6.0, 8.0])
+        .seeds(&[1, 2])
+        .packets(3)
+        .payload_bits(600)
+}
+
+#[test]
+fn grid_results_identical_at_1_2_and_8_threads() {
+    let scenarios = fig5_style_grid().scenarios();
+    assert_eq!(scenarios.len(), 16);
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads).run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread sweep diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn ber_is_bit_identical_not_just_close() {
+    // Spell the contract out: identical error *counts* and identical hint
+    // bins, not merely matching floating-point BER.
+    let scenarios = fig5_style_grid().scenarios();
+    let a = SweepRunner::new(1).run(&scenarios).unwrap();
+    let b = SweepRunner::new(8).run(&scenarios).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.bit_errors, y.bit_errors, "{}", x.label);
+        assert_eq!(x.packet_errors, y.packet_errors, "{}", x.label);
+        assert_eq!(x.hint_bins, y.hint_bins, "{}", x.label);
+        assert_eq!(
+            x.predicted_pber_sum.to_bits(),
+            y.predicted_pber_sum.to_bits(),
+            "{}",
+            x.label
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Same grid, same runner, different invocation: still identical —
+    // nothing depends on wall time, thread ids, or allocator state.
+    let scenarios = fig5_style_grid().scenarios();
+    let runner = SweepRunner::new(4);
+    assert_eq!(
+        runner.run(&scenarios).unwrap(),
+        runner.run(&scenarios).unwrap()
+    );
+}
+
+#[test]
+fn noisier_points_of_the_grid_have_higher_ber() {
+    // Sanity on the physics while we are here: for each (rate, decoder),
+    // the 6 dB point should be no better than the 8 dB point.
+    let scenarios = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["bcjr"])
+        .snrs_db(&[5.0, 9.0])
+        .packets(20)
+        .payload_bits(600)
+        .scenarios();
+    let results = SweepRunner::new(4).run(&scenarios).unwrap();
+    assert!(
+        results[0].ber() >= results[1].ber(),
+        "5 dB BER {:.3e} < 9 dB BER {:.3e}",
+        results[0].ber(),
+        results[1].ber()
+    );
+}
