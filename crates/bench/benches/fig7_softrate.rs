@@ -1,4 +1,6 @@
-//! Figure 7: SoftRate selection accuracy under fading.
+//! Figure 7: SoftRate selection accuracy under fading — both decoders'
+//! trials run as grid points of one link-enabled sweep (the `"trace"`
+//! channel walk plus the `"softrate"` policy with its oracle replay).
 
 use wilis::experiment::fig7;
 use wilis_bench::{banner, budget};

@@ -1,0 +1,69 @@
+//! Link-layer sweep throughput: the (rate × SNR × link) grid through the
+//! scenario engine, with JSON goodput lines for the perf trajectory.
+//!
+//! This is the "new workload" the link dimension opens: one grid call
+//! answers "what does each MAC policy deliver across the waterfall?"
+//! The bench times the sweep (the link layer rides the same worker pool
+//! and determinism contract as the PHY axes) and emits one JSON line per
+//! grid point with the link metrics downstream tooling tracks.
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{render_link_table, SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report};
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let payload_bits = 1704usize;
+    let snrs = [5.5, 6.0, 6.5, 7.0, 7.5, 8.0];
+    let links = ["none", "arq", "ppr", "softrate"];
+    // Budget is per grid point; softrate skips its 8x oracle here so the
+    // four links cost comparably.
+    let packets = (budget(150_000) / payload_bits as u64).max(4) as u32;
+    let grid = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .links(&links)
+        .link_param("oracle", "false")
+        .snrs_db(&snrs)
+        .packets(packets)
+        .payload_bits(payload_bits);
+    let scenarios = grid.scenarios();
+    banner(&format!(
+        "link_sweep: {} scenarios x {} packets of {} bits (WILIS_BITS to scale)",
+        scenarios.len(),
+        packets,
+        payload_bits
+    ));
+
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        3
+    };
+    let runner = SweepRunner::auto();
+    let mut results = Vec::new();
+    let m = bench("link_sweep/grid", iters, || {
+        results = runner.run(&scenarios).unwrap();
+    });
+    report(&m);
+    let bits = scenarios.len() as u64 * u64::from(packets) * payload_bits as u64;
+    println!(
+        "  -> {:.2} Mb/s simulated\n",
+        bits as f64 / m.mean_secs / 1e6
+    );
+
+    print!("{}", render_link_table(&results));
+
+    println!("\nJSON:");
+    for (sc, r) in scenarios.iter().zip(&results) {
+        let Some(link) = &r.link else { continue };
+        println!(
+            "{{\"bench\":\"link_sweep\",\"link\":\"{}\",\"snr_db\":{:.2},\"goodput\":{:.6},\"retransmit_fraction\":{:.6},\"delivery_rate\":{:.6},\"mean_secs\":{:.9}}}",
+            sc.link,
+            sc.snr_db,
+            link.goodput(),
+            link.retransmit_fraction(),
+            link.delivery_rate(),
+            m.mean_secs
+        );
+    }
+}

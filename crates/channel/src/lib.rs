@@ -46,7 +46,9 @@ mod snr;
 pub use awgn::AwgnChannel;
 pub use fading::{FadingAwgnChannel, RayleighFading};
 pub use gaussian::GaussianSource;
-pub use model::{AwgnModel, ChannelModel, FadingModel, ReplayModel, MODEL_SAMPLE_RATE_HZ};
+pub use model::{
+    AwgnModel, ChannelModel, FadingModel, ReplayModel, TraceModel, MODEL_SAMPLE_RATE_HZ,
+};
 pub use replay::ReplayChannel;
 pub use snr::SnrDb;
 

@@ -21,10 +21,15 @@ pub const MODEL_SAMPLE_RATE_HZ: f64 = 20e6;
 
 /// A packet-granular, seed-addressed channel transformation.
 ///
-/// Implementations must make the output a pure function of
+/// Implementations should make the output a pure function of
 /// `(model parameters, samples, seed)` — the determinism contract the
 /// sweep runner's thread-count invariance rests on (the same contract
 /// [`crate::parallel::apply_awgn_parallel`] proves at the sample level).
+/// The one sanctioned exception is cursor-based traces ([`TraceModel`]):
+/// their output is a deterministic function of the *call sequence*
+/// instead, which preserves thread-count invariance as long as each
+/// sweep scenario owns its model instance — but they must document their
+/// sequencing rules precisely.
 pub trait ChannelModel: Send {
     /// Distorts `samples` in place under the realization selected by
     /// `seed`.
@@ -37,6 +42,16 @@ pub trait ChannelModel: Send {
     /// The configured mean SNR, when the model has one.
     fn snr(&self) -> Option<SnrDb> {
         None
+    }
+}
+
+/// Genie equalization: divide the packet by the (known) fading gain at
+/// its first sample — the receiver has no channel estimation (§4.4.4), so
+/// every fading model applies this before handing samples on.
+fn equalize(samples: &mut [Cplx], gain: Cplx) {
+    let inv = Cplx::ONE / gain;
+    for s in samples {
+        *s *= inv;
     }
 }
 
@@ -95,10 +110,7 @@ impl ChannelModel for FadingModel {
         let mut ch = FadingAwgnChannel::new(self.snr, self.doppler_hz, MODEL_SAMPLE_RATE_HZ, seed);
         let gain = ch.current_gain();
         ch.apply(samples);
-        let inv = Cplx::ONE / gain;
-        for s in samples {
-            *s *= inv;
-        }
+        equalize(samples, gain);
     }
 
     fn id(&self) -> &'static str {
@@ -151,10 +163,7 @@ impl ChannelModel for ReplayModel {
         ch.seek(mix_seed(self.base_seed, seed) % span);
         let gain = ch.current_gain();
         ch.apply(samples);
-        let inv = Cplx::ONE / gain;
-        for s in samples {
-            *s *= inv;
-        }
+        equalize(samples, gain);
     }
 
     fn id(&self) -> &'static str {
@@ -163,6 +172,78 @@ impl ChannelModel for ReplayModel {
 
     fn snr(&self) -> Option<SnrDb> {
         Some(self.snr)
+    }
+}
+
+/// A *time-coherent* fading trace for protocol experiments on the sweep
+/// engine: successive packets of a scenario walk forward through one long
+/// replayed realization (fading plus time-indexed noise, genie-equalized),
+/// exactly like the Figure 7 protocol loop.
+///
+/// Unlike the seed-pure models above, `TraceModel` keeps a cursor: channel
+/// time advances by the packet's airtime plus a configurable gap whenever
+/// the seed *changes from the previous call*. **Consecutive** applies with
+/// the same seed — the SoftRate oracle replaying every rate against the
+/// identical channel, immediately after the protocol transmission —
+/// revisit the same span of the realization, which is the paper's
+/// "pseudo-random noise model" contract (§4.4.2). Re-presenting an older
+/// seed after an intervening packet starts a *new* slot (the cursor only
+/// remembers the last seed), so interleave packets' applies and the
+/// replay guarantee is gone — the scenario engine never does. The output
+/// is a deterministic function of the *sequence* of calls; each grid
+/// point owns its model instance and observes its packets in order, so
+/// the sweep runner's thread-count invariance still holds.
+#[derive(Debug, Clone)]
+pub struct TraceModel {
+    channel: ReplayChannel,
+    gap_samples: u64,
+    position: u64,
+    next_position: u64,
+    last_seed: Option<u64>,
+}
+
+impl TraceModel {
+    /// A trace at mean `snr` with the given Doppler, walking `base_seed`'s
+    /// realization with `gap_secs` of idle channel time between packets
+    /// (the Figure 7 configuration is 10 dB, 20 Hz, 0.5 ms).
+    pub fn new(snr: SnrDb, doppler_hz: f64, base_seed: u64, gap_secs: f64) -> Self {
+        Self {
+            channel: ReplayChannel::fading(snr, doppler_hz, MODEL_SAMPLE_RATE_HZ, base_seed),
+            gap_samples: (gap_secs * MODEL_SAMPLE_RATE_HZ) as u64,
+            position: 0,
+            next_position: 0,
+            last_seed: None,
+        }
+    }
+
+    /// The absolute sample index the next new packet starts at.
+    pub fn next_packet_position(&self) -> u64 {
+        self.next_position
+    }
+}
+
+impl ChannelModel for TraceModel {
+    fn apply(&mut self, samples: &mut [Cplx], seed: u64) {
+        if self.last_seed != Some(seed) {
+            // A new packet: advance to the next slot of the trace. The
+            // first apply per packet (the protocol-path transmission)
+            // defines the airtime; same-seed replays revisit this slot.
+            self.position = self.next_position;
+            self.next_position = self.position + samples.len() as u64 + self.gap_samples;
+            self.last_seed = Some(seed);
+        }
+        self.channel.seek(self.position);
+        let gain = self.channel.current_gain();
+        self.channel.apply(samples);
+        equalize(samples, gain);
+    }
+
+    fn id(&self) -> &'static str {
+        "trace"
+    }
+
+    fn snr(&self) -> Option<SnrDb> {
+        self.channel.snr()
     }
 }
 
@@ -232,5 +313,44 @@ mod tests {
     fn ids_are_distinct() {
         let ids: Vec<&str> = models().iter().map(|m| m.id()).collect();
         assert_eq!(ids, vec!["awgn", "fading", "replay"]);
+    }
+
+    #[test]
+    fn trace_replays_same_seed_and_advances_on_new_seed() {
+        let mut m = TraceModel::new(SnrDb::new(10.0), 20.0, 7, 0.5e-3);
+        let mut a = vec![Cplx::ONE; 160];
+        let mut b = vec![Cplx::ONE; 160];
+        m.apply(&mut a, 1);
+        m.apply(&mut b, 1); // oracle-style replay: identical channel span
+        assert_eq!(a, b, "same seed must revisit the same trace slot");
+        let mut c = vec![Cplx::ONE; 160];
+        m.apply(&mut c, 2); // next packet: channel time moved on
+        assert_ne!(a, c, "a new seed must advance the trace");
+    }
+
+    #[test]
+    fn trace_oracle_replay_is_length_agnostic() {
+        // A slower-rate oracle attempt (more samples) must share its prefix
+        // with the protocol packet: same slot, same realization.
+        let mut m = TraceModel::new(SnrDb::new(10.0), 20.0, 9, 0.5e-3);
+        let mut short = vec![Cplx::ONE; 80];
+        let mut long = vec![Cplx::ONE; 240];
+        m.apply(&mut short, 5);
+        m.apply(&mut long, 5);
+        assert_eq!(&long[..80], &short[..]);
+    }
+
+    #[test]
+    fn trace_cursor_counts_airtime_plus_gap() {
+        let gap_secs = 0.5e-3;
+        let mut m = TraceModel::new(SnrDb::new(10.0), 20.0, 3, gap_secs);
+        let mut buf = vec![Cplx::ONE; 160];
+        m.apply(&mut buf, 1);
+        let gap = (gap_secs * MODEL_SAMPLE_RATE_HZ) as u64;
+        assert_eq!(m.next_packet_position(), 160 + gap);
+        // Oracle replays do not consume channel time.
+        let mut replay = vec![Cplx::ONE; 400];
+        m.apply(&mut replay, 1);
+        assert_eq!(m.next_packet_position(), 160 + gap);
     }
 }

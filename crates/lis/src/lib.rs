@@ -13,7 +13,7 @@
 //! * A [`Module`] is a piece of hardware that is *ticked* once per rising
 //!   edge of its clock domain. Modules never assume anything about the
 //!   latency of their neighbours; they only test their FIFO ports.
-//! * A [`Fifo`] connects exactly one producer port ([`Sink`]) to one
+//! * A `Fifo` (crate-internal) connects exactly one producer port ([`Sink`]) to one
 //!   consumer port ([`Source`]). Elements become visible to the consumer a
 //!   configurable number of consumer-clock edges after enqueue, which is how
 //!   both registered FIFO outputs and two-flop clock-domain synchronizers

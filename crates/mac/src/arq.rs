@@ -9,6 +9,11 @@
 /// Expected probability that a packet of `bits` decodes error-free at a
 /// uniform per-bit error rate `ber`.
 ///
+/// Uses `powf` rather than `powi`: the exponent is a `u64`, and a cast to
+/// `i32` would wrap negative for `bits >= 2^31`, yielding garbage
+/// "probabilities" above 1. `powf` handles the whole range (jumbo frames,
+/// aggregate airtime budgets) with ample precision.
+///
 /// # Example
 ///
 /// ```
@@ -17,7 +22,7 @@
 /// assert!((p - 0.905).abs() < 0.01);
 /// ```
 pub fn packet_success_probability(bits: u64, ber: f64) -> f64 {
-    (1.0 - ber).powi(bits as i32)
+    (1.0 - ber).powf(bits as f64)
 }
 
 /// Stop-and-wait ARQ accounting over a sequence of transmission attempts.
@@ -35,7 +40,13 @@ pub struct ArqSession {
 impl ArqSession {
     /// A session delivering packets of `bits_per_packet` bits, abandoning
     /// a packet after `max_retries` failed retransmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_packet` is zero — a zero-bit packet makes every
+    /// bit-denominated ratio meaningless.
     pub fn new(bits_per_packet: u64, max_retries: u32) -> Self {
+        assert!(bits_per_packet > 0, "packets must carry bits");
         Self {
             bits_per_packet,
             max_retries,
@@ -76,14 +87,28 @@ impl ArqSession {
         self.gave_up
     }
 
-    /// Useful bits delivered per bit transmitted — the efficiency ARQ
+    /// The packet size this session was configured with, in bits.
+    pub fn bits_per_packet(&self) -> u64 {
+        self.bits_per_packet
+    }
+
+    /// Useful payload bits delivered so far.
+    pub fn bits_delivered(&self) -> u64 {
+        self.delivered * self.bits_per_packet
+    }
+
+    /// Total bits put on the air, including every retransmission.
+    pub fn bits_attempted(&self) -> u64 {
+        self.attempts * self.bits_per_packet
+    }
+
+    /// Useful bits delivered per bit transmitted — the goodput ratio ARQ
     /// loses to whole-packet retransmission and PPR recovers.
     pub fn efficiency(&self) -> f64 {
         if self.attempts == 0 {
             return 0.0;
         }
-        (self.delivered * self.bits_per_packet) as f64
-            / (self.attempts * self.bits_per_packet) as f64
+        self.bits_delivered() as f64 / self.bits_attempted() as f64
     }
 }
 
@@ -105,6 +130,19 @@ mod tests {
     fn success_probability_edges() {
         assert_eq!(packet_success_probability(100, 0.0), 1.0);
         assert!(packet_success_probability(100, 1.0) < 1e-30);
+    }
+
+    #[test]
+    fn success_probability_survives_giant_packets() {
+        // Regression: `powi(bits as i32)` wrapped negative past 2^31 and
+        // produced "probabilities" above 1.
+        let bits = u32::MAX as u64 + 1;
+        let p = packet_success_probability(bits, 1e-10);
+        assert!(p > 0.0 && p <= 1.0, "p = {p}");
+        // 2^32 bits at 1e-10 BER: ~0.65 expected delivery.
+        assert!((p - (-(bits as f64 * 1e-10)).exp()).abs() < 1e-3);
+        // More bits can only hurt.
+        assert!(p < packet_success_probability(10_000, 1e-10));
     }
 
     #[test]
@@ -134,5 +172,22 @@ mod tests {
     #[test]
     fn empty_session_efficiency_zero() {
         assert_eq!(ArqSession::new(100, 1).efficiency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry bits")]
+    fn zero_bit_packets_rejected() {
+        let _ = ArqSession::new(0, 3);
+    }
+
+    #[test]
+    fn bit_accounting_tracks_attempts() {
+        let mut s = ArqSession::new(500, 3);
+        assert!(!s.attempt(false));
+        assert!(s.attempt(true));
+        assert_eq!(s.bits_per_packet(), 500);
+        assert_eq!(s.bits_delivered(), 500);
+        assert_eq!(s.bits_attempted(), 1000);
+        assert!((s.efficiency() - 0.5).abs() < 1e-12);
     }
 }

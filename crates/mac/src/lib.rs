@@ -3,17 +3,24 @@
 //! The paper motivates SoftPHY with two cross-layer consumers (§4):
 //!
 //! * [`SoftRate`] — bit-rate adaptation from per-packet BER estimates
-//!   (Vutukuru et al., the paper's reference [31]); evaluated in Figure 7.
+//!   (Vutukuru et al., the paper's reference \[31\]); evaluated in Figure 7.
 //! * [`ppr`] — Partial Packet Recovery from per-bit BER estimates
-//!   (Jamieson & Balakrishnan, reference [17]): retransmit only the chunks
+//!   (Jamieson & Balakrishnan, reference \[17\]): retransmit only the chunks
 //!   whose bits carry low confidence.
 //! * [`arq`] — the conventional whole-packet ARQ baseline both improve on.
+//! * [`link`] — the three policies behind one [`link::LinkPolicy`] trait,
+//!   so the scenario engine can sweep MAC behavior by registry name.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arq;
+pub mod link;
 pub mod ppr;
 mod softrate;
 
+pub use link::{ArqLink, LinkMetrics, LinkPolicy, LinkVerdict, PprLink, SoftRateLink};
 pub use softrate::{RateDecision, Selection, SelectionStats, SoftRate};
+
+#[cfg(test)]
+mod prop_tests;

@@ -1,6 +1,6 @@
 //! Partial Packet Recovery: retransmit only low-confidence chunks.
 //!
-//! PPR (the paper's reference [17]) "uses per-bit BER estimates … to
+//! PPR (the paper's reference \[17\]) "uses per-bit BER estimates … to
 //! determine the bits to be retransmitted, improving the efficiency of the
 //! conventional Link Layer's ARQ mechanism". Given the per-bit SoftPHY
 //! hints of a corrupted packet, the receiver requests retransmission of
@@ -33,10 +33,20 @@ impl PprConfig {
     /// Marks the chunks to retransmit: `true` for every chunk containing
     /// at least one suspect bit.
     pub fn plan(&self, hints: &[u16]) -> Vec<bool> {
-        hints
-            .chunks(self.chunk_bits)
-            .map(|c| c.iter().any(|&h| h < self.hint_threshold))
-            .collect()
+        let mut out = Vec::new();
+        self.plan_into(hints, &mut out);
+        out
+    }
+
+    /// Builds the retransmission plan into `out`, reusing its capacity —
+    /// the allocation-free form [`crate::link::PprLink`] runs per packet.
+    pub fn plan_into(&self, hints: &[u16], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(
+            hints
+                .chunks(self.chunk_bits)
+                .map(|c| c.iter().any(|&h| h < self.hint_threshold)),
+        );
     }
 }
 

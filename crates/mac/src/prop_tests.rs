@@ -1,0 +1,91 @@
+//! Randomized property tests on the link layer (deterministic,
+//! self-seeded — the offline analog of a proptest suite, following
+//! `wilis_channel`'s style).
+
+use wilis_fxp::rng::SmallRng;
+
+use crate::arq::{packet_success_probability, ArqSession};
+use crate::ppr::{evaluate, PprConfig};
+
+/// ARQ efficiency stays a ratio in [0, 1] for any attempt sequence.
+#[test]
+fn arq_efficiency_is_a_ratio() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC1);
+    for _ in 0..64 {
+        let bits = rng.gen_i64(1, 10_000) as u64;
+        let retries = rng.gen_i64(0, 6) as u32;
+        let mut s = ArqSession::new(bits, retries);
+        for _ in 0..rng.gen_i64(1, 200) {
+            let _ = s.attempt(rng.gen_bit() == 1);
+        }
+        let e = s.efficiency();
+        assert!((0.0..=1.0).contains(&e), "efficiency {e}");
+        assert_eq!(s.bits_attempted(), s.attempts() * bits);
+        assert!(s.bits_delivered() <= s.bits_attempted());
+    }
+}
+
+/// Packet success probability is monotone decreasing in both the packet
+/// size and the bit error rate, and always a probability — including for
+/// packet sizes past the `i32` range that used to wrap `powi`.
+#[test]
+fn success_probability_monotone_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC2);
+    for _ in 0..64 {
+        let bits_a = rng.gen_i64(1, 1 << 20) as u64;
+        let bits_b = bits_a + rng.gen_i64(1, 1 << 34) as u64; // may exceed 2^31
+        let ber_a = 10f64.powf(rng.gen_range(-9.0..-1.0));
+        let ber_b = (ber_a * rng.gen_range(1.5..100.0)).min(1.0);
+        let p = packet_success_probability(bits_a, ber_a);
+        assert!((0.0..=1.0).contains(&p), "p {p}");
+        assert!(
+            packet_success_probability(bits_b, ber_a) <= p,
+            "more bits cannot help ({bits_a} vs {bits_b} at {ber_a})"
+        );
+        assert!(
+            packet_success_probability(bits_a, ber_b) <= p,
+            "worse BER cannot help ({ber_a} vs {ber_b} at {bits_a})"
+        );
+    }
+}
+
+/// PPR's retransmit fraction is a ratio in [0, 1], and `recovered()` holds
+/// exactly when every true error lies in a retransmitted chunk.
+#[test]
+fn ppr_outcome_consistent_with_plan() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC3);
+    for _ in 0..64 {
+        let n = rng.gen_i64(1, 600) as usize;
+        let chunk = rng.gen_i64(1, 80) as usize;
+        let threshold = rng.gen_i64(0, 64) as u16;
+        let cfg = PprConfig::new(chunk, threshold);
+        // Random hints; errors correlate with low hints only sometimes, so
+        // both recovery and miss cases are exercised.
+        let hints: Vec<u16> = (0..n).map(|_| rng.gen_i64(0, 63) as u16).collect();
+        let errors: Vec<bool> = hints
+            .iter()
+            .map(|&h| {
+                let p = if h < 16 { 0.4 } else { 0.02 };
+                rng.gen_range(0.0..1.0) < p
+            })
+            .collect();
+        let plan = cfg.plan(&hints);
+        let out = evaluate(&cfg, &plan, &errors);
+        let f = out.retransmit_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        assert_eq!(out.total_bits, n);
+        let every_error_covered = errors
+            .chunks(chunk)
+            .zip(&plan)
+            .all(|(errs, &sent)| sent || errs.iter().all(|&e| !e));
+        assert_eq!(
+            out.recovered(),
+            every_error_covered,
+            "recovered() must mean every true error fell in a retransmitted chunk"
+        );
+        assert_eq!(
+            out.repaired_errors + out.missed_errors,
+            errors.iter().filter(|&&e| e).count()
+        );
+    }
+}

@@ -10,13 +10,19 @@ use std::fmt;
 use wilis_phy::PhyRate;
 
 /// The decision SoftRate makes after observing one packet's PBER.
+///
+/// Decisions report *rate transitions*: when the PBER asks for a faster
+/// (or slower) rate but the controller is already pinned at the ceiling
+/// (or floor), the decision is [`RateDecision::Hold`] — no transition
+/// occurred, and Figure-7-style decision tallies must not count one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RateDecision {
-    /// PBER below the low threshold: the channel supports a faster rate.
+    /// PBER below the low threshold and a faster rate existed: stepped up.
     StepUp,
-    /// PBER above the high threshold: back off.
+    /// PBER above the high threshold and a slower rate existed: backed off.
     StepDown,
-    /// PBER inside the target band: stay.
+    /// No rate transition: PBER inside the target band, or the controller
+    /// is saturated at the rate floor/ceiling.
     Hold,
 }
 
@@ -103,18 +109,26 @@ impl SoftRate {
     }
 
     /// Feeds one packet's predicted PBER (as fed back on the ARQ ack) and
-    /// adjusts the rate.
+    /// adjusts the rate. The returned decision reports the transition that
+    /// actually happened: [`RateDecision::Hold`] when the band is satisfied
+    /// *or* when the controller is saturated at the rate floor/ceiling.
     pub fn observe(&mut self, pber: f64) -> RateDecision {
         if pber > self.hi {
-            if let Some(slower) = self.current.slower() {
-                self.current = slower;
+            match self.current.slower() {
+                Some(slower) => {
+                    self.current = slower;
+                    RateDecision::StepDown
+                }
+                None => RateDecision::Hold,
             }
-            RateDecision::StepDown
         } else if pber < self.lo {
-            if let Some(faster) = self.current.faster() {
-                self.current = faster;
+            match self.current.faster() {
+                Some(faster) => {
+                    self.current = faster;
+                    RateDecision::StepUp
+                }
+                None => RateDecision::Hold,
             }
-            RateDecision::StepUp
         } else {
             RateDecision::Hold
         }
@@ -214,12 +228,28 @@ mod tests {
 
     #[test]
     fn saturates_at_rate_extremes() {
+        // Regression: a saturated controller used to report StepDown/StepUp
+        // even though no transition occurred, inflating decision tallies.
         let mut sr = SoftRate::new(PhyRate::BpskHalf);
-        assert_eq!(sr.observe(0.1), RateDecision::StepDown);
+        assert_eq!(sr.observe(0.1), RateDecision::Hold, "pinned at the floor");
         assert_eq!(sr.current(), PhyRate::BpskHalf, "cannot go below 6 Mbps");
         let mut sr = SoftRate::new(PhyRate::Qam64ThreeQuarters);
-        assert_eq!(sr.observe(1e-9), RateDecision::StepUp);
+        assert_eq!(
+            sr.observe(1e-9),
+            RateDecision::Hold,
+            "pinned at the ceiling"
+        );
         assert_eq!(sr.current(), PhyRate::Qam64ThreeQuarters);
+    }
+
+    #[test]
+    fn decisions_report_actual_transitions_only() {
+        let mut sr = SoftRate::new(PhyRate::BpskThreeQuarters);
+        // One real step down reaches the floor; the next noisy packet holds.
+        assert_eq!(sr.observe(1e-2), RateDecision::StepDown);
+        assert_eq!(sr.current(), PhyRate::BpskHalf);
+        assert_eq!(sr.observe(1e-2), RateDecision::Hold);
+        assert_eq!(sr.current(), PhyRate::BpskHalf);
     }
 
     #[test]

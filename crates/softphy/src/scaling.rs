@@ -51,7 +51,7 @@ impl ScalingFactors {
     /// The pre-computed constant SNR for each modulation: the midpoint of
     /// the waterfall region where coded BER falls 10⁻¹ → 10⁻⁷, measured on
     /// this repository's pipeline (the paper takes the same midpoints from
-    /// its reference [8], Doufexi et al.; ours sit ~1–3 dB lower because
+    /// its reference \[8\], Doufexi et al.; ours sit ~1–3 dB lower because
     /// the modeled receiver has ideal synchronization and no implementation
     /// losses).
     pub fn mid_snr(modulation: Modulation) -> SnrDb {

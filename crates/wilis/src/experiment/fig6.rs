@@ -5,9 +5,15 @@
 //! binned by predicted value (quarter-decade bins, matching the figure's
 //! log axes) and summarized as mean ± standard deviation of the actual
 //! PBER — the cross-with-error-bar format of the paper's plot.
+//!
+//! The [`run_links`] companion runs the same grid with the `"arq"` and
+//! `"ppr"` link policies: what the per-bit confidence behind this figure
+//! *buys* — partial packet recovery repairing corrupted packets for a
+//! fraction of whole-packet ARQ's retransmission cost.
 
 use wilis_channel::SnrDb;
 use wilis_lis::stats::Running;
+use wilis_mac::LinkMetrics;
 use wilis_phy::PhyRate;
 use wilis_softphy::{DecoderKind, ScalingFactors};
 
@@ -144,6 +150,65 @@ fn bin_points(points: &[ScatterPoint]) -> Vec<Fig6Bin> {
         .collect()
 }
 
+/// One (SNR, link) point of the link-layer companion sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6LinkPoint {
+    /// Operating SNR in dB.
+    pub snr_db: f64,
+    /// Link policy name (`"arq"` or `"ppr"`).
+    pub link: String,
+    /// The accumulated link metrics at this point.
+    pub metrics: LinkMetrics,
+}
+
+/// Runs the Figure 6 grid with ARQ and PPR link policies through the
+/// engine: the same packets, now closed by the link layer.
+pub fn run_links(cfg: &Fig6Config) -> Vec<Fig6LinkPoint> {
+    let snrs: Vec<f64> = cfg.snrs.iter().map(|s| s.db()).collect();
+    let grid = SweepGrid::new()
+        .rates(&[cfg.rate])
+        .decoders(&[cfg.decoder.registry_name()])
+        .links(&["arq", "ppr"])
+        .snrs_db(&snrs)
+        .seeds(&[cfg.seed])
+        .packets(cfg.packets_per_snr)
+        .payload_bits(cfg.payload_bits);
+    let scenarios = grid.scenarios();
+    let results = SweepRunner::auto()
+        .run(&scenarios)
+        .expect("stock decoder, channel, and link names");
+    scenarios
+        .iter()
+        .zip(&results)
+        .map(|(sc, r)| Fig6LinkPoint {
+            snr_db: sc.snr_db,
+            link: sc.link.clone(),
+            metrics: r.link.expect("link-enabled scenario"),
+        })
+        .collect()
+}
+
+/// Renders the link companion sweep as an aligned table.
+pub fn render_links(points: &[Fig6LinkPoint]) -> String {
+    let mut out = String::from("Link layer on the Figure 6 grid: ARQ vs partial packet recovery\n");
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>9} {:>8} {:>10} {:>9}\n",
+        "SNR dB", "link", "goodput", "retx %", "delivered", "gave up"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>8.2} {:>6} {:>9.3} {:>7.1}% {:>10} {:>9}\n",
+            p.snr_db,
+            p.link,
+            p.metrics.goodput(),
+            100.0 * p.metrics.retransmit_fraction(),
+            p.metrics.delivered,
+            p.metrics.gave_up
+        ));
+    }
+    out
+}
+
 /// Renders the binned scatter in the paper's format.
 pub fn render(cfg: &Fig6Config, result: &Fig6Result) -> String {
     let mut out = format!(
@@ -211,6 +276,27 @@ mod tests {
             dirty > clean,
             "dirty-predicted packets should be worse: {clean:.2e} vs {dirty:.2e}"
         );
+    }
+
+    #[test]
+    fn link_companion_covers_the_grid() {
+        let cfg = small();
+        let points = run_links(&cfg);
+        assert_eq!(points.len(), cfg.snrs.len() * 2, "(SNR x {{arq, ppr}})");
+        for p in &points {
+            let g = p.metrics.goodput();
+            assert!((0.0..=1.0).contains(&g), "{} goodput {g}", p.link);
+            assert_eq!(p.metrics.packets, u64::from(cfg.packets_per_snr));
+        }
+        // At the top of the sweep (cleanest SNR) nearly everything lands.
+        let best = points
+            .iter()
+            .filter(|p| p.link == "ppr")
+            .max_by(|a, b| a.snr_db.partial_cmp(&b.snr_db).unwrap())
+            .unwrap();
+        assert!(best.metrics.delivery_rate() > 0.5);
+        let txt = render_links(&points);
+        assert!(txt.contains("arq") && txt.contains("ppr"));
     }
 
     #[test]

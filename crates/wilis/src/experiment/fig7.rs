@@ -1,5 +1,5 @@
 //! Figure 7: SoftRate rate selection under a 20 Hz fading channel with
-//! 10 dB AWGN.
+//! 10 dB AWGN — run entirely on the scenario engine's link dimension.
 //!
 //! The transmitter MAC observes each packet's predicted PBER (as it would
 //! arrive on an ARQ acknowledgement) and adjusts the rate of future
@@ -8,27 +8,24 @@
 //! when below it (§4.4.2). Establishing that oracle is exactly what the
 //! paper's "pseudo-random noise model" exists for: every candidate rate is
 //! replayed against the identical noise-and-fading-versus-time
-//! realization ([`wilis_channel::ReplayChannel`]).
+//! realization.
 //!
-//! Fading substitution (documented in DESIGN.md): the paper's receiver has
-//! no channel estimation, so we give the fading experiments genie
-//! equalization — received samples are divided by the known channel gain,
-//! leaving the effective SNR `|h|² × SNR`, which is the quantity rate
-//! adaptation responds to.
+//! Since the link-layer sweep integration, all of that machinery lives in
+//! the engine itself: the `"trace"` channel model walks one replayed
+//! fading realization packet by packet (with genie equalization — the
+//! receiver has no channel estimation, as documented in DESIGN.md), the
+//! `"softrate"` link policy steers the transmit rate and asks the engine
+//! for the per-packet all-rates oracle replay, and the under/accurate/over
+//! tallies come back as [`wilis_mac::LinkMetrics`]. This driver is just a
+//! [`Scenario`] description plus a result mapping.
 
-use wilis_channel::{Channel, ReplayChannel, SnrDb};
-use wilis_fxp::rng::SmallRng;
-use wilis_fxp::Cplx;
-use wilis_mac::{SelectionStats, SoftRate};
-use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter, SYMBOL_LEN};
-use wilis_softphy::calibrate::receiver_for;
-use wilis_softphy::{BerEstimator, DecoderKind, ScalingFactors};
+use wilis_channel::SnrDb;
+use wilis_lis::registry::Params;
+use wilis_mac::SelectionStats;
+use wilis_phy::PhyRate;
+use wilis_softphy::DecoderKind;
 
-use crate::scenario::SweepRunner;
-
-/// Baseband sample rate: 80 samples per 4 µs OFDM symbol (shared with
-/// the channel models so replay time and model time cannot diverge).
-const SAMPLE_RATE_HZ: f64 = wilis_channel::MODEL_SAMPLE_RATE_HZ;
+use crate::scenario::{Scenario, ScenarioResult, SweepRunner};
 
 /// Configuration of the SoftRate trial.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +56,28 @@ impl Fig7Config {
             seed: 0xF17,
         }
     }
+
+    /// The grid point this trial is, in engine form: the Figure 7 channel
+    /// as a `"trace"` walk and SoftRate as the `"softrate"` link policy
+    /// starting from QAM-16 1/2.
+    pub fn scenario(&self, decoder: DecoderKind) -> Scenario {
+        let mut channel_params = Params::new();
+        channel_params.set("doppler_hz", &format!("{}", self.doppler_hz));
+        channel_params.set("base_seed", &format!("{}", self.seed));
+        channel_params.set("gap_secs", &format!("{}", self.gap_secs));
+        Scenario {
+            rate: PhyRate::Qam16Half,
+            decoder: decoder.registry_name().to_string(),
+            channel: "trace".to_string(),
+            channel_params,
+            link: "softrate".to_string(),
+            link_params: Params::new(),
+            snr_db: self.snr.db(),
+            seed: self.seed,
+            packets: self.packets,
+            payload_bits: self.payload_bits,
+        }
+    }
 }
 
 /// The outcome of one trial.
@@ -74,143 +93,42 @@ pub struct Fig7Result {
     pub delivery_rate: f64,
 }
 
-fn equalize(samples: &mut [Cplx], gain: Cplx) {
-    let inv = Cplx::ONE / gain;
-    for s in samples {
-        *s *= inv;
-    }
-}
-
-/// Transmits `payload` at `rate` through the replayed channel starting at
-/// `start`, with genie equalization, receiving into `got` and reusing
-/// `scratch`/`samples` (the steady-state form). Returns the airtime in
-/// samples.
-#[allow(clippy::too_many_arguments)]
-fn send_one(
-    rate: PhyRate,
-    rx: &mut Receiver,
-    channel: &mut ReplayChannel,
-    start: u64,
-    payload: &[u8],
-    scramble_seed: u8,
-    scratch: &mut PhyScratch,
-    samples: &mut Vec<Cplx>,
-    got: &mut RxResult,
-) -> u64 {
-    let fields = Transmitter::new(rate).tx_into(payload, scramble_seed, scratch, samples);
-    channel.seek(start);
-    let gain = channel.current_gain();
-    channel.apply(samples);
-    equalize(samples, gain);
-    rx.rx_from(samples, payload.len(), scramble_seed, scratch, got);
-    (fields.n_symbols * SYMBOL_LEN) as u64
-}
-
-/// Runs the Figure 7 trial for one decoder.
-pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
-    let mut channel = ReplayChannel::fading(cfg.snr, cfg.doppler_hz, SAMPLE_RATE_HZ, cfg.seed);
-    let mut softrate = SoftRate::for_packet_bits(PhyRate::Qam16Half, cfg.payload_bits);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut stats = SelectionStats::new();
-    let gap_samples = (cfg.gap_secs * SAMPLE_RATE_HZ) as u64;
-
-    // Receivers: one SoftPHY receiver per rate for the protocol path, one
-    // Viterbi receiver per rate for the oracle.
-    let mut soft_rx: Vec<Receiver> = PhyRate::all()
-        .iter()
-        .map(|&r| {
-            receiver_for(
-                r,
-                decoder,
-                ScalingFactors::hint_demapper_bits(r.modulation()),
-            )
-        })
-        .collect();
-    let mut oracle_rx: Vec<Receiver> = PhyRate::all()
-        .iter()
-        .map(|&r| Receiver::viterbi(r))
-        .collect();
-    let estimators: Vec<BerEstimator> = PhyRate::all()
-        .iter()
-        .map(|&r| BerEstimator::analytic_for_rate(r, decoder))
-        .collect();
-
-    let mut rate_sum_mbps = 0.0;
-    let mut delivered = 0u64;
-    let mut position = 0u64;
-
-    // Per-trial working memory, reused across packets and rates.
-    let mut scratch = PhyScratch::new();
-    let mut samples: Vec<Cplx> = Vec::new();
-    let mut got = RxResult::default();
-    let mut payload: Vec<u8> = Vec::new();
-
-    for p in 0..cfg.packets {
-        payload.clear();
-        payload.extend((0..cfg.payload_bits).map(|_| rng.gen_bit()));
-        let scramble_seed = (p % 127 + 1) as u8;
-        let selected = softrate.current();
-        let idx = PhyRate::all()
-            .iter()
-            .position(|&r| r == selected)
-            .expect("in table");
-
-        // Protocol path: send at the selected rate, estimate PBER, adapt.
-        let airtime = send_one(
-            selected,
-            &mut soft_rx[idx],
-            &mut channel,
-            position,
-            &payload,
-            scramble_seed,
-            &mut scratch,
-            &mut samples,
-            &mut got,
-        );
-        let pber = estimators[idx].per_packet(&got.hints);
-        softrate.observe(pber);
-        let clean = got.bit_errors(&payload) == 0;
-        delivered += u64::from(clean);
-        rate_sum_mbps += selected.mbps();
-
-        // Oracle: replay every rate against the identical channel.
-        let mut optimal = None;
-        for (ri, &rate) in PhyRate::all().iter().enumerate() {
-            send_one(
-                rate,
-                &mut oracle_rx[ri],
-                &mut channel,
-                position,
-                &payload,
-                scramble_seed,
-                &mut scratch,
-                &mut samples,
-                &mut got,
-            );
-            if got.bit_errors(&payload) == 0 {
-                optimal = Some(rate); // rates iterate slowest->fastest
-            }
-        }
-        stats.record(SoftRate::classify(selected, optimal));
-
-        position += airtime + gap_samples;
-    }
-
+fn result_from(decoder: DecoderKind, r: &ScenarioResult) -> Fig7Result {
+    let m = r.link.expect("softrate scenario carries link metrics");
     Fig7Result {
         decoder,
-        stats,
-        mean_rate_mbps: rate_sum_mbps / f64::from(cfg.packets),
-        delivery_rate: delivered as f64 / f64::from(cfg.packets),
+        stats: SelectionStats {
+            under: m.under,
+            accurate: m.accurate,
+            over: m.over,
+        },
+        mean_rate_mbps: m.mean_selected_mbps(),
+        delivery_rate: m.delivery_rate(),
     }
 }
 
-/// Runs both decoders' trials concurrently on the scenario engine's
-/// deterministic worker pool (each trial is internally sequential — rate
-/// adaptation carries state from packet to packet — but the two trials
-/// are independent).
+/// Runs the Figure 7 trial for one decoder through the sweep engine.
+pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
+    let results = SweepRunner::new(1)
+        .run(&[cfg.scenario(decoder)])
+        .expect("stock decoder, channel, and link names");
+    result_from(decoder, &results[0])
+}
+
+/// Runs both decoders' trials concurrently — two grid points of the same
+/// sweep (each is internally sequential: rate adaptation carries state
+/// from packet to packet, which is exactly what the link policy models).
 pub fn run_both(cfg: &Fig7Config) -> Vec<Fig7Result> {
     let decoders = [DecoderKind::Bcjr, DecoderKind::Sova];
-    SweepRunner::auto().run_indexed(decoders.len(), |i| run(cfg, decoders[i]))
+    let scenarios: Vec<Scenario> = decoders.iter().map(|&d| cfg.scenario(d)).collect();
+    let results = SweepRunner::auto()
+        .run(&scenarios)
+        .expect("stock decoder, channel, and link names");
+    decoders
+        .iter()
+        .zip(&results)
+        .map(|(&d, r)| result_from(d, r))
+        .collect()
 }
 
 /// Renders both decoders' bars in the paper's format.
@@ -267,6 +185,21 @@ mod tests {
         let b = run(&cfg, DecoderKind::Bcjr);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.mean_rate_mbps, b.mean_rate_mbps);
+    }
+
+    #[test]
+    fn run_both_matches_individual_runs() {
+        // The engine executes both decoders' trials as grid points; each
+        // must be bit-identical to its standalone run.
+        let cfg = Fig7Config {
+            packets: 6,
+            payload_bits: 256,
+            ..Fig7Config::paper(6)
+        };
+        let both = run_both(&cfg);
+        let solo = run(&cfg, DecoderKind::Bcjr);
+        assert_eq!(both[0].stats, solo.stats);
+        assert_eq!(both[0].mean_rate_mbps, solo.mean_rate_mbps);
     }
 
     #[test]

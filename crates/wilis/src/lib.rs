@@ -17,7 +17,7 @@
 //! | FEC | [`fec`] | encoder, Viterbi, SOVA, sliding-window BCJR |
 //! | Baseband | [`phy`] | scrambler, interleaver, mapper, soft demapper, FFT, OFDM, framing |
 //! | SoftPHY | [`softphy`] | hint→BER estimation, scaling factors, calibration |
-//! | Link layer | [`mac`] | SoftRate, ARQ, partial packet recovery |
+//! | Link layer | [`mac`] | SoftRate, ARQ, partial packet recovery; registry-addressed link policies |
 //! | Platform model | [`cosim`] | Figure 2 simulation-speed model |
 //! | Cost model | [`area`] | Figure 8 LUT/FF synthesis model |
 //!
@@ -89,7 +89,7 @@ pub mod prelude {
         BcjrDecoder, ConvCode, ConvEncoder, SoftDecoder, SovaDecoder, ViterbiDecoder,
     };
     pub use wilis_fxp::Cplx;
-    pub use wilis_mac::{SelectionStats, SoftRate};
+    pub use wilis_mac::{LinkMetrics, LinkPolicy, SelectionStats, SoftRate};
     pub use wilis_phy::{Modulation, PhyRate, Receiver, Transmitter};
     pub use wilis_softphy::{BerEstimator, DecoderKind};
 

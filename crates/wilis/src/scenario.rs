@@ -1,6 +1,6 @@
 //! The batched scenario engine: Monte-Carlo grids over
-//! (rate × decoder × channel × SNR × seed), executed across a worker pool
-//! with chunk-seeded determinism.
+//! (rate × decoder × channel × link × SNR × seed), executed across a
+//! worker pool with chunk-seeded determinism.
 //!
 //! Every figure of the paper's evaluation is, at bottom, a grid of
 //! independent transmit→channel→receive→decode trials. The paper spent
@@ -23,6 +23,16 @@
 //! meaningful packet budget and keeping scenarios self-contained is what
 //! makes the determinism contract trivial.
 //!
+//! The **link dimension** puts the MAC layer on the grid: a scenario names
+//! a [`LinkPolicy`] (resolved through [`link_registry`]; `"none"` keeps
+//! the PHY-only behavior) that observes every packet — decisions, SoftPHY
+//! hints, the CRC-equivalent ground truth — and accumulates
+//! [`LinkMetrics`] per grid point. Rate-adapting policies (SoftRate)
+//! steer the transmit rate through their verdicts, and policies that ask
+//! for it get the Figure 7 oracle: every rate replayed against the
+//! identical channel realization, which the seed-addressed
+//! [`ChannelModel`] contract provides for free.
+//!
 //! # Example
 //!
 //! ```
@@ -44,12 +54,15 @@
 
 use std::sync::Arc;
 
-use wilis_channel::{AwgnModel, ChannelModel, FadingModel, ReplayModel, SnrDb};
+use wilis_channel::{AwgnModel, ChannelModel, FadingModel, ReplayModel, SnrDb, TraceModel};
 use wilis_fec::MAX_HINT;
 use wilis_fxp::rng::{mix_seed, SmallRng};
 use wilis_fxp::Cplx;
 use wilis_lis::registry::{Params, Registry, RegistryError};
-use wilis_phy::{PhyRate, PhyScratch, RxResult, Transmitter};
+use wilis_mac::link::{LinkContext, LinkMetrics, LinkPolicy, Oracle};
+use wilis_mac::ppr::PprConfig;
+use wilis_mac::{ArqLink, PprLink, SoftRate, SoftRateLink};
+use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
 use wilis_softphy::{BerEstimator, DecoderKind, HintBin, ScalingFactors};
 
 use crate::{SystemConfig, WilisSystem};
@@ -57,9 +70,14 @@ use crate::{SystemConfig, WilisSystem};
 /// A factory slot for seed-addressed channel models.
 pub type ChannelSlot = Registry<Box<dyn ChannelModel>>;
 
+/// A factory slot for link-layer policies.
+pub type LinkSlot = Registry<Box<dyn LinkPolicy>>;
+
 /// The stock channel registry: `"awgn"` (param: `snr_db`), `"fading"`
 /// (params: `snr_db`, `doppler_hz`), `"replay"` (params: `snr_db`,
-/// `doppler_hz`, `base_seed`).
+/// `doppler_hz`, `base_seed`), and `"trace"` (params: `snr_db`,
+/// `doppler_hz`, `base_seed`, `gap_secs`) — the time-coherent fading walk
+/// protocol experiments like Figure 7 run on.
 pub fn channel_registry() -> ChannelSlot {
     let mut reg: ChannelSlot = Registry::new("channel");
     reg.register("awgn", |p| {
@@ -77,13 +95,62 @@ pub fn channel_registry() -> ChannelSlot {
         let base = p.get_u64("base_seed").unwrap_or(0xF17);
         Box::new(ReplayModel::new(snr, doppler, base))
     });
+    reg.register("trace", |p| {
+        let snr = SnrDb::new(p.get_f64("snr_db").unwrap_or(10.0));
+        let doppler = p.get_f64("doppler_hz").unwrap_or(20.0);
+        let base = p.get_u64("base_seed").unwrap_or(0xF17);
+        let gap = p.get_f64("gap_secs").unwrap_or(0.5e-3);
+        Box::new(TraceModel::new(snr, doppler, base, gap))
+    });
     reg
 }
 
-/// One point of a (rate × decoder × channel × SNR × seed) grid.
+/// The stock link-policy registry, mirroring [`channel_registry`]:
+///
+/// * `"arq"` — whole-packet stop-and-wait ARQ (param: `max_retries`),
+/// * `"ppr"` — partial packet recovery (params: `chunk_bits`,
+///   `hint_threshold`),
+/// * `"softrate"` — PBER-threshold rate adaptation (params: `pber_lo` /
+///   `pber_hi` to override the packet-size-derived band, `oracle` to
+///   toggle the per-packet all-rates replay behind the Figure 7 tallies).
+///
+/// The engine fills in `payload_bits` and `initial_rate_mbps` from the
+/// scenario at run time, exactly as it fills `snr_db` for channels. The
+/// name `"none"` is reserved: it never reaches the registry and keeps a
+/// scenario PHY-only.
+pub fn link_registry() -> LinkSlot {
+    let mut reg: LinkSlot = Registry::new("link");
+    reg.register("arq", |p| {
+        let bits = p.get_u64("payload_bits").unwrap_or(1704).max(1);
+        let retries = p.get_u64("max_retries").unwrap_or(4) as u32;
+        Box::new(ArqLink::new(bits, retries))
+    });
+    reg.register("ppr", |p| {
+        let chunk = p.get_u64("chunk_bits").unwrap_or(71).max(1) as usize;
+        let threshold = p.get_u64("hint_threshold").unwrap_or(8) as u16;
+        Box::new(PprLink::new(PprConfig::new(chunk, threshold)))
+    });
+    reg.register("softrate", |p| {
+        let bits = p.get_u64("payload_bits").unwrap_or(1704).max(1) as usize;
+        let initial = p
+            .get_f64("initial_rate_mbps")
+            .and_then(|m| PhyRate::all().iter().copied().find(|r| r.mbps() == m))
+            .unwrap_or(PhyRate::Qam16Half);
+        let controller = match (p.get_f64("pber_lo"), p.get_f64("pber_hi")) {
+            (Some(lo), Some(hi)) => SoftRate::with_thresholds(initial, lo, hi),
+            _ => SoftRate::for_packet_bits(initial, bits),
+        };
+        let oracle = p.get_bool("oracle").unwrap_or(true);
+        Box::new(SoftRateLink::new(controller, oracle))
+    });
+    reg
+}
+
+/// One point of a (rate × decoder × channel × link × SNR × seed) grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// The PHY rate under test.
+    /// The PHY rate under test (the *initial* rate when a rate-adapting
+    /// link policy is in force).
     pub rate: PhyRate,
     /// Decoder implementation name (resolved via [`WilisSystem`]'s
     /// registry: `"viterbi"`, `"sova"`, `"bcjr"`, or a user registration).
@@ -93,6 +160,12 @@ pub struct Scenario {
     /// Extra channel parameters (`doppler_hz`, `base_seed`, …); `snr_db`
     /// is filled in from [`Scenario::snr_db`] at run time.
     pub channel_params: Params,
+    /// Link policy name (resolved via [`link_registry`]); `"none"` keeps
+    /// the scenario PHY-only.
+    pub link: String,
+    /// Extra link-policy parameters (`max_retries`, `hint_threshold`, …);
+    /// `payload_bits` and `initial_rate_mbps` are filled in at run time.
+    pub link_params: Params,
     /// Operating SNR in dB.
     pub snr_db: f64,
     /// Scenario seed: all packet payloads and channel realizations derive
@@ -107,11 +180,17 @@ pub struct Scenario {
 impl Scenario {
     /// A human-readable grid-point label.
     pub fn label(&self) -> String {
+        let link = if self.link == "none" {
+            String::new()
+        } else {
+            format!(" {}", self.link)
+        };
         format!(
-            "{} {} {} @{:.2}dB seed{}",
+            "{} {} {}{} @{:.2}dB seed{}",
             self.rate.label(),
             self.decoder,
             self.channel,
+            link,
             self.snr_db,
             self.seed
         )
@@ -152,6 +231,9 @@ pub struct ScenarioResult {
     /// Per-packet scatter points, populated only when the runner records
     /// packet stats.
     pub packet_stats: Vec<PacketStat>,
+    /// Link-layer metrics accumulated by the scenario's [`LinkPolicy`];
+    /// `None` for PHY-only (`link == "none"`) scenarios.
+    pub link: Option<LinkMetrics>,
 }
 
 impl ScenarioResult {
@@ -189,11 +271,13 @@ pub struct SweepGrid {
     rates: Vec<PhyRate>,
     decoders: Vec<String>,
     channels: Vec<String>,
+    links: Vec<String>,
     snrs_db: Vec<f64>,
     seeds: Vec<u64>,
     packets: u32,
     payload_bits: usize,
     channel_params: Params,
+    link_params: Params,
 }
 
 impl SweepGrid {
@@ -205,11 +289,13 @@ impl SweepGrid {
             rates: vec![PhyRate::Qam16Half],
             decoders: vec!["bcjr".to_string()],
             channels: vec!["awgn".to_string()],
+            links: vec!["none".to_string()],
             snrs_db: vec![8.0],
             seeds: vec![1],
             packets: 8,
             payload_bits: 1704,
             channel_params: Params::new(),
+            link_params: Params::new(),
         }
     }
 
@@ -228,6 +314,13 @@ impl SweepGrid {
     /// Sets the channel-model axis (registry names).
     pub fn channels(mut self, names: &[&str]) -> Self {
         self.channels = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the link-policy axis (registry names plus the reserved
+    /// `"none"` for PHY-only points).
+    pub fn links(mut self, names: &[&str]) -> Self {
+        self.links = names.iter().map(|s| s.to_string()).collect();
         self
     }
 
@@ -262,11 +355,19 @@ impl SweepGrid {
         self
     }
 
+    /// Sets an extra link-policy parameter forwarded to the policy factory
+    /// (e.g. `hint_threshold`); policies ignore keys they do not use.
+    pub fn link_param(mut self, key: &str, value: &str) -> Self {
+        self.link_params.set(key, value);
+        self
+    }
+
     /// Number of grid points.
     pub fn len(&self) -> usize {
         self.rates.len()
             * self.decoders.len()
             * self.channels.len()
+            * self.links.len()
             * self.snrs_db.len()
             * self.seeds.len()
     }
@@ -282,18 +383,22 @@ impl SweepGrid {
         for &rate in &self.rates {
             for decoder in &self.decoders {
                 for channel in &self.channels {
-                    for &snr_db in &self.snrs_db {
-                        for &seed in &self.seeds {
-                            out.push(Scenario {
-                                rate,
-                                decoder: decoder.clone(),
-                                channel: channel.clone(),
-                                channel_params: self.channel_params.clone(),
-                                snr_db,
-                                seed,
-                                packets: self.packets,
-                                payload_bits: self.payload_bits,
-                            });
+                    for link in &self.links {
+                        for &snr_db in &self.snrs_db {
+                            for &seed in &self.seeds {
+                                out.push(Scenario {
+                                    rate,
+                                    decoder: decoder.clone(),
+                                    channel: channel.clone(),
+                                    channel_params: self.channel_params.clone(),
+                                    link: link.clone(),
+                                    link_params: self.link_params.clone(),
+                                    snr_db,
+                                    seed,
+                                    packets: self.packets,
+                                    payload_bits: self.payload_bits,
+                                });
+                            }
                         }
                     }
                 }
@@ -309,7 +414,7 @@ impl Default for SweepGrid {
     }
 }
 
-type EnvFactory = dyn Fn() -> (WilisSystem, ChannelSlot) + Send + Sync;
+type EnvFactory = dyn Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync;
 
 /// Executes scenario grids across a worker pool.
 ///
@@ -335,7 +440,7 @@ impl SweepRunner {
         Self {
             threads,
             record_packet_stats: false,
-            env: Arc::new(|| (WilisSystem::new(), channel_registry())),
+            env: Arc::new(|| (WilisSystem::new(), channel_registry(), link_registry())),
         }
     }
 
@@ -359,15 +464,15 @@ impl SweepRunner {
         self
     }
 
-    /// Replaces the environment factory, for sweeps over user decoder or
-    /// channel registrations. The factory runs once per *scenario* (each
-    /// grid point is self-contained — that is what makes the determinism
-    /// contract trivial), so keep it cheap relative to a scenario's packet
-    /// budget: register implementations inside it, load big assets outside
-    /// and share them via `Arc`.
+    /// Replaces the environment factory, for sweeps over user decoder,
+    /// channel, or link-policy registrations. The factory runs once per
+    /// *scenario* (each grid point is self-contained — that is what makes
+    /// the determinism contract trivial), so keep it cheap relative to a
+    /// scenario's packet budget: register implementations inside it, load
+    /// big assets outside and share them via `Arc`.
     pub fn with_env(
         mut self,
-        env: impl Fn() -> (WilisSystem, ChannelSlot) + Send + Sync + 'static,
+        env: impl Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync + 'static,
     ) -> Self {
         self.env = Arc::new(env);
         self
@@ -378,27 +483,54 @@ impl SweepRunner {
     /// # Errors
     ///
     /// Returns the first [`RegistryError`] if a scenario names an
-    /// unregistered decoder or channel. Names are validated *before* any
-    /// Monte-Carlo work starts, so a typo in one grid point fails the run
-    /// in microseconds instead of after the other points' budgets burn.
+    /// unregistered decoder, channel, or link policy. Names are validated
+    /// *before* any Monte-Carlo work starts, so a typo in one grid point
+    /// fails the run in microseconds instead of after the other points'
+    /// budgets burn.
+    ///
+    /// # Panics
+    ///
+    /// Panics (also before any Monte-Carlo work) when a scenario pairs a
+    /// PBER-driven link policy (`LinkPolicy::needs_pber`, e.g.
+    /// `"softrate"`) with a decoder that has no SoftPHY BER estimator
+    /// (e.g. `"viterbi"`): the policy would adapt on a constant 0.0 and
+    /// produce plausible-looking garbage.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
         // Fail fast on unknown names: resolve every distinct
-        // (decoder, channel) pair once against a throwaway environment.
-        let (system, channels) = (self.env)();
-        let mut checked: Vec<(&str, &str)> = Vec::new();
+        // (decoder, channel, link) triple once against a throwaway
+        // environment.
+        let (system, channels, links) = (self.env)();
+        let mut checked: Vec<(&str, &str, &str)> = Vec::new();
         for sc in scenarios {
-            let pair = (sc.decoder.as_str(), sc.channel.as_str());
-            if !checked.contains(&pair) {
+            let triple = (sc.decoder.as_str(), sc.channel.as_str(), sc.link.as_str());
+            if !checked.contains(&triple) {
                 system.receiver(&SystemConfig::new(sc.rate, &sc.decoder))?;
                 channels.build(&sc.channel, &sc.channel_params)?;
-                checked.push(pair);
+                if sc.link != "none" {
+                    let policy = links.build(&sc.link, &sc.link_params)?;
+                    // An assert, not a RegistryError: both names exist,
+                    // the *pairing* is invalid — programmer error, which
+                    // this workspace consistently rejects by panicking
+                    // (`SweepRunner::new`, `PprConfig::new`, …).
+                    assert!(
+                        !policy.needs_pber()
+                            || DecoderKind::from_registry_name(&sc.decoder).is_some(),
+                        "link policy {:?} adapts on predicted PBER, but decoder {:?} \
+                         exports no SoftPHY BER estimate (its estimate would be a \
+                         constant 0.0); pair it with a soft decoder such as \"sova\" \
+                         or \"bcjr\"",
+                        sc.link,
+                        sc.decoder
+                    );
+                }
+                checked.push(triple);
             }
         }
         let record = self.record_packet_stats;
         let env = Arc::clone(&self.env);
         self.run_indexed(scenarios.len(), move |i| {
-            let (system, channels) = env();
-            run_scenario(&system, &channels, i, &scenarios[i], record)
+            let (system, channels, links) = env();
+            run_scenario(&system, &channels, &links, i, &scenarios[i], record)
         })
         .into_iter()
         .collect()
@@ -459,34 +591,118 @@ impl std::fmt::Debug for SweepRunner {
     }
 }
 
+/// Per-rate receiver machinery, built lazily: PHY-only scenarios and
+/// non-adapting link policies only ever touch the scenario's own rate;
+/// rate-adapting policies and the oracle fill in the rest on demand.
+struct RateBank {
+    rx: Vec<Option<(Receiver, Option<BerEstimator>)>>,
+}
+
+impl RateBank {
+    fn new() -> Self {
+        Self {
+            rx: PhyRate::all().map(|_| None).into(),
+        }
+    }
+
+    fn get(
+        &mut self,
+        system: &WilisSystem,
+        decoder: &str,
+        kind: Option<DecoderKind>,
+        rate: PhyRate,
+    ) -> Result<&mut (Receiver, Option<BerEstimator>), RegistryError> {
+        let idx = rate_index(rate);
+        if self.rx[idx].is_none() {
+            let mut config = SystemConfig::new(rate, decoder);
+            config.demapper_bits = ScalingFactors::hint_demapper_bits(rate.modulation());
+            let estimator = kind.map(|k| BerEstimator::analytic_for_rate(rate, k));
+            self.rx[idx] = Some((system.receiver(&config)?, estimator));
+        }
+        Ok(self.rx[idx].as_mut().expect("filled above"))
+    }
+}
+
+fn rate_index(rate: PhyRate) -> usize {
+    PhyRate::all()
+        .iter()
+        .position(|&r| r == rate)
+        .expect("rate in table")
+}
+
+/// Replays the packet at every rate against the identical channel
+/// realization (same channel seed) and returns the fastest rate that
+/// decoded error-free — the Figure 7 oracle, grounded on the
+/// seed-addressed [`ChannelModel`] contract. The oracle decodes with
+/// Viterbi (hard decisions suffice for ground truth).
+#[allow(clippy::too_many_arguments)]
+fn oracle_replay(
+    channel: &mut dyn ChannelModel,
+    chan_seed: u64,
+    payload: &[u8],
+    scramble_seed: u8,
+    oracle_rx: &mut [Option<(Receiver, PhyScratch)>],
+    samples: &mut Vec<Cplx>,
+    got: &mut RxResult,
+) -> Oracle {
+    let mut best = None;
+    for (ri, &rate) in PhyRate::all().iter().enumerate() {
+        let (rx, scratch) =
+            oracle_rx[ri].get_or_insert_with(|| (Receiver::viterbi(rate), PhyScratch::new()));
+        Transmitter::new(rate).tx_into(payload, scramble_seed, scratch, samples);
+        channel.apply(samples, chan_seed);
+        rx.rx_from(samples, payload.len(), scramble_seed, scratch, got);
+        if got.bit_errors(payload) == 0 {
+            best = Some(rate); // rates iterate slowest -> fastest
+        }
+    }
+    match best {
+        Some(rate) => Oracle::Best(rate),
+        None => Oracle::NoRate,
+    }
+}
+
 /// Executes one scenario: the allocation-free steady-state loop at the
 /// heart of the engine.
 fn run_scenario(
     system: &WilisSystem,
     channels: &ChannelSlot,
+    links: &LinkSlot,
     index: usize,
     sc: &Scenario,
     record: bool,
 ) -> Result<ScenarioResult, RegistryError> {
-    let tx = Transmitter::new(sc.rate);
-    let mut config = SystemConfig::new(sc.rate, &sc.decoder);
-    config.demapper_bits = ScalingFactors::hint_demapper_bits(sc.rate.modulation());
-    let mut rx = system.receiver(&config)?;
+    let decoder_kind = DecoderKind::from_registry_name(&sc.decoder);
+    let mut bank = RateBank::new();
+    bank.get(system, &sc.decoder, decoder_kind, sc.rate)?;
     let mut channel_params = sc.channel_params.clone();
     channel_params.set("snr_db", &format!("{}", sc.snr_db));
     let mut channel = channels.build(&sc.channel, &channel_params)?;
-    let estimator = DecoderKind::from_registry_name(&sc.decoder)
-        .map(|kind| BerEstimator::analytic_for_rate(sc.rate, kind));
+    let mut policy: Option<Box<dyn LinkPolicy>> = if sc.link == "none" {
+        None
+    } else {
+        let mut link_params = sc.link_params.clone();
+        link_params.set("payload_bits", &format!("{}", sc.payload_bits.max(1)));
+        link_params.set("initial_rate_mbps", &format!("{}", sc.rate.mbps()));
+        Some(links.build(&sc.link, &link_params)?)
+    };
+    let needs_oracle = policy.as_ref().is_some_and(|p| p.needs_oracle());
 
     let mut scratch = PhyScratch::new();
     let mut samples: Vec<Cplx> = Vec::new();
     let mut payload: Vec<u8> = Vec::new();
     let mut got = RxResult::default();
+    // Oracle working memory, touched only by oracle-requesting policies.
+    let mut oracle_rx: Vec<Option<(Receiver, PhyScratch)>> = PhyRate::all().map(|_| None).into();
+    let mut oracle_samples: Vec<Cplx> = Vec::new();
+    let mut oracle_got = RxResult::default();
+
     let mut hint_bins = vec![HintBin::default(); usize::from(MAX_HINT) + 1];
     let mut packet_errors = 0u64;
     let mut bit_errors = 0u64;
     let mut predicted_pber_sum = 0.0f64;
     let mut packet_stats = Vec::new();
+    let mut current_rate = sc.rate;
 
     for p in 0..sc.packets {
         let packet_seed = mix_seed(sc.seed, u64::from(p));
@@ -494,9 +710,11 @@ fn run_scenario(
         payload.clear();
         payload.extend((0..sc.payload_bits).map(|_| rng.gen_bit()));
         let scramble_seed = (p % 127 + 1) as u8;
+        let chan_seed = mix_seed(packet_seed, 1);
 
-        tx.tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
-        channel.apply(&mut samples, mix_seed(packet_seed, 1));
+        let (rx, estimator) = bank.get(system, &sc.decoder, decoder_kind, current_rate)?;
+        Transmitter::new(current_rate).tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
+        channel.apply(&mut samples, chan_seed);
         rx.rx_from(
             &samples,
             payload.len(),
@@ -529,6 +747,33 @@ fn run_scenario(
                 actual: errs_this_packet as f64 / sc.payload_bits.max(1) as f64,
             });
         }
+
+        if let Some(policy) = policy.as_mut() {
+            let oracle = if needs_oracle {
+                oracle_replay(
+                    channel.as_mut(),
+                    chan_seed,
+                    &payload,
+                    scramble_seed,
+                    &mut oracle_rx,
+                    &mut oracle_samples,
+                    &mut oracle_got,
+                )
+            } else {
+                Oracle::Unavailable
+            };
+            let ctx = LinkContext {
+                sent: &payload,
+                bit_errors: errs_this_packet,
+                predicted_pber: predicted,
+                rate: current_rate,
+                oracle,
+            };
+            let verdict = policy.observe(&got, &got.hints, &ctx);
+            if let Some(next) = verdict.next_rate {
+                current_rate = next;
+            }
+        }
     }
 
     Ok(ScenarioResult {
@@ -541,7 +786,33 @@ fn run_scenario(
         hint_bins,
         predicted_pber_sum,
         packet_stats,
+        link: policy.map(|p| p.metrics()),
     })
+}
+
+/// Renders the link-layer metrics of a result set as an aligned table;
+/// PHY-only scenarios are skipped.
+pub fn render_link_table(results: &[ScenarioResult]) -> String {
+    let mut out = format!(
+        "{:<50} {:>8} {:>7} {:>9} {:>8} {:>8} {:>17}\n",
+        "scenario", "goodput", "retx", "delivered", "gave up", "Mbps", "under/acc/over"
+    );
+    for r in results {
+        let Some(m) = &r.link else { continue };
+        out.push_str(&format!(
+            "{:<50} {:>8.3} {:>6.1}% {:>9} {:>8} {:>8.1} {:>5}/{:>5}/{:>5}\n",
+            r.label,
+            m.goodput(),
+            100.0 * m.retransmit_fraction(),
+            m.delivered,
+            m.gave_up,
+            m.mean_selected_mbps(),
+            m.under,
+            m.accurate,
+            m.over
+        ));
+    }
+    out
 }
 
 /// Renders a result set as an aligned table (label, BER, PER, predicted).
@@ -666,6 +937,126 @@ mod tests {
         assert_eq!(results.len(), 3);
         let table = render_table(&results);
         assert!(table.contains("awgn") && table.contains("fading") && table.contains("replay"));
+    }
+
+    #[test]
+    fn link_registry_stock_names() {
+        let reg = link_registry();
+        assert_eq!(reg.names(), vec!["arq", "ppr", "softrate"]);
+        assert!(!reg.contains("none"), "\"none\" never reaches the registry");
+    }
+
+    #[test]
+    fn unknown_link_is_an_error() {
+        let scenarios = SweepGrid::new().links(&["harq"]).scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("harq"));
+    }
+
+    #[test]
+    fn none_link_stays_phy_only() {
+        let scenarios = SweepGrid::new().packets(2).payload_bits(200).scenarios();
+        let results = SweepRunner::new(1).run(&scenarios).unwrap();
+        assert!(results[0].link.is_none());
+        assert!(
+            render_link_table(&results).lines().count() == 1,
+            "header only"
+        );
+    }
+
+    #[test]
+    fn link_grid_multiplies_the_axes() {
+        let grid = SweepGrid::new()
+            .links(&["none", "arq", "ppr"])
+            .snrs_db(&[6.0, 8.0]);
+        assert_eq!(grid.len(), 6);
+        let labels: Vec<String> = grid.scenarios().iter().map(|s| s.label()).collect();
+        assert!(labels.iter().any(|l| l.contains(" arq ")));
+        assert!(labels.iter().any(|l| l.contains(" ppr ")));
+    }
+
+    #[test]
+    fn arq_link_accounts_every_packet() {
+        let scenarios = SweepGrid::new()
+            .links(&["arq"])
+            .snrs_db(&[7.0])
+            .packets(12)
+            .payload_bits(400)
+            .scenarios();
+        let r = &SweepRunner::new(2).run(&scenarios).unwrap()[0];
+        let m = r.link.expect("arq metrics");
+        assert_eq!(m.packets, 12, "one attempt per simulated packet");
+        assert_eq!(m.bits_transmitted, 12 * 400);
+        assert!(m.goodput() >= 0.0 && m.goodput() <= 1.0);
+        assert!(m.bits_retransmitted <= m.bits_transmitted);
+    }
+
+    #[test]
+    fn ppr_beats_arq_goodput_in_the_waterfall() {
+        // Where packets are lossy but hints are informative, chunked
+        // retransmission must beat whole-packet ARQ on goodput.
+        let grid = SweepGrid::new()
+            .links(&["arq", "ppr"])
+            .snrs_db(&[6.0])
+            .packets(30)
+            .payload_bits(710);
+        let results = SweepRunner::new(2).run(&grid.scenarios()).unwrap();
+        let arq = results[0].link.expect("arq");
+        let ppr = results[1].link.expect("ppr");
+        assert!(results[0].per() > 0.1, "needs a lossy operating point");
+        assert!(
+            ppr.goodput() > arq.goodput(),
+            "PPR {:.3} should beat ARQ {:.3}",
+            ppr.goodput(),
+            arq.goodput()
+        );
+        assert!(ppr.retransmit_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn softrate_link_adapts_and_tallies() {
+        let scenarios = SweepGrid::new()
+            .links(&["softrate"])
+            .channels(&["trace"])
+            .snrs_db(&[10.0])
+            .packets(10)
+            .payload_bits(400)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let m = r.link.expect("softrate metrics");
+        assert_eq!(m.packets, 10);
+        assert_eq!(
+            m.under + m.accurate + m.over,
+            10,
+            "oracle judged each packet"
+        );
+        assert!(m.mean_selected_mbps() >= 6.0 && m.mean_selected_mbps() <= 54.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no SoftPHY BER estimate")]
+    fn softrate_with_hard_decoder_is_rejected() {
+        // Hard Viterbi exports no BER estimator; adapting on a constant
+        // 0.0 would be plausible-looking garbage, so the runner refuses.
+        let scenarios = SweepGrid::new()
+            .decoders(&["viterbi"])
+            .links(&["softrate"])
+            .scenarios();
+        let _ = SweepRunner::new(1).run(&scenarios);
+    }
+
+    #[test]
+    fn softrate_without_oracle_skips_the_tallies() {
+        let scenarios = SweepGrid::new()
+            .links(&["softrate"])
+            .link_param("oracle", "false")
+            .packets(4)
+            .payload_bits(300)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let m = r.link.expect("softrate metrics");
+        assert_eq!(m.under + m.accurate + m.over, 0);
+        assert_eq!(m.packets, 4);
     }
 
     #[test]

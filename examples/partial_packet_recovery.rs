@@ -1,4 +1,5 @@
-//! Partial Packet Recovery: repairing a corrupted packet from its hints.
+//! Partial packet recovery versus whole-packet ARQ, as a link-layer
+//! sweep on the scenario engine.
 //!
 //! ```text
 //! cargo run --release --example partial_packet_recovery
@@ -6,67 +7,65 @@
 //!
 //! PPR is the paper's first motivating consumer of per-bit confidence:
 //! instead of retransmitting a whole corrupted packet (ARQ), request only
-//! the chunks whose bits look unreliable. This example corrupts a packet
-//! with a noise burst, plans a PPR retransmission from the SoftPHY hints,
-//! and compares the cost against whole-packet ARQ.
+//! the chunks whose bits look unreliable. This example sweeps the QAM-16
+//! waterfall with both policies on the link axis of a `SweepGrid`, then
+//! sweeps PPR's hint threshold at a fixed lossy operating point — the
+//! whole experiment is registry names, no bespoke loops.
 
-use wilis::prelude::*;
-use wilis_mac::ppr::{evaluate, PprConfig};
+use wilis::phy::PhyRate;
+use wilis::scenario::{render_link_table, SweepGrid, SweepRunner};
 
 fn main() {
-    let rate = PhyRate::Qam16Half;
-    let payload: Vec<u8> = (0..1704).map(|i| ((i * 13 + 5) % 2) as u8).collect();
-    let tx = Transmitter::new(rate).transmit(&payload, 0x5D);
+    let packets = 60;
+    let payload_bits = 1704;
+    let snrs = [5.5, 6.0, 6.5, 7.0, 7.5];
 
-    // A channel that is clean except for a burst in the middle of the
-    // packet - the bursty interference case PPR was designed for.
-    let mut samples = tx.samples.clone();
-    AwgnChannel::new(SnrDb::new(30.0), 1).apply(&mut samples);
-    let burst = samples.len() / 2..samples.len() / 2 + 240; // ~3 OFDM symbols
-    let mut burst_noise = vec![Cplx::ZERO; burst.len()];
-    AwgnChannel::new(SnrDb::new(-3.0), 2).apply(&mut burst_noise);
-    for (s, n) in samples[burst.clone()].iter_mut().zip(&burst_noise) {
-        *s += *n;
-    }
+    println!("ARQ vs PPR across the QAM-16 1/2 waterfall ({packets} packets/point)\n");
+    let grid = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .links(&["arq", "ppr"])
+        .snrs_db(&snrs)
+        .packets(packets)
+        .payload_bits(payload_bits);
+    let results = SweepRunner::auto()
+        .run(&grid.scenarios())
+        .expect("stock registry names");
+    print!("{}", render_link_table(&results));
 
-    let mut rx = Receiver::bcjr(rate);
-    let got = rx.receive(&samples, payload.len(), 0x5D);
-    let errors: Vec<bool> = got
-        .payload
-        .iter()
-        .zip(&payload)
-        .map(|(a, b)| a != b)
-        .collect();
-    let n_errors = errors.iter().filter(|&&e| e).count();
+    // The PPR knob: a permissive threshold retransmits more chunks and
+    // recovers more packets; a strict one is cheaper but misses errors.
+    let snr = 6.0;
+    println!("\nPPR hint-threshold sweep at {snr} dB:");
     println!(
-        "burst-corrupted packet: {n_errors} bit errors in {} bits",
-        payload.len()
-    );
-
-    println!(
-        "\n{:>10} {:>12} {:>14} {:>12} {:>10}",
-        "threshold", "chunks sent", "bits resent", "% of packet", "recovered"
+        "{:>10} {:>9} {:>8} {:>10} {:>9}",
+        "threshold", "goodput", "retx %", "delivered", "gave up"
     );
     for threshold in [4u16, 8, 16, 24] {
-        let cfg = PprConfig::new(71, threshold); // 24 chunks of 71 bits
-        let plan = cfg.plan(&got.hints);
-        let outcome = evaluate(&cfg, &plan, &errors);
+        let grid = SweepGrid::new()
+            .rates(&[PhyRate::Qam16Half])
+            .links(&["ppr"])
+            .link_param("hint_threshold", &threshold.to_string())
+            .link_param("chunk_bits", "71")
+            .snrs_db(&[snr])
+            .packets(packets)
+            .payload_bits(payload_bits);
+        let results = SweepRunner::auto()
+            .run(&grid.scenarios())
+            .expect("stock registry names");
+        let m = results[0].link.expect("ppr metrics");
         println!(
-            "{:>10} {:>12} {:>14} {:>11.1}% {:>10}",
+            "{:>10} {:>9.3} {:>7.1}% {:>10} {:>9}",
             threshold,
-            plan.iter().filter(|&&p| p).count(),
-            outcome.retransmitted_bits,
-            100.0 * outcome.retransmit_fraction(),
-            if outcome.recovered() { "yes" } else { "no" }
+            m.goodput(),
+            100.0 * m.retransmit_fraction(),
+            m.delivered,
+            m.gave_up
         );
     }
 
     println!(
-        "\nconventional ARQ would retransmit all {} bits (100%)",
-        payload.len()
-    );
-    println!(
-        "PPR at the right threshold repairs the same packet for a fraction \
-         of the airtime - the efficiency gain the paper cites from [17]."
+        "\nconventional ARQ retransmits all {payload_bits} bits whenever any error \
+         exists;\nPPR repairs the same packets for a fraction of the airtime - the \
+         efficiency\ngain the paper cites from [17]."
     );
 }

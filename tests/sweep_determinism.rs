@@ -52,6 +52,100 @@ fn ber_is_bit_identical_not_just_close() {
     }
 }
 
+/// The acceptance grid of the link-layer integration: (rate × SNR × link)
+/// with every stock policy plus the PHY-only baseline on the link axis.
+fn link_grid() -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["bcjr"])
+        .links(&["none", "arq", "ppr", "softrate"])
+        .snrs_db(&[6.0, 9.0])
+        .packets(3)
+        .payload_bits(400)
+}
+
+#[test]
+fn link_grid_results_identical_at_1_2_and_8_threads() {
+    let scenarios = link_grid().scenarios();
+    assert_eq!(scenarios.len(), 16);
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads).run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread link sweep diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn link_metrics_are_bit_identical_not_just_close() {
+    // The link dimension inherits the engine's contract: identical
+    // counters and bit-identical floating-point summaries, including the
+    // SoftRate policy whose oracle replays every rate per packet.
+    let scenarios = link_grid().scenarios();
+    let a = SweepRunner::new(1).run(&scenarios).unwrap();
+    let b = SweepRunner::new(8).run(&scenarios).unwrap();
+    let mut linked = 0;
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.link.is_some(), y.link.is_some(), "{}", x.label);
+        let (Some(mx), Some(my)) = (&x.link, &y.link) else {
+            continue;
+        };
+        linked += 1;
+        assert_eq!(mx.packets, my.packets, "{}", x.label);
+        assert_eq!(mx.delivered, my.delivered, "{}", x.label);
+        assert_eq!(mx.gave_up, my.gave_up, "{}", x.label);
+        assert_eq!(mx.bits_transmitted, my.bits_transmitted, "{}", x.label);
+        assert_eq!(mx.bits_retransmitted, my.bits_retransmitted, "{}", x.label);
+        assert_eq!(
+            (mx.under, mx.accurate, mx.over),
+            (my.under, my.accurate, my.over),
+            "{}",
+            x.label
+        );
+        assert_eq!(
+            mx.selected_mbps_sum.to_bits(),
+            my.selected_mbps_sum.to_bits(),
+            "{}",
+            x.label
+        );
+    }
+    assert_eq!(linked, 12, "three link policies across four grid corners");
+}
+
+#[test]
+fn non_adapting_links_leave_the_phy_results_untouched() {
+    // ARQ and PPR observe packets but never steer the transmitter, so at
+    // the same grid point every PHY-side field must match the PHY-only
+    // ("none") scenario byte for byte — the link layer is a pure observer
+    // there. (SoftRate intentionally breaks this: it retunes the rate.)
+    let runner = SweepRunner::new(2);
+    let grid = |link: &str| {
+        SweepGrid::new()
+            .links(&[link])
+            .snrs_db(&[6.0])
+            .packets(4)
+            .payload_bits(400)
+            .scenarios()
+    };
+    let phy_only = runner.run(&grid("none")).unwrap();
+    for link in ["arq", "ppr"] {
+        let linked = runner.run(&grid(link)).unwrap();
+        for (a, b) in phy_only.iter().zip(&linked) {
+            assert_eq!(a.bit_errors, b.bit_errors, "{link}");
+            assert_eq!(a.packet_errors, b.packet_errors, "{link}");
+            assert_eq!(a.hint_bins, b.hint_bins, "{link}");
+            assert_eq!(
+                a.predicted_pber_sum.to_bits(),
+                b.predicted_pber_sum.to_bits(),
+                "{link}"
+            );
+            assert!(a.link.is_none() && b.link.is_some());
+        }
+    }
+}
+
 #[test]
 fn repeated_runs_are_reproducible() {
     // Same grid, same runner, different invocation: still identical —
