@@ -1,0 +1,245 @@
+//! Compiled-trellis decode throughput: the perf trajectory of the hottest
+//! path in the codebase.
+//!
+//! Every figure of the paper is a Monte-Carlo sweep whose inner loop is a
+//! trellis decode, so this bench times exactly that — coded-bit decode
+//! throughput (Mbit/s) per decoder for both kernel generations:
+//!
+//! * **compiled** — the branchless `i32` butterfly kernels with bit-packed
+//!   survivors (`wilis_fec::compiled`), the path every decode takes today;
+//! * **reference** — the frozen pre-compiled `i64` kernels
+//!   (`decode_terminated_reference_into`), the pre-PR baseline.
+//!
+//! Both run in the same binary on the same inputs (outputs are
+//! bit-identical by contract), so the recorded speedup is an
+//! apples-to-apples kernel comparison. A full scenario-grid timing
+//! (packets/s through the engine, including the shared-channel job
+//! fusion) rides along.
+//!
+//! Results go to stdout *and* to `BENCH_trellis.json` (override the path
+//! with `WILIS_BENCH_OUT`), one JSON object per run — the file every
+//! future PR re-emits so decode-throughput regressions are visible in the
+//! repo history. Schema:
+//!
+//! ```json
+//! {
+//!   "bench": "perf_trellis",
+//!   "code": "K=7 r=1/2 (0o133, 0o171)",
+//!   "coded_bits_per_block": 8204,
+//!   "decoders": [
+//!     {"decoder": "viterbi", "compiled_mbps": 0.0, "reference_mbps": 0.0,
+//!      "speedup": 0.0, "compiled_mean_secs": 0.0, "reference_mean_secs": 0.0}
+//!   ],
+//!   "grid": {"scenarios": 0, "packets_total": 0, "packets_per_sec": 0.0,
+//!            "mean_secs": 0.0}
+//! }
+//! ```
+
+use wilis::fec::{
+    hard_llr, BcjrDecoder, ConvCode, ConvEncoder, DecodeOutput, Llr, SoftDecoder, SovaDecoder,
+    ViterbiDecoder,
+};
+use wilis::fxp::rng::SmallRng;
+use wilis::phy::PhyRate;
+use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report, Measurement};
+use wilis_bench::{banner, budget};
+
+/// A reproducible noisy coded block at a Figure-5-like operating point:
+/// random payload, hard-decision LLRs at demapper scale, a sprinkling of
+/// flips and erasures so the decoders do real work.
+fn noisy_block(code: &ConvCode, info_bits: usize, seed: u64) -> Vec<Llr> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<u8> = (0..info_bits).map(|_| rng.gen_bit()).collect();
+    ConvEncoder::new(code)
+        .encode_terminated(&data)
+        .iter()
+        .map(|&b| {
+            let l = hard_llr(b, 20);
+            match rng.gen_i64(0, 12) {
+                0 => -l / 2, // soft flip
+                1 => 0,      // erasure
+                _ => l,
+            }
+        })
+        .collect()
+}
+
+struct DecoderRow {
+    name: &'static str,
+    compiled: Measurement,
+    reference: Measurement,
+    coded_mbps_compiled: f64,
+    coded_mbps_reference: f64,
+}
+
+impl DecoderRow {
+    fn speedup(&self) -> f64 {
+        self.coded_mbps_compiled / self.coded_mbps_reference
+    }
+}
+
+fn time_decoder(
+    name: &'static str,
+    llrs: &[Llr],
+    reps: u32,
+    iters: u32,
+    mut fast: impl FnMut(&[Llr], &mut DecodeOutput),
+    mut slow: impl FnMut(&[Llr], &mut DecodeOutput),
+) -> DecoderRow {
+    let mut out = DecodeOutput::default();
+    let compiled = bench(&format!("{name}/compiled"), iters, || {
+        for _ in 0..reps {
+            fast(llrs, &mut out);
+        }
+    });
+    report(&compiled);
+    let mut ref_out = DecodeOutput::default();
+    let reference = bench(&format!("{name}/reference"), iters, || {
+        for _ in 0..reps {
+            slow(llrs, &mut ref_out);
+        }
+    });
+    report(&reference);
+    assert_eq!(
+        out, ref_out,
+        "{name}: compiled and reference kernels must stay bit-identical"
+    );
+    let coded_bits = (llrs.len() as u64) * u64::from(reps);
+    DecoderRow {
+        name,
+        coded_mbps_compiled: coded_bits as f64 / compiled.mean_secs / 1e6,
+        coded_mbps_reference: coded_bits as f64 / reference.mean_secs / 1e6,
+        compiled,
+        reference,
+    }
+}
+
+fn main() {
+    let code = ConvCode::ieee80211();
+    let info_bits = 4096usize;
+    let llrs = noisy_block(&code, info_bits, 0xBE9C);
+    let coded_bits_per_block = llrs.len();
+
+    // WILIS_BITS scales the per-measurement decode budget; WILIS_FAST
+    // drops to a single timed iteration (the CI smoke configuration).
+    let reps = (budget(4_000_000) / coded_bits_per_block as u64).max(1) as u32;
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        5
+    };
+    banner(&format!(
+        "perf_trellis: {code}, {coded_bits_per_block} coded bits/block x {reps} reps x {iters} iters"
+    ));
+
+    let mut viterbi = ViterbiDecoder::new(&code);
+    let mut viterbi_ref = ViterbiDecoder::new(&code);
+    let mut sova = SovaDecoder::new(&code, 64, 64);
+    let mut sova_ref = SovaDecoder::new(&code, 64, 64);
+    let mut bcjr = BcjrDecoder::new(&code, 64);
+    let mut bcjr_ref = BcjrDecoder::new(&code, 64);
+    let rows = vec![
+        time_decoder(
+            "viterbi",
+            &llrs,
+            reps,
+            iters,
+            |l, o| viterbi.decode_terminated_into(l, o),
+            |l, o| viterbi_ref.decode_terminated_reference_into(l, o),
+        ),
+        time_decoder(
+            "sova",
+            &llrs,
+            reps,
+            iters,
+            |l, o| sova.decode_terminated_into(l, o),
+            |l, o| sova_ref.decode_terminated_reference_into(l, o),
+        ),
+        time_decoder(
+            "bcjr",
+            &llrs,
+            reps,
+            iters,
+            |l, o| bcjr.decode_terminated_into(l, o),
+            |l, o| bcjr_ref.decode_terminated_reference_into(l, o),
+        ),
+    ];
+
+    println!();
+    for row in &rows {
+        println!(
+            "{:<10} compiled {:>9.2} Mb/s   reference {:>9.2} Mb/s   speedup {:.2}x",
+            row.name,
+            row.coded_mbps_compiled,
+            row.coded_mbps_reference,
+            row.speedup()
+        );
+    }
+
+    // Full-grid throughput through the scenario engine: every decoder and
+    // a couple of non-adapting link policies, so the shared-channel job
+    // fusion is on the measured path.
+    let payload_bits = 1704usize;
+    let packets = (budget(600_000) / (3 * payload_bits) as u64).max(2) as u32;
+    let grid = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["viterbi", "sova", "bcjr"])
+        .links(&["none", "arq"])
+        .snrs_db(&[6.0, 8.0])
+        .packets(packets)
+        .payload_bits(payload_bits);
+    let scenarios = grid.scenarios();
+    let packets_total = scenarios.len() as u64 * u64::from(packets);
+    let runner = SweepRunner::auto();
+    let grid_m = bench("grid/packets", iters, || {
+        let results = runner.run(&scenarios).unwrap();
+        std::hint::black_box(&results);
+    });
+    report(&grid_m);
+    let packets_per_sec = packets_total as f64 / grid_m.mean_secs;
+    println!(
+        "  -> {} scenarios, {} packets, {:.0} packets/s",
+        scenarios.len(),
+        packets_total,
+        packets_per_sec
+    );
+
+    // Machine-readable trajectory: stdout JSON lines plus the
+    // BENCH_trellis.json artifact this and every future PR records.
+    let decoder_objs: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"decoder\":\"{}\",\"compiled_mbps\":{:.3},\"reference_mbps\":{:.3},\"speedup\":{:.3},\"compiled_mean_secs\":{:.9},\"reference_mean_secs\":{:.9}}}",
+                row.name,
+                row.coded_mbps_compiled,
+                row.coded_mbps_reference,
+                row.speedup(),
+                row.compiled.mean_secs,
+                row.reference.mean_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"perf_trellis\",\"code\":\"{}\",\"coded_bits_per_block\":{},\"reps\":{},\"decoders\":[{}],\"grid\":{{\"scenarios\":{},\"packets_total\":{},\"packets_per_sec\":{:.3},\"mean_secs\":{:.9}}}}}\n",
+        code,
+        coded_bits_per_block,
+        reps,
+        decoder_objs.join(","),
+        scenarios.len(),
+        packets_total,
+        packets_per_sec,
+        grid_m.mean_secs
+    );
+    println!("\nJSON:\n{json}");
+    // Default to the workspace root (cargo runs bench binaries from the
+    // package directory), so the trajectory file lands next to README.md.
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trellis.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

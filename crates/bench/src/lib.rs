@@ -11,6 +11,8 @@
 //! | `fig8_area` | Figure 8 — decoder synthesis results |
 //! | `channel_throughput` | §3 — noise generation saturates the host |
 //! | `sweep_grid` | scenario engine — serial vs parallel Figure 5 grid |
+//! | `link_sweep` | link-layer sweeps — goodput per MAC policy |
+//! | `perf_trellis` | compiled vs reference decode kernels — `BENCH_trellis.json` |
 //! | `latency` | §4.3 — decoder pipeline latency formulas |
 //! | `decoupling` | §2 — decoupled vs lock-step transfer throughput |
 //! | `ablation_bitwidth` | §4.1 — demapper width 3..8 bits |

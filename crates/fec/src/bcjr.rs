@@ -14,14 +14,22 @@
 //! most likely input-1 and input-0 transitions and subtracts their path
 //! metrics (max-log LLR).
 //!
+//! Both recursions run on the compiled-trellis `i32` kernels
+//! ([`crate::compiled`]) with per-step normalization — the same
+//! normalization policy as the reference decoder, so outputs stay
+//! bit-identical.
+//!
 //! Latency: `2n + 7` cycles, dominated by the two reversal buffers; see
 //! [`BcjrDecoder::latency_cycles`].
 
+use std::sync::Arc;
+
 use crate::bmu::Bmu;
+use crate::compiled::{fast_path_ok, CompiledBmu, CompiledTrellis};
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::{backward_acs, forward_acs, normalize, saturate_llr, NEG_INF};
+use crate::pmu::{normalize32, NEG_INF32};
+use crate::reference;
 use crate::scratch::TrellisScratch;
-use crate::trellis::Trellis;
 use crate::ConvCode;
 
 /// A sliding-window max-log BCJR decoder with block length `n`.
@@ -43,8 +51,9 @@ use crate::ConvCode;
 #[derive(Debug, Clone)]
 pub struct BcjrDecoder {
     code: ConvCode,
-    trellis: Trellis,
+    compiled: Arc<CompiledTrellis>,
     bmu: Bmu,
+    cbmu: CompiledBmu,
     scratch: TrellisScratch,
     /// Sliding-window block length; the paper uses 64 and notes blocks
     /// smaller than 32 degrade accuracy.
@@ -59,11 +68,22 @@ impl BcjrDecoder {
     ///
     /// Panics if `block_len` is zero.
     pub fn new(code: &ConvCode, block_len: usize) -> Self {
+        Self::with_shared_trellis(Arc::new(CompiledTrellis::new(code)), block_len)
+    }
+
+    /// A decoder sharing an already-compiled trellis (see
+    /// [`CompiledTrellis`]), with sliding-window block length `block_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len` is zero.
+    pub fn with_shared_trellis(trellis: Arc<CompiledTrellis>, block_len: usize) -> Self {
         assert!(block_len > 0, "block length must be positive");
         Self {
-            code: code.clone(),
-            trellis: Trellis::new(code),
-            bmu: Bmu::new(code.n_out()),
+            code: trellis.code().clone(),
+            bmu: Bmu::new(trellis.n_out()),
+            cbmu: CompiledBmu::new(trellis.n_out()),
+            compiled: trellis,
             scratch: TrellisScratch::new(),
             block_len,
         }
@@ -85,39 +105,13 @@ impl BcjrDecoder {
         &self.code
     }
 
-    /// The `beta` column applying *before* step `t` of `range`, for every
-    /// `t`, written into `betas` (flattened, `range.len() × n_states`,
-    /// indexed relative to the range start). `boundary` is the column just
-    /// *after* the last step of the range.
-    fn backward_block_flat(
-        trellis: &Trellis,
-        bms: &[i64],
-        n_patterns: usize,
-        range: std::ops::Range<usize>,
-        boundary: &[i64],
-        betas: &mut [i64],
-    ) {
-        let n_states = trellis.n_states();
-        let len = range.len();
-        debug_assert_eq!(betas.len(), len * n_states);
-        for (local, t) in range.clone().enumerate().rev() {
-            let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
-            let (head, tail) = betas.split_at_mut((local + 1) * n_states);
-            let after: &[i64] = if local + 1 < len {
-                &tail[..n_states]
-            } else {
-                boundary
-            };
-            let row = &mut head[local * n_states..];
-            backward_acs(trellis, bm, after, row);
-            normalize(row);
-        }
+    /// The shared compiled-trellis handle.
+    pub fn shared_trellis(&self) -> &Arc<CompiledTrellis> {
+        &self.compiled
     }
-}
 
-impl SoftDecoder for BcjrDecoder {
-    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
-        let n_out = self.trellis.n_out();
+    fn validate(&self, llrs: &[Llr]) -> usize {
+        let n_out = self.compiled.n_out();
         assert!(
             llrs.len() % n_out == 0,
             "soft input length {} not a multiple of n_out {}",
@@ -129,101 +123,167 @@ impl SoftDecoder for BcjrDecoder {
             steps > self.code.tail_len(),
             "block shorter than the code tail"
         );
-        let n_states = self.trellis.n_states();
+        steps
+    }
+
+    /// Decodes through the frozen `i64` reference kernels (see
+    /// [`ViterbiDecoder::decode_terminated_reference_into`][crate::ViterbiDecoder::decode_terminated_reference_into]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SoftDecoder::decode_terminated_into`].
+    pub fn decode_terminated_reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.validate(llrs);
+        reference::bcjr_decode(
+            self.compiled.trellis(),
+            self.code.tail_len(),
+            self.block_len,
+            &mut self.bmu,
+            &mut self.scratch,
+            llrs,
+            out,
+        );
+    }
+
+    /// The `beta` column applying *before* step `t` of `range`, for every
+    /// `t`, written into `betas` (flattened, indexed relative to the range
+    /// start). `boundary` is the column just *after* the last step.
+    fn backward_block_flat32(
+        ct: &CompiledTrellis,
+        bms: &[i32],
+        n_patterns: usize,
+        range: std::ops::Range<usize>,
+        boundary: &[i32],
+        betas: &mut [i32],
+    ) {
+        let n_states = ct.n_states();
+        let len = range.len();
+        debug_assert_eq!(betas.len(), len * n_states);
+        for (local, t) in range.clone().enumerate().rev() {
+            let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
+            let (head, tail) = betas.split_at_mut((local + 1) * n_states);
+            let after: &[i32] = if local + 1 < len {
+                &tail[..n_states]
+            } else {
+                boundary
+            };
+            let row = &mut head[local * n_states..];
+            ct.beta_step(bm, after, row);
+            normalize32(row);
+        }
+    }
+
+    fn decode_fast(&mut self, steps: usize, llrs: &[Llr], out: &mut DecodeOutput) {
+        let Self {
+            code,
+            compiled,
+            cbmu,
+            scratch,
+            block_len,
+            ..
+        } = self;
+        let block_len = *block_len;
+        let ct = &**compiled;
+        let n_out = ct.n_out();
+        let n_states = ct.n_states();
         let n_patterns = 1usize << n_out;
 
-        // Branch metrics for every step (the hardware streams these through
-        // the reversal buffers; we precompute per-frame into the scratch).
-        self.scratch.bms.clear();
-        self.scratch.bms.resize(steps * n_patterns, 0);
+        // Branch metrics for every step, computed once into the scratch.
+        scratch.bms32.clear();
+        scratch.bms32.resize(steps * n_patterns, 0);
         for t in 0..steps {
-            let bm = self.bmu.compute(&llrs[t * n_out..(t + 1) * n_out]);
-            self.scratch.bms[t * n_patterns..(t + 1) * n_patterns].copy_from_slice(bm);
+            let bm = cbmu.compute(&llrs[t * n_out..(t + 1) * n_out]);
+            scratch.bms32[t * n_patterns..(t + 1) * n_patterns].copy_from_slice(bm);
         }
 
-        self.scratch.init_columns(n_states, 0);
+        scratch.init_columns32(n_states, 0);
         let TrellisScratch {
-            pm: alpha,
-            next: next_alpha,
-            bms,
-            betas,
-            boundary,
-            col,
+            pm32: alpha,
+            next32: next_alpha,
+            bms32: bms,
+            betas32: betas,
+            boundary32: boundary,
+            col32: col,
             ..
-        } = &mut self.scratch;
-        let trellis = &self.trellis;
+        } = scratch;
         out.bits.clear();
         out.soft.clear();
 
         let mut t0 = 0usize;
         while t0 < steps {
-            let t1 = (t0 + self.block_len).min(steps);
+            let t1 = (t0 + block_len).min(steps);
             // Beta boundary for the end of this block.
             if t1 == steps {
                 // Terminated frame: the path ends in state zero.
                 boundary.clear();
-                boundary.resize(n_states, NEG_INF);
+                boundary.resize(n_states, NEG_INF32);
                 boundary[0] = 0;
             } else {
                 // Provisional backward pass over the *next* block, started
                 // from the "uncertain" uniform column (§4.3.2), keeping
                 // only the column that lands on t1.
-                let t2 = (t1 + self.block_len).min(steps);
+                let t2 = (t1 + block_len).min(steps);
                 boundary.clear();
                 boundary.resize(n_states, 0);
                 col.clear();
                 col.resize(n_states, 0);
                 for t in (t1..t2).rev() {
                     let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
-                    backward_acs(trellis, bm, boundary, col);
-                    normalize(col);
+                    ct.beta_step(bm, boundary, col);
+                    normalize32(col);
                     std::mem::swap(boundary, col);
                 }
             }
             betas.clear();
             betas.resize((t1 - t0) * n_states, 0);
-            Self::backward_block_flat(trellis, bms, n_patterns, t0..t1, boundary, betas);
+            Self::backward_block_flat32(ct, bms, n_patterns, t0..t1, boundary, betas);
 
             // Forward pass + decision unit over this block.
             for t in t0..t1 {
                 let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
                 // beta that applies after consuming step t:
-                let beta_after: &[i64] = if t + 1 < t1 {
+                let beta_after: &[i32] = if t + 1 < t1 {
                     &betas[(t + 1 - t0) * n_states..(t + 2 - t0) * n_states]
                 } else {
                     boundary
                 };
-                let mut best = [NEG_INF; 2];
-                for (s, &a) in alpha.iter().enumerate() {
-                    if a <= NEG_INF / 2 {
-                        continue;
-                    }
-                    for (b, best_b) in best.iter_mut().enumerate() {
-                        let tr = trellis.next(s, b as u8);
-                        let m = a
-                            .saturating_add(bm[tr.output as usize])
-                            .saturating_add(beta_after[tr.next as usize]);
-                        if m > *best_b {
-                            *best_b = m;
-                        }
-                    }
-                }
+                let best = ct.decision_best(bm, alpha, beta_after);
                 // The decision unit: most-likely-1 minus most-likely-0
                 // path metrics — the single added subtracter of §4.3.2.
                 let llr = best[1].saturating_sub(best[0]);
                 out.bits.push(u8::from(llr > 0));
-                out.soft.push(saturate_llr(llr));
+                out.soft.push(llr);
 
-                forward_acs(trellis, bm, alpha, next_alpha, None, None);
-                normalize(next_alpha);
+                ct.alpha_step(bm, alpha, next_alpha);
+                normalize32(next_alpha);
                 std::mem::swap(alpha, next_alpha);
             }
             t0 = t1;
         }
 
-        let info = steps - self.code.tail_len();
+        let info = steps - code.tail_len();
         out.bits.truncate(info);
         out.soft.truncate(info);
+    }
+}
+
+impl SoftDecoder for BcjrDecoder {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        let steps = self.validate(llrs);
+        if fast_path_ok(llrs) {
+            self.decode_fast(steps, llrs, out);
+        } else {
+            reference::bcjr_decode(
+                self.compiled.trellis(),
+                self.code.tail_len(),
+                self.block_len,
+                &mut self.bmu,
+                &mut self.scratch,
+                llrs,
+                out,
+            );
+        }
     }
 
     fn id(&self) -> &'static str {

@@ -32,14 +32,31 @@ use crate::llr::Llr;
 /// assert_eq!(m[0b10], -9 - 2);
 /// assert_eq!(m[0b11], 9 - 2);
 /// ```
+/// This form allocates a fresh table per call and is kept for tests and
+/// one-shot inspection only; per-step metric computation on decode hot
+/// paths goes through the reusable [`Bmu`] / [`crate::compiled::CompiledBmu`]
+/// state (or [`branch_metrics_into`] when a caller owns the buffer).
 pub fn branch_metrics(step_llrs: &[Llr]) -> Vec<i64> {
+    let mut metrics = Vec::new();
+    branch_metrics_into(step_llrs, &mut metrics);
+    metrics
+}
+
+/// Computes one step's branch metrics into `out` (resized to `2^n_out`),
+/// the allocation-free form of [`branch_metrics`].
+///
+/// # Panics
+///
+/// Panics if `step_llrs` is empty or longer than 8.
+pub fn branch_metrics_into(step_llrs: &[Llr], out: &mut Vec<i64>) {
     assert!(
         !step_llrs.is_empty() && step_llrs.len() <= 8,
         "1..=8 coded bits per step supported"
     );
     let patterns = 1usize << step_llrs.len();
-    let mut metrics = vec![0i64; patterns];
-    for (pattern, slot) in metrics.iter_mut().enumerate() {
+    out.clear();
+    out.resize(patterns, 0);
+    for (pattern, slot) in out.iter_mut().enumerate() {
         let mut m = 0i64;
         for (j, &llr) in step_llrs.iter().enumerate() {
             if (pattern >> j) & 1 == 1 {
@@ -50,7 +67,6 @@ pub fn branch_metrics(step_llrs: &[Llr]) -> Vec<i64> {
         }
         *slot = m;
     }
-    metrics
 }
 
 /// A reusable BMU that avoids reallocating the metric table per step — the
@@ -125,6 +141,16 @@ mod tests {
         for p in 0..8usize {
             assert_eq!(m[p], -m[p ^ 0b111]);
         }
+    }
+
+    #[test]
+    fn into_form_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        branch_metrics_into(&[3, -8], &mut buf);
+        assert_eq!(buf, branch_metrics(&[3, -8]));
+        let cap = buf.capacity();
+        branch_metrics_into(&[1, 2], &mut buf);
+        assert!(buf.capacity() >= cap, "buffer must be reused, not dropped");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Old-vs-new kernel equivalence: the compiled `i32` trellis kernels must
+//! reproduce the frozen `i64` reference path **bit for bit** — identical
+//! hard decisions *and* identical saturated soft outputs — for every
+//! decoder, code, and soft-input distribution. These tests are the
+//! enforcement arm of the contract documented in [`crate::compiled`].
+
+use wilis_fxp::rng::SmallRng;
+
+use crate::compiled::FAST_LLR_LIMIT;
+use crate::{
+    hard_llr, BcjrDecoder, ConvCode, ConvEncoder, DecodeOutput, Llr, SoftDecoder, SovaDecoder,
+    ViterbiDecoder,
+};
+
+/// Codes the differential suite sweeps: the paper's 802.11 code, the tiny
+/// exhaustible K=3 code, a K=5 rate-1/3 code (n_out ≠ 2 exercises the
+/// generic BMU), and a K=9 code whose 256 states need multi-word survivor
+/// packing.
+fn codes() -> Vec<ConvCode> {
+    vec![
+        ConvCode::ieee80211(),
+        ConvCode::k3(),
+        ConvCode::new(5, &[0o23, 0o35, 0o31]),
+        ConvCode::new(9, &[0o561, 0o753]),
+    ]
+}
+
+/// A random soft-input block of `steps` trellis steps with magnitudes up
+/// to `mag`, with a sprinkling of exact erasures (depunctured positions).
+fn random_llrs(rng: &mut SmallRng, code: &ConvCode, steps: usize, mag: i64) -> Vec<Llr> {
+    (0..steps * code.n_out())
+        .map(|_| {
+            if rng.gen_i64(0, 3) == 0 {
+                0 // erased / depunctured position
+            } else {
+                rng.gen_i64(-mag, mag) as Llr
+            }
+        })
+        .collect()
+}
+
+fn assert_equiv(code: &ConvCode, llrs: &[Llr], ctx: &str) {
+    let mut fast = DecodeOutput::default();
+    let mut slow = DecodeOutput::default();
+
+    let mut v = ViterbiDecoder::new(code);
+    v.decode_terminated_into(llrs, &mut fast);
+    v.decode_terminated_reference_into(llrs, &mut slow);
+    assert_eq!(fast.bits, slow.bits, "viterbi bits diverged: {ctx}");
+    assert_eq!(fast.soft, slow.soft, "viterbi soft diverged: {ctx}");
+
+    let mut s = SovaDecoder::new(code, 64, 64);
+    s.decode_terminated_into(llrs, &mut fast);
+    s.decode_terminated_reference_into(llrs, &mut slow);
+    assert_eq!(fast.bits, slow.bits, "sova bits diverged: {ctx}");
+    assert_eq!(fast.soft, slow.soft, "sova soft diverged: {ctx}");
+
+    let mut b = BcjrDecoder::new(code, 64);
+    b.decode_terminated_into(llrs, &mut fast);
+    b.decode_terminated_reference_into(llrs, &mut slow);
+    assert_eq!(fast.bits, slow.bits, "bcjr bits diverged: {ctx}");
+    assert_eq!(fast.soft, slow.soft, "bcjr soft diverged: {ctx}");
+}
+
+/// Random noisy blocks at demapper-realistic magnitudes, every code.
+#[test]
+fn compiled_kernels_match_reference_on_random_blocks() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0001);
+    for code in codes() {
+        for round in 0..24 {
+            let steps = code.tail_len() + rng.gen_i64(1, 150) as usize;
+            let llrs = random_llrs(&mut rng, &code, steps, 31);
+            assert_equiv(&code, &llrs, &format!("{code} round {round}"));
+        }
+    }
+}
+
+/// Clean encoded frames (the all-margins-huge corner: every ACS decision
+/// is unanimous, so SOVA reliabilities ride the sentinel-margin path).
+#[test]
+fn compiled_kernels_match_reference_on_clean_frames() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0002);
+    for code in codes() {
+        for _ in 0..8 {
+            let n = rng.gen_i64(8, 96) as usize;
+            let data: Vec<u8> = (0..n).map(|_| rng.gen_bit()).collect();
+            let coded = ConvEncoder::new(&code).encode_terminated(&data);
+            let llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 15)).collect();
+            assert_equiv(&code, &llrs, &format!("{code} clean"));
+            // And the decoded bits are the transmitted ones.
+            let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+            assert_eq!(out.bits, data);
+        }
+    }
+}
+
+/// Magnitudes straddling `FAST_LLR_LIMIT`: at the limit the compiled path
+/// runs; one past it the decode falls back to the reference path. Both
+/// must agree with the reference output.
+#[test]
+fn compiled_kernels_match_reference_at_the_fast_path_boundary() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0003);
+    let code = ConvCode::ieee80211();
+    for mag in [
+        i64::from(FAST_LLR_LIMIT) - 1,
+        i64::from(FAST_LLR_LIMIT),
+        i64::from(FAST_LLR_LIMIT) + 1,
+        i64::from(i32::MAX / 2),
+    ] {
+        let steps = code.tail_len() + 80;
+        let llrs = random_llrs(&mut rng, &code, steps, mag);
+        assert_equiv(&code, &llrs, &format!("magnitude {mag}"));
+    }
+}
+
+/// Heavy puncturing patterns: long runs of erased positions interleaved
+/// with strong disagreeing evidence.
+#[test]
+fn compiled_kernels_match_reference_under_puncturing() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0004);
+    for code in [ConvCode::ieee80211(), ConvCode::k3()] {
+        for _ in 0..12 {
+            let steps = code.tail_len() + rng.gen_i64(20, 120) as usize;
+            let mut llrs = random_llrs(&mut rng, &code, steps, 31);
+            // Erase a run covering several constraint lengths.
+            let start = rng.gen_i64(0, (llrs.len() / 2) as i64) as usize;
+            let len = rng.gen_i64(4, 40) as usize;
+            for l in llrs.iter_mut().skip(start).take(len) {
+                *l = 0;
+            }
+            assert_equiv(&code, &llrs, &format!("{code} punctured"));
+        }
+    }
+}
+
+/// The long-frame regression for the renormalization invariant: a frame
+/// tens of thousands of steps long with LLRs at the fast-path limit. The
+/// unnormalized drift would wrap an `i32` within ~4k steps; periodic
+/// renormalization must keep the compiled kernels exact all the way out.
+#[test]
+fn long_frame_renormalization_regression() {
+    let code = ConvCode::ieee80211();
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0005);
+    let info = 20_000usize;
+    let data: Vec<u8> = (0..info).map(|_| rng.gen_bit()).collect();
+    let coded = ConvEncoder::new(&code).encode_terminated(&data);
+    let limit = i64::from(FAST_LLR_LIMIT);
+    // Max-magnitude evidence with some corruption keeps metric growth at
+    // the theoretical worst case while still being decodable.
+    let llrs: Vec<Llr> = coded
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let l = hard_llr(b, limit as Llr);
+            if i % 97 == 0 {
+                -l
+            } else {
+                l
+            }
+        })
+        .collect();
+    let mut v = ViterbiDecoder::new(&code);
+    let out = v.decode_terminated(&llrs);
+    assert_eq!(out.bits, data, "long-frame Viterbi decode must stay exact");
+    let mut reference = DecodeOutput::default();
+    v.decode_terminated_reference_into(&llrs, &mut reference);
+    assert_eq!(out.bits, reference.bits);
+
+    // The soft decoders survive the same frame bit-identically.
+    let mut s = SovaDecoder::new(&code, 64, 64);
+    let sova_fast = s.decode_terminated(&llrs);
+    s.decode_terminated_reference_into(&llrs, &mut reference);
+    assert_eq!(sova_fast.bits, reference.bits);
+    assert_eq!(sova_fast.soft, reference.soft);
+
+    let mut b = BcjrDecoder::new(&code, 64);
+    let bcjr_fast = b.decode_terminated(&llrs);
+    b.decode_terminated_reference_into(&llrs, &mut reference);
+    assert_eq!(bcjr_fast.bits, reference.bits);
+    assert_eq!(bcjr_fast.soft, reference.soft);
+}
+
+/// Repeated decodes through one decoder instance (scratch reuse across
+/// different block sizes) stay equivalent — the steady-state shape the
+/// scenario engine runs.
+#[test]
+fn scratch_reuse_across_blocks_stays_equivalent() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0006);
+    let code = ConvCode::ieee80211();
+    let mut v = ViterbiDecoder::new(&code);
+    let mut s = SovaDecoder::new(&code, 64, 64);
+    let mut b = BcjrDecoder::new(&code, 64);
+    let mut fast = DecodeOutput::default();
+    let mut slow = DecodeOutput::default();
+    for round in 0..16 {
+        let steps = code.tail_len() + rng.gen_i64(1, 400) as usize;
+        let llrs = random_llrs(&mut rng, &code, steps, 31);
+        for (name, dec) in [
+            ("viterbi", &mut v as &mut dyn ReferenceDecode),
+            ("sova", &mut s),
+            ("bcjr", &mut b),
+        ] {
+            dec.fast_into(&llrs, &mut fast);
+            dec.reference_into(&llrs, &mut slow);
+            assert_eq!(fast, slow, "{name} round {round}");
+        }
+    }
+}
+
+/// Small helper trait so the reuse test can drive all three decoders
+/// through both paths uniformly.
+trait ReferenceDecode {
+    fn fast_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput);
+    fn reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput);
+}
+
+impl ReferenceDecode for ViterbiDecoder {
+    fn fast_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_into(llrs, out);
+    }
+    fn reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_reference_into(llrs, out);
+    }
+}
+
+impl ReferenceDecode for SovaDecoder {
+    fn fast_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_into(llrs, out);
+    }
+    fn reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_reference_into(llrs, out);
+    }
+}
+
+impl ReferenceDecode for BcjrDecoder {
+    fn fast_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_into(llrs, out);
+    }
+    fn reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.decode_terminated_reference_into(llrs, out);
+    }
+}

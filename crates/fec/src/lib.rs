@@ -21,6 +21,17 @@
 //! observation (§4.3) that "as both SOVA and BCJR use BMU and PMU, the
 //! designs of these two components are shared."
 //!
+//! At construction each decoder lowers its trellis into a
+//! [`CompiledTrellis`] — flat structure-of-arrays butterfly tables — and
+//! runs its hot loops on the branchless `i32` kernels of [`compiled`],
+//! with survivors bit-packed one `u64` word per step for the 64-state
+//! 802.11 code. The original `i64` kernels are preserved verbatim as the
+//! reference path (each decoder's `decode_terminated_reference_into`),
+//! bit-identical to the compiled path and used as fallback for soft
+//! inputs beyond [`compiled::FAST_LLR_LIMIT`]. Compiled trellises are
+//! `Arc`-shared: one table build can serve every decoder instance of a
+//! code (see `with_shared_trellis` on each decoder).
+//!
 //! Soft inputs and outputs use the [`Llr`] convention: positive means the
 //! bit is more likely a `1`, and magnitude is confidence.
 //!
@@ -47,11 +58,13 @@
 mod bcjr;
 pub mod bmu;
 mod code;
+pub mod compiled;
 mod encoder;
 mod llr;
 pub mod pipeline;
 pub mod pmu;
 mod puncture;
+mod reference;
 mod scratch;
 mod sova;
 mod trellis;
@@ -59,6 +72,7 @@ mod viterbi;
 
 pub use bcjr::BcjrDecoder;
 pub use code::ConvCode;
+pub use compiled::{CompiledBmu, CompiledTrellis};
 pub use encoder::ConvEncoder;
 pub use llr::{hard_llr, DecodeOutput, Llr, SoftDecoder, HINT_BITS, MAX_HINT};
 pub use puncture::{CodeRate, Depuncturer, Puncturer};
@@ -67,5 +81,7 @@ pub use sova::SovaDecoder;
 pub use trellis::Trellis;
 pub use viterbi::ViterbiDecoder;
 
+#[cfg(test)]
+mod equiv_tests;
 #[cfg(test)]
 mod prop_tests;

@@ -16,16 +16,24 @@
 //! has its reliability lowered to the ACS margin if smaller. This is the
 //! functional content of TU2's dual traceback.
 //!
+//! The forward pass runs on the compiled-trellis kernels
+//! ([`crate::compiled`]): branchless `i32` butterflies, bit-packed
+//! survivors, `i32` margins — bit-identical to the `i64` reference path.
+//!
 //! Latency: `l + k + 12` cycles (1 BMU + 1 PMU + 5 two-entry FIFOs at 2
 //! cycles each + the two windows); see [`SovaDecoder::latency_cycles`] and
 //! the `latency` bench, which measures the same number on the
 //! latency-insensitive engine.
 
+use std::sync::Arc;
+
 use crate::bmu::Bmu;
+use crate::compiled::{
+    fast_path_ok, renormalize_uniform, CompiledBmu, CompiledTrellis, NORM_INTERVAL,
+};
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::{forward_acs, saturate_llr};
+use crate::reference;
 use crate::scratch::TrellisScratch;
-use crate::trellis::Trellis;
 use crate::ConvCode;
 
 /// A SOVA decoder with traceback windows `l` (TU1) and `k` (TU2).
@@ -47,8 +55,9 @@ use crate::ConvCode;
 #[derive(Debug, Clone)]
 pub struct SovaDecoder {
     code: ConvCode,
-    trellis: Trellis,
+    compiled: Arc<CompiledTrellis>,
     bmu: Bmu,
+    cbmu: CompiledBmu,
     scratch: TrellisScratch,
     /// TU1 window (hard-decision convergence).
     l: usize,
@@ -64,11 +73,22 @@ impl SovaDecoder {
     ///
     /// Panics if either window is zero.
     pub fn new(code: &ConvCode, l: usize, k: usize) -> Self {
+        Self::with_shared_trellis(Arc::new(CompiledTrellis::new(code)), l, k)
+    }
+
+    /// A SOVA decoder sharing an already-compiled trellis (see
+    /// [`CompiledTrellis`]), with TU1 window `l` and TU2 window `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is zero.
+    pub fn with_shared_trellis(trellis: Arc<CompiledTrellis>, l: usize, k: usize) -> Self {
         assert!(l > 0 && k > 0, "traceback windows must be positive");
         Self {
-            code: code.clone(),
-            trellis: Trellis::new(code),
-            bmu: Bmu::new(code.n_out()),
+            code: trellis.code().clone(),
+            bmu: Bmu::new(trellis.n_out()),
+            cbmu: CompiledBmu::new(trellis.n_out()),
+            compiled: trellis,
             scratch: TrellisScratch::new(),
             l,
             k,
@@ -96,11 +116,14 @@ impl SovaDecoder {
     pub fn code(&self) -> &ConvCode {
         &self.code
     }
-}
 
-impl SoftDecoder for SovaDecoder {
-    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
-        let n_out = self.trellis.n_out();
+    /// The shared compiled-trellis handle.
+    pub fn shared_trellis(&self) -> &Arc<CompiledTrellis> {
+        &self.compiled
+    }
+
+    fn validate(&self, llrs: &[Llr]) -> usize {
+        let n_out = self.compiled.n_out();
         assert!(
             llrs.len() % n_out == 0,
             "soft input length {} not a multiple of n_out {}",
@@ -112,71 +135,109 @@ impl SoftDecoder for SovaDecoder {
             steps > self.code.tail_len(),
             "block shorter than the code tail"
         );
-        let n_states = self.trellis.n_states();
+        steps
+    }
 
-        // Forward pass, keeping survivors and ACS margins per step in the
-        // flattened scratch matrices.
-        self.scratch.init_columns(n_states, 0);
-        self.scratch.init_survivors(steps, n_states);
-        self.scratch.margins.clear();
-        self.scratch.margins.resize(steps * n_states, 0);
+    /// Decodes through the frozen `i64` reference kernels (see
+    /// [`ViterbiDecoder::decode_terminated_reference_into`][crate::ViterbiDecoder::decode_terminated_reference_into]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SoftDecoder::decode_terminated_into`].
+    pub fn decode_terminated_reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.validate(llrs);
+        reference::sova_decode(
+            self.compiled.trellis(),
+            self.code.tail_len(),
+            self.k,
+            &mut self.bmu,
+            &mut self.scratch,
+            llrs,
+            out,
+        );
+    }
+
+    fn decode_fast(&mut self, steps: usize, llrs: &[Llr], out: &mut DecodeOutput) {
+        let Self {
+            code,
+            compiled,
+            cbmu,
+            scratch,
+            k,
+            ..
+        } = self;
+        let k = *k;
+        let ct = &**compiled;
+        let n_out = ct.n_out();
+        let n_states = ct.n_states();
+        let wps = ct.words_per_step();
+        let warmup = (code.memory() as usize).min(steps);
+
+        // Forward pass: packed survivors plus i32 ACS margins per step.
+        scratch.init_columns32(n_states, 0);
+        scratch.init_surv_words(steps, wps);
+        scratch.margins32.clear();
+        scratch.margins32.resize(steps * n_states, 0);
         for step in 0..steps {
-            let bm = self.bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
-            let row = step * n_states..(step + 1) * n_states;
-            forward_acs(
-                &self.trellis,
-                bm,
-                &self.scratch.pm,
-                &mut self.scratch.next,
-                Some(&mut self.scratch.survivors[row.clone()]),
-                Some(&mut self.scratch.margins[row]),
-            );
-            std::mem::swap(&mut self.scratch.pm, &mut self.scratch.next);
+            let bm = cbmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let surv = &mut scratch.surv_words[step * wps..(step + 1) * wps];
+            let margins = &mut scratch.margins32[step * n_states..(step + 1) * n_states];
+            if step < warmup {
+                ct.forward_step_warmup(bm, &scratch.pm32, &mut scratch.next32, surv, Some(margins));
+            } else {
+                if (step - warmup) % NORM_INTERVAL == 0 {
+                    renormalize_uniform(&mut scratch.pm32);
+                }
+                ct.forward_step_sova(bm, &scratch.pm32, &mut scratch.next32, surv, margins);
+            }
+            std::mem::swap(&mut scratch.pm32, &mut scratch.next32);
         }
-        let s = &mut self.scratch;
-        let survivors = &s.survivors;
-        let margins = &s.margins;
+        let surv_words = &scratch.surv_words;
+        let margins = &scratch.margins32;
 
         // TU1: maximum-likelihood state sequence. Terminated frame ends in
         // state zero; ml_states[t] is the state entering step t.
-        s.ml_states.clear();
-        s.ml_states.resize(steps + 1, 0);
-        s.ml_bits.clear();
-        s.ml_bits.resize(steps, 0);
-        let (ml_states, ml_bits) = (&mut s.ml_states, &mut s.ml_bits);
+        scratch.ml_states.clear();
+        scratch.ml_states.resize(steps + 1, 0);
+        scratch.ml_bits.clear();
+        scratch.ml_bits.resize(steps, 0);
+        let (ml_states, ml_bits) = (&mut scratch.ml_states, &mut scratch.ml_bits);
         for t in (0..steps).rev() {
             let state = ml_states[t + 1] as usize;
-            let edge = self.trellis.incoming(state)[survivors[t * n_states + state] as usize];
-            ml_bits[t] = edge.input;
-            ml_states[t] = edge.prev as u32;
+            let winner = ct.survivor_bit(surv_words, wps, t, state);
+            let (bit, prev) = ct.traceback_edge(state, winner);
+            ml_bits[t] = bit;
+            ml_states[t] = prev as u32;
         }
 
-        // TU2: Hagenauer-rule reliability update. For each ML step t, the
-        // competing (second-best) path into ml_states[t+1] diverges
-        // backwards; everywhere its decisions differ within the window, the
-        // reliability drops to the ACS margin if smaller.
-        s.reliability.clear();
-        s.reliability.resize(steps, i64::MAX);
-        let reliability = &mut s.reliability;
+        // TU2: Hagenauer-rule reliability update over the packed survivors
+        // and i32 margins (HUGE_MARGIN plays the role of the reference's
+        // sentinel margins; both saturate to the same soft output).
+        scratch.reliability32.clear();
+        scratch.reliability32.resize(steps, i32::MAX);
+        let reliability = &mut scratch.reliability32;
         for t in 0..steps {
             let s_next = ml_states[t + 1] as usize;
-            let winner = survivors[t * n_states + s_next] as usize;
+            let winner = ct.survivor_bit(surv_words, wps, t, s_next);
             let margin = margins[t * n_states + s_next];
-            let loser_edge = self.trellis.incoming(s_next)[1 - winner];
+            // The competing (second-best) edge into the ML state.
+            let (loser_bit, loser_prev) = ct.traceback_edge(s_next, 1 - winner);
             // The competing hypothesis for bit t itself.
-            if loser_edge.input != ml_bits[t] && margin < reliability[t] {
+            if loser_bit != ml_bits[t] && margin < reliability[t] {
                 reliability[t] = margin;
             }
             // Trace the competing path backwards up to k steps, comparing
             // decisions against the ML path.
-            let mut state = loser_edge.prev as usize;
-            let window_start = t.saturating_sub(self.k);
+            let mut state = loser_prev;
+            let window_start = t.saturating_sub(k);
             for i in (window_start..t).rev() {
-                let edge = self.trellis.incoming(state)[survivors[i * n_states + state] as usize];
-                if edge.input != ml_bits[i] && margin < reliability[i] {
+                let winner = ct.survivor_bit(surv_words, wps, i, state);
+                let (bit, prev) = ct.traceback_edge(state, winner);
+                if bit != ml_bits[i] && margin < reliability[i] {
                     reliability[i] = margin;
                 }
-                state = edge.prev as usize;
+                state = prev;
                 if state == ml_states[i] as usize {
                     // Paths have remerged; earlier decisions coincide.
                     break;
@@ -184,18 +245,37 @@ impl SoftDecoder for SovaDecoder {
             }
         }
 
-        let info = steps - self.code.tail_len();
+        let info = steps - code.tail_len();
         out.bits.clear();
         out.bits.extend_from_slice(&ml_bits[..info]);
         out.soft.clear();
         out.soft.extend((0..info).map(|t| {
-            let mag = saturate_llr(reliability[t]);
+            let mag = reliability[t];
             if ml_bits[t] == 1 {
                 mag
             } else {
                 -mag
             }
         }));
+    }
+}
+
+impl SoftDecoder for SovaDecoder {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        let steps = self.validate(llrs);
+        if fast_path_ok(llrs) {
+            self.decode_fast(steps, llrs, out);
+        } else {
+            reference::sova_decode(
+                self.compiled.trellis(),
+                self.code.tail_len(),
+                self.k,
+                &mut self.bmu,
+                &mut self.scratch,
+                llrs,
+                out,
+            );
+        }
     }
 
     fn id(&self) -> &'static str {

@@ -1,18 +1,24 @@
 //! Hard-output Viterbi — the baseline decoder "typically used in commodity
 //! 802.11a/g baseband pipelines" (§4.4.3).
 
+use std::sync::Arc;
+
 use crate::bmu::Bmu;
+use crate::compiled::{
+    fast_path_ok, renormalize_uniform, CompiledBmu, CompiledTrellis, NORM_INTERVAL,
+};
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
-use crate::pmu::forward_acs;
+use crate::reference;
 use crate::scratch::TrellisScratch;
-use crate::trellis::Trellis;
 use crate::ConvCode;
 
 /// A block Viterbi decoder for tail-terminated frames.
 ///
-/// Runs the shared forward ACS recursion, records survivors, and traces
-/// back from the known terminal state. Produces hard decisions only; the
-/// `soft` outputs are all zero (this is precisely what SoftPHY adds on top).
+/// Runs the compiled-trellis forward ACS ([`crate::compiled`]): branchless
+/// butterfly steps over `i32` metrics with periodic renormalization,
+/// survivors bit-packed one `u64` word per step for the 64-state 802.11
+/// code. Produces hard decisions only; the `soft` outputs are all zero
+/// (this is precisely what SoftPHY adds on top).
 ///
 /// # Example
 ///
@@ -29,8 +35,9 @@ use crate::ConvCode;
 #[derive(Debug, Clone)]
 pub struct ViterbiDecoder {
     code: ConvCode,
-    trellis: Trellis,
+    compiled: Arc<CompiledTrellis>,
     bmu: Bmu,
+    cbmu: CompiledBmu,
     scratch: TrellisScratch,
     /// Traceback window length; retained for the latency/area models (the
     /// block decode itself is exact).
@@ -50,11 +57,23 @@ impl ViterbiDecoder {
     ///
     /// Panics if `traceback_len` is zero.
     pub fn with_traceback(code: &ConvCode, traceback_len: usize) -> Self {
+        Self::assemble(Arc::new(CompiledTrellis::new(code)), traceback_len)
+    }
+
+    /// A decoder sharing an already-compiled trellis — the construction
+    /// the scenario engine's receiver banks use so one table build serves
+    /// every rate and every oracle replica of a code.
+    pub fn with_shared_trellis(trellis: Arc<CompiledTrellis>) -> Self {
+        Self::assemble(trellis, 64)
+    }
+
+    fn assemble(compiled: Arc<CompiledTrellis>, traceback_len: usize) -> Self {
         assert!(traceback_len > 0, "traceback length must be positive");
         Self {
-            code: code.clone(),
-            trellis: Trellis::new(code),
-            bmu: Bmu::new(code.n_out()),
+            code: compiled.code().clone(),
+            bmu: Bmu::new(compiled.n_out()),
+            cbmu: CompiledBmu::new(compiled.n_out()),
+            compiled,
             scratch: TrellisScratch::new(),
             traceback_len,
         }
@@ -69,11 +88,14 @@ impl ViterbiDecoder {
     pub fn code(&self) -> &ConvCode {
         &self.code
     }
-}
 
-impl SoftDecoder for ViterbiDecoder {
-    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
-        let n_out = self.trellis.n_out();
+    /// The shared compiled-trellis handle.
+    pub fn shared_trellis(&self) -> &Arc<CompiledTrellis> {
+        &self.compiled
+    }
+
+    fn validate(&self, llrs: &[Llr]) -> usize {
+        let n_out = self.compiled.n_out();
         assert!(
             llrs.len() % n_out == 0,
             "soft input length {} not a multiple of n_out {}",
@@ -85,39 +107,92 @@ impl SoftDecoder for ViterbiDecoder {
             steps > self.code.tail_len(),
             "block shorter than the code tail"
         );
-        let n_states = self.trellis.n_states();
+        steps
+    }
 
-        // Forward ACS, survivors recorded into the flattened scratch.
-        self.scratch.init_columns(n_states, 0);
-        self.scratch.init_survivors(steps, n_states);
+    /// Decodes through the frozen `i64` reference kernels — the pre-PR
+    /// decode path, kept callable for differential tests and as the
+    /// baseline the `perf_trellis` bench records speedups against.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SoftDecoder::decode_terminated_into`].
+    pub fn decode_terminated_reference_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        self.validate(llrs);
+        reference::viterbi_decode(
+            self.compiled.trellis(),
+            self.code.tail_len(),
+            &mut self.bmu,
+            &mut self.scratch,
+            llrs,
+            out,
+        );
+    }
+
+    fn decode_fast(&mut self, steps: usize, llrs: &[Llr], out: &mut DecodeOutput) {
+        let Self {
+            code,
+            compiled,
+            cbmu,
+            scratch,
+            ..
+        } = self;
+        let ct = &**compiled;
+        let n_out = ct.n_out();
+        let n_states = ct.n_states();
+        let wps = ct.words_per_step();
+        let warmup = (code.memory() as usize).min(steps);
+
+        scratch.init_columns32(n_states, 0);
+        scratch.init_surv_words(steps, wps);
         for step in 0..steps {
-            let bm = self.bmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
-            let surv = &mut self.scratch.survivors[step * n_states..(step + 1) * n_states];
-            forward_acs(
-                &self.trellis,
-                bm,
-                &self.scratch.pm,
-                &mut self.scratch.next,
-                Some(surv),
-                None,
-            );
-            std::mem::swap(&mut self.scratch.pm, &mut self.scratch.next);
+            let bm = cbmu.compute(&llrs[step * n_out..(step + 1) * n_out]);
+            let surv = &mut scratch.surv_words[step * wps..(step + 1) * wps];
+            if step < warmup {
+                ct.forward_step_warmup(bm, &scratch.pm32, &mut scratch.next32, surv, None);
+            } else {
+                if (step - warmup) % NORM_INTERVAL == 0 {
+                    renormalize_uniform(&mut scratch.pm32);
+                }
+                ct.forward_step_viterbi(bm, &scratch.pm32, &mut scratch.next32, surv);
+            }
+            std::mem::swap(&mut scratch.pm32, &mut scratch.next32);
         }
 
-        // Terminated frame: the true path ends in state zero.
+        // Terminated frame: the true path ends in state zero. Traceback
+        // reads one survivor bit per step from the packed words.
         out.bits.clear();
         out.bits.resize(steps, 0);
         let mut state = 0usize;
         for t in (0..steps).rev() {
-            let winner = self.scratch.survivors[t * n_states + state];
-            let edge = self.trellis.incoming(state)[winner as usize];
-            out.bits[t] = edge.input;
-            state = edge.prev as usize;
+            let winner = ct.survivor_bit(&scratch.surv_words, wps, t, state);
+            let (bit, prev) = ct.traceback_edge(state, winner);
+            out.bits[t] = bit;
+            state = prev;
         }
-        let info = steps - self.code.tail_len();
+        let info = steps - code.tail_len();
         out.bits.truncate(info);
         out.soft.clear();
         out.soft.resize(info, 0);
+    }
+}
+
+impl SoftDecoder for ViterbiDecoder {
+    fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
+        let steps = self.validate(llrs);
+        if fast_path_ok(llrs) {
+            self.decode_fast(steps, llrs, out);
+        } else {
+            reference::viterbi_decode(
+                self.compiled.trellis(),
+                self.code.tail_len(),
+                &mut self.bmu,
+                &mut self.scratch,
+                llrs,
+                out,
+            );
+        }
     }
 
     fn id(&self) -> &'static str {
@@ -188,6 +263,30 @@ mod tests {
         let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
         assert!(out.soft.iter().all(|&s| s == 0));
         assert_eq!(out.bits.len(), out.soft.len());
+    }
+
+    #[test]
+    fn oversized_llrs_fall_back_to_the_reference_path() {
+        // Inputs beyond the fast-path bound decode through the i64
+        // kernels and still invert the encoder.
+        let code = ConvCode::ieee80211();
+        let data: Vec<u8> = (0..40).map(|i| (i % 3 == 1) as u8).collect();
+        let coded = ConvEncoder::new(&code).encode_terminated(&data);
+        let llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, i32::MAX / 2)).collect();
+        let out = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        assert_eq!(out.bits, data);
+    }
+
+    #[test]
+    fn shared_trellis_decoder_matches_owned() {
+        let code = ConvCode::ieee80211();
+        let shared = Arc::new(CompiledTrellis::new(&code));
+        let data: Vec<u8> = (0..60).map(|i| (i % 4 == 2) as u8).collect();
+        let coded = ConvEncoder::new(&code).encode_terminated(&data);
+        let llrs: Vec<Llr> = coded.iter().map(|&b| hard_llr(b, 7)).collect();
+        let a = ViterbiDecoder::new(&code).decode_terminated(&llrs);
+        let b = ViterbiDecoder::with_shared_trellis(shared).decode_terminated(&llrs);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -33,8 +33,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// String-keyed construction parameters, the moral equivalent of AWB's
-/// per-module parameter boxes.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// per-module parameter boxes. `Hash` follows the ordered map, so equal
+/// parameter sets hash equally — hosts can key caches and work-sharing
+/// maps on a `Params` value directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Params {
     values: BTreeMap<String, String>,
 }

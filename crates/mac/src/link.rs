@@ -216,6 +216,23 @@ pub trait LinkPolicy {
         false
     }
 
+    /// Whether this policy may ever steer the transmit rate through
+    /// [`LinkVerdict::next_rate`]. Policies answering `false` here are
+    /// pure observers of the PHY stream, which lets the scenario engine
+    /// share one transmit+channel realization across every grid point
+    /// that differs only in decoder or link policy. A policy that
+    /// declares `false` and then returns a `next_rate` is a contract
+    /// violation (the engine asserts against it).
+    ///
+    /// Defaults to `true` — the fail-safe answer: a policy that does not
+    /// opt in merely runs solo and loses the sharing optimization,
+    /// instead of tripping the engine's contract assert if it does steer
+    /// the rate. Pure observers ([`ArqLink`], [`PprLink`]) override this
+    /// to `false`.
+    fn adapts_rate(&self) -> bool {
+        true
+    }
+
     /// Observes one received packet and returns the link-layer verdict.
     fn observe(&mut self, rx: &RxResult, hints: &[u16], ctx: &LinkContext<'_>) -> LinkVerdict;
 
@@ -268,6 +285,10 @@ impl ArqLink {
 impl LinkPolicy for ArqLink {
     fn name(&self) -> &'static str {
         "arq"
+    }
+
+    fn adapts_rate(&self) -> bool {
+        false
     }
 
     fn observe(&mut self, _rx: &RxResult, _hints: &[u16], ctx: &LinkContext<'_>) -> LinkVerdict {
@@ -335,6 +356,10 @@ impl PprLink {
 impl LinkPolicy for PprLink {
     fn name(&self) -> &'static str {
         "ppr"
+    }
+
+    fn adapts_rate(&self) -> bool {
+        false
     }
 
     fn observe(&mut self, rx: &RxResult, hints: &[u16], ctx: &LinkContext<'_>) -> LinkVerdict {
@@ -415,6 +440,10 @@ impl LinkPolicy for SoftRateLink {
     }
 
     fn needs_pber(&self) -> bool {
+        true
+    }
+
+    fn adapts_rate(&self) -> bool {
         true
     }
 
@@ -569,6 +598,34 @@ mod tests {
         assert_eq!(m.accurate, 1, "sent at the oracle's rate");
         assert_eq!(m.delivered, 1);
         assert!((m.mean_selected_mbps() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_pure_observers_opt_out_of_rate_adaptation() {
+        assert!(!ArqLink::new(100, 3).adapts_rate());
+        assert!(!PprLink::new(PprConfig::new(8, 10)).adapts_rate());
+        assert!(SoftRateLink::new(SoftRate::new(PhyRate::Qam16Half), false).adapts_rate());
+        // The default is the fail-safe answer: a policy that does not opt
+        // in is treated as rate-adapting and runs solo.
+        struct Opaque;
+        impl LinkPolicy for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn observe(
+                &mut self,
+                _rx: &RxResult,
+                _hints: &[u16],
+                _ctx: &LinkContext<'_>,
+            ) -> LinkVerdict {
+                LinkVerdict::status(LinkStatus::Delivered)
+            }
+            fn metrics(&self) -> LinkMetrics {
+                LinkMetrics::default()
+            }
+            fn reset(&mut self) {}
+        }
+        assert!(Opaque.adapts_rate());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! functional form).
 
 use wilis_fec::{
-    BcjrDecoder, ConvCode, ConvEncoder, DecodeOutput, Depuncturer, Llr, Puncturer, SoftDecoder,
-    SovaDecoder, ViterbiDecoder,
+    BcjrDecoder, CompiledTrellis, ConvCode, ConvEncoder, DecodeOutput, Depuncturer, Llr, Puncturer,
+    SoftDecoder, SovaDecoder, ViterbiDecoder,
 };
 use wilis_fxp::Cplx;
 
@@ -255,6 +255,17 @@ impl Receiver {
             rate,
             Demapper::new(rate.modulation(), 8, SnrScaling::Off),
             Box::new(ViterbiDecoder::new(&ConvCode::ieee80211())),
+        )
+    }
+
+    /// [`Receiver::viterbi`] built on an already-compiled trellis — the
+    /// form the scenario engine's per-rate oracle bank uses so one table
+    /// build serves all eight rates.
+    pub fn viterbi_shared(rate: PhyRate, trellis: std::sync::Arc<CompiledTrellis>) -> Self {
+        Self::new(
+            rate,
+            Demapper::new(rate.modulation(), 8, SnrScaling::Off),
+            Box::new(ViterbiDecoder::with_shared_trellis(trellis)),
         )
     }
 

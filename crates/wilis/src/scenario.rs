@@ -18,10 +18,23 @@
 //! reused across all of its packets, the decoders reuse their trellis
 //! scratch, and channels are seed-addressed [`ChannelModel`]s — so
 //! Monte-Carlo depth (packets per point) costs arithmetic, not the
-//! allocator. Per-scenario setup (registry lookups, trellis build) is
-//! deliberately rebuilt per grid point; it is negligible against any
-//! meaningful packet budget and keeping scenarios self-contained is what
-//! makes the determinism contract trivial.
+//! allocator. Decoder construction shares one compiled trellis per
+//! system ([`WilisSystem::compiled_ieee80211`]): the per-rate receiver
+//! banks and the all-rates oracle reuse a single table lowering instead
+//! of rebuilding decoder state per rate.
+//!
+//! Redundant per-packet work is amortized *across* grid points too:
+//! scenarios that share `(rate, channel, params, SNR, seed, packets,
+//! payload)` and differ only in decoder or in a non-rate-adapting link
+//! policy (see [`LinkPolicy::adapts_rate`]) are fused into one
+//! shared-channel job — each packet is built, transmitted, and pushed
+//! through the channel **once**, then received and decoded per member.
+//! Because every member would have seen the identical realization solo
+//! (randomness is a pure function of the scenario seed and packet index),
+//! the fused results are bit-identical to the unfused ones, and the
+//! determinism contract is untouched. Fusion never starves the worker
+//! pool: when a grid collapses into fewer jobs than workers, the largest
+//! groups are split until every worker has work.
 //!
 //! The **link dimension** puts the MAC layer on the grid: a scenario names
 //! a [`LinkPolicy`] (resolved through [`link_registry`]; `"none"` keeps
@@ -52,10 +65,12 @@
 //! assert_eq!(results, serial);
 //! ```
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use wilis_channel::{AwgnModel, ChannelModel, FadingModel, ReplayModel, SnrDb, TraceModel};
-use wilis_fec::MAX_HINT;
+use wilis_fec::{CompiledTrellis, MAX_HINT};
 use wilis_fxp::rng::{mix_seed, SmallRng};
 use wilis_fxp::Cplx;
 use wilis_lis::registry::{Params, Registry, RegistryError};
@@ -416,6 +431,36 @@ impl Default for SweepGrid {
 
 type EnvFactory = dyn Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync;
 
+/// One unit of worker-pool work: a lone scenario, or a set of scenarios
+/// sharing a single transmit + channel realization per packet.
+#[derive(Debug, Clone)]
+enum Job {
+    /// A scenario that must run alone (its link policy steers the rate).
+    Solo(usize),
+    /// Scenarios sharing `(rate, channel, params, snr, seed, packets,
+    /// payload)` — one channel realization serves every member.
+    Shared(Vec<usize>),
+}
+
+/// The typed shared-channel coordinate two scenarios must agree on, field
+/// for field, to fuse into one [`Job::Shared`]: rate, channel name and
+/// parameters, SNR (as bits — NaN-safe exact equality), seed, packet
+/// budget, payload size. A structured tuple rather than a formatted
+/// string, so free-form registry names can never collide into one key.
+type GroupKey = (PhyRate, String, Params, u64, u64, u32, usize);
+
+/// The link-policy parameters as the engine fills them in at run time:
+/// the grid's own parameters plus `payload_bits` and `initial_rate_mbps`
+/// from the scenario. One definition shared by eligibility probing, the
+/// solo path, and the fused path, so a future run-time parameter cannot
+/// be added to one and missed in another.
+fn runtime_link_params(sc: &Scenario) -> Params {
+    let mut link_params = sc.link_params.clone();
+    link_params.set("payload_bits", &format!("{}", sc.payload_bits.max(1)));
+    link_params.set("initial_rate_mbps", &format!("{}", sc.rate.mbps()));
+    link_params
+}
+
 /// Executes scenario grids across a worker pool.
 ///
 /// Determinism contract: scenario `i` of a grid always produces the same
@@ -466,10 +511,12 @@ impl SweepRunner {
 
     /// Replaces the environment factory, for sweeps over user decoder,
     /// channel, or link-policy registrations. The factory runs once per
-    /// *scenario* (each grid point is self-contained — that is what makes
-    /// the determinism contract trivial), so keep it cheap relative to a
-    /// scenario's packet budget: register implementations inside it, load
-    /// big assets outside and share them via `Arc`.
+    /// *job* — a single scenario, or one shared-channel group of
+    /// scenarios that differ only in decoder/link (each job is
+    /// self-contained — that is what makes the determinism contract
+    /// trivial) — so keep it cheap relative to a scenario's packet
+    /// budget: register implementations inside it, load big assets
+    /// outside and share them via `Arc`.
     pub fn with_env(
         mut self,
         env: impl Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync + 'static,
@@ -526,14 +573,108 @@ impl SweepRunner {
                 checked.push(triple);
             }
         }
+
+        // Partition the grid into jobs. Scenarios whose link policy never
+        // steers the transmit rate and that share the whole
+        // (rate, channel, params, SNR, seed, packets, payload) coordinate
+        // fuse into one shared-channel job: each packet is generated,
+        // transmitted, and faded once, then received per member — the
+        // decoder/link axes stop paying for redundant channel work.
+        // Rate-adapting policies (SoftRate) diverge from the shared
+        // transmit stream after the first verdict, so they keep the solo
+        // path.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut shared_jobs: HashMap<GroupKey, usize> = HashMap::new();
+        // adapts_rate() probes are cached per distinct (link, params):
+        // large grids repeat a handful of policy configurations thousands
+        // of times, and the probe builds a throwaway policy instance.
+        let mut adapts: HashMap<(String, Params), bool> = HashMap::new();
+        for (i, sc) in scenarios.iter().enumerate() {
+            let shareable = sc.link == "none" || {
+                let probe_key = (sc.link.clone(), runtime_link_params(sc));
+                match adapts.entry(probe_key) {
+                    Entry::Occupied(slot) => !*slot.get(),
+                    Entry::Vacant(slot) => {
+                        let policy = links.build(&sc.link, &runtime_link_params(sc))?;
+                        !*slot.insert(policy.adapts_rate())
+                    }
+                }
+            };
+            if !shareable {
+                jobs.push(Job::Solo(i));
+                continue;
+            }
+            let key: GroupKey = (
+                sc.rate,
+                sc.channel.clone(),
+                sc.channel_params.clone(),
+                sc.snr_db.to_bits(),
+                sc.seed,
+                sc.packets,
+                sc.payload_bits,
+            );
+            match shared_jobs.entry(key) {
+                Entry::Occupied(slot) => {
+                    if let Job::Shared(members) = &mut jobs[*slot.get()] {
+                        members.push(i);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(jobs.len());
+                    jobs.push(Job::Shared(vec![i]));
+                }
+            }
+        }
+
+        // Fusion trades per-packet redundancy for scheduling granularity:
+        // a grid concentrated on one channel coordinate could collapse
+        // into fewer jobs than workers and serialize the decode-dominant
+        // work. Split the largest shared groups until the pool is fed (a
+        // split group redoes tx+channel once per piece — the pre-fusion
+        // cost — while keeping the sharing within each piece). Any
+        // partition yields bit-identical results, since group execution
+        // equals solo execution member by member.
+        while jobs.len() < self.threads {
+            let Some(idx) = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| matches!(j, Job::Shared(m) if m.len() >= 2))
+                .max_by_key(|(_, j)| match j {
+                    Job::Shared(m) => m.len(),
+                    Job::Solo(_) => 0,
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            if let Job::Shared(members) = &mut jobs[idx] {
+                let tail = members.split_off(members.len() / 2);
+                jobs.push(Job::Shared(tail));
+            }
+        }
+
         let record = self.record_packet_stats;
         let env = Arc::clone(&self.env);
-        self.run_indexed(scenarios.len(), move |i| {
+        let nested = self.run_indexed(jobs.len(), move |j| {
             let (system, channels, links) = env();
-            run_scenario(&system, &channels, &links, i, &scenarios[i], record)
-        })
-        .into_iter()
-        .collect()
+            match &jobs[j] {
+                Job::Solo(i) => vec![(
+                    *i,
+                    run_scenario(&system, &channels, &links, *i, &scenarios[*i], record),
+                )],
+                Job::Shared(members) => {
+                    run_group(&system, &channels, &links, members, scenarios, record)
+                }
+            }
+        });
+        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
+        for (i, result) in nested.into_iter().flatten() {
+            slots[i] = Some(result?);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every scenario is assigned to exactly one job"))
+            .collect())
     }
 
     /// The deterministic-parallel primitive under [`SweepRunner::run`]:
@@ -621,6 +762,13 @@ impl RateBank {
         }
         Ok(self.rx[idx].as_mut().expect("filled above"))
     }
+
+    /// Removes the built machinery for `rate` from the bank — the fused
+    /// execution path constructs through [`RateBank::get`] (one shared
+    /// code path with the solo loop) and then owns its single rate.
+    fn take(&mut self, rate: PhyRate) -> Option<(Receiver, Option<BerEstimator>)> {
+        self.rx[rate_index(rate)].take()
+    }
 }
 
 fn rate_index(rate: PhyRate) -> usize {
@@ -634,10 +782,13 @@ fn rate_index(rate: PhyRate) -> usize {
 /// realization (same channel seed) and returns the fastest rate that
 /// decoded error-free — the Figure 7 oracle, grounded on the
 /// seed-addressed [`ChannelModel`] contract. The oracle decodes with
-/// Viterbi (hard decisions suffice for ground truth).
+/// Viterbi (hard decisions suffice for ground truth); all eight per-rate
+/// receivers share the caller's one compiled trellis instead of
+/// rebuilding decoder state per rate.
 #[allow(clippy::too_many_arguments)]
 fn oracle_replay(
     channel: &mut dyn ChannelModel,
+    trellis: &Arc<CompiledTrellis>,
     chan_seed: u64,
     payload: &[u8],
     scramble_seed: u8,
@@ -647,8 +798,12 @@ fn oracle_replay(
 ) -> Oracle {
     let mut best = None;
     for (ri, &rate) in PhyRate::all().iter().enumerate() {
-        let (rx, scratch) =
-            oracle_rx[ri].get_or_insert_with(|| (Receiver::viterbi(rate), PhyScratch::new()));
+        let (rx, scratch) = oracle_rx[ri].get_or_insert_with(|| {
+            (
+                Receiver::viterbi_shared(rate, Arc::clone(trellis)),
+                PhyScratch::new(),
+            )
+        });
         Transmitter::new(rate).tx_into(payload, scramble_seed, scratch, samples);
         channel.apply(samples, chan_seed);
         rx.rx_from(samples, payload.len(), scramble_seed, scratch, got);
@@ -659,6 +814,84 @@ fn oracle_replay(
     match best {
         Some(rate) => Oracle::Best(rate),
         None => Oracle::NoRate,
+    }
+}
+
+/// The Monte-Carlo accumulators of one grid point, with the per-packet
+/// accounting in one place. Both execution paths — the solo loop of
+/// [`run_scenario`] and the fused loop of [`run_group`] — tally through
+/// this struct, so the fused==solo bit-identity contract cannot be broken
+/// by editing one path's statistics and forgetting the other's.
+struct PacketTally {
+    hint_bins: Vec<HintBin>,
+    packet_errors: u64,
+    bit_errors: u64,
+    predicted_pber_sum: f64,
+    packet_stats: Vec<PacketStat>,
+}
+
+impl PacketTally {
+    fn new() -> Self {
+        Self {
+            hint_bins: vec![HintBin::default(); usize::from(MAX_HINT) + 1],
+            packet_errors: 0,
+            bit_errors: 0,
+            predicted_pber_sum: 0.0,
+            packet_stats: Vec::new(),
+        }
+    }
+
+    /// Accounts one received packet against the transmitted payload:
+    /// hint-binned bit errors, packet errors, the SoftPHY PBER estimate,
+    /// and (when `record` is on) the Figure 6 scatter point. Returns the
+    /// packet's bit-error count and predicted PBER for the link layer.
+    fn observe(
+        &mut self,
+        sent: &[u8],
+        got: &RxResult,
+        estimator: Option<&BerEstimator>,
+        record: bool,
+    ) -> (u64, f64) {
+        let mut errs_this_packet = 0u64;
+        for ((&sent_bit, &got_bit), &hint) in sent.iter().zip(&got.payload).zip(&got.hints) {
+            let bin = &mut self.hint_bins[usize::from(hint)];
+            bin.bits += 1;
+            if sent_bit != got_bit {
+                bin.errors += 1;
+                errs_this_packet += 1;
+            }
+        }
+        self.bit_errors += errs_this_packet;
+        if errs_this_packet > 0 {
+            self.packet_errors += 1;
+        }
+        let predicted = estimator
+            .map(|est| est.per_packet(&got.hints))
+            .unwrap_or(0.0);
+        self.predicted_pber_sum += predicted;
+        if record {
+            self.packet_stats.push(PacketStat {
+                predicted,
+                actual: errs_this_packet as f64 / sent.len().max(1) as f64,
+            });
+        }
+        (errs_this_packet, predicted)
+    }
+
+    /// Folds the tally into the final per-scenario result.
+    fn into_result(self, index: usize, sc: &Scenario, link: Option<LinkMetrics>) -> ScenarioResult {
+        ScenarioResult {
+            scenario: index,
+            label: sc.label(),
+            packets: u64::from(sc.packets),
+            packet_errors: self.packet_errors,
+            bits: u64::from(sc.packets) * sc.payload_bits as u64,
+            bit_errors: self.bit_errors,
+            hint_bins: self.hint_bins,
+            predicted_pber_sum: self.predicted_pber_sum,
+            packet_stats: self.packet_stats,
+            link,
+        }
     }
 }
 
@@ -681,12 +914,10 @@ fn run_scenario(
     let mut policy: Option<Box<dyn LinkPolicy>> = if sc.link == "none" {
         None
     } else {
-        let mut link_params = sc.link_params.clone();
-        link_params.set("payload_bits", &format!("{}", sc.payload_bits.max(1)));
-        link_params.set("initial_rate_mbps", &format!("{}", sc.rate.mbps()));
-        Some(links.build(&sc.link, &link_params)?)
+        Some(links.build(&sc.link, &runtime_link_params(sc))?)
     };
     let needs_oracle = policy.as_ref().is_some_and(|p| p.needs_oracle());
+    let shared_trellis = system.compiled_ieee80211();
 
     let mut scratch = PhyScratch::new();
     let mut samples: Vec<Cplx> = Vec::new();
@@ -697,11 +928,7 @@ fn run_scenario(
     let mut oracle_samples: Vec<Cplx> = Vec::new();
     let mut oracle_got = RxResult::default();
 
-    let mut hint_bins = vec![HintBin::default(); usize::from(MAX_HINT) + 1];
-    let mut packet_errors = 0u64;
-    let mut bit_errors = 0u64;
-    let mut predicted_pber_sum = 0.0f64;
-    let mut packet_stats = Vec::new();
+    let mut tally = PacketTally::new();
     let mut current_rate = sc.rate;
 
     for p in 0..sc.packets {
@@ -723,35 +950,14 @@ fn run_scenario(
             &mut got,
         );
 
-        let mut errs_this_packet = 0u64;
-        for ((&sent, &got_bit), &hint) in payload.iter().zip(&got.payload).zip(&got.hints) {
-            let bin = &mut hint_bins[usize::from(hint)];
-            bin.bits += 1;
-            if sent != got_bit {
-                bin.errors += 1;
-                errs_this_packet += 1;
-            }
-        }
-        bit_errors += errs_this_packet;
-        if errs_this_packet > 0 {
-            packet_errors += 1;
-        }
-        let predicted = estimator
-            .as_ref()
-            .map(|est| est.per_packet(&got.hints))
-            .unwrap_or(0.0);
-        predicted_pber_sum += predicted;
-        if record {
-            packet_stats.push(PacketStat {
-                predicted,
-                actual: errs_this_packet as f64 / sc.payload_bits.max(1) as f64,
-            });
-        }
+        let (errs_this_packet, predicted) =
+            tally.observe(&payload, &got, estimator.as_ref(), record);
 
         if let Some(policy) = policy.as_mut() {
             let oracle = if needs_oracle {
                 oracle_replay(
                     channel.as_mut(),
+                    &shared_trellis,
                     chan_seed,
                     &payload,
                     scramble_seed,
@@ -776,18 +982,174 @@ fn run_scenario(
         }
     }
 
-    Ok(ScenarioResult {
-        scenario: index,
-        label: sc.label(),
-        packets: u64::from(sc.packets),
-        packet_errors,
-        bits: u64::from(sc.packets) * sc.payload_bits as u64,
-        bit_errors,
-        hint_bins,
-        predicted_pber_sum,
-        packet_stats,
-        link: policy.map(|p| p.metrics()),
-    })
+    Ok(tally.into_result(index, sc, policy.map(|p| p.metrics())))
+}
+
+/// Per-member receive state of a shared-channel job: everything that is
+/// *not* shared — receiver, estimator, scratch, link policy, and the same
+/// [`PacketTally`] the solo path accumulates through.
+struct GroupMember<'a> {
+    index: usize,
+    scenario: &'a Scenario,
+    rx: Receiver,
+    estimator: Option<BerEstimator>,
+    scratch: PhyScratch,
+    got: RxResult,
+    policy: Option<Box<dyn LinkPolicy>>,
+    needs_oracle: bool,
+    tally: PacketTally,
+}
+
+impl<'a> GroupMember<'a> {
+    fn build(
+        system: &WilisSystem,
+        links: &LinkSlot,
+        index: usize,
+        sc: &'a Scenario,
+    ) -> Result<Self, RegistryError> {
+        let decoder_kind = DecoderKind::from_registry_name(&sc.decoder);
+        let mut bank = RateBank::new();
+        bank.get(system, &sc.decoder, decoder_kind, sc.rate)?;
+        let (rx, estimator) = bank
+            .take(sc.rate)
+            .expect("receiver built into the bank above");
+        let policy: Option<Box<dyn LinkPolicy>> = if sc.link == "none" {
+            None
+        } else {
+            Some(links.build(&sc.link, &runtime_link_params(sc))?)
+        };
+        let needs_oracle = policy.as_ref().is_some_and(|p| p.needs_oracle());
+        Ok(Self {
+            index,
+            scenario: sc,
+            rx,
+            estimator,
+            scratch: PhyScratch::new(),
+            got: RxResult::default(),
+            policy,
+            needs_oracle,
+            tally: PacketTally::new(),
+        })
+    }
+}
+
+/// Executes one shared-channel job: the payload, transmit chain, and
+/// channel realization of each packet are computed once and every member
+/// scenario receives from the identical noisy samples. Bit-identical to
+/// running each member solo — the shared inputs are exactly the inputs
+/// each member would have derived from its own (equal) seed.
+fn run_group(
+    system: &WilisSystem,
+    channels: &ChannelSlot,
+    links: &LinkSlot,
+    members: &[usize],
+    scenarios: &[Scenario],
+    record: bool,
+) -> Vec<(usize, Result<ScenarioResult, RegistryError>)> {
+    let lead = &scenarios[members[0]];
+    let mut out = Vec::with_capacity(members.len());
+    let mut group: Vec<GroupMember> = Vec::with_capacity(members.len());
+    for &i in members {
+        match GroupMember::build(system, links, i, &scenarios[i]) {
+            Ok(m) => group.push(m),
+            Err(e) => out.push((i, Err(e))),
+        }
+    }
+
+    let mut channel_params = lead.channel_params.clone();
+    channel_params.set("snr_db", &format!("{}", lead.snr_db));
+    let mut channel = match channels.build(&lead.channel, &channel_params) {
+        Ok(c) => c,
+        Err(e) => {
+            for m in group {
+                out.push((m.index, Err(e.clone())));
+            }
+            return out;
+        }
+    };
+
+    let shared_trellis = system.compiled_ieee80211();
+    let any_oracle = group.iter().any(|m| m.needs_oracle);
+    let transmitter = Transmitter::new(lead.rate);
+    let mut tx_scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut oracle_rx: Vec<Option<(Receiver, PhyScratch)>> = PhyRate::all().map(|_| None).into();
+    let mut oracle_samples: Vec<Cplx> = Vec::new();
+    let mut oracle_got = RxResult::default();
+
+    for p in 0..lead.packets {
+        let packet_seed = mix_seed(lead.seed, u64::from(p));
+        let mut rng = SmallRng::seed_from_u64(packet_seed);
+        payload.clear();
+        payload.extend((0..lead.payload_bits).map(|_| rng.gen_bit()));
+        let scramble_seed = (p % 127 + 1) as u8;
+        let chan_seed = mix_seed(packet_seed, 1);
+
+        // The shared part: one transmit, one channel realization.
+        transmitter.tx_into(&payload, scramble_seed, &mut tx_scratch, &mut samples);
+        channel.apply(&mut samples, chan_seed);
+        let oracle = if any_oracle {
+            oracle_replay(
+                channel.as_mut(),
+                &shared_trellis,
+                chan_seed,
+                &payload,
+                scramble_seed,
+                &mut oracle_rx,
+                &mut oracle_samples,
+                &mut oracle_got,
+            )
+        } else {
+            Oracle::Unavailable
+        };
+
+        // The per-member part: receive, decode, account, observe.
+        for member in &mut group {
+            member.rx.rx_from(
+                &samples,
+                payload.len(),
+                scramble_seed,
+                &mut member.scratch,
+                &mut member.got,
+            );
+            let (errs_this_packet, predicted) =
+                member
+                    .tally
+                    .observe(&payload, &member.got, member.estimator.as_ref(), record);
+            if let Some(policy) = member.policy.as_mut() {
+                let ctx = LinkContext {
+                    sent: &payload,
+                    bit_errors: errs_this_packet,
+                    predicted_pber: predicted,
+                    rate: lead.rate,
+                    oracle: if member.needs_oracle {
+                        oracle
+                    } else {
+                        Oracle::Unavailable
+                    },
+                };
+                let verdict = policy.observe(&member.got, &member.got.hints, &ctx);
+                assert!(
+                    verdict.next_rate.is_none() || verdict.next_rate == Some(lead.rate),
+                    "link policy {:?} declared adapts_rate() == false but asked to \
+                     steer the transmit rate",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    for member in group {
+        let link = member.policy.map(|p| p.metrics());
+        out.push((
+            member.index,
+            Ok(member
+                .tally
+                .into_result(member.index, member.scenario, link)),
+        ));
+    }
+    out
 }
 
 /// Renders the link-layer metrics of a result set as an aligned table;

@@ -6,7 +6,9 @@
 //! implementations keyed by name, a [`SystemConfig`] selecting one, and a
 //! builder producing ready-to-run transmitter/receiver pairs.
 
-use wilis_fec::{BcjrDecoder, ConvCode, SoftDecoder, SovaDecoder, ViterbiDecoder};
+use std::sync::Arc;
+
+use wilis_fec::{BcjrDecoder, CompiledTrellis, ConvCode, SoftDecoder, SovaDecoder, ViterbiDecoder};
 use wilis_lis::registry::{Params, Registry, RegistryError};
 use wilis_phy::{Demapper, PhyRate, Receiver, SnrScaling, Transmitter};
 
@@ -39,28 +41,46 @@ impl SystemConfig {
 }
 
 /// The plug-n-play system: decoder registry plus builders.
+///
+/// One [`CompiledTrellis`] for the 802.11 code is built at system
+/// construction and shared (via `Arc`) by every stock decoder the system
+/// instantiates — the scenario engine's per-rate receiver banks therefore
+/// reuse one trellis lowering per system instead of recompiling tables
+/// per rate and per decoder.
 pub struct WilisSystem {
     decoders: DecoderSlot,
+    compiled: Arc<CompiledTrellis>,
 }
 
 impl WilisSystem {
     /// A system with the stock implementations registered: `"viterbi"`,
     /// `"sova"` (params: `tu1`, `tu2`), `"bcjr"` (param: `block`).
     pub fn new() -> Self {
+        let compiled = Arc::new(CompiledTrellis::new(&ConvCode::ieee80211()));
         let mut decoders: DecoderSlot = Registry::new("decoder");
-        decoders.register("viterbi", |_| {
-            Box::new(ViterbiDecoder::new(&ConvCode::ieee80211()))
+        let shared = Arc::clone(&compiled);
+        decoders.register("viterbi", move |_| {
+            Box::new(ViterbiDecoder::with_shared_trellis(Arc::clone(&shared)))
         });
-        decoders.register("sova", |p| {
+        let shared = Arc::clone(&compiled);
+        decoders.register("sova", move |p| {
             let l = p.get_u64("tu1").unwrap_or(64) as usize;
             let k = p.get_u64("tu2").unwrap_or(64) as usize;
-            Box::new(SovaDecoder::new(&ConvCode::ieee80211(), l, k))
+            Box::new(SovaDecoder::with_shared_trellis(Arc::clone(&shared), l, k))
         });
-        decoders.register("bcjr", |p| {
+        let shared = Arc::clone(&compiled);
+        decoders.register("bcjr", move |p| {
             let n = p.get_u64("block").unwrap_or(64) as usize;
-            Box::new(BcjrDecoder::new(&ConvCode::ieee80211(), n))
+            Box::new(BcjrDecoder::with_shared_trellis(Arc::clone(&shared), n))
         });
-        Self { decoders }
+        Self { decoders, compiled }
+    }
+
+    /// The system's shared compiled 802.11 trellis — one table build
+    /// serving every stock decoder this system creates (and the scenario
+    /// engine's oracle receiver bank).
+    pub fn compiled_ieee80211(&self) -> Arc<CompiledTrellis> {
+        Arc::clone(&self.compiled)
     }
 
     /// The decoder registry, for registering user implementations
@@ -142,6 +162,19 @@ mod tests {
         let cfg = SystemConfig::new(PhyRate::BpskHalf, "turbo");
         let err = sys.receiver(&cfg).unwrap_err();
         assert!(err.to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn stock_decoders_share_one_compiled_trellis() {
+        let sys = WilisSystem::new();
+        let shared = sys.compiled_ieee80211();
+        // Factory-built decoders hold handles to the same tables: the
+        // system handle plus three decoders inside the receivers.
+        let before = Arc::strong_count(&shared);
+        let _rx = sys
+            .receiver(&SystemConfig::new(PhyRate::QpskHalf, "viterbi"))
+            .unwrap();
+        assert_eq!(Arc::strong_count(&shared), before + 1);
     }
 
     #[test]

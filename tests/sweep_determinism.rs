@@ -146,6 +146,57 @@ fn non_adapting_links_leave_the_phy_results_untouched() {
     }
 }
 
+/// A grid built to maximize shared-channel job fusion: three decoders and
+/// three non-adapting links over one (rate, channel, SNR, seed)
+/// coordinate — nine scenarios, one channel realization.
+fn fused_grid() -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["viterbi", "sova", "bcjr"])
+        .links(&["none", "arq", "ppr"])
+        .snrs_db(&[6.5])
+        .packets(4)
+        .payload_bits(300)
+}
+
+#[test]
+fn shared_channel_groups_match_solo_execution() {
+    // The engine fuses grid points differing only in decoder/link into
+    // one shared transmit+channel job. Every per-scenario field must be
+    // byte-identical to running that scenario through a grid of its own.
+    let scenarios = fused_grid().scenarios();
+    let fused = SweepRunner::new(2).run(&scenarios).unwrap();
+    let solo_runner = SweepRunner::new(1);
+    for (i, sc) in scenarios.iter().enumerate() {
+        let solo = &solo_runner.run(std::slice::from_ref(sc)).unwrap()[0];
+        assert_eq!(solo.label, fused[i].label);
+        assert_eq!(solo.bit_errors, fused[i].bit_errors, "{}", solo.label);
+        assert_eq!(solo.packet_errors, fused[i].packet_errors, "{}", solo.label);
+        assert_eq!(solo.hint_bins, fused[i].hint_bins, "{}", solo.label);
+        assert_eq!(
+            solo.predicted_pber_sum.to_bits(),
+            fused[i].predicted_pber_sum.to_bits(),
+            "{}",
+            solo.label
+        );
+        assert_eq!(solo.link, fused[i].link, "{}", solo.label);
+    }
+}
+
+#[test]
+fn fused_grid_results_identical_at_1_2_and_8_threads() {
+    // The thread-count contract holds with job fusion on the hot path.
+    let scenarios = fused_grid().scenarios();
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads).run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread fused sweep diverged from the serial reference"
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_are_reproducible() {
     // Same grid, same runner, different invocation: still identical —
