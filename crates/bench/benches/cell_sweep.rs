@@ -1,0 +1,107 @@
+//! Contention-cell throughput: the multi-node workload the cell dimension
+//! opens, timed per MAC policy.
+//!
+//! One saturated 4-node cell per stock contention policy — slotted ALOHA,
+//! CSMA with binary exponential backoff, and the TDMA oracle — runs
+//! through the scenario engine at a fixed operating point. The bench
+//! times each cell (the whole cell is one fused worker job, so this is
+//! the real per-cell cost a capacity planner would see) and records the
+//! cell-level figures the MAC comparison is about: aggregate goodput,
+//! collision and idle fractions, Jain fairness, and simulated packets per
+//! second.
+//!
+//! Results go to stdout *and* to `BENCH_cell.json` (override the path
+//! with `WILIS_BENCH_OUT`), extending the perf trajectory started by
+//! `BENCH_trellis.json`. Schema (checked in CI by
+//! `tools/check_bench.py cell_sweep`):
+//!
+//! ```json
+//! {
+//!   "bench": "cell_sweep",
+//!   "nodes": 4, "slots": 0, "payload_bits": 0, "snr_db": 10.0,
+//!   "policies": [
+//!     {"policy": "aloha", "aggregate_goodput": 0.0,
+//!      "collision_fraction": 0.0, "idle_fraction": 0.0,
+//!      "jain_index": 0.0, "attempts": 0,
+//!      "packets_per_sec": 0.0, "mean_secs": 0.0}
+//!   ]
+//! }
+//! ```
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{render_cell_table, ScenarioResult, SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report};
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let payload_bits = 600usize;
+    let nodes = 4u32;
+    let snr_db = 10.0;
+    // Budget is total payload bits across the cell's slots.
+    let slots = (budget(240_000) / payload_bits as u64).max(16) as u32;
+    let policies = ["aloha", "csma", "tdma"];
+    banner(&format!(
+        "cell_sweep: {nodes}-node saturated cells x {slots} slots of {payload_bits} bits \
+         @{snr_db}dB (WILIS_BITS to scale)"
+    ));
+
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        3
+    };
+    let runner = SweepRunner::auto();
+    let mut all_results: Vec<ScenarioResult> = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
+    for policy in policies {
+        let grid = SweepGrid::new()
+            .rates(&[PhyRate::Qam16Half])
+            .decoders(&["viterbi"])
+            .contentions(&[policy])
+            .nodes(nodes)
+            .snrs_db(&[snr_db])
+            .packets(slots)
+            .payload_bits(payload_bits);
+        let scenarios = grid.scenarios();
+        let mut results = Vec::new();
+        let m = bench(&format!("cell_sweep/{policy}"), iters, || {
+            results = runner.run(&scenarios).unwrap();
+        });
+        report(&m);
+        let cell = results[0].cell.clone().expect("cell metrics");
+        let packets_per_sec = cell.attempts() as f64 / m.mean_secs;
+        rows.push(format!(
+            "{{\"policy\":\"{}\",\"aggregate_goodput\":{:.6},\"collision_fraction\":{:.6},\"idle_fraction\":{:.6},\"jain_index\":{:.6},\"attempts\":{},\"packets_per_sec\":{:.3},\"mean_secs\":{:.9}}}",
+            policy,
+            cell.aggregate_goodput(),
+            cell.collision_fraction(),
+            cell.idle_fraction(),
+            cell.jain_index(),
+            cell.attempts(),
+            packets_per_sec,
+            m.mean_secs
+        ));
+        all_results.extend(results);
+    }
+
+    println!("\n{}", render_cell_table(&all_results));
+
+    let json = format!(
+        "{{\"bench\":\"cell_sweep\",\"nodes\":{},\"slots\":{},\"payload_bits\":{},\"snr_db\":{:.2},\"policies\":[{}]}}\n",
+        nodes,
+        slots,
+        payload_bits,
+        snr_db,
+        rows.join(",")
+    );
+    println!("JSON:\n{json}");
+    // Default to the workspace root (cargo runs bench binaries from the
+    // package directory), so the trajectory file lands next to README.md.
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cell.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

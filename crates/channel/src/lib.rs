@@ -17,6 +17,9 @@
 //!   that makes the SoftRate rate-selection comparison fair.
 //! * [`parallel`] — a multithreaded noise generator mirroring the paper's
 //!   multithreaded software channel implementation.
+//! * [`resolve_slot`] — the shared-medium capture model: overlapping
+//!   transmissions in a contention cell resolve into per-node SINR
+//!   (strongest wins if above margin, else all collide).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod awgn;
+mod collision;
 mod fading;
 mod gaussian;
 mod model;
@@ -44,6 +48,7 @@ mod replay;
 mod snr;
 
 pub use awgn::AwgnChannel;
+pub use collision::{resolve_slot, SlotOutcome, TxPower};
 pub use fading::{FadingAwgnChannel, RayleighFading};
 pub use gaussian::GaussianSource;
 pub use model::{

@@ -43,6 +43,20 @@ pub trait ChannelModel: Send {
     fn snr(&self) -> Option<SnrDb> {
         None
     }
+
+    /// The linear signal-power gain a packet sent under `seed` arrives
+    /// with: `|h|²` at the packet start for fading models, `1.0` for AWGN.
+    ///
+    /// Cell-level capture resolution ([`crate::resolve_slot`]) compares
+    /// these across simultaneous transmitters, so the contract is
+    /// consistency with [`ChannelModel::apply`]: for the same seed,
+    /// `packet_gain` must describe the same realization `apply` would
+    /// draw, and probing it must not disturb any model state. Models
+    /// without a seed-pure notion of gain (cursor-based traces) report
+    /// `1.0`.
+    fn packet_gain(&mut self, _seed: u64) -> f64 {
+        1.0
+    }
 }
 
 /// Genie equalization: divide the packet by the (known) fading gain at
@@ -120,6 +134,15 @@ impl ChannelModel for FadingModel {
     fn snr(&self) -> Option<SnrDb> {
         Some(self.snr)
     }
+
+    fn packet_gain(&mut self, seed: u64) -> f64 {
+        // The same construction `apply` performs, probed for its gain at
+        // the packet start — the quantity the genie equalizer divides by,
+        // so the post-equalization effective SNR is `|h|² × SNR`.
+        FadingAwgnChannel::new(self.snr, self.doppler_hz, MODEL_SAMPLE_RATE_HZ, seed)
+            .current_gain()
+            .norm_sq()
+    }
 }
 
 /// The replay channel sampled at a seed-derived instant — fading plus
@@ -172,6 +195,18 @@ impl ChannelModel for ReplayModel {
 
     fn snr(&self) -> Option<SnrDb> {
         Some(self.snr)
+    }
+
+    fn packet_gain(&mut self, seed: u64) -> f64 {
+        let mut ch = ReplayChannel::fading(
+            self.snr,
+            self.doppler_hz,
+            MODEL_SAMPLE_RATE_HZ,
+            self.base_seed,
+        );
+        let span = (Self::WINDOW_SECS * MODEL_SAMPLE_RATE_HZ) as u64;
+        ch.seek(mix_seed(self.base_seed, seed) % span);
+        ch.current_gain().norm_sq()
     }
 }
 
@@ -307,6 +342,33 @@ mod tests {
         }
         let mean = total / n_seeds as f64;
         assert!(mean > 0.5 && mean < 20.0, "mean packet power {mean}");
+    }
+
+    #[test]
+    fn packet_gain_is_seed_pure_and_consistent() {
+        for mut m in models() {
+            let a = m.packet_gain(42);
+            let b = m.packet_gain(42);
+            assert_eq!(a.to_bits(), b.to_bits(), "{} gain not seed-pure", m.id());
+            assert!(a >= 0.0, "{} negative gain", m.id());
+        }
+        // AWGN has no fading: unit gain for every seed.
+        let mut awgn = AwgnModel::new(SnrDb::new(10.0));
+        assert_eq!(awgn.packet_gain(1), 1.0);
+        assert_eq!(awgn.packet_gain(2), 1.0);
+        // Fading gains vary with the seed (that is what makes capture
+        // possible), and probing the gain must not disturb `apply`.
+        let mut fading = FadingModel::new(SnrDb::new(10.0), 20.0);
+        assert_ne!(
+            fading.packet_gain(1).to_bits(),
+            fading.packet_gain(2).to_bits()
+        );
+        let mut before = vec![Cplx::ONE; 128];
+        fading.apply(&mut before, 5);
+        let _ = fading.packet_gain(7);
+        let mut after = vec![Cplx::ONE; 128];
+        fading.apply(&mut after, 5);
+        assert_eq!(before, after, "packet_gain probe disturbed the model");
     }
 
     #[test]

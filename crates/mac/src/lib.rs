@@ -10,15 +10,24 @@
 //! * [`arq`] — the conventional whole-packet ARQ baseline both improve on.
 //! * [`link`] — the three policies behind one [`link::LinkPolicy`] trait,
 //!   so the scenario engine can sweep MAC behavior by registry name.
+//! * [`cell`] — multi-node contention on a shared medium: slotted ALOHA,
+//!   CSMA with binary exponential backoff, and a TDMA oracle behind one
+//!   [`cell::ContentionPolicy`] trait, plus the cell-level metrics
+//!   (aggregate goodput, Jain fairness, collision/idle fractions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arq;
+pub mod cell;
 pub mod link;
 pub mod ppr;
 mod softrate;
 
+pub use cell::{
+    BackoffState, CellMetrics, ContentionPolicy, CsmaBackoff, NodeCellMetrics, SlotView,
+    SlottedAloha, TdmaOracle, TxDecision,
+};
 pub use link::{ArqLink, LinkMetrics, LinkPolicy, LinkVerdict, PprLink, SoftRateLink};
 pub use softrate::{RateDecision, Selection, SelectionStats, SoftRate};
 

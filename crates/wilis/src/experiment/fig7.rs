@@ -72,6 +72,9 @@ impl Fig7Config {
             channel_params,
             link: "softrate".to_string(),
             link_params: Params::new(),
+            contention: "p2p".to_string(),
+            contention_params: Params::new(),
+            nodes: 1,
             snr_db: self.snr.db(),
             seed: self.seed,
             packets: self.packets,

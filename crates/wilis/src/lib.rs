@@ -89,7 +89,9 @@ pub mod prelude {
         BcjrDecoder, ConvCode, ConvEncoder, SoftDecoder, SovaDecoder, ViterbiDecoder,
     };
     pub use wilis_fxp::Cplx;
-    pub use wilis_mac::{LinkMetrics, LinkPolicy, SelectionStats, SoftRate};
+    pub use wilis_mac::{
+        CellMetrics, ContentionPolicy, LinkMetrics, LinkPolicy, SelectionStats, SoftRate,
+    };
     pub use wilis_phy::{Modulation, PhyRate, Receiver, Transmitter};
     pub use wilis_softphy::{BerEstimator, DecoderKind};
 

@@ -46,6 +46,23 @@
 //! identical channel realization, which the seed-addressed
 //! [`ChannelModel`] contract provides for free.
 //!
+//! The **cell dimension** makes the shared medium itself a grid axis: a
+//! scenario names a [`ContentionPolicy`] (resolved through
+//! [`contention_registry`]; `"p2p"` keeps today's point-to-point
+//! behavior) and a node count, and the grid point becomes a *contention
+//! cell* — N nodes running independent link sessions over one slotted
+//! medium, with carrier sense, collisions, and physical-layer capture
+//! ([`wilis_channel::resolve_slot`]). All N nodes execute inside one
+//! fused worker job, so the shared realization of every slot is drawn
+//! exactly once, and every draw is a pure function of
+//! `(scenario seed, node, attempt)` through the same seed-addressed
+//! [`ChannelModel`] registry — cell sweeps are bit-identical for any
+//! thread count, like everything else on the grid. Cell scenarios
+//! accumulate [`CellMetrics`] (aggregate goodput, Jain fairness index,
+//! collision and idle fractions) alongside the per-node-merged link
+//! metrics, and a 1-node cell is a *strict generalization*: it reproduces
+//! the point-to-point path attempt for attempt, bit for bit.
+//!
 //! # Example
 //!
 //! ```
@@ -69,12 +86,19 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use wilis_channel::{AwgnModel, ChannelModel, FadingModel, ReplayModel, SnrDb, TraceModel};
+use wilis_channel::{
+    resolve_slot, AwgnChannel, AwgnModel, Channel, ChannelModel, FadingModel, ReplayModel,
+    SlotOutcome, SnrDb, TraceModel, TxPower,
+};
 use wilis_fec::{CompiledTrellis, MAX_HINT};
 use wilis_fxp::rng::{mix_seed, SmallRng};
 use wilis_fxp::Cplx;
 use wilis_lis::registry::{Params, Registry, RegistryError};
-use wilis_mac::link::{LinkContext, LinkMetrics, LinkPolicy, Oracle};
+use wilis_mac::cell::{
+    BackoffState, CellMetrics, ContentionPolicy, CsmaBackoff, SlotView, SlottedAloha, TdmaOracle,
+    TxDecision,
+};
+use wilis_mac::link::{LinkContext, LinkMetrics, LinkPolicy, LinkStatus, Oracle};
 use wilis_mac::ppr::PprConfig;
 use wilis_mac::{ArqLink, PprLink, SoftRate, SoftRateLink};
 use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
@@ -87,6 +111,9 @@ pub type ChannelSlot = Registry<Box<dyn ChannelModel>>;
 
 /// A factory slot for link-layer policies.
 pub type LinkSlot = Registry<Box<dyn LinkPolicy>>;
+
+/// A factory slot for cell contention policies.
+pub type ContentionSlot = Registry<Box<dyn ContentionPolicy>>;
 
 /// The stock channel registry: `"awgn"` (param: `snr_db`), `"fading"`
 /// (params: `snr_db`, `doppler_hz`), `"replay"` (params: `snr_db`,
@@ -161,6 +188,50 @@ pub fn link_registry() -> LinkSlot {
     reg
 }
 
+/// Default capture margin (dB) for contention cells: the strongest of
+/// several overlapping arrivals survives iff its SINR clears this.
+pub const DEFAULT_CAPTURE_DB: f64 = 10.0;
+
+/// The stock contention-policy registry, third of the family after
+/// [`channel_registry`] and [`link_registry`]:
+///
+/// * `"aloha"` — slotted ALOHA (param: `p`, per-slot transmit probability,
+///   default 0.25 — set it near `1/nodes`),
+/// * `"csma"` — carrier sense with binary exponential backoff (params:
+///   `cw_min` default 2, `cw_max` default 64),
+/// * `"tdma"` — the collision-free round-robin oracle (no params).
+///
+/// Two further parameters are consumed by the cell *engine* rather than
+/// the policy factories: `load` (per-node packet-arrival probability per
+/// slot; ≥ 1.0 — the default — means saturated queues) and `capture_db`
+/// (the capture margin, default [`DEFAULT_CAPTURE_DB`]). The name
+/// `"p2p"` is reserved: it never reaches the registry and keeps a
+/// scenario point-to-point.
+pub fn contention_registry() -> ContentionSlot {
+    let mut reg: ContentionSlot = Registry::new("contention");
+    reg.register("aloha", |p| {
+        // Clamp like the csma factory clamps its windows: registries take
+        // user strings, so out-of-range values degrade to the nearest
+        // sane configuration instead of panicking mid-run.
+        let prob = p
+            .get_f64("p")
+            .filter(|v| v.is_finite())
+            .unwrap_or(0.25)
+            .clamp(1e-6, 1.0);
+        Box::new(SlottedAloha::new(prob))
+    });
+    reg.register("csma", |p| {
+        let cw_min = p.get_u64("cw_min").unwrap_or(2).clamp(1, 1 << 20) as u32;
+        let cw_max = p
+            .get_u64("cw_max")
+            .unwrap_or(64)
+            .clamp(u64::from(cw_min), 1 << 20) as u32;
+        Box::new(CsmaBackoff::new(cw_min, cw_max))
+    });
+    reg.register("tdma", |_| Box::new(TdmaOracle));
+    reg
+}
+
 /// One point of a (rate × decoder × channel × link × SNR × seed) grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -181,6 +252,15 @@ pub struct Scenario {
     /// Extra link-policy parameters (`max_retries`, `hint_threshold`, …);
     /// `payload_bits` and `initial_rate_mbps` are filled in at run time.
     pub link_params: Params,
+    /// Contention policy name (resolved via [`contention_registry`]);
+    /// `"p2p"` keeps the scenario point-to-point.
+    pub contention: String,
+    /// Extra contention parameters (`p`, `cw_min`, plus the engine-level
+    /// `load` and `capture_db`).
+    pub contention_params: Params,
+    /// Contending nodes when this scenario is a cell (`contention !=
+    /// "p2p"`); ignored for point-to-point scenarios.
+    pub nodes: u32,
     /// Operating SNR in dB.
     pub snr_db: f64,
     /// Scenario seed: all packet payloads and channel realizations derive
@@ -200,12 +280,18 @@ impl Scenario {
         } else {
             format!(" {}", self.link)
         };
+        let cell = if self.contention == "p2p" {
+            String::new()
+        } else {
+            format!(" {} x{}", self.contention, self.nodes)
+        };
         format!(
-            "{} {} {}{} @{:.2}dB seed{}",
+            "{} {} {}{}{} @{:.2}dB seed{}",
             self.rate.label(),
             self.decoder,
             self.channel,
             link,
+            cell,
             self.snr_db,
             self.seed
         )
@@ -247,8 +333,15 @@ pub struct ScenarioResult {
     /// packet stats.
     pub packet_stats: Vec<PacketStat>,
     /// Link-layer metrics accumulated by the scenario's [`LinkPolicy`];
-    /// `None` for PHY-only (`link == "none"`) scenarios.
+    /// `None` for PHY-only (`link == "none"`) scenarios. For a cell, the
+    /// per-node sessions merged.
     pub link: Option<LinkMetrics>,
+    /// Shared-medium metrics of a contention cell; `None` for
+    /// point-to-point (`contention == "p2p"`) scenarios. For cells, the
+    /// PHY-level fields above (`packets`, `bits`, `hint_bins`, …) cover
+    /// only the transmissions that survived the medium and reached the
+    /// receiver — collided attempts are accounted here.
+    pub cell: Option<CellMetrics>,
 }
 
 impl ScenarioResult {
@@ -287,12 +380,15 @@ pub struct SweepGrid {
     decoders: Vec<String>,
     channels: Vec<String>,
     links: Vec<String>,
+    contentions: Vec<String>,
+    nodes: u32,
     snrs_db: Vec<f64>,
     seeds: Vec<u64>,
     packets: u32,
     payload_bits: usize,
     channel_params: Params,
     link_params: Params,
+    contention_params: Params,
 }
 
 impl SweepGrid {
@@ -305,12 +401,15 @@ impl SweepGrid {
             decoders: vec!["bcjr".to_string()],
             channels: vec!["awgn".to_string()],
             links: vec!["none".to_string()],
+            contentions: vec!["p2p".to_string()],
+            nodes: 4,
             snrs_db: vec![8.0],
             seeds: vec![1],
             packets: 8,
             payload_bits: 1704,
             channel_params: Params::new(),
             link_params: Params::new(),
+            contention_params: Params::new(),
         }
     }
 
@@ -336,6 +435,20 @@ impl SweepGrid {
     /// `"none"` for PHY-only points).
     pub fn links(mut self, names: &[&str]) -> Self {
         self.links = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the contention axis (registry names plus the reserved
+    /// `"p2p"` for point-to-point points). Non-`"p2p"` entries turn the
+    /// grid point into an N-node cell — see [`SweepGrid::nodes`].
+    pub fn contentions(mut self, names: &[&str]) -> Self {
+        self.contentions = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Sets the number of contending nodes for cell grid points.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes;
         self
     }
 
@@ -377,12 +490,21 @@ impl SweepGrid {
         self
     }
 
+    /// Sets an extra contention parameter (`p`, `cw_min`, `load`,
+    /// `capture_db`, …); policies and the cell engine ignore keys they do
+    /// not use.
+    pub fn contention_param(mut self, key: &str, value: &str) -> Self {
+        self.contention_params.set(key, value);
+        self
+    }
+
     /// Number of grid points.
     pub fn len(&self) -> usize {
         self.rates.len()
             * self.decoders.len()
             * self.channels.len()
             * self.links.len()
+            * self.contentions.len()
             * self.snrs_db.len()
             * self.seeds.len()
     }
@@ -399,20 +521,25 @@ impl SweepGrid {
             for decoder in &self.decoders {
                 for channel in &self.channels {
                     for link in &self.links {
-                        for &snr_db in &self.snrs_db {
-                            for &seed in &self.seeds {
-                                out.push(Scenario {
-                                    rate,
-                                    decoder: decoder.clone(),
-                                    channel: channel.clone(),
-                                    channel_params: self.channel_params.clone(),
-                                    link: link.clone(),
-                                    link_params: self.link_params.clone(),
-                                    snr_db,
-                                    seed,
-                                    packets: self.packets,
-                                    payload_bits: self.payload_bits,
-                                });
+                        for contention in &self.contentions {
+                            for &snr_db in &self.snrs_db {
+                                for &seed in &self.seeds {
+                                    out.push(Scenario {
+                                        rate,
+                                        decoder: decoder.clone(),
+                                        channel: channel.clone(),
+                                        channel_params: self.channel_params.clone(),
+                                        link: link.clone(),
+                                        link_params: self.link_params.clone(),
+                                        contention: contention.clone(),
+                                        contention_params: self.contention_params.clone(),
+                                        nodes: self.nodes,
+                                        snr_db,
+                                        seed,
+                                        packets: self.packets,
+                                        payload_bits: self.payload_bits,
+                                    });
+                                }
                             }
                         }
                     }
@@ -429,7 +556,11 @@ impl Default for SweepGrid {
     }
 }
 
-type EnvFactory = dyn Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync;
+/// Everything a worker needs to execute scenarios: the system (decoder
+/// registry) plus the three sweep-axis registries.
+pub type SweepEnv = (WilisSystem, ChannelSlot, LinkSlot, ContentionSlot);
+
+type EnvFactory = dyn Fn() -> SweepEnv + Send + Sync;
 
 /// One unit of worker-pool work: a lone scenario, or a set of scenarios
 /// sharing a single transmit + channel realization per packet.
@@ -485,7 +616,14 @@ impl SweepRunner {
         Self {
             threads,
             record_packet_stats: false,
-            env: Arc::new(|| (WilisSystem::new(), channel_registry(), link_registry())),
+            env: Arc::new(|| {
+                (
+                    WilisSystem::new(),
+                    channel_registry(),
+                    link_registry(),
+                    contention_registry(),
+                )
+            }),
         }
     }
 
@@ -510,17 +648,14 @@ impl SweepRunner {
     }
 
     /// Replaces the environment factory, for sweeps over user decoder,
-    /// channel, or link-policy registrations. The factory runs once per
-    /// *job* — a single scenario, or one shared-channel group of
-    /// scenarios that differ only in decoder/link (each job is
-    /// self-contained — that is what makes the determinism contract
-    /// trivial) — so keep it cheap relative to a scenario's packet
-    /// budget: register implementations inside it, load big assets
-    /// outside and share them via `Arc`.
-    pub fn with_env(
-        mut self,
-        env: impl Fn() -> (WilisSystem, ChannelSlot, LinkSlot) + Send + Sync + 'static,
-    ) -> Self {
+    /// channel, link-policy, or contention-policy registrations. The
+    /// factory runs once per *job* — a single scenario, a contention
+    /// cell, or one shared-channel group of scenarios that differ only in
+    /// decoder/link (each job is self-contained — that is what makes the
+    /// determinism contract trivial) — so keep it cheap relative to a
+    /// scenario's packet budget: register implementations inside it, load
+    /// big assets outside and share them via `Arc`.
+    pub fn with_env(mut self, env: impl Fn() -> SweepEnv + Send + Sync + 'static) -> Self {
         self.env = Arc::new(env);
         self
     }
@@ -541,16 +676,27 @@ impl SweepRunner {
     /// PBER-driven link policy (`LinkPolicy::needs_pber`, e.g.
     /// `"softrate"`) with a decoder that has no SoftPHY BER estimator
     /// (e.g. `"viterbi"`): the policy would adapt on a constant 0.0 and
-    /// produce plausible-looking garbage.
+    /// produce plausible-looking garbage. Also panics when a contention
+    /// cell has zero nodes, or pairs a rate-adapting link policy
+    /// ([`LinkPolicy::adapts_rate`]) with a cell — cells pin every node
+    /// to the scenario rate.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
         // Fail fast on unknown names: resolve every distinct
-        // (decoder, channel, link) triple once against a throwaway
-        // environment.
-        let (system, channels, links) = (self.env)();
-        let mut checked: Vec<(&str, &str, &str)> = Vec::new();
+        // (decoder, channel, link, contention) tuple once against a
+        // throwaway environment.
+        let (system, channels, links, contentions) = (self.env)();
+        let mut checked: Vec<(&str, &str, &str, &str)> = Vec::new();
         for sc in scenarios {
-            let triple = (sc.decoder.as_str(), sc.channel.as_str(), sc.link.as_str());
-            if !checked.contains(&triple) {
+            let key = (
+                sc.decoder.as_str(),
+                sc.channel.as_str(),
+                sc.link.as_str(),
+                sc.contention.as_str(),
+            );
+            if sc.contention != "p2p" {
+                assert!(sc.nodes >= 1, "a contention cell needs at least one node");
+            }
+            if !checked.contains(&key) {
                 system.receiver(&SystemConfig::new(sc.rate, &sc.decoder))?;
                 channels.build(&sc.channel, &sc.channel_params)?;
                 if sc.link != "none" {
@@ -570,7 +716,20 @@ impl SweepRunner {
                         sc.decoder
                     );
                 }
-                checked.push(triple);
+                if sc.contention != "p2p" {
+                    contentions.build(&sc.contention, &sc.contention_params)?;
+                    if sc.link != "none" {
+                        let policy = links.build(&sc.link, &runtime_link_params(sc))?;
+                        assert!(
+                            !policy.adapts_rate(),
+                            "link policy {:?} steers the transmit rate, which a \
+                             contention cell does not support: every node of a cell \
+                             transmits at the scenario rate",
+                            sc.link
+                        );
+                    }
+                }
+                checked.push(key);
             }
         }
 
@@ -590,16 +749,20 @@ impl SweepRunner {
         // of times, and the probe builds a throwaway policy instance.
         let mut adapts: HashMap<(String, Params), bool> = HashMap::new();
         for (i, sc) in scenarios.iter().enumerate() {
-            let shareable = sc.link == "none" || {
-                let probe_key = (sc.link.clone(), runtime_link_params(sc));
-                match adapts.entry(probe_key) {
-                    Entry::Occupied(slot) => !*slot.get(),
-                    Entry::Vacant(slot) => {
-                        let policy = links.build(&sc.link, &runtime_link_params(sc))?;
-                        !*slot.insert(policy.adapts_rate())
+            // A contention cell is already a fused multi-session job of
+            // its own: all N nodes run inside one worker job so the
+            // shared medium realization is drawn exactly once.
+            let shareable = sc.contention == "p2p"
+                && (sc.link == "none" || {
+                    let probe_key = (sc.link.clone(), runtime_link_params(sc));
+                    match adapts.entry(probe_key) {
+                        Entry::Occupied(slot) => !*slot.get(),
+                        Entry::Vacant(slot) => {
+                            let policy = links.build(&sc.link, &runtime_link_params(sc))?;
+                            !*slot.insert(policy.adapts_rate())
+                        }
                     }
-                }
-            };
+                });
             if !shareable {
                 jobs.push(Job::Solo(i));
                 continue;
@@ -656,12 +819,17 @@ impl SweepRunner {
         let record = self.record_packet_stats;
         let env = Arc::clone(&self.env);
         let nested = self.run_indexed(jobs.len(), move |j| {
-            let (system, channels, links) = env();
+            let (system, channels, links, contentions) = env();
             match &jobs[j] {
-                Job::Solo(i) => vec![(
-                    *i,
-                    run_scenario(&system, &channels, &links, *i, &scenarios[*i], record),
-                )],
+                Job::Solo(i) => {
+                    let sc = &scenarios[*i];
+                    let result = if sc.contention == "p2p" {
+                        run_scenario(&system, &channels, &links, *i, sc, record)
+                    } else {
+                        run_cell(&system, &channels, &links, &contentions, *i, sc, record)
+                    };
+                    vec![(*i, result)]
+                }
                 Job::Shared(members) => {
                     run_group(&system, &channels, &links, members, scenarios, record)
                 }
@@ -878,19 +1046,30 @@ impl PacketTally {
         (errs_this_packet, predicted)
     }
 
-    /// Folds the tally into the final per-scenario result.
-    fn into_result(self, index: usize, sc: &Scenario, link: Option<LinkMetrics>) -> ScenarioResult {
+    /// Folds the tally into the final per-scenario result. `packets` is
+    /// the number of packets that actually reached the receiver —
+    /// `sc.packets` for point-to-point scenarios, the surviving
+    /// transmission count for cells.
+    fn into_result(
+        self,
+        index: usize,
+        sc: &Scenario,
+        packets: u64,
+        link: Option<LinkMetrics>,
+        cell: Option<CellMetrics>,
+    ) -> ScenarioResult {
         ScenarioResult {
             scenario: index,
             label: sc.label(),
-            packets: u64::from(sc.packets),
+            packets,
             packet_errors: self.packet_errors,
-            bits: u64::from(sc.packets) * sc.payload_bits as u64,
+            bits: packets * sc.payload_bits as u64,
             bit_errors: self.bit_errors,
             hint_bins: self.hint_bins,
             predicted_pber_sum: self.predicted_pber_sum,
             packet_stats: self.packet_stats,
             link,
+            cell,
         }
     }
 }
@@ -982,7 +1161,13 @@ fn run_scenario(
         }
     }
 
-    Ok(tally.into_result(index, sc, policy.map(|p| p.metrics())))
+    Ok(tally.into_result(
+        index,
+        sc,
+        u64::from(sc.packets),
+        policy.map(|p| p.metrics()),
+        None,
+    ))
 }
 
 /// Per-member receive state of a shared-channel job: everything that is
@@ -1144,9 +1329,304 @@ fn run_group(
         let link = member.policy.map(|p| p.metrics());
         out.push((
             member.index,
-            Ok(member
-                .tally
-                .into_result(member.index, member.scenario, link)),
+            Ok(member.tally.into_result(
+                member.index,
+                member.scenario,
+                u64::from(member.scenario.packets),
+                link,
+                None,
+            )),
+        ));
+    }
+    out
+}
+
+/// Per-node state of one contention cell: the MAC decision machinery,
+/// the node's own link session, and its seeded randomness streams.
+struct CellNode {
+    policy: Box<dyn ContentionPolicy>,
+    backoff: BackoffState,
+    link: Option<Box<dyn LinkPolicy>>,
+    arrivals: SmallRng,
+    /// Transmissions made so far — the node's packet-seed index. Node 0's
+    /// attempt `a` draws exactly the seeds point-to-point packet `a`
+    /// draws, which is what makes a 1-node cell a strict generalization.
+    attempts: u64,
+    /// Packets queued at this node (head-of-queue is retransmitted until
+    /// its link session closes it).
+    queue: u64,
+    transmitted_last_slot: bool,
+}
+
+/// Seed-stream tags for the per-node randomness of a cell, chosen far
+/// outside the `attempt | node << 32` packet-seed index space.
+const BACKOFF_STREAM: u64 = 0xBAC0_FF00_0000_0000;
+const ARRIVAL_STREAM: u64 = 0xA221_0000_0000_0000;
+
+/// Executes one contention-cell scenario: N nodes contending for a
+/// slotted shared medium, all inside this one job.
+///
+/// Each slot: packets arrive (Bernoulli `load` per node, or saturated),
+/// every backlogged node's [`ContentionPolicy`] decides on the slot from
+/// carrier sense (some *other* node transmitted last slot) and its
+/// backoff state, and the overlapping transmissions resolve through the
+/// capture model ([`resolve_slot`]) — per-node link gains come from the
+/// scenario's seed-addressed [`ChannelModel`], so the whole cell is a
+/// pure function of `(scenario seed, node, attempt)`. The surviving
+/// transmission (if any) runs the full PHY chain — transmit, per-node
+/// channel realization, residual interference as noise, receive, decode —
+/// and is observed by that node's own [`LinkPolicy`] session; destroyed
+/// transmissions are observed as total corruption with zero-confidence
+/// hints. Node 0 of a 1-node cell draws exactly the seeds the
+/// point-to-point path draws, attempt for attempt.
+fn run_cell(
+    system: &WilisSystem,
+    channels: &ChannelSlot,
+    links: &LinkSlot,
+    contentions: &ContentionSlot,
+    index: usize,
+    sc: &Scenario,
+    record: bool,
+) -> Result<ScenarioResult, RegistryError> {
+    let nodes = sc.nodes as usize;
+    let slots = u64::from(sc.packets);
+    let decoder_kind = DecoderKind::from_registry_name(&sc.decoder);
+    let mut bank = RateBank::new();
+    bank.get(system, &sc.decoder, decoder_kind, sc.rate)?;
+    // Every node transmits at the scenario rate toward one receiver, so a
+    // single receiver (and estimator) serves the whole cell.
+    let (mut rx, estimator) = bank.take(sc.rate).expect("receiver built above");
+
+    let mut channel_params = sc.channel_params.clone();
+    channel_params.set("snr_db", &format!("{}", sc.snr_db));
+    let mut channel = channels.build(&sc.channel, &channel_params)?;
+    let noise_power = SnrDb::new(sc.snr_db).noise_power();
+    let capture_db = sc
+        .contention_params
+        .get_f64("capture_db")
+        .unwrap_or(DEFAULT_CAPTURE_DB);
+    let load = sc.contention_params.get_f64("load").unwrap_or(1.0);
+
+    let mut cell_nodes: Vec<CellNode> = Vec::with_capacity(nodes);
+    for n in 0..nodes {
+        cell_nodes.push(CellNode {
+            policy: contentions.build(&sc.contention, &sc.contention_params)?,
+            backoff: BackoffState::new(mix_seed(sc.seed, BACKOFF_STREAM | n as u64)),
+            link: if sc.link == "none" {
+                None
+            } else {
+                Some(links.build(&sc.link, &runtime_link_params(sc))?)
+            },
+            arrivals: SmallRng::seed_from_u64(mix_seed(sc.seed, ARRIVAL_STREAM | n as u64)),
+            attempts: 0,
+            queue: 0,
+            transmitted_last_slot: false,
+        });
+    }
+
+    let transmitter = Transmitter::new(sc.rate);
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut got = RxResult::default();
+    let mut collided = RxResult {
+        decoder_id: "collided",
+        ..RxResult::default()
+    };
+    let mut tally = PacketTally::new();
+    let mut metrics = CellMetrics::new(sc.nodes, slots, sc.payload_bits as u64);
+    let mut decoded: u64 = 0;
+    let mut last_tx_count = 0usize;
+    let mut txs: Vec<usize> = Vec::with_capacity(nodes);
+    let mut slot_txs: Vec<(usize, u64, u64, u64)> = Vec::with_capacity(nodes);
+    let mut powers: Vec<TxPower> = Vec::with_capacity(nodes);
+
+    for slot in 0..slots {
+        // Arrivals: saturated queues by default, Bernoulli otherwise.
+        for node in &mut cell_nodes {
+            if load >= 1.0 {
+                node.queue = node.queue.max(1);
+            } else if node.arrivals.gen_bool(load) {
+                node.queue += 1;
+            }
+        }
+
+        txs.clear();
+        for (n, node) in cell_nodes.iter_mut().enumerate() {
+            if node.queue == 0 {
+                continue;
+            }
+            // Carrier sense reads *last* slot's air: busy iff some other
+            // node transmitted (a node never defers to its own
+            // transmission), i.e. last slot had more transmitters than
+            // this node contributed.
+            let view = SlotView {
+                slot,
+                node: n,
+                nodes,
+                carrier_busy: last_tx_count > usize::from(node.transmitted_last_slot),
+            };
+            if node.policy.decide(&view, &mut node.backoff) == TxDecision::Transmit {
+                txs.push(n);
+            }
+        }
+        for node in cell_nodes.iter_mut() {
+            node.transmitted_last_slot = false;
+        }
+        for &n in &txs {
+            cell_nodes[n].transmitted_last_slot = true;
+        }
+        last_tx_count = txs.len();
+        if txs.is_empty() {
+            metrics.idle_slots += 1;
+            continue;
+        }
+
+        // Per-transmission seeds and link gains, then capture resolution.
+        slot_txs.clear();
+        powers.clear();
+        for &n in &txs {
+            let attempt = cell_nodes[n].attempts;
+            cell_nodes[n].attempts += 1;
+            let packet_seed = mix_seed(sc.seed, attempt | ((n as u64) << 32));
+            let chan_seed = mix_seed(packet_seed, 1);
+            powers.push(TxPower {
+                node: n,
+                gain: channel.packet_gain(chan_seed),
+            });
+            slot_txs.push((n, attempt, packet_seed, chan_seed));
+        }
+        let outcome = resolve_slot(&powers, noise_power, capture_db);
+        match outcome {
+            SlotOutcome::Idle => unreachable!("txs is non-empty"),
+            SlotOutcome::Clean { .. } => metrics.clean_slots += 1,
+            SlotOutcome::Captured { .. } => metrics.capture_slots += 1,
+            SlotOutcome::Collision => metrics.collision_slots += 1,
+        }
+        let survivor = outcome.survivor();
+
+        for &(n, attempt, packet_seed, chan_seed) in &slot_txs {
+            let mut rng = SmallRng::seed_from_u64(packet_seed);
+            payload.clear();
+            payload.extend((0..sc.payload_bits).map(|_| rng.gen_bit()));
+            let scramble_seed = (attempt % 127 + 1) as u8;
+            let bits = sc.payload_bits as u64;
+            metrics.per_node[n].attempts += 1;
+            metrics.per_node[n].bits_transmitted += bits;
+
+            let survived = survivor == Some(n);
+            let (errs, predicted, rx_result): (u64, f64, &RxResult) = if survived {
+                transmitter.tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
+                channel.apply(&mut samples, chan_seed);
+                if let SlotOutcome::Captured {
+                    gain, interference, ..
+                } = outcome
+                {
+                    // The node's channel genie-equalized the signal to
+                    // unit power, so the losing arrivals degrade it as
+                    // extra Gaussian noise at `interference / gain`.
+                    if interference > 0.0 {
+                        AwgnChannel::new(
+                            SnrDb::from_linear(gain / interference),
+                            mix_seed(packet_seed, 2),
+                        )
+                        .apply(&mut samples);
+                    }
+                }
+                rx.rx_from(
+                    &samples,
+                    payload.len(),
+                    scramble_seed,
+                    &mut scratch,
+                    &mut got,
+                );
+                decoded += 1;
+                let (e, p) = tally.observe(&payload, &got, estimator.as_ref(), record);
+                (e, p, &got)
+            } else {
+                // Destroyed by the medium: every bit wrong, zero
+                // confidence — the receiver never locked onto it.
+                metrics.per_node[n].collisions += 1;
+                collided.payload.clear();
+                collided.payload.extend(payload.iter().map(|b| b ^ 1));
+                collided.hints.clear();
+                collided.hints.resize(payload.len(), 0);
+                collided.soft_magnitudes.clear();
+                collided.soft_magnitudes.resize(payload.len(), 0);
+                (bits, 0.0, &collided)
+            };
+
+            let node = &mut cell_nodes[n];
+            let mut closes = true;
+            let delivered = if let Some(link) = node.link.as_mut() {
+                let ctx = LinkContext {
+                    sent: &payload,
+                    bit_errors: errs,
+                    predicted_pber: predicted,
+                    rate: sc.rate,
+                    oracle: Oracle::Unavailable,
+                };
+                let verdict = link.observe(rx_result, &rx_result.hints, &ctx);
+                assert!(
+                    verdict.next_rate.is_none() || verdict.next_rate == Some(sc.rate),
+                    "link policy {:?} asked to steer the transmit rate inside a \
+                     contention cell",
+                    link.name()
+                );
+                match verdict.status {
+                    LinkStatus::Delivered => true,
+                    LinkStatus::GaveUp => false,
+                    LinkStatus::Retransmit => {
+                        closes = false;
+                        false
+                    }
+                }
+            } else {
+                errs == 0
+            };
+            if closes {
+                node.queue = node.queue.saturating_sub(1);
+                if delivered {
+                    metrics.per_node[n].delivered += 1;
+                    metrics.per_node[n].bits_delivered += bits;
+                }
+            }
+            node.policy.acked(survived && errs == 0, &mut node.backoff);
+        }
+    }
+
+    let link_metrics = if sc.link == "none" {
+        None
+    } else {
+        let mut merged = LinkMetrics::default();
+        for node in &cell_nodes {
+            if let Some(link) = &node.link {
+                merged.merge(&link.metrics());
+            }
+        }
+        Some(merged)
+    };
+    Ok(tally.into_result(index, sc, decoded, link_metrics, Some(metrics)))
+}
+
+/// Renders the cell-level metrics of a result set as an aligned table;
+/// point-to-point scenarios are skipped.
+pub fn render_cell_table(results: &[ScenarioResult]) -> String {
+    let mut out = format!(
+        "{:<52} {:>8} {:>6} {:>7} {:>7} {:>8} {:>9}\n",
+        "scenario", "goodput", "jain", "coll%", "idle%", "attempts", "delivered"
+    );
+    for r in results {
+        let Some(c) = &r.cell else { continue };
+        out.push_str(&format!(
+            "{:<52} {:>8.3} {:>6.3} {:>6.1}% {:>6.1}% {:>8} {:>9}\n",
+            r.label,
+            c.aggregate_goodput(),
+            c.jain_index(),
+            100.0 * c.collision_fraction(),
+            100.0 * c.idle_fraction(),
+            c.attempts(),
+            c.per_node.iter().map(|n| n.delivered).sum::<u64>(),
         ));
     }
     out
@@ -1419,6 +1899,225 @@ mod tests {
         let m = r.link.expect("softrate metrics");
         assert_eq!(m.under + m.accurate + m.over, 0);
         assert_eq!(m.packets, 4);
+    }
+
+    #[test]
+    fn contention_registry_stock_names() {
+        let reg = contention_registry();
+        assert_eq!(reg.names(), vec!["aloha", "csma", "tdma"]);
+        assert!(!reg.contains("p2p"), "\"p2p\" never reaches the registry");
+    }
+
+    #[test]
+    fn contention_factories_clamp_bad_params() {
+        // Registries take user strings; out-of-range values degrade to
+        // the nearest sane configuration instead of panicking mid-run.
+        let reg = contention_registry();
+        for (key, value) in [("p", "1.5"), ("p", "0"), ("p", "nan")] {
+            let mut params = Params::new();
+            params.set(key, value);
+            let _ = reg.build("aloha", &params).expect("clamped, not panicked");
+        }
+        let mut params = Params::new();
+        params.set("cw_min", "0");
+        params.set("cw_max", "0");
+        let _ = reg.build("csma", &params).expect("clamped, not panicked");
+    }
+
+    #[test]
+    fn unknown_contention_is_an_error() {
+        let scenarios = SweepGrid::new()
+            .contentions(&["token-ring"])
+            .packets(2)
+            .scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("token-ring"));
+    }
+
+    #[test]
+    fn cell_grid_multiplies_the_axes_and_labels() {
+        let grid = SweepGrid::new()
+            .contentions(&["p2p", "csma"])
+            .nodes(3)
+            .snrs_db(&[6.0, 8.0]);
+        assert_eq!(grid.len(), 4);
+        let labels: Vec<String> = grid.scenarios().iter().map(|s| s.label()).collect();
+        assert!(labels
+            .iter()
+            .any(|l| l.contains(" csma") && l.contains("x3")));
+        assert!(labels.iter().filter(|l| !l.contains("csma")).count() == 2);
+    }
+
+    #[test]
+    fn p2p_scenarios_have_no_cell_metrics() {
+        let scenarios = SweepGrid::new().packets(2).payload_bits(200).scenarios();
+        let results = SweepRunner::new(1).run(&scenarios).unwrap();
+        assert!(results[0].cell.is_none());
+        assert_eq!(
+            render_cell_table(&results).lines().count(),
+            1,
+            "header only"
+        );
+    }
+
+    #[test]
+    fn saturated_tdma_cell_uses_every_slot_cleanly() {
+        let scenarios = SweepGrid::new()
+            .contentions(&["tdma"])
+            .nodes(2)
+            .snrs_db(&[30.0])
+            .packets(8)
+            .payload_bits(200)
+            .scenarios();
+        let r = &SweepRunner::new(2).run(&scenarios).unwrap()[0];
+        let c = r.cell.as_ref().expect("cell metrics");
+        assert_eq!(c.slots, 8);
+        assert_eq!(c.idle_slots, 0, "saturated TDMA never idles");
+        assert_eq!(c.collision_slots, 0, "TDMA never collides");
+        assert_eq!(c.clean_slots, 8);
+        assert_eq!(c.attempts(), 8);
+        // 30 dB: every packet decodes; each node delivered its 4 slots.
+        assert!((c.aggregate_goodput() - 1.0).abs() < 1e-12);
+        assert!((c.jain_index() - 1.0).abs() < 1e-12);
+        assert_eq!(r.packets, 8, "every attempt reached the receiver");
+        assert_eq!(r.bit_errors, 0);
+    }
+
+    #[test]
+    fn cell_slot_accounting_is_conserved() {
+        for contention in ["aloha", "csma", "tdma"] {
+            let scenarios = SweepGrid::new()
+                .contentions(&[contention])
+                .nodes(3)
+                .snrs_db(&[10.0])
+                .packets(20)
+                .payload_bits(200)
+                .scenarios();
+            let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+            let c = r.cell.as_ref().expect("cell metrics");
+            assert_eq!(
+                c.idle_slots + c.clean_slots + c.capture_slots + c.collision_slots,
+                c.slots,
+                "{contention}: every slot classified exactly once"
+            );
+            let collided: u64 = c.per_node.iter().map(|n| n.collisions).sum();
+            assert_eq!(
+                r.packets + collided,
+                c.attempts(),
+                "{contention}: attempts = decoded + destroyed"
+            );
+        }
+    }
+
+    #[test]
+    fn contending_aloha_nodes_collide_on_awgn() {
+        // Equal-power AWGN links cannot capture: any overlap is a full
+        // collision — the classic slotted-ALOHA regime.
+        let scenarios = SweepGrid::new()
+            .contentions(&["aloha"])
+            .contention_param("p", "0.5")
+            .nodes(4)
+            .snrs_db(&[30.0])
+            .packets(40)
+            .payload_bits(200)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let c = r.cell.as_ref().expect("cell metrics");
+        assert!(c.collision_slots > 0, "four p=0.5 nodes must overlap");
+        assert_eq!(c.capture_slots, 0, "equal-power arrivals cannot capture");
+        assert!(c.aggregate_goodput() < 1.0);
+    }
+
+    #[test]
+    fn fading_cells_capture() {
+        // On fading links, one node in a strong fade-up wins slots the
+        // AWGN cell would lose outright.
+        let scenarios = SweepGrid::new()
+            .contentions(&["aloha"])
+            .contention_param("p", "0.6")
+            .contention_param("capture_db", "3")
+            .channels(&["fading"])
+            .nodes(3)
+            .snrs_db(&[14.0])
+            .packets(60)
+            .payload_bits(200)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let c = r.cell.as_ref().expect("cell metrics");
+        assert!(
+            c.capture_slots > 0,
+            "fading links at a 3 dB margin must capture sometimes"
+        );
+    }
+
+    #[test]
+    fn offered_load_controls_idle_fraction() {
+        let cell = |load: &str| {
+            let scenarios = SweepGrid::new()
+                .contentions(&["csma"])
+                .contention_param("load", load)
+                .nodes(2)
+                .snrs_db(&[12.0])
+                .packets(50)
+                .payload_bits(200)
+                .scenarios();
+            SweepRunner::new(1).run(&scenarios).unwrap()[0]
+                .cell
+                .clone()
+                .expect("cell metrics")
+        };
+        let light = cell("0.05");
+        let heavy = cell("1.0");
+        assert!(
+            light.idle_fraction() > heavy.idle_fraction(),
+            "light load {:.2} should idle more than saturation {:.2}",
+            light.idle_fraction(),
+            heavy.idle_fraction()
+        );
+        // Saturated CSMA still idles a little (every busy slot forces the
+        // other node to defer one slot), but the medium must be mostly
+        // occupied.
+        assert!(
+            heavy.idle_fraction() < 0.5,
+            "saturation should keep the medium mostly busy, idle {:.2}",
+            heavy.idle_fraction()
+        );
+        assert!(heavy.attempts() > light.attempts());
+    }
+
+    #[test]
+    fn cell_link_sessions_merge_into_the_result() {
+        let scenarios = SweepGrid::new()
+            .contentions(&["tdma"])
+            .links(&["arq"])
+            .nodes(2)
+            .snrs_db(&[30.0])
+            .packets(6)
+            .payload_bits(200)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let m = r.link.expect("merged link metrics");
+        assert_eq!(m.packets, 6, "one ARQ attempt per used slot");
+        assert_eq!(m.delivered, 6);
+        let c = r.cell.as_ref().expect("cell metrics");
+        assert_eq!(c.bits_delivered(), 6 * 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "steers the transmit rate")]
+    fn cells_reject_rate_adapting_link_policies() {
+        let scenarios = SweepGrid::new()
+            .contentions(&["csma"])
+            .links(&["softrate"])
+            .scenarios();
+        let _ = SweepRunner::new(1).run(&scenarios);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn cells_reject_zero_nodes() {
+        let scenarios = SweepGrid::new().contentions(&["csma"]).nodes(0).scenarios();
+        let _ = SweepRunner::new(1).run(&scenarios);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! ALOHA vs CSMA vs TDMA on one contention cell, swept over offered load.
+//!
+//! ```text
+//! cargo run --release --example contention_cell [-- slots]
+//! ```
+//!
+//! A 4-node cell at 10 dB runs each stock contention policy over a range
+//! of offered loads (per-node packet-arrival probability per slot; 1.0 is
+//! saturation). The table shows the textbook story: ALOHA's goodput
+//! collapses as load grows (collisions burn the channel), carrier sense
+//! defers around most of them, and the TDMA oracle — collision-free by
+//! construction — bounds everyone from above.
+
+use wilis::scenario::{SweepGrid, SweepRunner};
+
+fn main() {
+    let slots: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+
+    let nodes = 4;
+    let snr_db = 10.0;
+    let loads = ["0.05", "0.1", "0.2", "0.4", "1.0"];
+    let policies = ["aloha", "csma", "tdma"];
+    let runner = SweepRunner::auto();
+
+    println!(
+        "{nodes}-node cell @{snr_db} dB, {slots} slots per point \
+         (goodput = delivered bits / channel capacity)\n"
+    );
+    println!(
+        "{:>6} | {:>24} | {:>24} | {:>24}",
+        "load", "ALOHA good/coll%/idle%", "CSMA good/coll%/idle%", "TDMA good/coll%/idle%"
+    );
+    for load in loads {
+        let mut cols = Vec::new();
+        for policy in policies {
+            let scenarios = SweepGrid::new()
+                .decoders(&["viterbi"])
+                .contentions(&[policy])
+                .contention_param("load", load)
+                .nodes(nodes)
+                .snrs_db(&[snr_db])
+                .packets(slots)
+                .payload_bits(400)
+                .scenarios();
+            let results = runner.run(&scenarios).expect("stock registry names");
+            let cell = results[0].cell.as_ref().expect("cell metrics");
+            cols.push(format!(
+                "{:>7.3} {:>6.1} {:>8.1}",
+                cell.aggregate_goodput(),
+                100.0 * cell.collision_fraction(),
+                100.0 * cell.idle_fraction()
+            ));
+        }
+        println!(
+            "{:>6} | {:>24} | {:>24} | {:>24}",
+            load, cols[0], cols[1], cols[2]
+        );
+    }
+
+    println!(
+        "\nALOHA pays for ignorance with collisions, CSMA converts most of them\n\
+         into deferrals, and TDMA never collides - the oracle upper bound the\n\
+         cell tests pin. Swap policies, loads, nodes, or the capture margin\n\
+         (contention_param(\"capture_db\", ...)) to explore the design space."
+    );
+}

@@ -197,6 +197,66 @@ fn fused_grid_results_identical_at_1_2_and_8_threads() {
     }
 }
 
+/// The cell-dimension acceptance grid: point-to-point plus all three
+/// contention policies, with and without a link layer, across two SNRs.
+fn cell_grid() -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["bcjr"])
+        .links(&["none", "arq"])
+        .contentions(&["p2p", "aloha", "csma", "tdma"])
+        .nodes(3)
+        .snrs_db(&[6.0, 9.0])
+        .packets(6)
+        .payload_bits(300)
+}
+
+#[test]
+fn cell_grid_results_identical_at_1_2_and_8_threads() {
+    let scenarios = cell_grid().scenarios();
+    assert_eq!(scenarios.len(), 16);
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads).run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread cell sweep diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn cell_metrics_are_bit_identical_not_just_close() {
+    // The cell dimension inherits the engine's contract: identical slot
+    // classifications, per-node counters, and bit-identical derived
+    // figures (goodput, Jain index) for any worker count.
+    let scenarios = cell_grid().scenarios();
+    let a = SweepRunner::new(1).run(&scenarios).unwrap();
+    let b = SweepRunner::new(8).run(&scenarios).unwrap();
+    let mut cells = 0;
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cell.is_some(), y.cell.is_some(), "{}", x.label);
+        let (Some(cx), Some(cy)) = (&x.cell, &y.cell) else {
+            continue;
+        };
+        cells += 1;
+        assert_eq!(cx, cy, "{}", x.label);
+        assert_eq!(
+            cx.aggregate_goodput().to_bits(),
+            cy.aggregate_goodput().to_bits(),
+            "{}",
+            x.label
+        );
+        assert_eq!(
+            cx.jain_index().to_bits(),
+            cy.jain_index().to_bits(),
+            "{}",
+            x.label
+        );
+    }
+    assert_eq!(cells, 12, "three contention policies across four corners");
+}
+
 #[test]
 fn repeated_runs_are_reproducible() {
     // Same grid, same runner, different invocation: still identical —

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Schema checks for the repo's BENCH_*.json perf-trajectory artifacts.
+
+One check table per bench, so CI can validate every trajectory file a
+bench smoke emits and a refactor cannot silently change the format the
+downstream tooling reads:
+
+    python3 tools/check_bench.py perf_trellis /tmp/BENCH_trellis.json
+    python3 tools/check_bench.py cell_sweep  /tmp/BENCH_cell.json
+"""
+
+import json
+import sys
+
+
+def check_perf_trellis(doc):
+    """Compiled-vs-reference decode throughput plus grid packets/s."""
+    assert doc["coded_bits_per_block"] > 0
+    decoders = {d["decoder"] for d in doc["decoders"]}
+    assert decoders == {"viterbi", "sova", "bcjr"}, decoders
+    for d in doc["decoders"]:
+        for key in (
+            "compiled_mbps",
+            "reference_mbps",
+            "speedup",
+            "compiled_mean_secs",
+            "reference_mean_secs",
+        ):
+            assert d[key] > 0, (d["decoder"], key)
+    grid = doc["grid"]
+    for key in ("scenarios", "packets_total", "packets_per_sec", "mean_secs"):
+        assert grid[key] > 0, key
+
+
+def check_cell_sweep(doc):
+    """Per-policy contention-cell goodput and throughput."""
+    for key in ("nodes", "slots", "payload_bits"):
+        assert doc[key] > 0, key
+    policies = {p["policy"] for p in doc["policies"]}
+    assert policies == {"aloha", "csma", "tdma"}, policies
+    for p in doc["policies"]:
+        name = p["policy"]
+        assert 0.0 < p["aggregate_goodput"] <= 1.0, (name, "aggregate_goodput")
+        assert 0.0 <= p["collision_fraction"] < 1.0, (name, "collision_fraction")
+        assert 0.0 <= p["idle_fraction"] < 1.0, (name, "idle_fraction")
+        assert 0.0 < p["jain_index"] <= 1.0, (name, "jain_index")
+        assert p["attempts"] > 0, (name, "attempts")
+        assert p["packets_per_sec"] > 0, (name, "packets_per_sec")
+        assert p["mean_secs"] > 0, (name, "mean_secs")
+    tdma = next(p for p in doc["policies"] if p["policy"] == "tdma")
+    assert tdma["collision_fraction"] == 0.0, "the TDMA oracle must be collision-free"
+
+
+SCHEMAS = {
+    "perf_trellis": check_perf_trellis,
+    "cell_sweep": check_cell_sweep,
+}
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in SCHEMAS:
+        names = ", ".join(sorted(SCHEMAS))
+        print(f"usage: check_bench.py <{names}> <path-to-json>", file=sys.stderr)
+        return 2
+    name, path = argv[1], argv[2]
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == name, (doc.get("bench"), name)
+    SCHEMAS[name](doc)
+    print(f"{path}: {name} schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
