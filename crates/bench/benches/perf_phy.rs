@@ -1,0 +1,384 @@
+//! Planned-vs-reference PHY front-end throughput: the perf trajectory of
+//! the float chain PR 5 compiled.
+//!
+//! With the trellis decoders compiled (`perf_trellis`), the OFDM
+//! front-end (scramble → map → OFDM → demod → demap) owns a dominant
+//! share of the remaining per-packet time, so this bench times exactly
+//! that — both kernel generations in one binary on the same inputs:
+//!
+//! * **planned** — `FftPlan`/`OfdmPlan`-driven whole-packet streaming and
+//!   the table/specialized map/demap kernels, the path every packet takes
+//!   today;
+//! * **reference** — the frozen interpreted per-symbol bodies
+//!   (`*_into_reference`), the pre-PR baseline.
+//!
+//! Outputs are bit-identical by contract (asserted here before timing),
+//! so the recorded speedup is an apples-to-apples kernel comparison. A
+//! full scenario-grid timing spanning all four modulations rides along.
+//!
+//! Results go to stdout *and* to `BENCH_phy.json` (override the path with
+//! `WILIS_BENCH_OUT`), one JSON object per run. Schema:
+//!
+//! ```json
+//! {
+//!   "bench": "perf_phy",
+//!   "symbols": 256,
+//!   "samples_per_symbol": 80,
+//!   "ofdm": [
+//!     {"op": "modulate", "planned_msps": 0.0, "reference_msps": 0.0,
+//!      "speedup": 0.0, "planned_mean_secs": 0.0, "reference_mean_secs": 0.0}
+//!   ],
+//!   "modulations": [
+//!     {"modulation": "bpsk",
+//!      "map_planned_mbps": 0.0, "map_reference_mbps": 0.0, "map_speedup": 0.0,
+//!      "demap_planned_mbps": 0.0, "demap_reference_mbps": 0.0, "demap_speedup": 0.0}
+//!   ],
+//!   "grid": {"scenarios": 0, "packets_total": 0, "packets_per_sec": 0.0,
+//!            "mean_secs": 0.0}
+//! }
+//! ```
+
+use wilis::fxp::rng::SmallRng;
+use wilis::fxp::Cplx;
+use wilis::phy::{
+    Demapper, Mapper, Modulation, OfdmDemodulator, OfdmModulator, PhyRate, SnrScaling,
+    DATA_CARRIERS, SYMBOL_LEN,
+};
+use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report, Measurement};
+use wilis_bench::{banner, budget};
+
+fn iters() -> u32 {
+    if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        5
+    }
+}
+
+struct OfdmRow {
+    op: &'static str,
+    planned: Measurement,
+    reference: Measurement,
+    planned_msps: f64,
+    reference_msps: f64,
+}
+
+impl OfdmRow {
+    fn speedup(&self) -> f64 {
+        self.planned_msps / self.reference_msps
+    }
+}
+
+/// Times planned whole-packet modulation against the frozen per-symbol
+/// reference on one multi-symbol frame of random carriers.
+fn time_ofdm(n_sym: usize, reps: u32, rng: &mut SmallRng) -> (Vec<OfdmRow>, Vec<Cplx>) {
+    let carriers: Vec<Cplx> = (0..n_sym * DATA_CARRIERS)
+        .map(|_| {
+            Cplx::new(
+                rng.gen_i64(-1000, 1000) as f64 / 1000.0,
+                rng.gen_i64(-1000, 1000) as f64 / 1000.0,
+            )
+        })
+        .collect();
+    let samples_per_frame = (n_sym * SYMBOL_LEN) as u64;
+
+    // Bit-identity sanity before timing, mirroring perf_trellis.
+    let mut planned_tx = OfdmModulator::new();
+    let mut reference_tx = OfdmModulator::new();
+    let mut samples = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+    let mut reference_samples = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+    planned_tx.modulate_packet_into(&carriers, &mut samples);
+    for (s, data) in carriers.chunks_exact(DATA_CARRIERS).enumerate() {
+        reference_tx.modulate_into_reference(
+            data,
+            &mut reference_samples[s * SYMBOL_LEN..(s + 1) * SYMBOL_LEN],
+        );
+    }
+    assert_eq!(
+        samples, reference_samples,
+        "planned and reference modulators must stay bit-identical"
+    );
+
+    let planned_mod = bench("ofdm/modulate/planned", iters(), || {
+        for _ in 0..reps {
+            planned_tx.reset();
+            planned_tx.modulate_packet_into(&carriers, &mut samples);
+        }
+        std::hint::black_box(&samples);
+    });
+    report(&planned_mod);
+    let reference_mod = bench("ofdm/modulate/reference", iters(), || {
+        for _ in 0..reps {
+            reference_tx.reset();
+            for (s, data) in carriers.chunks_exact(DATA_CARRIERS).enumerate() {
+                reference_tx.modulate_into_reference(
+                    data,
+                    &mut reference_samples[s * SYMBOL_LEN..(s + 1) * SYMBOL_LEN],
+                );
+            }
+        }
+        std::hint::black_box(&reference_samples);
+    });
+    report(&reference_mod);
+
+    let mut planned_rx = OfdmDemodulator::new();
+    let mut reference_rx = OfdmDemodulator::new();
+    let mut recovered = Vec::new();
+    let mut reference_sym = Vec::new();
+    planned_rx.demodulate_packet_into(&samples, &mut recovered);
+    let mut reference_recovered = Vec::new();
+    for sym in samples.chunks_exact(SYMBOL_LEN) {
+        reference_rx.demodulate_into_reference(sym, &mut reference_sym);
+        reference_recovered.extend_from_slice(&reference_sym);
+    }
+    assert_eq!(
+        recovered, reference_recovered,
+        "planned and reference demodulators must stay bit-identical"
+    );
+
+    let planned_demod = bench("ofdm/demodulate/planned", iters(), || {
+        for _ in 0..reps {
+            planned_rx.reset();
+            planned_rx.demodulate_packet_into(&samples, &mut recovered);
+        }
+        std::hint::black_box(&recovered);
+    });
+    report(&planned_demod);
+    let reference_demod = bench("ofdm/demodulate/reference", iters(), || {
+        for _ in 0..reps {
+            reference_rx.reset();
+            for sym in samples.chunks_exact(SYMBOL_LEN) {
+                reference_rx.demodulate_into_reference(sym, &mut reference_sym);
+            }
+        }
+        std::hint::black_box(&reference_sym);
+    });
+    report(&reference_demod);
+
+    let total_samples = samples_per_frame * u64::from(reps);
+    let rows = vec![
+        OfdmRow {
+            op: "modulate",
+            planned_msps: total_samples as f64 / planned_mod.mean_secs / 1e6,
+            reference_msps: total_samples as f64 / reference_mod.mean_secs / 1e6,
+            planned: planned_mod,
+            reference: reference_mod,
+        },
+        OfdmRow {
+            op: "demodulate",
+            planned_msps: total_samples as f64 / planned_demod.mean_secs / 1e6,
+            reference_msps: total_samples as f64 / reference_demod.mean_secs / 1e6,
+            planned: planned_demod,
+            reference: reference_demod,
+        },
+    ];
+    (rows, samples)
+}
+
+struct MapRow {
+    modulation: &'static str,
+    map_planned_mbps: f64,
+    map_reference_mbps: f64,
+    demap_planned_mbps: f64,
+    demap_reference_mbps: f64,
+}
+
+fn time_map_demap(modulation: Modulation, name: &'static str, rng: &mut SmallRng) -> MapRow {
+    let bps = modulation.bits_per_symbol();
+    let n_bits = DATA_CARRIERS * bps * 64; // 64 OFDM symbols of coded bits
+    let reps = (budget(8_000_000) / n_bits as u64).max(1) as u32;
+    let bits: Vec<u8> = (0..n_bits).map(|_| rng.gen_bit()).collect();
+    let mapper = Mapper::new(modulation);
+    let demapper = Demapper::new(modulation, 8, SnrScaling::Off);
+
+    let mut points = Vec::new();
+    let mut reference_points = Vec::new();
+    mapper.map_into(&bits, &mut points);
+    mapper.map_into_reference(&bits, &mut reference_points);
+    assert_eq!(points, reference_points, "{name}: map kernels diverged");
+
+    let map_planned = bench(&format!("map/{name}/planned"), iters(), || {
+        for _ in 0..reps {
+            mapper.map_into(&bits, &mut points);
+        }
+        std::hint::black_box(&points);
+    });
+    report(&map_planned);
+    let map_reference = bench(&format!("map/{name}/reference"), iters(), || {
+        for _ in 0..reps {
+            mapper.map_into_reference(&bits, &mut reference_points);
+        }
+        std::hint::black_box(&reference_points);
+    });
+    report(&map_reference);
+
+    // Noisy received points exercise the full piecewise LLR range.
+    let symbols: Vec<Cplx> = points
+        .iter()
+        .map(|p| {
+            *p + Cplx::new(
+                rng.gen_i64(-300, 300) as f64 / 1000.0,
+                rng.gen_i64(-300, 300) as f64 / 1000.0,
+            )
+        })
+        .collect();
+    let mut llrs = Vec::new();
+    let mut reference_llrs = Vec::new();
+    demapper.demap_into(&symbols, &mut llrs);
+    demapper.demap_into_reference(&symbols, &mut reference_llrs);
+    assert_eq!(llrs, reference_llrs, "{name}: demap kernels diverged");
+
+    let demap_planned = bench(&format!("demap/{name}/planned"), iters(), || {
+        for _ in 0..reps {
+            demapper.demap_into(&symbols, &mut llrs);
+        }
+        std::hint::black_box(&llrs);
+    });
+    report(&demap_planned);
+    let demap_reference = bench(&format!("demap/{name}/reference"), iters(), || {
+        for _ in 0..reps {
+            demapper.demap_into_reference(&symbols, &mut reference_llrs);
+        }
+        std::hint::black_box(&reference_llrs);
+    });
+    report(&demap_reference);
+
+    let total_bits = (n_bits as u64) * u64::from(reps);
+    MapRow {
+        modulation: name,
+        map_planned_mbps: total_bits as f64 / map_planned.mean_secs / 1e6,
+        map_reference_mbps: total_bits as f64 / map_reference.mean_secs / 1e6,
+        demap_planned_mbps: total_bits as f64 / demap_planned.mean_secs / 1e6,
+        demap_reference_mbps: total_bits as f64 / demap_reference.mean_secs / 1e6,
+    }
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_BE9C);
+    let n_sym = 256usize;
+    // WILIS_BITS scales the measurement budgets; WILIS_FAST drops to a
+    // single timed iteration (the CI smoke configuration).
+    let ofdm_reps = (budget(4_000_000) / (n_sym * SYMBOL_LEN) as u64).max(1) as u32;
+    banner(&format!(
+        "perf_phy: {n_sym} OFDM symbols/frame x {ofdm_reps} reps x {} iters",
+        iters()
+    ));
+
+    let (ofdm_rows, _samples) = time_ofdm(n_sym, ofdm_reps, &mut rng);
+    println!();
+    for row in &ofdm_rows {
+        println!(
+            "ofdm {:<11} planned {:>9.2} Msamples/s   reference {:>9.2} Msamples/s   speedup {:.2}x",
+            row.op, row.planned_msps, row.reference_msps, row.speedup()
+        );
+    }
+
+    let map_rows: Vec<MapRow> = [
+        (Modulation::Bpsk, "bpsk"),
+        (Modulation::Qpsk, "qpsk"),
+        (Modulation::Qam16, "qam16"),
+        (Modulation::Qam64, "qam64"),
+    ]
+    .into_iter()
+    .map(|(m, name)| time_map_demap(m, name, &mut rng))
+    .collect();
+    println!();
+    for row in &map_rows {
+        println!(
+            "{:<6} map {:>8.2}/{:>8.2} Mb/s ({:.2}x)   demap {:>8.2}/{:>8.2} Mb/s ({:.2}x)",
+            row.modulation,
+            row.map_planned_mbps,
+            row.map_reference_mbps,
+            row.map_planned_mbps / row.map_reference_mbps,
+            row.demap_planned_mbps,
+            row.demap_reference_mbps,
+            row.demap_planned_mbps / row.demap_reference_mbps,
+        );
+    }
+
+    // End-to-end grid throughput spanning all four modulations, so the
+    // planned front-end is on the measured path with everything else.
+    let payload_bits = 1704usize;
+    let packets = (budget(600_000) / (4 * payload_bits) as u64).max(2) as u32;
+    let grid = SweepGrid::new()
+        .rates(&[
+            PhyRate::BpskHalf,
+            PhyRate::QpskHalf,
+            PhyRate::Qam16Half,
+            PhyRate::Qam64ThreeQuarters,
+        ])
+        .decoders(&["viterbi"])
+        .links(&["none"])
+        .snrs_db(&[8.0, 14.0])
+        .packets(packets)
+        .payload_bits(payload_bits);
+    let scenarios = grid.scenarios();
+    let packets_total = scenarios.len() as u64 * u64::from(packets);
+    let runner = SweepRunner::auto();
+    let grid_m = bench("grid/packets", iters(), || {
+        let results = runner.run(&scenarios).unwrap();
+        std::hint::black_box(&results);
+    });
+    report(&grid_m);
+    let packets_per_sec = packets_total as f64 / grid_m.mean_secs;
+    println!(
+        "  -> {} scenarios, {} packets, {:.0} packets/s",
+        scenarios.len(),
+        packets_total,
+        packets_per_sec
+    );
+
+    // Machine-readable trajectory: the BENCH_phy.json artifact this and
+    // every future PR records.
+    let ofdm_objs: Vec<String> = ofdm_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"op\":\"{}\",\"planned_msps\":{:.3},\"reference_msps\":{:.3},\"speedup\":{:.3},\"planned_mean_secs\":{:.9},\"reference_mean_secs\":{:.9}}}",
+                row.op,
+                row.planned_msps,
+                row.reference_msps,
+                row.speedup(),
+                row.planned.mean_secs,
+                row.reference.mean_secs
+            )
+        })
+        .collect();
+    let map_objs: Vec<String> = map_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"modulation\":\"{}\",\"map_planned_mbps\":{:.3},\"map_reference_mbps\":{:.3},\"map_speedup\":{:.3},\"demap_planned_mbps\":{:.3},\"demap_reference_mbps\":{:.3},\"demap_speedup\":{:.3}}}",
+                row.modulation,
+                row.map_planned_mbps,
+                row.map_reference_mbps,
+                row.map_planned_mbps / row.map_reference_mbps,
+                row.demap_planned_mbps,
+                row.demap_reference_mbps,
+                row.demap_planned_mbps / row.demap_reference_mbps,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"perf_phy\",\"symbols\":{},\"samples_per_symbol\":{},\"ofdm\":[{}],\"modulations\":[{}],\"grid\":{{\"scenarios\":{},\"packets_total\":{},\"packets_per_sec\":{:.3},\"mean_secs\":{:.9}}}}}\n",
+        n_sym,
+        SYMBOL_LEN,
+        ofdm_objs.join(","),
+        map_objs.join(","),
+        scenarios.len(),
+        packets_total,
+        packets_per_sec,
+        grid_m.mean_secs
+    );
+    println!("\nJSON:\n{json}");
+    // Default to the workspace root (cargo runs bench binaries from the
+    // package directory), so the trajectory file lands next to README.md.
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phy.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

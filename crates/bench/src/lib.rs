@@ -13,6 +13,7 @@
 //! | `sweep_grid` | scenario engine — serial vs parallel Figure 5 grid |
 //! | `link_sweep` | link-layer sweeps — goodput per MAC policy |
 //! | `perf_trellis` | compiled vs reference decode kernels — `BENCH_trellis.json` |
+//! | `perf_phy` | planned vs reference OFDM front-end — `BENCH_phy.json` |
 //! | `latency` | §4.3 — decoder pipeline latency formulas |
 //! | `decoupling` | §2 — decoupled vs lock-step transfer throughput |
 //! | `ablation_bitwidth` | §4.1 — demapper width 3..8 bits |

@@ -11,6 +11,10 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
 
 /// A complex number over `f64`.
 ///
+/// The arithmetic ops are `#[inline]`: they are the innermost operations
+/// of every FFT butterfly in `wilis-phy`, and must stay inlinable across
+/// the crate boundary even in builds without LTO.
+///
 /// # Example
 ///
 /// ```
@@ -37,11 +41,13 @@ impl Cplx {
     pub const I: Cplx = Cplx { re: 0.0, im: 1.0 };
 
     /// Builds a complex number from rectangular parts.
+    #[inline]
     pub const fn new(re: f64, im: f64) -> Self {
         Self { re, im }
     }
 
     /// `e^(i theta)`: the unit phasor at angle `theta` radians.
+    #[inline]
     pub fn from_polar(magnitude: f64, theta: f64) -> Self {
         Self {
             re: magnitude * theta.cos(),
@@ -50,6 +56,7 @@ impl Cplx {
     }
 
     /// Complex conjugate.
+    #[inline]
     pub fn conj(self) -> Self {
         Self {
             re: self.re,
@@ -58,21 +65,25 @@ impl Cplx {
     }
 
     /// Squared magnitude `re² + im²`.
+    #[inline]
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Magnitude.
+    #[inline]
     pub fn norm(self) -> f64 {
         self.norm_sq().sqrt()
     }
 
     /// Argument (phase angle) in radians.
+    #[inline]
     pub fn arg(self) -> f64 {
         self.im.atan2(self.re)
     }
 
     /// Multiplies by a real scalar.
+    #[inline]
     pub fn scale(self, k: f64) -> Self {
         Self {
             re: self.re * k,
@@ -83,6 +94,7 @@ impl Cplx {
 
 impl Add for Cplx {
     type Output = Cplx;
+    #[inline]
     fn add(self, rhs: Self) -> Self {
         Self {
             re: self.re + rhs.re,
@@ -92,6 +104,7 @@ impl Add for Cplx {
 }
 
 impl AddAssign for Cplx {
+    #[inline]
     fn add_assign(&mut self, rhs: Self) {
         self.re += rhs.re;
         self.im += rhs.im;
@@ -100,6 +113,7 @@ impl AddAssign for Cplx {
 
 impl Sub for Cplx {
     type Output = Cplx;
+    #[inline]
     fn sub(self, rhs: Self) -> Self {
         Self {
             re: self.re - rhs.re,
@@ -110,6 +124,7 @@ impl Sub for Cplx {
 
 impl Mul for Cplx {
     type Output = Cplx;
+    #[inline]
     fn mul(self, rhs: Self) -> Self {
         Self {
             re: self.re * rhs.re - self.im * rhs.im,
@@ -119,6 +134,7 @@ impl Mul for Cplx {
 }
 
 impl MulAssign for Cplx {
+    #[inline]
     fn mul_assign(&mut self, rhs: Self) {
         *self = *self * rhs;
     }
@@ -132,6 +148,7 @@ impl Div for Cplx {
     ///
     /// Panics in debug builds when dividing by zero (produces non-finite
     /// parts in release, as IEEE arithmetic does).
+    #[inline]
     fn div(self, rhs: Self) -> Self {
         let d = rhs.norm_sq();
         debug_assert!(d > 0.0, "complex division by zero");
@@ -144,6 +161,7 @@ impl Div for Cplx {
 
 impl Neg for Cplx {
     type Output = Cplx;
+    #[inline]
     fn neg(self) -> Self {
         Self {
             re: -self.re,
@@ -159,6 +177,7 @@ impl Sum for Cplx {
 }
 
 impl From<f64> for Cplx {
+    #[inline]
     fn from(re: f64) -> Self {
         Self { re, im: 0.0 }
     }

@@ -56,12 +56,17 @@ pub enum SnrScaling {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Demapper {
-    modulation: Modulation,
+    pub(crate) modulation: Modulation,
     output_bits: u32,
     scaling: SnrScaling,
     /// Float-to-integer gain mapping the useful analog range onto the
     /// quantizer's full scale.
-    gain: f64,
+    pub(crate) gain: f64,
+    /// `Es/N0 × S_mod` prefactor, hoisted out of the per-symbol loop (the
+    /// frozen reference body recomputes it per call — same value).
+    factor: f64,
+    /// `1 / K_mod`: received coordinates → grid units, hoisted likewise.
+    inv_k: f64,
 }
 
 impl Demapper {
@@ -96,10 +101,12 @@ impl Demapper {
             output_bits,
             scaling,
             gain,
+            factor,
+            inv_k: 1.0 / modulation.kmod(),
         }
     }
 
-    fn scale_factor(modulation: Modulation, scaling: SnrScaling) -> f64 {
+    pub(crate) fn scale_factor(modulation: Modulation, scaling: SnrScaling) -> f64 {
         match scaling {
             SnrScaling::Off => 1.0,
             // S_mod folds the constellation geometry into the exact LLR:
@@ -135,52 +142,74 @@ impl Demapper {
 
     /// Demaps received symbols into `out`, reusing its capacity (the
     /// allocation-free hot-path form).
+    ///
+    /// This is the compiled path: one match on the modulation selects a
+    /// monomorphic per-modulation kernel whose inner loop is branchless
+    /// (the Tosato–Bisaglia piecewise pieces run on `abs`, the quantizer
+    /// on `clamp`), bit-identical to the interpreted reference body frozen
+    /// as [`Demapper::demap_into_reference`].
     pub fn demap_into(&self, symbols: &[Cplx], out: &mut Vec<Llr>) {
-        out.clear();
-        out.reserve(symbols.len() * self.modulation.bits_per_symbol());
-        let inv_k = 1.0 / self.modulation.kmod();
-        let factor = Self::scale_factor(self.modulation, self.scaling);
-        for s in symbols {
-            // Work in grid units: constellation points at odd integers.
-            let ui = s.re * inv_k;
-            let uq = s.im * inv_k;
-            match self.modulation {
-                Modulation::Bpsk => {
-                    self.push(out, ui * factor);
+        let bps = self.modulation.bits_per_symbol();
+        // No `clear()` first: every slot is overwritten below, so resizing
+        // in place zero-fills only newly grown tail elements (a no-op in
+        // the steady state) instead of re-zeroing the whole buffer.
+        out.resize(symbols.len() * bps, 0);
+        let inv_k = self.inv_k;
+        let factor = self.factor;
+        let gain = self.gain;
+        let fs = self.full_scale();
+        // Work in grid units: constellation points at odd integers. Each
+        // arm writes a fixed-width LLR group per symbol, so the output is
+        // filled by indexed stores instead of length-checked pushes.
+        match self.modulation {
+            Modulation::Bpsk => {
+                for (s, dst) in symbols.iter().zip(out.iter_mut()) {
+                    let ui = s.re * inv_k;
+                    *dst = quantize(ui * factor, gain, fs);
                 }
-                Modulation::Qpsk => {
-                    self.push(out, ui * factor);
-                    self.push(out, uq * factor);
+            }
+            Modulation::Qpsk => {
+                for (s, dst) in symbols.iter().zip(out.chunks_exact_mut(2)) {
+                    let ui = s.re * inv_k;
+                    let uq = s.im * inv_k;
+                    dst[0] = quantize(ui * factor, gain, fs);
+                    dst[1] = quantize(uq * factor, gain, fs);
                 }
-                Modulation::Qam16 => {
-                    for u in [ui, uq] {
-                        // Tosato–Bisaglia: Λ(b_high) = u, Λ(b_low) = 2 − |u|.
-                        self.push(out, u * factor);
-                        self.push(out, (2.0 - u.abs()) * factor);
-                    }
+            }
+            Modulation::Qam16 => {
+                for (s, dst) in symbols.iter().zip(out.chunks_exact_mut(4)) {
+                    let ui = s.re * inv_k;
+                    let uq = s.im * inv_k;
+                    // Tosato–Bisaglia: Λ(b_high) = u, Λ(b_low) = 2 − |u|.
+                    dst[0] = quantize(ui * factor, gain, fs);
+                    dst[1] = quantize((2.0 - ui.abs()) * factor, gain, fs);
+                    dst[2] = quantize(uq * factor, gain, fs);
+                    dst[3] = quantize((2.0 - uq.abs()) * factor, gain, fs);
                 }
-                Modulation::Qam64 => {
-                    for u in [ui, uq] {
-                        self.push(out, u * factor);
-                        self.push(out, (4.0 - u.abs()) * factor);
-                        self.push(out, (2.0 - (u.abs() - 4.0).abs()) * factor);
-                    }
+            }
+            Modulation::Qam64 => {
+                for (s, dst) in symbols.iter().zip(out.chunks_exact_mut(6)) {
+                    let ui = s.re * inv_k;
+                    let uq = s.im * inv_k;
+                    dst[0] = quantize(ui * factor, gain, fs);
+                    dst[1] = quantize((4.0 - ui.abs()) * factor, gain, fs);
+                    dst[2] = quantize((2.0 - (ui.abs() - 4.0).abs()) * factor, gain, fs);
+                    dst[3] = quantize(uq * factor, gain, fs);
+                    dst[4] = quantize((4.0 - uq.abs()) * factor, gain, fs);
+                    dst[5] = quantize((2.0 - (uq.abs() - 4.0).abs()) * factor, gain, fs);
                 }
             }
         }
     }
+}
 
-    fn push(&self, out: &mut Vec<Llr>, analog: f64) {
-        let fs = self.full_scale();
-        let q = (analog * self.gain).round();
-        out.push(if q >= fs as f64 {
-            fs
-        } else if q <= -(fs as f64) {
-            -fs
-        } else {
-            q as Llr
-        });
-    }
+/// Quantizes one analog LLR to the demapper's output width. The clamp is
+/// value-equivalent to the reference body's saturate branches for every
+/// input (including the `q == ±fs` edges and the NaN-to-0 cast).
+#[inline(always)]
+fn quantize(analog: f64, gain: f64, fs: Llr) -> Llr {
+    let q = (analog * gain).round();
+    q.clamp(-(fs as f64), fs as f64) as Llr
 }
 
 #[cfg(test)]

@@ -1,0 +1,263 @@
+//! Planned-vs-reference front-end equivalence: the plan-driven FFT, the
+//! table-driven OFDM paths, and the compiled map/demap kernels must
+//! reproduce the frozen reference bodies (`crate::reference`) **bit for
+//! bit** — identical `f64` sample bits, identical quantized LLRs — for
+//! every modulation, width, and scaling mode. These tests are the
+//! enforcement arm of the contract documented in [`crate::plan`], exactly
+//! as `crates/fec/src/equiv_tests.rs` is for the trellis kernels. The
+//! all-eight-`PhyRate` packet-level sweep lives in
+//! `tests/phy_frontend_equiv.rs`.
+
+use std::f64::consts::PI;
+
+use wilis_fxp::rng::SmallRng;
+use wilis_fxp::Cplx;
+
+use crate::demapper::{Demapper, SnrScaling};
+use crate::mapper::{Mapper, Modulation};
+use crate::ofdm::{OfdmDemodulator, OfdmModulator, DATA_CARRIERS, SYMBOL_LEN};
+use crate::plan::{fft_with, ifft_with, FftPlan};
+use crate::{fft, ifft};
+
+const MODULATIONS: [Modulation; 4] = [
+    Modulation::Bpsk,
+    Modulation::Qpsk,
+    Modulation::Qam16,
+    Modulation::Qam64,
+];
+
+fn random_cplx(rng: &mut SmallRng, mag: f64) -> Cplx {
+    // Uniform box noise is all the differential tests need: any bit
+    // pattern through both paths must agree, realistic or not.
+    let re = rng.gen_i64(-1_000_000, 1_000_000) as f64 / 1_000_000.0 * mag;
+    let im = rng.gen_i64(-1_000_000, 1_000_000) as f64 / 1_000_000.0 * mag;
+    Cplx::new(re, im)
+}
+
+/// Exact f64-bit equality, with an index for diagnosis. `assert_eq!` on
+/// `Cplx` would accept `-0.0 == 0.0`; the kernels must not even flip a
+/// zero sign.
+fn assert_bits_eq(a: &[Cplx], b: &[Cplx], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{ctx}: index {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// The planned FFT reproduces the reference recurrence bit for bit, at
+/// every size the OFDM path and the property sizes use.
+#[test]
+fn planned_fft_matches_reference_bit_for_bit() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0001);
+    for n in [16usize, 64, 256] {
+        let plan = FftPlan::new(n);
+        for round in 0..16 {
+            let x: Vec<Cplx> = (0..n).map(|_| random_cplx(&mut rng, 4.0)).collect();
+            let mut planned = x.clone();
+            let mut reference = x;
+            fft_with(&plan, &mut planned);
+            fft(&mut reference);
+            assert_bits_eq(&planned, &reference, &format!("fft n={n} round={round}"));
+
+            ifft_with(&plan, &mut planned);
+            ifft(&mut reference);
+            assert_bits_eq(&planned, &reference, &format!("ifft n={n} round={round}"));
+        }
+    }
+}
+
+/// A naive O(N²) DFT pins the planned FFT to the transform definition
+/// (not merely to the reference implementation) at N ∈ {16, 64, 256}.
+#[test]
+fn planned_fft_matches_naive_dft() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0002);
+    for n in [16usize, 64, 256] {
+        let plan = FftPlan::new(n);
+        let x: Vec<Cplx> = (0..n).map(|_| random_cplx(&mut rng, 2.0)).collect();
+
+        // X[k] = Σ_t x[t] e^(−j2πkt/N)
+        let naive: Vec<Cplx> = (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| x[t] * Cplx::from_polar(1.0, -2.0 * PI * (k * t) as f64 / n as f64))
+                    .sum()
+            })
+            .collect();
+
+        let mut planned = x.clone();
+        fft_with(&plan, &mut planned);
+        for (k, (p, d)) in planned.iter().zip(&naive).enumerate() {
+            assert!(
+                (*p - *d).norm() < 1e-8 * (n as f64),
+                "n={n} bin {k}: planned {p} vs naive {d}"
+            );
+        }
+
+        // And the inverse undoes it (definition check for ifft_with).
+        let mut back = planned;
+        ifft_with(&plan, &mut back);
+        for (t, (a, b)) in back.iter().zip(&x).enumerate() {
+            assert!((*a - *b).norm() < 1e-9, "n={n} sample {t}: {a} vs {b}");
+        }
+    }
+}
+
+/// Planned OFDM modulation reproduces the reference body bit for bit
+/// across multi-symbol frames (pilot polarity advancing), including the
+/// whole-packet streaming form.
+#[test]
+fn planned_ofdm_modulator_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0003);
+    for round in 0..8 {
+        let n_sym = 1 + rng.gen_i64(0, 11) as usize;
+        let carriers: Vec<Cplx> = (0..n_sym * DATA_CARRIERS)
+            .map(|_| random_cplx(&mut rng, 1.5))
+            .collect();
+
+        let mut planned_mod = OfdmModulator::new();
+        let mut packet_mod = OfdmModulator::new();
+        let mut reference_mod = OfdmModulator::new();
+
+        let mut planned = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+        let mut packet = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+        let mut reference = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+
+        packet_mod.modulate_packet_into(&carriers, &mut packet);
+        for (s, data) in carriers.chunks_exact(DATA_CARRIERS).enumerate() {
+            planned_mod.modulate_into(data, &mut planned[s * SYMBOL_LEN..(s + 1) * SYMBOL_LEN]);
+            reference_mod.modulate_into_reference(
+                data,
+                &mut reference[s * SYMBOL_LEN..(s + 1) * SYMBOL_LEN],
+            );
+        }
+        assert_bits_eq(&planned, &reference, &format!("modulate round={round}"));
+        assert_bits_eq(
+            &packet,
+            &reference,
+            &format!("modulate_packet round={round}"),
+        );
+    }
+}
+
+/// Planned OFDM demodulation reproduces the reference body bit for bit,
+/// including the whole-packet streaming form and the lazily-computed
+/// pilot phase.
+#[test]
+fn planned_ofdm_demodulator_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0004);
+    for round in 0..8 {
+        let n_sym = 1 + rng.gen_i64(0, 11) as usize;
+        // Arbitrary (even non-OFDM) sample buffers must agree too.
+        let samples: Vec<Cplx> = (0..n_sym * SYMBOL_LEN)
+            .map(|_| random_cplx(&mut rng, 2.0))
+            .collect();
+
+        let mut planned_demod = OfdmDemodulator::new();
+        let mut packet_demod = OfdmDemodulator::new();
+        let mut reference_demod = OfdmDemodulator::new();
+
+        let mut packet = Vec::new();
+        packet_demod.demodulate_packet_into(&samples, &mut packet);
+
+        let mut planned_sym = Vec::new();
+        let mut reference_sym = Vec::new();
+        for (s, sym) in samples.chunks_exact(SYMBOL_LEN).enumerate() {
+            planned_demod.demodulate_into(sym, &mut planned_sym);
+            reference_demod.demodulate_into_reference(sym, &mut reference_sym);
+            let ctx = format!("demodulate round={round} symbol={s}");
+            assert_bits_eq(&planned_sym, &reference_sym, &ctx);
+            assert_bits_eq(
+                &packet[s * DATA_CARRIERS..(s + 1) * DATA_CARRIERS],
+                &reference_sym,
+                &format!("{ctx} (packet form)"),
+            );
+            assert_eq!(
+                planned_demod.last_pilot_phase().to_bits(),
+                reference_demod.last_pilot_phase().to_bits(),
+                "{ctx}: pilot phase"
+            );
+        }
+        assert_eq!(
+            packet_demod.last_pilot_phase().to_bits(),
+            reference_demod.last_pilot_phase().to_bits(),
+            "round={round}: packet-form pilot phase"
+        );
+    }
+}
+
+/// The Gray-map lookup table reproduces the interpreted mapper on every
+/// bit pattern of every modulation — exhaustively, since the input space
+/// is only 2^bits_per_symbol.
+#[test]
+fn table_mapper_matches_reference_exhaustively() {
+    for m in MODULATIONS {
+        let mapper = Mapper::new(m);
+        let bps = m.bits_per_symbol();
+        let mut planned = Vec::new();
+        let mut reference = Vec::new();
+        for v in 0..1usize << bps {
+            let bits: Vec<u8> = (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
+            mapper.map_into(&bits, &mut planned);
+            mapper.map_into_reference(&bits, &mut reference);
+            assert_bits_eq(&planned, &reference, &format!("{m} pattern {v:06b}"));
+        }
+    }
+}
+
+/// Multi-symbol bit streams through `map_append` equal the reference
+/// chunk loop (the whole-packet TX streaming shape).
+#[test]
+fn map_append_streams_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0005);
+    for m in MODULATIONS {
+        let mapper = Mapper::new(m);
+        let bps = m.bits_per_symbol();
+        let bits: Vec<u8> = (0..bps * 257).map(|_| rng.gen_bit()).collect();
+        let mut planned = Vec::new();
+        for chunk in bits.chunks(bps * 16) {
+            mapper.map_append(chunk, &mut planned);
+        }
+        let mut reference = Vec::new();
+        mapper.map_into_reference(&bits, &mut reference);
+        assert_bits_eq(&planned, &reference, &format!("{m} stream"));
+    }
+}
+
+/// The specialized demap kernels reproduce the interpreted reference for
+/// every modulation, output width, and scaling mode, on noisy symbols
+/// spanning clean points, boundary cases, and saturating outliers.
+#[test]
+fn specialized_demap_kernels_match_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0006);
+    let scalings = [
+        SnrScaling::Off,
+        SnrScaling::ConstantLinear(4.0),
+        SnrScaling::TrueLinear(12.5),
+    ];
+    for m in MODULATIONS {
+        for bits in [3u32, 5, 8, 12, 28] {
+            for scaling in scalings {
+                let d = Demapper::new(m, bits, scaling);
+                let mut symbols: Vec<Cplx> = (0..512).map(|_| random_cplx(&mut rng, 2.0)).collect();
+                // Exact constellation points and outliers join the noise.
+                let mapper = Mapper::new(m);
+                let bps = m.bits_per_symbol();
+                for v in 0..1usize << bps {
+                    let pat: Vec<u8> = (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
+                    symbols.extend(mapper.map(&pat));
+                }
+                symbols.push(Cplx::new(100.0, -100.0));
+                symbols.push(Cplx::new(-0.0, 0.0));
+
+                let mut planned = Vec::new();
+                let mut reference = Vec::new();
+                d.demap_into(&symbols, &mut planned);
+                d.demap_into_reference(&symbols, &mut reference);
+                assert_eq!(planned, reference, "{m} bits={bits} scaling={scaling:?}");
+            }
+        }
+    }
+}

@@ -1,4 +1,10 @@
 //! Radix-2 FFT, written from scratch (no external DSP dependency).
+//!
+//! This is the **frozen reference recurrence**: [`crate::FftPlan`] caches
+//! the twiddles this transform computes per call (same `w *= wlen`
+//! recurrence, same rounding) and the planned [`crate::fft_with`] /
+//! [`crate::ifft_with`] must stay bit-identical to these functions. Do
+//! not optimize this module; its value is that it does not change.
 
 use std::f64::consts::PI;
 

@@ -31,7 +31,9 @@ mod mapper;
 mod ofdm;
 mod packet;
 mod pipeline;
+mod plan;
 mod rate;
+mod reference;
 mod scrambler;
 
 pub use demapper::{Demapper, SnrScaling};
@@ -41,8 +43,11 @@ pub use mapper::{Mapper, Modulation};
 pub use ofdm::{OfdmDemodulator, OfdmModulator, CP_LEN, DATA_CARRIERS, FFT_LEN, SYMBOL_LEN};
 pub use packet::{PacketBuilder, PacketFields, SERVICE_BITS, TAIL_BITS};
 pub use pipeline::{PhyScratch, Receiver, RxResult, Transmitter, TxResult};
+pub use plan::{fft_with, ifft_with, FftPlan, OfdmPlan};
 pub use rate::PhyRate;
 pub use scrambler::Scrambler;
 
+#[cfg(test)]
+mod equiv_tests;
 #[cfg(test)]
 mod prop_tests;

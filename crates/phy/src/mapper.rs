@@ -1,6 +1,12 @@
 //! Gray-coded constellation mapping (802.11-2007 §17.3.5.7).
+//!
+//! The hot-path [`Mapper::map_into`] runs against a per-modulation
+//! Gray-map lookup table (bit group → constellation point, built once per
+//! process), bit-identical to the interpreted per-point reference body
+//! frozen in [`crate::reference`] as `map_into_reference`.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use wilis_fxp::Cplx;
 
@@ -76,7 +82,7 @@ impl fmt::Display for Modulation {
 /// Table (802.11a): 1 bit: 0→−1, 1→+1; 2 bits: 00→−3, 01→−1, 11→+1,
 /// 10→+3; 3 bits: 000→−7, 001→−5, 011→−3, 010→−1, 110→+1, 111→+3,
 /// 101→+5, 100→+7.
-fn gray_axis(bits: &[u8]) -> f64 {
+pub(crate) fn gray_axis(bits: &[u8]) -> f64 {
     match bits {
         [b] => {
             if *b == 1 {
@@ -109,6 +115,44 @@ fn gray_axis(bits: &[u8]) -> f64 {
         }
         _ => unreachable!("1..=3 bits per axis"),
     }
+}
+
+/// The per-modulation Gray-map lookup table: entry `v` is the
+/// constellation point for the `bits_per_symbol`-bit group whose MSB-first
+/// value is `v`. Built once per process by running the frozen per-point
+/// mapping over every bit pattern, so table entries are the reference
+/// values bit for bit; shared by every `Mapper` (and sweep worker) for
+/// that modulation.
+pub(crate) fn map_table(modulation: Modulation) -> &'static [Cplx] {
+    static TABLES: [OnceLock<Vec<Cplx>>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let slot = match modulation {
+        Modulation::Bpsk => 0,
+        Modulation::Qpsk => 1,
+        Modulation::Qam16 => 2,
+        Modulation::Qam64 => 3,
+    };
+    TABLES[slot].get_or_init(|| {
+        let bps = modulation.bits_per_symbol();
+        let k = modulation.kmod();
+        let per_axis = modulation.bits_per_axis();
+        (0..1usize << bps)
+            .map(|v| {
+                let bits: Vec<u8> = (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
+                if modulation == Modulation::Bpsk {
+                    Cplx::new(gray_axis(&bits[..1]) * k, 0.0)
+                } else {
+                    let i = gray_axis(&bits[..per_axis]) * k;
+                    let q = gray_axis(&bits[per_axis..]) * k;
+                    Cplx::new(i, q)
+                }
+            })
+            .collect()
+    })
 }
 
 /// Maps interleaved coded bits onto constellation points.
@@ -153,30 +197,46 @@ impl Mapper {
     }
 
     /// Maps a bit slice to symbols into `out`, reusing its capacity (the
-    /// allocation-free hot-path form).
+    /// allocation-free hot-path form). Table-driven; bit-identical to the
+    /// frozen [`Mapper::map_into_reference`].
     ///
     /// # Panics
     ///
     /// Panics if `bits.len()` is not a multiple of `bits_per_symbol`.
     pub fn map_into(&self, bits: &[u8], out: &mut Vec<Cplx>) {
+        out.clear();
+        self.map_append(bits, out);
+    }
+
+    /// [`Mapper::map_into`] without the clear — packets map symbol by
+    /// symbol into one constellation stream, so the hot path accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `bits_per_symbol`.
+    pub fn map_append(&self, bits: &[u8], out: &mut Vec<Cplx>) {
         let bps = self.modulation.bits_per_symbol();
         assert!(
             bits.len() % bps == 0,
             "bit count {} not a multiple of {bps}",
             bits.len()
         );
-        let k = self.modulation.kmod();
-        let per_axis = self.modulation.bits_per_axis();
-        out.clear();
-        out.reserve(bits.len() / bps);
-        for chunk in bits.chunks(bps) {
-            out.push(if self.modulation == Modulation::Bpsk {
-                Cplx::new(gray_axis(&chunk[..1]) * k, 0.0)
-            } else {
-                let i = gray_axis(&chunk[..per_axis]) * k;
-                let q = gray_axis(&chunk[per_axis..]) * k;
-                Cplx::new(i, q)
-            });
+        debug_assert!(bits.iter().all(|&b| b <= 1), "inputs are bit slices");
+        let table = map_table(self.modulation);
+        // `extend` over exact-size iterators reserves once and skips the
+        // per-push capacity checks. The bit-identity contract with the
+        // reference body covers genuine 0/1 bit slices (debug-asserted
+        // above); `b == 1` mirrors the reference's single-bit reading.
+        if bps == 1 {
+            out.extend(bits.iter().map(|&b| table[usize::from(b == 1)]));
+        } else {
+            out.extend(bits.chunks_exact(bps).map(|chunk| {
+                let mut idx = 0usize;
+                for &b in chunk {
+                    idx = (idx << 1) | usize::from(b == 1);
+                }
+                table[idx]
+            }));
         }
     }
 

@@ -1,9 +1,17 @@
 //! OFDM symbol assembly: 64-point FFT, 48 data + 4 pilot subcarriers,
 //! 16-sample cyclic prefix (802.11-2007 §17.3.5.9).
+//!
+//! The per-symbol hot loops run against a shared [`OfdmPlan`]
+//! (precomputed bin tables, cached twiddles, hoisted scale constants) and
+//! are **bit-identical** to the frozen reference bodies in
+//! [`crate::reference`], reachable as `*_into_reference` — the
+//! differential oracle the equivalence suite decodes against.
+
+use std::sync::Arc;
 
 use wilis_fxp::Cplx;
 
-use crate::fft::{fft, ifft};
+use crate::plan::OfdmPlan;
 use crate::scrambler::Scrambler;
 
 /// FFT length (subcarrier count including guards and DC).
@@ -17,7 +25,11 @@ pub const DATA_CARRIERS: usize = 48;
 
 /// Logical subcarrier indices (−26..=26 excluding 0 and pilots) of the 48
 /// data carriers, in the order coded bits fill them.
-fn data_subcarriers() -> impl Iterator<Item = i32> {
+///
+/// The planned path never iterates this at runtime — [`OfdmPlan`] lowers
+/// it to a flat bin table at construction; the frozen reference path
+/// still walks it per symbol.
+pub(crate) fn data_subcarriers() -> impl Iterator<Item = i32> {
     (-26..=26).filter(|&k| k != 0 && !PILOT_CARRIERS.contains(&k))
 }
 
@@ -25,26 +37,26 @@ fn data_subcarriers() -> impl Iterator<Item = i32> {
 pub(crate) const PILOT_CARRIERS: [i32; 4] = [-21, -7, 7, 21];
 
 /// Base pilot polarities (before the per-symbol polarity sequence).
-const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+pub(crate) const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
 
-fn bin_of(k: i32) -> usize {
+pub(crate) fn bin_of(k: i32) -> usize {
     ((k + FFT_LEN as i32) % FFT_LEN as i32) as usize
 }
 
 /// Per-symbol pilot polarity: the 127-periodic scrambler sequence with
 /// all-ones seed, mapped 0 → +1, 1 → −1 (802.11-2007 §17.3.5.9).
 #[derive(Debug, Clone)]
-struct PilotPolarity {
+pub(crate) struct PilotPolarity {
     scrambler: Scrambler,
 }
 
 impl PilotPolarity {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             scrambler: Scrambler::new(0x7F),
         }
     }
-    fn next(&mut self) -> f64 {
+    pub(crate) fn next(&mut self) -> f64 {
         if self.scrambler.next_bit() == 1 {
             -1.0
         } else {
@@ -74,9 +86,11 @@ impl PilotPolarity {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OfdmModulator {
-    polarity: PilotPolarity,
-    /// Reusable frequency-domain working buffer.
-    freq: Vec<Cplx>,
+    pub(crate) polarity: PilotPolarity,
+    /// The shared symbol-layout plan.
+    pub(crate) plan: Arc<OfdmPlan>,
+    /// Reusable frequency-domain working buffer, always `FFT_LEN` long.
+    pub(crate) freq: Vec<Cplx>,
 }
 
 impl OfdmModulator {
@@ -84,6 +98,7 @@ impl OfdmModulator {
     pub fn new() -> Self {
         Self {
             polarity: PilotPolarity::new(),
+            plan: OfdmPlan::shared(),
             freq: vec![Cplx::ZERO; FFT_LEN],
         }
     }
@@ -115,27 +130,62 @@ impl OfdmModulator {
     pub fn modulate_into(&mut self, data: &[Cplx], out: &mut [Cplx]) {
         assert_eq!(data.len(), DATA_CARRIERS, "one symbol of data carriers");
         assert_eq!(out.len(), SYMBOL_LEN, "one OFDM symbol of samples");
+        let plan = &self.plan;
         let freq = &mut self.freq;
-        freq.clear();
-        freq.resize(FFT_LEN, Cplx::ZERO);
-        for (value, k) in data.iter().zip(data_subcarriers()) {
-            freq[bin_of(k)] = *value;
+        // The symbol is assembled directly in bit-reversed order (the
+        // `_rev` tables fold the FFT's permutation into the bin lookup),
+        // so the transform runs its butterfly stages with no swap pass.
+        // Only the guard bins need zeroing: the data and pilot bins are
+        // overwritten below, so the reference's full-buffer wipe is
+        // redundant work the plan's partition makes skippable.
+        for &b in plan.guard_bins_rev() {
+            freq[b] = Cplx::ZERO;
+        }
+        for (value, &b) in data.iter().zip(plan.data_bins_rev().iter()) {
+            freq[b] = *value;
         }
         let p = self.polarity.next();
-        for (i, &k) in PILOT_CARRIERS.iter().enumerate() {
-            freq[bin_of(k)] = Cplx::new(PILOT_BASE[i] * p, 0.0);
+        for (i, &b) in plan.pilot_bins_rev().iter().enumerate() {
+            freq[b] = Cplx::new(PILOT_BASE[i] * p, 0.0);
         }
-        ifft(freq);
+        plan.fft().ifft_stages(freq);
         // The IFFT's 1/N normalization spreads unit subcarrier energy
         // across N samples; rescale so average time-sample power equals
         // average subcarrier power (unit for unit-energy constellations).
-        let scale = (FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
-            * (FFT_LEN as f64).sqrt();
+        let scale = plan.tx_scale();
         for v in freq.iter_mut() {
             *v = v.scale(scale);
         }
         out[..CP_LEN].copy_from_slice(&freq[FFT_LEN - CP_LEN..]);
         out[CP_LEN..].copy_from_slice(freq);
+    }
+
+    /// Modulates a whole packet of data-carrier values (one 48-carrier
+    /// symbol after another) into its full sample buffer, streaming every
+    /// symbol through the shared plan with no per-symbol buffer churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `carriers.len()` is not a multiple of `DATA_CARRIERS` or
+    /// `out.len()` is not the matching number of `SYMBOL_LEN` blocks.
+    pub fn modulate_packet_into(&mut self, carriers: &[Cplx], out: &mut [Cplx]) {
+        assert_eq!(
+            carriers.len() % DATA_CARRIERS,
+            0,
+            "whole symbols of data carriers"
+        );
+        let n_symbols = carriers.len() / DATA_CARRIERS;
+        assert_eq!(
+            out.len(),
+            n_symbols * SYMBOL_LEN,
+            "output must hold exactly the packet's samples"
+        );
+        for (data, samples) in carriers
+            .chunks_exact(DATA_CARRIERS)
+            .zip(out.chunks_exact_mut(SYMBOL_LEN))
+        {
+            self.modulate_into(data, samples);
+        }
     }
 }
 
@@ -148,12 +198,15 @@ impl Default for OfdmModulator {
 /// Recovers data-subcarrier values from time-domain OFDM samples.
 #[derive(Debug, Clone)]
 pub struct OfdmDemodulator {
-    polarity: PilotPolarity,
-    /// Reusable frequency-domain working buffer.
-    freq: Vec<Cplx>,
-    /// Residual common phase error measured from the pilots of the last
-    /// demodulated symbol (exposed for instrumentation).
-    last_pilot_phase: f64,
+    pub(crate) polarity: PilotPolarity,
+    /// The shared symbol-layout plan.
+    pub(crate) plan: Arc<OfdmPlan>,
+    /// Reusable frequency-domain working buffer, always `FFT_LEN` long.
+    pub(crate) freq: Vec<Cplx>,
+    /// Pilot correlation of the last demodulated symbol; the common phase
+    /// error is derived lazily in [`OfdmDemodulator::last_pilot_phase`] so
+    /// the hot loop never pays the `atan2`.
+    pub(crate) last_pilot_sum: Cplx,
 }
 
 impl OfdmDemodulator {
@@ -161,8 +214,9 @@ impl OfdmDemodulator {
     pub fn new() -> Self {
         Self {
             polarity: PilotPolarity::new(),
+            plan: OfdmPlan::shared(),
             freq: vec![Cplx::ZERO; FFT_LEN],
-            last_pilot_phase: 0.0,
+            last_pilot_sum: Cplx::ZERO,
         }
     }
 
@@ -170,7 +224,7 @@ impl OfdmDemodulator {
     /// reallocating — the per-packet reset of the scenario engine.
     pub fn reset(&mut self) {
         self.polarity = PilotPolarity::new();
-        self.last_pilot_phase = 0.0;
+        self.last_pilot_sum = Cplx::ZERO;
     }
 
     /// Demodulates one 80-sample OFDM symbol back to 48 data-subcarrier
@@ -193,31 +247,55 @@ impl OfdmDemodulator {
     ///
     /// Panics if `samples.len() != SYMBOL_LEN`.
     pub fn demodulate_into(&mut self, samples: &[Cplx], out: &mut Vec<Cplx>) {
+        out.clear();
+        self.demodulate_append(samples, out);
+    }
+
+    /// Demodulates a whole packet of samples into `out` (48 carriers per
+    /// symbol, appended in symbol order), streaming every symbol through
+    /// the shared plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` is not a multiple of `SYMBOL_LEN`.
+    pub fn demodulate_packet_into(&mut self, samples: &[Cplx], out: &mut Vec<Cplx>) {
+        assert_eq!(
+            samples.len() % SYMBOL_LEN,
+            0,
+            "whole OFDM symbols of samples"
+        );
+        out.clear();
+        for sym in samples.chunks_exact(SYMBOL_LEN) {
+            self.demodulate_append(sym, out);
+        }
+    }
+
+    /// One planned symbol, appended to `out`.
+    fn demodulate_append(&mut self, samples: &[Cplx], out: &mut Vec<Cplx>) {
         assert_eq!(samples.len(), SYMBOL_LEN, "one OFDM symbol of samples");
+        let plan = &self.plan;
         let freq = &mut self.freq;
-        freq.clear();
-        freq.extend_from_slice(&samples[CP_LEN..]);
-        fft(freq);
-        let scale = 1.0
-            / ((FFT_LEN as f64 / (DATA_CARRIERS + PILOT_CARRIERS.len()) as f64).sqrt()
-                * (FFT_LEN as f64).sqrt());
+        // Fused copy + bit-reversal: one gather replaces the prefix-strip
+        // copy and the transform's swap pass.
+        plan.fft().gather(&samples[CP_LEN..], freq);
+        plan.fft().fft_stages(freq);
+        let scale = plan.rx_scale();
         let p = self.polarity.next();
         // Pilot-based common phase estimate (diagnostic only; no channel
-        // estimation is applied, faithful to the paper's pipeline).
-        let pilot_sum: Cplx = PILOT_CARRIERS
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| freq[bin_of(k)].scale(PILOT_BASE[i] * p))
-            .sum();
-        self.last_pilot_phase = pilot_sum.arg();
-        out.clear();
-        out.reserve(DATA_CARRIERS);
-        out.extend(data_subcarriers().map(|k| freq[bin_of(k)].scale(scale)));
+        // estimation is applied, faithful to the paper's pipeline). Only
+        // the complex correlation is accumulated here; the `atan2` waits
+        // until instrumentation asks for the angle.
+        let mut pilot_sum = Cplx::ZERO;
+        for (i, &b) in plan.pilot_bins().iter().enumerate() {
+            pilot_sum += freq[b].scale(PILOT_BASE[i] * p);
+        }
+        self.last_pilot_sum = pilot_sum;
+        out.extend(plan.data_bins().iter().map(|&b| freq[b].scale(scale)));
     }
 
     /// Common phase (radians) measured from the last symbol's pilots.
     pub fn last_pilot_phase(&self) -> f64 {
-        self.last_pilot_phase
+        self.last_pilot_sum.arg()
     }
 }
 
@@ -255,6 +333,32 @@ mod tests {
             for (i, (a, b)) in data.iter().zip(&back).enumerate() {
                 assert!((*a - *b).norm() < 1e-10, "carrier {i}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn packet_forms_match_symbol_forms() {
+        let n_sym = 7;
+        let carriers: Vec<Cplx> = (0..n_sym * DATA_CARRIERS)
+            .map(|i| Cplx::new((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+            .collect();
+        let mut tx_packet = OfdmModulator::new();
+        let mut tx_symbol = OfdmModulator::new();
+        let mut packet = vec![Cplx::ZERO; n_sym * SYMBOL_LEN];
+        tx_packet.modulate_packet_into(&carriers, &mut packet);
+        for (s, data) in carriers.chunks_exact(DATA_CARRIERS).enumerate() {
+            let sym = tx_symbol.modulate(data);
+            assert_eq!(&packet[s * SYMBOL_LEN..(s + 1) * SYMBOL_LEN], &sym[..]);
+        }
+
+        let mut rx_packet = OfdmDemodulator::new();
+        let mut rx_symbol = OfdmDemodulator::new();
+        let mut all = Vec::new();
+        rx_packet.demodulate_packet_into(&packet, &mut all);
+        assert_eq!(all.len(), n_sym * DATA_CARRIERS);
+        for (s, sym) in packet.chunks_exact(SYMBOL_LEN).enumerate() {
+            let back = rx_symbol.demodulate(sym);
+            assert_eq!(&all[s * DATA_CARRIERS..(s + 1) * DATA_CARRIERS], &back[..]);
         }
     }
 

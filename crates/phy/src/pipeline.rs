@@ -60,8 +60,15 @@ pub struct PhyScratch {
     coded: Vec<u8>,
     punctured: Vec<u8>,
     interleaved: Vec<u8>,
+    /// One symbol of constellation points (reference path).
     points: Vec<Cplx>,
+    /// A whole packet of constellation points (planned TX streaming).
+    packet_points: Vec<Cplx>,
+    /// Recovered data carriers: a whole packet on the planned path, one
+    /// symbol at a time on the reference path.
     carriers: Vec<Cplx>,
+    /// Demapped LLRs: a whole packet on the planned path, one symbol at a
+    /// time on the reference path.
     symbol_llrs: Vec<Llr>,
     punctured_llrs: Vec<Llr>,
     mother: Vec<Llr>,
@@ -80,6 +87,7 @@ impl PhyScratch {
             punctured: Vec::new(),
             interleaved: Vec::new(),
             points: Vec::new(),
+            packet_points: Vec::new(),
             carriers: Vec::new(),
             symbol_llrs: Vec::new(),
             punctured_llrs: Vec::new(),
@@ -172,6 +180,59 @@ impl Transmitter {
             coded,
             punctured,
             interleaved,
+            packet_points,
+            ..
+        } = scratch;
+        let m = machinery.as_mut().expect("machinery ensured above");
+
+        let fields = PacketBuilder::new(self.rate).assemble_into(payload, scramble_seed, data_bits);
+        m.encoder.reset();
+        coded.clear();
+        m.encoder.encode_into(data_bits, coded);
+        punctured.clear();
+        m.puncturer.puncture_into(coded, punctured);
+        debug_assert_eq!(punctured.len(), fields.coded_bits());
+
+        ofdm_tx.reset();
+        out.clear();
+        out.resize(fields.n_symbols * SYMBOL_LEN, Cplx::ZERO);
+        let cbps = self.rate.coded_bits_per_symbol();
+        // Map the whole packet into one constellation stream, then push
+        // every symbol through the shared OFDM plan in one call.
+        packet_points.clear();
+        for sym_bits in punctured.chunks(cbps) {
+            m.interleaver.interleave_into(sym_bits, interleaved);
+            m.mapper.map_append(interleaved, packet_points);
+        }
+        ofdm_tx.modulate_packet_into(packet_points, out);
+        fields
+    }
+
+    /// The frozen pre-plan form of [`Transmitter::tx_into`]: the same
+    /// chain through the per-symbol reference bodies
+    /// ([`Mapper::map_into_reference`],
+    /// [`crate::OfdmModulator::modulate_into_reference`]). Differential
+    /// oracle and perf baseline; samples are bit-identical by contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a bit slice or the scramble seed is
+    /// invalid.
+    pub fn tx_into_reference(
+        &self,
+        payload: &[u8],
+        scramble_seed: u8,
+        scratch: &mut PhyScratch,
+        out: &mut Vec<Cplx>,
+    ) -> PacketFields {
+        scratch.ensure_rate(self.rate);
+        let PhyScratch {
+            machinery,
+            ofdm_tx,
+            data_bits,
+            coded,
+            punctured,
+            interleaved,
             points,
             ..
         } = scratch;
@@ -191,8 +252,8 @@ impl Transmitter {
         let cbps = self.rate.coded_bits_per_symbol();
         for (i, sym_bits) in punctured.chunks(cbps).enumerate() {
             m.interleaver.interleave_into(sym_bits, interleaved);
-            m.mapper.map_into(interleaved, points);
-            ofdm_tx.modulate_into(points, &mut out[i * SYMBOL_LEN..(i + 1) * SYMBOL_LEN]);
+            m.mapper.map_into_reference(interleaved, points);
+            ofdm_tx.modulate_into_reference(points, &mut out[i * SYMBOL_LEN..(i + 1) * SYMBOL_LEN]);
         }
         fields
     }
@@ -362,11 +423,80 @@ impl Receiver {
 
         ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();
+        // Whole-packet streaming: every symbol through the shared OFDM
+        // plan, then one demap call over the full carrier stream; only
+        // the deinterleaver still walks per-symbol windows.
+        ofdm_rx.demodulate_packet_into(samples, carriers);
+        self.demapper.demap_into(carriers, symbol_llrs);
+        debug_assert_eq!(symbol_llrs.len(), fields.n_symbols * cbps);
+        punctured_llrs.clear();
+        punctured_llrs.reserve(fields.coded_bits());
+        for sym_llrs in symbol_llrs.chunks_exact(cbps) {
+            m.deinterleaver
+                .deinterleave_append(sym_llrs, punctured_llrs);
+        }
+        let mother_len = fields.data_bits() * 2;
+        mother.clear();
+        m.depuncturer
+            .depuncture_into(punctured_llrs, mother_len, mother);
+        self.decoder.decode_terminated_into(mother, decoded);
+        debug_assert_eq!(decoded.bits.len(), fields.data_bits() - TAIL_BITS);
+
+        Self::unpack_decoded(
+            self.rate,
+            &*self.decoder,
+            decoded,
+            &fields,
+            scramble_seed,
+            out,
+        );
+    }
+
+    /// The frozen pre-plan form of [`Receiver::rx_from`]: per-symbol
+    /// demodulation and demapping through the reference bodies
+    /// ([`crate::OfdmDemodulator::demodulate_into_reference`],
+    /// [`Demapper::demap_into_reference`]), then the same decoder.
+    /// Differential oracle and perf baseline; the LLR stream and
+    /// therefore the whole `RxResult` are bit-identical by contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not exactly the packet's symbol count, or the
+    /// scramble seed is invalid.
+    pub fn rx_from_reference(
+        &mut self,
+        samples: &[Cplx],
+        payload_bits: usize,
+        scramble_seed: u8,
+        scratch: &mut PhyScratch,
+        out: &mut RxResult,
+    ) {
+        let fields = PacketFields::for_payload(self.rate, payload_bits);
+        assert_eq!(
+            samples.len(),
+            fields.n_symbols * SYMBOL_LEN,
+            "sample count does not match packet layout"
+        );
+        scratch.ensure_rate(self.rate);
+        let PhyScratch {
+            machinery,
+            ofdm_rx,
+            carriers,
+            symbol_llrs,
+            punctured_llrs,
+            mother,
+            decoded,
+            ..
+        } = scratch;
+        let m = machinery.as_ref().expect("machinery ensured above");
+
+        ofdm_rx.reset();
+        let cbps = self.rate.coded_bits_per_symbol();
         punctured_llrs.clear();
         punctured_llrs.reserve(fields.coded_bits());
         for sym_samples in samples.chunks(SYMBOL_LEN) {
-            ofdm_rx.demodulate_into(sym_samples, carriers);
-            self.demapper.demap_into(carriers, symbol_llrs);
+            ofdm_rx.demodulate_into_reference(sym_samples, carriers);
+            self.demapper.demap_into_reference(carriers, symbol_llrs);
             debug_assert_eq!(symbol_llrs.len(), cbps);
             m.deinterleaver
                 .deinterleave_append(symbol_llrs, punctured_llrs);
@@ -378,9 +508,30 @@ impl Receiver {
         self.decoder.decode_terminated_into(mother, decoded);
         debug_assert_eq!(decoded.bits.len(), fields.data_bits() - TAIL_BITS);
 
-        PacketBuilder::new(self.rate).disassemble_into(
-            &decoded.bits,
+        Self::unpack_decoded(
+            self.rate,
+            &*self.decoder,
+            decoded,
             &fields,
+            scramble_seed,
+            out,
+        );
+    }
+
+    /// Shared tail of both RX forms: descramble the payload region and
+    /// copy out hints and soft magnitudes.
+    fn unpack_decoded(
+        rate: PhyRate,
+        decoder: &dyn SoftDecoder,
+        decoded: &DecodeOutput,
+        fields: &PacketFields,
+        scramble_seed: u8,
+        out: &mut RxResult,
+    ) {
+        let payload_bits = fields.payload_bits;
+        PacketBuilder::new(rate).disassemble_into(
+            &decoded.bits,
+            fields,
             scramble_seed,
             &mut out.payload,
         );
@@ -395,7 +546,7 @@ impl Receiver {
                 .iter()
                 .map(|&s| s.unsigned_abs()),
         );
-        out.decoder_id = self.decoder.id();
+        out.decoder_id = decoder.id();
     }
 }
 

@@ -6,6 +6,7 @@ bench smoke emits and a refactor cannot silently change the format the
 downstream tooling reads:
 
     python3 tools/check_bench.py perf_trellis /tmp/BENCH_trellis.json
+    python3 tools/check_bench.py perf_phy    /tmp/BENCH_phy.json
     python3 tools/check_bench.py cell_sweep  /tmp/BENCH_cell.json
 """
 
@@ -32,6 +33,38 @@ def check_perf_trellis(doc):
         assert grid[key] > 0, key
 
 
+def check_perf_phy(doc):
+    """Planned-vs-reference front-end throughput plus grid packets/s."""
+    assert doc["symbols"] > 0
+    assert doc["samples_per_symbol"] == 80
+    ops = {o["op"] for o in doc["ofdm"]}
+    assert ops == {"modulate", "demodulate"}, ops
+    for o in doc["ofdm"]:
+        for key in (
+            "planned_msps",
+            "reference_msps",
+            "speedup",
+            "planned_mean_secs",
+            "reference_mean_secs",
+        ):
+            assert o[key] > 0, (o["op"], key)
+    modulations = {m["modulation"] for m in doc["modulations"]}
+    assert modulations == {"bpsk", "qpsk", "qam16", "qam64"}, modulations
+    for m in doc["modulations"]:
+        for key in (
+            "map_planned_mbps",
+            "map_reference_mbps",
+            "map_speedup",
+            "demap_planned_mbps",
+            "demap_reference_mbps",
+            "demap_speedup",
+        ):
+            assert m[key] > 0, (m["modulation"], key)
+    grid = doc["grid"]
+    for key in ("scenarios", "packets_total", "packets_per_sec", "mean_secs"):
+        assert grid[key] > 0, key
+
+
 def check_cell_sweep(doc):
     """Per-policy contention-cell goodput and throughput."""
     for key in ("nodes", "slots", "payload_bits"):
@@ -53,6 +86,7 @@ def check_cell_sweep(doc):
 
 SCHEMAS = {
     "perf_trellis": check_perf_trellis,
+    "perf_phy": check_perf_phy,
     "cell_sweep": check_cell_sweep,
 }
 
