@@ -1,0 +1,318 @@
+//! Lockstep batch throughput: the packet-axis SIMD story.
+//!
+//! The scenario engine decodes same-rate packets in blocks of up to
+//! [`MAX_BATCH_LANES`] lanes, with decoder metrics laid out
+//! structure-of-arrays so the autovectorizer turns the per-lane add/
+//! compare/select arithmetic into SIMD. This bench times that path
+//! against the packet-at-a-time scalar kernels it replaces, on identical
+//! inputs, at two levels:
+//!
+//! * **decode** — `decode_terminated_batch_into` over a full 8-lane
+//!   lane-major block vs. eight scalar `decode_terminated_into` calls,
+//!   per decoder (outputs asserted bit-identical lane for lane);
+//! * **rx** — the whole batched receive pipeline `rx_batch_from`
+//!   (OFDM demod, demap, deinterleave, depuncture, decode, descramble in
+//!   lane-major lockstep) vs. eight scalar `rx_from` calls.
+//!
+//! Results go to stdout *and* `BENCH_batch.json` (override with
+//! `WILIS_BENCH_OUT`). Schema:
+//!
+//! ```json
+//! {
+//!   "bench": "perf_batch",
+//!   "batch_width": 8,
+//!   "coded_bits_per_block": 8204,
+//!   "payload_bits": 1704,
+//!   "decoders": [
+//!     {"decoder": "viterbi", "batch_mbps": 0.0, "scalar_mbps": 0.0,
+//!      "speedup": 0.0, "batch_mean_secs": 0.0, "scalar_mean_secs": 0.0}
+//!   ],
+//!   "rx": [
+//!     {"decoder": "viterbi", "batch_pps": 0.0, "scalar_pps": 0.0,
+//!      "speedup": 0.0, "batch_mean_secs": 0.0, "scalar_mean_secs": 0.0}
+//!   ]
+//! }
+//! ```
+
+use wilis::channel::{AwgnChannel, Channel, SnrDb};
+use wilis::fec::{
+    hard_llr, BcjrDecoder, ConvCode, ConvEncoder, DecodeOutput, Llr, SoftDecoder, SovaDecoder,
+    ViterbiDecoder, MAX_BATCH_LANES,
+};
+use wilis::fxp::rng::SmallRng;
+use wilis::fxp::Cplx;
+use wilis::phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
+use wilis_bench::harness::{bench, report, Measurement};
+use wilis_bench::{banner, budget};
+
+/// A reproducible noisy coded block at a Figure-5-like operating point
+/// (same recipe as `perf_trellis`, one seed per lane).
+fn noisy_block(code: &ConvCode, info_bits: usize, seed: u64) -> Vec<Llr> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<u8> = (0..info_bits).map(|_| rng.gen_bit()).collect();
+    ConvEncoder::new(code)
+        .encode_terminated(&data)
+        .iter()
+        .map(|&b| {
+            let l = hard_llr(b, 20);
+            match rng.gen_i64(0, 12) {
+                0 => -l / 2, // soft flip
+                1 => 0,      // erasure
+                _ => l,
+            }
+        })
+        .collect()
+}
+
+struct Row {
+    name: &'static str,
+    batch: Measurement,
+    scalar: Measurement,
+    /// Work units per measurement: coded bits for decode, packets for rx.
+    units: f64,
+}
+
+impl Row {
+    fn batch_rate(&self) -> f64 {
+        self.units / self.batch.mean_secs
+    }
+    fn scalar_rate(&self) -> f64 {
+        self.units / self.scalar.mean_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.scalar.mean_secs / self.batch.mean_secs
+    }
+}
+
+fn time_batch_decoder<D: SoftDecoder>(
+    name: &'static str,
+    dec: &mut D,
+    soa: &[Llr],
+    blocks: &[Vec<Llr>],
+    reps: u32,
+    iters: u32,
+) -> Row {
+    let lanes = blocks.len();
+    let mut outs: Vec<DecodeOutput> = (0..lanes).map(|_| DecodeOutput::default()).collect();
+    let batch = bench(&format!("{name}/batch"), iters, || {
+        for _ in 0..reps {
+            dec.decode_terminated_batch_into(soa, lanes, &mut outs);
+        }
+    });
+    report(&batch);
+    let mut scalar_outs: Vec<DecodeOutput> = (0..lanes).map(|_| DecodeOutput::default()).collect();
+    let scalar = bench(&format!("{name}/scalar"), iters, || {
+        for _ in 0..reps {
+            for (block, out) in blocks.iter().zip(scalar_outs.iter_mut()) {
+                dec.decode_terminated_into(block, out);
+            }
+        }
+    });
+    report(&scalar);
+    assert_eq!(
+        outs, scalar_outs,
+        "{name}: batched and scalar decodes must stay bit-identical per lane"
+    );
+    Row {
+        name,
+        batch,
+        scalar,
+        units: (soa.len() as u64 * u64::from(reps)) as f64,
+    }
+}
+
+fn time_batch_rx(
+    name: &'static str,
+    rx: &mut Receiver,
+    lane_samples: &[Vec<Cplx>],
+    payload_bits: usize,
+    seeds: &[u8],
+    reps: u32,
+    iters: u32,
+) -> Row {
+    let lanes = lane_samples.len();
+    let refs: Vec<&[Cplx]> = lane_samples.iter().map(|v| v.as_slice()).collect();
+    let mut scratch = PhyScratch::new();
+    let mut outs: Vec<RxResult> = (0..lanes).map(|_| RxResult::default()).collect();
+    let batch = bench(&format!("{name}/rx_batch"), iters, || {
+        for _ in 0..reps {
+            rx.rx_batch_from(&refs, payload_bits, seeds, &mut scratch, &mut outs);
+        }
+    });
+    report(&batch);
+    let mut got = RxResult::default();
+    let mut checked = false;
+    let scalar = bench(&format!("{name}/rx_scalar"), iters, || {
+        for _ in 0..reps {
+            for l in 0..lanes {
+                rx.rx_from(
+                    &lane_samples[l],
+                    payload_bits,
+                    seeds[l],
+                    &mut scratch,
+                    &mut got,
+                );
+                if !checked {
+                    assert_eq!(
+                        got.payload, outs[l].payload,
+                        "{name}: batched lane {l} payload diverged from scalar"
+                    );
+                    assert_eq!(
+                        got.hints, outs[l].hints,
+                        "{name}: batched lane {l} hints diverged from scalar"
+                    );
+                }
+            }
+            checked = true;
+        }
+    });
+    report(&scalar);
+    Row {
+        name,
+        batch,
+        scalar,
+        units: (lanes as u64 * u64::from(reps)) as f64,
+    }
+}
+
+fn main() {
+    let code = ConvCode::ieee80211();
+    let info_bits = 4096usize;
+    let lanes = MAX_BATCH_LANES;
+
+    // One noisy block per lane, interlaced lane-major: soft bit `i` of
+    // lane `l` at `soa[i * lanes + l]`.
+    let blocks: Vec<Vec<Llr>> = (0..lanes)
+        .map(|l| noisy_block(&code, info_bits, 0xBA7C + l as u64))
+        .collect();
+    let coded_bits_per_block = blocks[0].len();
+    let mut soa = vec![0 as Llr; coded_bits_per_block * lanes];
+    for (l, block) in blocks.iter().enumerate() {
+        for (i, &v) in block.iter().enumerate() {
+            soa[i * lanes + l] = v;
+        }
+    }
+
+    let reps = (budget(4_000_000) / (coded_bits_per_block * lanes) as u64).max(1) as u32;
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        5
+    };
+    banner(&format!(
+        "perf_batch: {code}, {lanes} lanes x {coded_bits_per_block} coded bits x {reps} reps x {iters} iters"
+    ));
+
+    let mut viterbi = ViterbiDecoder::new(&code);
+    let mut sova = SovaDecoder::new(&code, 64, 64);
+    let mut bcjr = BcjrDecoder::new(&code, 64);
+    let decode_rows = vec![
+        time_batch_decoder("viterbi", &mut viterbi, &soa, &blocks, reps, iters),
+        time_batch_decoder("sova", &mut sova, &soa, &blocks, reps, iters),
+        time_batch_decoder("bcjr", &mut bcjr, &soa, &blocks, reps, iters),
+    ];
+
+    println!();
+    for row in &decode_rows {
+        println!(
+            "{:<10} batch {:>9.2} Mb/s   scalar {:>9.2} Mb/s   speedup {:.2}x",
+            row.name,
+            row.batch_rate() / 1e6,
+            row.scalar_rate() / 1e6,
+            row.speedup()
+        );
+    }
+
+    // Whole-pipeline receive: one transmitted-and-corrupted packet per
+    // lane at a waterfall operating point, batched vs packet-at-a-time.
+    let rate = PhyRate::Qam16Half;
+    let payload_bits = 1704usize;
+    let transmitter = Transmitter::new(rate);
+    let mut tx_scratch = PhyScratch::new();
+    let mut lane_samples: Vec<Vec<Cplx>> = Vec::new();
+    let mut seeds: Vec<u8> = Vec::new();
+    for l in 0..lanes {
+        let mut rng = SmallRng::seed_from_u64(0xF00D + l as u64);
+        let payload: Vec<u8> = (0..payload_bits).map(|_| rng.gen_bit()).collect();
+        let seed = (l % 127 + 1) as u8;
+        let mut samples = Vec::new();
+        transmitter.tx_into(&payload, seed, &mut tx_scratch, &mut samples);
+        AwgnChannel::new(SnrDb::new(7.0), 0x51ED + l as u64).apply(&mut samples);
+        lane_samples.push(samples);
+        seeds.push(seed);
+    }
+    let rx_reps = (budget(600_000) / (payload_bits * lanes) as u64).max(1) as u32;
+
+    let mut rx_rows = Vec::new();
+    for (name, mut rx) in [
+        ("viterbi", Receiver::viterbi(rate)),
+        ("sova", Receiver::sova(rate)),
+        ("bcjr", Receiver::bcjr(rate)),
+    ] {
+        rx_rows.push(time_batch_rx(
+            name,
+            &mut rx,
+            &lane_samples,
+            payload_bits,
+            &seeds,
+            rx_reps,
+            iters,
+        ));
+    }
+
+    println!();
+    for row in &rx_rows {
+        println!(
+            "rx/{:<7} batch {:>8.1} pkt/s   scalar {:>8.1} pkt/s   speedup {:.2}x",
+            row.name,
+            row.batch_rate(),
+            row.scalar_rate(),
+            row.speedup()
+        );
+    }
+
+    let decode_objs: Vec<String> = decode_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"decoder\":\"{}\",\"batch_mbps\":{:.3},\"scalar_mbps\":{:.3},\"speedup\":{:.3},\"batch_mean_secs\":{:.9},\"scalar_mean_secs\":{:.9}}}",
+                row.name,
+                row.batch_rate() / 1e6,
+                row.scalar_rate() / 1e6,
+                row.speedup(),
+                row.batch.mean_secs,
+                row.scalar.mean_secs
+            )
+        })
+        .collect();
+    let rx_objs: Vec<String> = rx_rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"decoder\":\"{}\",\"batch_pps\":{:.3},\"scalar_pps\":{:.3},\"speedup\":{:.3},\"batch_mean_secs\":{:.9},\"scalar_mean_secs\":{:.9}}}",
+                row.name,
+                row.batch_rate(),
+                row.scalar_rate(),
+                row.speedup(),
+                row.batch.mean_secs,
+                row.scalar.mean_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"perf_batch\",\"batch_width\":{},\"coded_bits_per_block\":{},\"payload_bits\":{},\"decoders\":[{}],\"rx\":[{}]}}\n",
+        lanes,
+        coded_bits_per_block,
+        payload_bits,
+        decode_objs.join(","),
+        rx_objs.join(",")
+    );
+    println!("\nJSON:\n{json}");
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -30,8 +30,8 @@
 //!     {"decoder": "viterbi", "compiled_mbps": 0.0, "reference_mbps": 0.0,
 //!      "speedup": 0.0, "compiled_mean_secs": 0.0, "reference_mean_secs": 0.0}
 //!   ],
-//!   "grid": {"scenarios": 0, "packets_total": 0, "packets_per_sec": 0.0,
-//!            "mean_secs": 0.0}
+//!   "grid": {"scenarios": 0, "packets_total": 0, "batch_width": 8,
+//!            "packets_per_sec": 0.0, "mean_secs": 0.0}
 //! }
 //! ```
 
@@ -222,13 +222,14 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\"bench\":\"perf_trellis\",\"code\":\"{}\",\"coded_bits_per_block\":{},\"reps\":{},\"decoders\":[{}],\"grid\":{{\"scenarios\":{},\"packets_total\":{},\"packets_per_sec\":{:.3},\"mean_secs\":{:.9}}}}}\n",
+        "{{\"bench\":\"perf_trellis\",\"code\":\"{}\",\"coded_bits_per_block\":{},\"reps\":{},\"decoders\":[{}],\"grid\":{{\"scenarios\":{},\"packets_total\":{},\"batch_width\":{},\"packets_per_sec\":{:.3},\"mean_secs\":{:.9}}}}}\n",
         code,
         coded_bits_per_block,
         reps,
         decoder_objs.join(","),
         scenarios.len(),
         packets_total,
+        wilis::fec::MAX_BATCH_LANES,
         packets_per_sec,
         grid_m.mean_secs
     );

@@ -1,0 +1,782 @@
+//! Lockstep batch decoding: B same-shape packets through one trellis walk,
+//! metrics laid out structure-of-arrays so the lane axis autovectorizes.
+//!
+//! The compiled kernels of [`crate::compiled`] removed every per-edge
+//! branch from a *single* decode; what remains is instruction-level
+//! parallelism the scalar recurrence cannot expose — each ACS step depends
+//! on the previous column. Packets, however, are independent. This module
+//! decodes up to [`MAX_LANES`] equal-length blocks *in lockstep*: one pass
+//! over the trellis where every intermediate quantity carries one value
+//! per lane, stored lane-innermost so the per-state inner loops become
+//! straight-line arithmetic over `[i32; L]` rows — exactly the shape the
+//! autovectorizer turns into SIMD.
+//!
+//! Layouts (`L` = lane count, `l` = lane index):
+//!
+//! * soft inputs — lane-major SoA: soft value `i` of lane `l` at
+//!   `llrs[i * L + l]`;
+//! * path-metric columns — `[state][lane]`: `pm[s * L + l]`;
+//! * branch metrics — `[pattern][lane]`: `bm[p * L + l]`;
+//! * SOVA margins — `[step][state][lane]`:
+//!   `margins[(t * n_states + s) * L + l]`;
+//! * survivors — one register-built `u64` per `(step, lane)` with bit `s`
+//!   holding state `s`'s decision: `surv[t * L + l]`. (The 64-state 802.11
+//!   code packs one word per step, so this is the `[step][state][lane]`
+//!   bit-cube with the state axis folded into the word.)
+//!
+//! **Bit-identity contract.** Each lane of a batch kernel performs exactly
+//! the arithmetic of the corresponding scalar compiled kernel — the same
+//! adds, the same compares, the same renormalization schedule applied
+//! per lane — and lanes never interact. Per-lane outputs are therefore
+//! bit-identical to solo [`crate::SoftDecoder::decode_terminated_into`]
+//! calls by construction, which the equivalence suite checks for every
+//! lane count, against both the scalar compiled path and the frozen `i64`
+//! reference kernels.
+//!
+//! Gating mirrors the scalar fast path: any lane whose soft values exceed
+//! [`crate::compiled::fast_path_ok`], or a code whose survivors need more
+//! than one word per step (≥ 65 states), sends the whole batch through the
+//! per-lane scalar path — which itself falls back to the reference kernels
+//! exactly as before.
+//!
+//! `#[inline]` / bounds-check audit: the `lane`/`lane_mut` row accessors
+//! below are the load-bearing inlines — they convert a slice index into a
+//! `&[i32; L]` array reference, so every per-lane inner loop is over a
+//! compile-time-sized row and LLVM drops all bounds checks after the one
+//! slice-to-array conversion. They mirror the `wilis_fxp::Cplx` treatment:
+//! `#[inline(always)]`, because an outlined call would re-introduce a
+//! per-row function boundary in loops executed `steps × n_states` times.
+
+use crate::compiled::{CompiledTrellis, HUGE_MARGIN, NORM_INTERVAL};
+use crate::llr::{DecodeOutput, Llr};
+use crate::pmu::NEG_INF32;
+
+/// Widest lockstep batch the kernels are monomorphized for. Matches the
+/// scenario engine's packet-block width: fused shared-channel jobs hand
+/// the receivers up to this many packets per batched decode, and ragged
+/// tails simply instantiate a narrower lane count.
+pub const MAX_LANES: usize = 8;
+
+/// Threshold separating genuine metrics from unreachable-state sentinels
+/// (same constant the scalar kernels use).
+const UNREACHABLE32: i32 = NEG_INF32 / 2;
+
+/// Working buffers for one decoder's batched decodes — the lane-major twin
+/// of [`crate::TrellisScratch`], grown on first use and reused verbatim.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchScratch {
+    /// Path-metric column, `[state][lane]` (current step).
+    pm: Vec<i32>,
+    /// Path-metric column, `[state][lane]` (next step).
+    next: Vec<i32>,
+    /// Survivor words, one `u64` per `(step, lane)`.
+    surv: Vec<u64>,
+    /// One step's branch metrics, `[pattern][lane]`.
+    bm: Vec<i32>,
+    /// ACS margins, `[step][state][lane]` (SOVA).
+    margins: Vec<i32>,
+    /// Per-step reliabilities along one lane's ML path (SOVA; lanes trace
+    /// back serially, so one column is reused across lanes).
+    reliability: Vec<i32>,
+    /// One lane's ML state sequence, `steps + 1` entries (SOVA).
+    ml_states: Vec<u32>,
+    /// One lane's ML input bits (SOVA).
+    ml_bits: Vec<u8>,
+    /// The current window's branch metrics, `[local][pattern][lane]`
+    /// (BCJR). Streamed per window rather than precomputed whole-frame:
+    /// at 8 lanes a frame's metrics would run to ~1 MB and every pass
+    /// would stream them from L3, while one window is ~32 KB and stays
+    /// cache-resident across the three passes that read it.
+    bms: Vec<i32>,
+    /// The next window's branch metrics (the provisional backward pass
+    /// reads one window ahead; swapped into `bms` when the window
+    /// advances so each step's metrics are computed exactly once).
+    bms_next: Vec<i32>,
+    /// Backward metric columns for the current block, `[local][state][lane]`
+    /// (BCJR).
+    betas: Vec<i32>,
+    /// Beta boundary column, `[state][lane]` (BCJR).
+    boundary: Vec<i32>,
+    /// Spare column for the provisional backward walk (BCJR).
+    col: Vec<i32>,
+    /// One lane's gathered soft inputs for the scalar fallback path.
+    pub(crate) lane_llrs: Vec<Llr>,
+}
+
+/// Shape checks shared by every batched entry point: `lanes` lanes of
+/// equal length, one output slot per lane, each lane a whole number of
+/// trellis steps longer than the tail.
+pub(crate) fn validate_batch(
+    n_out: usize,
+    tail_len: usize,
+    llrs: &[Llr],
+    lanes: usize,
+    n_outputs: usize,
+) -> usize {
+    assert!(lanes > 0, "at least one lane");
+    assert_eq!(n_outputs, lanes, "one DecodeOutput per lane");
+    assert!(
+        llrs.len() % lanes == 0,
+        "lane-major input length {} not a multiple of lane count {lanes}",
+        llrs.len()
+    );
+    let per_lane = llrs.len() / lanes;
+    assert!(
+        per_lane % n_out == 0,
+        "soft input length {per_lane} not a multiple of n_out {n_out}"
+    );
+    let steps = per_lane / n_out;
+    assert!(steps > tail_len, "block shorter than the code tail");
+    steps
+}
+
+/// Copies lane `l` of a lane-major block into a contiguous buffer — the
+/// de-interlacing step of the scalar fallback path.
+pub(crate) fn gather_lane(soa: &[Llr], lanes: usize, l: usize, out: &mut Vec<Llr>) {
+    out.clear();
+    out.extend(soa.chunks_exact(lanes).map(|row| row[l]));
+}
+
+/// A lane row of a `[index][lane]` buffer as a fixed-size array — the
+/// bounds-check-eliminating accessor every batch kernel loops over.
+#[inline(always)]
+fn lane<const L: usize>(buf: &[i32], idx: usize) -> &[i32; L] {
+    buf[idx * L..idx * L + L].try_into().unwrap()
+}
+
+/// Mutable form of [`lane`].
+#[inline(always)]
+fn lane_mut<const L: usize>(buf: &mut [i32], idx: usize) -> &mut [i32; L] {
+    (&mut buf[idx * L..idx * L + L]).try_into().unwrap()
+}
+
+/// One step's branch metrics for all lanes: the batched image of
+/// [`crate::CompiledBmu::compute`], including its rate-1/2 special case.
+#[inline]
+fn compute_bm_batch<const L: usize>(step_llrs: &[Llr], n_out: usize, out: &mut [i32]) {
+    debug_assert_eq!(step_llrs.len(), n_out * L);
+    debug_assert_eq!(out.len(), (1usize << n_out) * L);
+    if n_out == 2 {
+        let l0 = lane::<L>(step_llrs, 0);
+        let l1 = lane::<L>(step_llrs, 1);
+        for l in 0..L {
+            // Rate-1/2 special case: ±sum, ±diff — identical per lane to
+            // the scalar BMU.
+            let s = l0[l] + l1[l];
+            let d = l0[l] - l1[l];
+            out[l] = -s;
+            out[L + l] = d;
+            out[2 * L + l] = -d;
+            out[3 * L + l] = s;
+        }
+    } else {
+        for (pattern, slot) in out.chunks_exact_mut(L).enumerate() {
+            for l in 0..L {
+                let mut m = 0i32;
+                for j in 0..n_out {
+                    let llr = step_llrs[j * L + l];
+                    if (pattern >> j) & 1 == 1 {
+                        m += llr;
+                    } else {
+                        m -= llr;
+                    }
+                }
+                slot[l] = m;
+            }
+        }
+    }
+}
+
+/// Per-lane uniform-shift renormalization: each lane's column maximum is
+/// subtracted from that lane's entries —
+/// [`crate::compiled::renormalize_uniform`] applied independently per lane.
+#[inline]
+fn renormalize_uniform_batch<const L: usize>(col: &mut [i32]) {
+    let mut maxs = [i32::MIN; L];
+    for row in col.chunks_exact(L) {
+        for l in 0..L {
+            maxs[l] = maxs[l].max(row[l]);
+        }
+    }
+    for row in col.chunks_exact_mut(L) {
+        for l in 0..L {
+            row[l] -= maxs[l];
+        }
+    }
+}
+
+/// Per-lane sentinel-preserving normalization — [`crate::pmu::normalize32`]
+/// applied independently per lane. The shift is forced to zero for lanes
+/// whose column is all-sentinel, which makes the scalar kernel's outer
+/// `if max > NEG_INF32/2` guard equivalent to an unconditional pass.
+#[inline]
+fn normalize32_batch<const L: usize>(col: &mut [i32]) {
+    let mut maxs = [i32::MIN; L];
+    for row in col.chunks_exact(L) {
+        for l in 0..L {
+            maxs[l] = maxs[l].max(row[l]);
+        }
+    }
+    let mut shifts = [0i32; L];
+    for l in 0..L {
+        if maxs[l] > UNREACHABLE32 {
+            shifts[l] = maxs[l];
+        }
+    }
+    for row in col.chunks_exact_mut(L) {
+        for l in 0..L {
+            if row[l] > UNREACHABLE32 {
+                row[l] -= shifts[l];
+            }
+        }
+    }
+}
+
+/// One post-warmup forward ACS step for all lanes, survivors packed one
+/// word per lane. State-ordered like the generic scalar kernel; the
+/// butterfly streaming form computes identical values in a different
+/// visit order, so the lane results match both.
+#[inline]
+fn forward_step_viterbi_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    prev: &[i32],
+    out: &mut [i32],
+    surv: &mut [u64],
+) {
+    let n = ct.n_states();
+    debug_assert!(n <= 64);
+    let mut words = [0u64; L];
+    for s in 0..n {
+        let p0 = lane::<L>(prev, ct.prev0[s] as usize);
+        let p1 = lane::<L>(prev, ct.prev1[s] as usize);
+        let b0 = lane::<L>(bm, ct.omask0[s] as usize);
+        let b1 = lane::<L>(bm, ct.omask1[s] as usize);
+        let row = lane_mut::<L>(out, s);
+        for l in 0..L {
+            let c0 = p0[l] + b0[l];
+            let c1 = p1[l] + b1[l];
+            let take1 = c1 > c0;
+            row[l] = if take1 { c1 } else { c0 };
+            words[l] |= u64::from(take1) << s;
+        }
+    }
+    surv[..L].copy_from_slice(&words);
+}
+
+/// The SOVA variant of [`forward_step_viterbi_batch`]: additionally
+/// records the per-state ACS margin `|c1 - c0|` for every lane.
+#[inline]
+fn forward_step_sova_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    prev: &[i32],
+    out: &mut [i32],
+    surv: &mut [u64],
+    margins: &mut [i32],
+) {
+    let n = ct.n_states();
+    debug_assert!(n <= 64);
+    let mut words = [0u64; L];
+    for s in 0..n {
+        let p0 = lane::<L>(prev, ct.prev0[s] as usize);
+        let p1 = lane::<L>(prev, ct.prev1[s] as usize);
+        let b0 = lane::<L>(bm, ct.omask0[s] as usize);
+        let b1 = lane::<L>(bm, ct.omask1[s] as usize);
+        let mg = lane_mut::<L>(margins, s);
+        let row = lane_mut::<L>(out, s);
+        for l in 0..L {
+            let c0 = p0[l] + b0[l];
+            let c1 = p1[l] + b1[l];
+            let take1 = c1 > c0;
+            row[l] = if take1 { c1 } else { c0 };
+            mg[l] = (c1 - c0).abs();
+            words[l] |= u64::from(take1) << s;
+        }
+    }
+    surv[..L].copy_from_slice(&words);
+}
+
+/// The sentinel-aware warmup step for all lanes — the batched image of
+/// [`CompiledTrellis::forward_step_warmup`]: an unreachable competitor
+/// always loses and concedes a [`HUGE_MARGIN`].
+fn forward_step_warmup_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    prev: &[i32],
+    out: &mut [i32],
+    surv: &mut [u64],
+    mut margins: Option<&mut [i32]>,
+) {
+    let n = ct.n_states();
+    debug_assert!(n <= 64);
+    let mut words = [0u64; L];
+    for s in 0..n {
+        let p0 = lane::<L>(prev, ct.prev0[s] as usize);
+        let p1 = lane::<L>(prev, ct.prev1[s] as usize);
+        let b0 = lane::<L>(bm, ct.omask0[s] as usize);
+        let b1 = lane::<L>(bm, ct.omask1[s] as usize);
+        let row = lane_mut::<L>(out, s);
+        for l in 0..L {
+            let c0 = p0[l] + b0[l];
+            let c1 = p1[l] + b1[l];
+            let r0 = c0 > UNREACHABLE32;
+            let r1 = c1 > UNREACHABLE32;
+            let (take1, metric, margin) = match (r0, r1) {
+                (true, false) => (false, c0, HUGE_MARGIN),
+                (false, true) => (true, c1, HUGE_MARGIN),
+                _ => {
+                    let take1 = c1 > c0;
+                    (take1, if take1 { c1 } else { c0 }, (c1 - c0).abs())
+                }
+            };
+            row[l] = metric;
+            words[l] |= u64::from(take1) << s;
+            if let Some(m) = margins.as_deref_mut() {
+                m[s * L + l] = margin;
+            }
+        }
+    }
+    surv[..L].copy_from_slice(&words);
+}
+
+/// One BCJR α step for all lanes (saturating, sentinel-carrying).
+#[inline]
+fn alpha_step_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    prev: &[i32],
+    out: &mut [i32],
+) {
+    for s in 0..ct.n_states() {
+        let p0 = lane::<L>(prev, ct.prev0[s] as usize);
+        let p1 = lane::<L>(prev, ct.prev1[s] as usize);
+        let b0 = lane::<L>(bm, ct.omask0[s] as usize);
+        let b1 = lane::<L>(bm, ct.omask1[s] as usize);
+        let row = lane_mut::<L>(out, s);
+        for l in 0..L {
+            let c0 = p0[l].saturating_add(b0[l]);
+            let c1 = p1[l].saturating_add(b1[l]);
+            row[l] = c0.max(c1);
+        }
+    }
+}
+
+/// One BCJR β step for all lanes over the source-indexed tables.
+#[inline]
+fn beta_step_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    next: &[i32],
+    out: &mut [i32],
+) {
+    for s in 0..ct.n_states() {
+        let n0 = lane::<L>(next, ct.next0[s] as usize);
+        let n1 = lane::<L>(next, ct.next1[s] as usize);
+        let b0 = lane::<L>(bm, ct.fout0[s] as usize);
+        let b1 = lane::<L>(bm, ct.fout1[s] as usize);
+        let row = lane_mut::<L>(out, s);
+        for l in 0..L {
+            let c0 = n0[l].saturating_add(b0[l]);
+            let c1 = n1[l].saturating_add(b1[l]);
+            row[l] = c0.max(c1);
+        }
+    }
+}
+
+/// The BCJR decision maxima for one step, all lanes at once: best
+/// `α + branch + β` over input-0 and input-1 transitions, skipping
+/// forward-unreachable states per lane exactly as the scalar decision
+/// unit does (the discarded speculative sums use the same saturating
+/// arithmetic, so skipped lanes are unaffected).
+#[inline]
+fn decision_best_batch<const L: usize>(
+    ct: &CompiledTrellis,
+    bm: &[i32],
+    alpha: &[i32],
+    beta_after: &[i32],
+    best0: &mut [i32; L],
+    best1: &mut [i32; L],
+) {
+    *best0 = [NEG_INF32; L];
+    *best1 = [NEG_INF32; L];
+    for s in 0..ct.n_states() {
+        let a = lane::<L>(alpha, s);
+        let b0 = lane::<L>(bm, ct.fout0[s] as usize);
+        let b1 = lane::<L>(bm, ct.fout1[s] as usize);
+        let n0 = lane::<L>(beta_after, ct.next0[s] as usize);
+        let n1 = lane::<L>(beta_after, ct.next1[s] as usize);
+        for l in 0..L {
+            let reachable = a[l] > UNREACHABLE32;
+            let m0 = a[l].saturating_add(b0[l]).saturating_add(n0[l]);
+            let m1 = a[l].saturating_add(b1[l]).saturating_add(n1[l]);
+            // Branchless skip: an unreachable state contributes the
+            // running maxima's floor instead of branching around the
+            // update, which keeps the lane loop a pure select chain.
+            best0[l] = best0[l].max(if reachable { m0 } else { NEG_INF32 });
+            best1[l] = best1[l].max(if reachable { m1 } else { NEG_INF32 });
+        }
+    }
+}
+
+/// Resets the path-metric columns to the known-state-zero start, one
+/// sentinel column per lane.
+fn init_columns_batch<const L: usize>(s: &mut BatchScratch, n_states: usize) {
+    s.pm.clear();
+    s.pm.resize(n_states * L, NEG_INF32);
+    s.pm[..L].fill(0);
+    s.next.clear();
+    s.next.resize(n_states * L, 0);
+}
+
+/// Traceback of one lane from the terminal state-zero over the per-lane
+/// survivor words (`surv[t * L + l]`, bit `s` = state `s`'s decision).
+fn traceback_lane<const L: usize>(
+    ct: &CompiledTrellis,
+    surv: &[u64],
+    steps: usize,
+    l: usize,
+    bits: &mut [u8],
+) {
+    let mut state = 0usize;
+    for t in (0..steps).rev() {
+        let winner = ((surv[t * L + l] >> state) & 1) as u8;
+        let (bit, prev) = ct.traceback_edge(state, winner);
+        bits[t] = bit;
+        state = prev;
+    }
+}
+
+/// Lockstep Viterbi over `L` lanes: the batched image of the scalar
+/// compiled decode — shared forward pass, per-lane traceback.
+fn viterbi_kernel<const L: usize>(
+    ct: &CompiledTrellis,
+    memory: usize,
+    tail_len: usize,
+    llrs: &[Llr],
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    let n_out = ct.n_out();
+    let n_states = ct.n_states();
+    let n_patterns = 1usize << n_out;
+    let steps = llrs.len() / (n_out * L);
+    let warmup = memory.min(steps);
+
+    init_columns_batch::<L>(s, n_states);
+    s.surv.clear();
+    s.surv.resize(steps * L, 0);
+    s.bm.clear();
+    s.bm.resize(n_patterns * L, 0);
+    for step in 0..steps {
+        compute_bm_batch::<L>(
+            &llrs[step * n_out * L..(step + 1) * n_out * L],
+            n_out,
+            &mut s.bm,
+        );
+        let surv = &mut s.surv[step * L..(step + 1) * L];
+        if step < warmup {
+            forward_step_warmup_batch::<L>(ct, &s.bm, &s.pm, &mut s.next, surv, None);
+        } else {
+            if (step - warmup) % NORM_INTERVAL == 0 {
+                renormalize_uniform_batch::<L>(&mut s.pm);
+            }
+            forward_step_viterbi_batch::<L>(ct, &s.bm, &s.pm, &mut s.next, surv);
+        }
+        std::mem::swap(&mut s.pm, &mut s.next);
+    }
+
+    let info = steps - tail_len;
+    for (l, out) in outs.iter_mut().enumerate() {
+        out.bits.clear();
+        out.bits.resize(steps, 0);
+        traceback_lane::<L>(ct, &s.surv, steps, l, &mut out.bits);
+        out.bits.truncate(info);
+        out.soft.clear();
+        out.soft.resize(info, 0);
+    }
+}
+
+/// Lockstep SOVA over `L` lanes: shared forward pass with lane-major
+/// margins, then the two serial traceback units per lane (TU1 ML path,
+/// TU2 Hagenauer reliability update).
+fn sova_kernel<const L: usize>(
+    ct: &CompiledTrellis,
+    memory: usize,
+    tail_len: usize,
+    k: usize,
+    llrs: &[Llr],
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    let n_out = ct.n_out();
+    let n_states = ct.n_states();
+    let n_patterns = 1usize << n_out;
+    let steps = llrs.len() / (n_out * L);
+    let warmup = memory.min(steps);
+
+    init_columns_batch::<L>(s, n_states);
+    s.surv.clear();
+    s.surv.resize(steps * L, 0);
+    s.bm.clear();
+    s.bm.resize(n_patterns * L, 0);
+    s.margins.clear();
+    s.margins.resize(steps * n_states * L, 0);
+    for step in 0..steps {
+        compute_bm_batch::<L>(
+            &llrs[step * n_out * L..(step + 1) * n_out * L],
+            n_out,
+            &mut s.bm,
+        );
+        let surv = &mut s.surv[step * L..(step + 1) * L];
+        let margins = &mut s.margins[step * n_states * L..(step + 1) * n_states * L];
+        if step < warmup {
+            forward_step_warmup_batch::<L>(ct, &s.bm, &s.pm, &mut s.next, surv, Some(margins));
+        } else {
+            if (step - warmup) % NORM_INTERVAL == 0 {
+                renormalize_uniform_batch::<L>(&mut s.pm);
+            }
+            forward_step_sova_batch::<L>(ct, &s.bm, &s.pm, &mut s.next, surv, margins);
+        }
+        std::mem::swap(&mut s.pm, &mut s.next);
+    }
+
+    let surv = &s.surv;
+    let margins = &s.margins;
+    let info = steps - tail_len;
+    for (l, out) in outs.iter_mut().enumerate() {
+        // TU1: this lane's ML state sequence off the packed survivors.
+        s.ml_states.clear();
+        s.ml_states.resize(steps + 1, 0);
+        s.ml_bits.clear();
+        s.ml_bits.resize(steps, 0);
+        let (ml_states, ml_bits) = (&mut s.ml_states, &mut s.ml_bits);
+        for t in (0..steps).rev() {
+            let state = ml_states[t + 1] as usize;
+            let winner = ((surv[t * L + l] >> state) & 1) as u8;
+            let (bit, prev) = ct.traceback_edge(state, winner);
+            ml_bits[t] = bit;
+            ml_states[t] = prev as u32;
+        }
+
+        // TU2: Hagenauer-rule reliability update, identical control flow to
+        // the scalar kernel with lane-strided survivor/margin reads.
+        s.reliability.clear();
+        s.reliability.resize(steps, i32::MAX);
+        let reliability = &mut s.reliability;
+        for t in 0..steps {
+            let s_next = ml_states[t + 1] as usize;
+            let winner = ((surv[t * L + l] >> s_next) & 1) as u8;
+            let margin = margins[(t * n_states + s_next) * L + l];
+            let (loser_bit, loser_prev) = ct.traceback_edge(s_next, 1 - winner);
+            if loser_bit != ml_bits[t] && margin < reliability[t] {
+                reliability[t] = margin;
+            }
+            let mut state = loser_prev;
+            let window_start = t.saturating_sub(k);
+            for i in (window_start..t).rev() {
+                let winner = ((surv[i * L + l] >> state) & 1) as u8;
+                let (bit, prev) = ct.traceback_edge(state, winner);
+                if bit != ml_bits[i] && margin < reliability[i] {
+                    reliability[i] = margin;
+                }
+                state = prev;
+                if state == ml_states[i] as usize {
+                    break;
+                }
+            }
+        }
+
+        out.bits.clear();
+        out.bits.extend_from_slice(&ml_bits[..info]);
+        out.soft.clear();
+        out.soft.extend((0..info).map(|t| {
+            let mag = reliability[t];
+            if ml_bits[t] == 1 {
+                mag
+            } else {
+                -mag
+            }
+        }));
+    }
+}
+
+/// Lockstep sliding-window BCJR over `L` lanes: both recursions, the
+/// provisional backward pass, and the decision unit all carry one value
+/// per lane, with [`normalize32_batch`] applied per column exactly where
+/// the scalar kernel normalizes.
+fn bcjr_kernel<const L: usize>(
+    ct: &CompiledTrellis,
+    tail_len: usize,
+    block_len: usize,
+    llrs: &[Llr],
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    let n_out = ct.n_out();
+    let n_states = ct.n_states();
+    let n_patterns = 1usize << n_out;
+    let steps = llrs.len() / (n_out * L);
+    let np_l = n_patterns * L;
+
+    init_columns_batch::<L>(s, n_states);
+    let BatchScratch {
+        pm: alpha,
+        next: next_alpha,
+        bms,
+        bms_next,
+        betas,
+        boundary,
+        col,
+        ..
+    } = s;
+    for out in outs.iter_mut() {
+        out.bits.clear();
+        out.soft.clear();
+    }
+
+    // One window's branch metrics, `[local][pattern][lane]`.
+    let fill_bms = |buf: &mut Vec<i32>, a: usize, b: usize| {
+        buf.clear();
+        buf.resize((b - a) * np_l, 0);
+        for (i, t) in (a..b).enumerate() {
+            compute_bm_batch::<L>(
+                &llrs[t * n_out * L..(t + 1) * n_out * L],
+                n_out,
+                &mut buf[i * np_l..(i + 1) * np_l],
+            );
+        }
+    };
+
+    let row_len = n_states * L;
+    let mut best0 = [0i32; L];
+    let mut best1 = [0i32; L];
+    let mut t0 = 0usize;
+    fill_bms(bms, 0, block_len.min(steps));
+    while t0 < steps {
+        let t1 = (t0 + block_len).min(steps);
+        if t1 == steps {
+            // Terminated frame: every lane's path ends in state zero.
+            boundary.clear();
+            boundary.resize(row_len, NEG_INF32);
+            boundary[..L].fill(0);
+            bms_next.clear();
+        } else {
+            // Provisional backward pass over the next block from the
+            // uniform "uncertain" column, keeping only the column at t1.
+            let t2 = (t1 + block_len).min(steps);
+            fill_bms(bms_next, t1, t2);
+            boundary.clear();
+            boundary.resize(row_len, 0);
+            col.clear();
+            col.resize(row_len, 0);
+            for t in (t1..t2).rev() {
+                let bm = &bms_next[(t - t1) * np_l..(t - t1 + 1) * np_l];
+                beta_step_batch::<L>(ct, bm, boundary, col);
+                normalize32_batch::<L>(col);
+                std::mem::swap(boundary, col);
+            }
+        }
+        betas.clear();
+        betas.resize((t1 - t0) * row_len, 0);
+        let len = t1 - t0;
+        for (local, _t) in (t0..t1).enumerate().rev() {
+            let bm = &bms[local * np_l..(local + 1) * np_l];
+            let (head, tail) = betas.split_at_mut((local + 1) * row_len);
+            let after: &[i32] = if local + 1 < len {
+                &tail[..row_len]
+            } else {
+                boundary
+            };
+            let row = &mut head[local * row_len..];
+            beta_step_batch::<L>(ct, bm, after, row);
+            normalize32_batch::<L>(row);
+        }
+
+        for t in t0..t1 {
+            let bm = &bms[(t - t0) * np_l..(t - t0 + 1) * np_l];
+            let beta_after: &[i32] = if t + 1 < t1 {
+                &betas[(t + 1 - t0) * row_len..(t + 2 - t0) * row_len]
+            } else {
+                boundary
+            };
+            decision_best_batch::<L>(ct, bm, alpha, beta_after, &mut best0, &mut best1);
+            for (l, out) in outs.iter_mut().enumerate() {
+                let llr = best1[l].saturating_sub(best0[l]);
+                out.bits.push(u8::from(llr > 0));
+                out.soft.push(llr);
+            }
+            alpha_step_batch::<L>(ct, bm, alpha, next_alpha);
+            normalize32_batch::<L>(next_alpha);
+            std::mem::swap(alpha, next_alpha);
+        }
+        t0 = t1;
+        // The provisional window becomes the real one; its metrics were
+        // computed once and are reused verbatim.
+        std::mem::swap(bms, bms_next);
+    }
+
+    let info = steps - tail_len;
+    for out in outs.iter_mut() {
+        out.bits.truncate(info);
+        out.soft.truncate(info);
+    }
+}
+
+/// Dispatches a runtime lane count onto the monomorphized kernels.
+macro_rules! dispatch_lanes {
+    ($lanes:expr, $kernel:ident ( $($arg:expr),* $(,)? )) => {
+        match $lanes {
+            1 => $kernel::<1>($($arg),*),
+            2 => $kernel::<2>($($arg),*),
+            3 => $kernel::<3>($($arg),*),
+            4 => $kernel::<4>($($arg),*),
+            5 => $kernel::<5>($($arg),*),
+            6 => $kernel::<6>($($arg),*),
+            7 => $kernel::<7>($($arg),*),
+            8 => $kernel::<8>($($arg),*),
+            n => unreachable!("lane count {n} exceeds MAX_LANES"),
+        }
+    };
+}
+
+/// Batched Viterbi entry point (lane-count dispatch).
+pub(crate) fn viterbi_batch(
+    ct: &CompiledTrellis,
+    memory: usize,
+    tail_len: usize,
+    llrs: &[Llr],
+    lanes: usize,
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    dispatch_lanes!(lanes, viterbi_kernel(ct, memory, tail_len, llrs, s, outs));
+}
+
+/// Batched SOVA entry point (lane-count dispatch).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sova_batch(
+    ct: &CompiledTrellis,
+    memory: usize,
+    tail_len: usize,
+    k: usize,
+    llrs: &[Llr],
+    lanes: usize,
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    dispatch_lanes!(lanes, sova_kernel(ct, memory, tail_len, k, llrs, s, outs));
+}
+
+/// Batched BCJR entry point (lane-count dispatch).
+pub(crate) fn bcjr_batch(
+    ct: &CompiledTrellis,
+    tail_len: usize,
+    block_len: usize,
+    llrs: &[Llr],
+    lanes: usize,
+    s: &mut BatchScratch,
+    outs: &mut [DecodeOutput],
+) {
+    dispatch_lanes!(lanes, bcjr_kernel(ct, tail_len, block_len, llrs, s, outs));
+}

@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 
+use crate::batch;
 use crate::bmu::Bmu;
 use crate::compiled::{fast_path_ok, CompiledBmu, CompiledTrellis};
 use crate::llr::{DecodeOutput, Llr, SoftDecoder};
@@ -283,6 +284,41 @@ impl SoftDecoder for BcjrDecoder {
                 llrs,
                 out,
             );
+        }
+    }
+
+    fn decode_terminated_batch_into(
+        &mut self,
+        llrs: &[Llr],
+        lanes: usize,
+        outs: &mut [DecodeOutput],
+    ) {
+        batch::validate_batch(
+            self.compiled.n_out(),
+            self.code.tail_len(),
+            llrs,
+            lanes,
+            outs.len(),
+        );
+        // No survivor matrix here, so the lockstep path has no state-count
+        // gate — only the lane-count and LLR-magnitude ones.
+        if lanes <= batch::MAX_LANES && fast_path_ok(llrs) {
+            batch::bcjr_batch(
+                &self.compiled,
+                self.code.tail_len(),
+                self.block_len,
+                llrs,
+                lanes,
+                &mut self.scratch.batch,
+                outs,
+            );
+        } else {
+            let mut lane_buf = std::mem::take(&mut self.scratch.batch.lane_llrs);
+            for (l, out) in outs.iter_mut().enumerate() {
+                batch::gather_lane(llrs, lanes, l, &mut lane_buf);
+                self.decode_terminated_into(&lane_buf, out);
+            }
+            self.scratch.batch.lane_llrs = lane_buf;
         }
     }
 

@@ -207,6 +207,131 @@ fn scratch_reuse_across_blocks_stays_equivalent() {
     }
 }
 
+/// Interlaces equal-length per-lane blocks into the lane-major SoA layout
+/// the batched entry points consume.
+fn interleave_lanes(lanes: &[Vec<Llr>]) -> Vec<Llr> {
+    let n = lanes.len();
+    let per = lanes[0].len();
+    assert!(lanes.iter().all(|l| l.len() == per));
+    let mut soa = vec![0; per * n];
+    for (l, lane) in lanes.iter().enumerate() {
+        for (i, &v) in lane.iter().enumerate() {
+            soa[i * n + l] = v;
+        }
+    }
+    soa
+}
+
+/// Every decoder's batched decode must be bit-identical, lane for lane, to
+/// solo scalar decodes of the same blocks.
+fn assert_batch_matches_solo(code: &ConvCode, lanes_llrs: &[Vec<Llr>], ctx: &str) {
+    let lanes = lanes_llrs.len();
+    let soa = interleave_lanes(lanes_llrs);
+    let mut outs = vec![DecodeOutput::default(); lanes];
+    let mut solo = DecodeOutput::default();
+
+    let mut v = ViterbiDecoder::new(code);
+    v.decode_terminated_batch_into(&soa, lanes, &mut outs);
+    for (l, lane) in lanes_llrs.iter().enumerate() {
+        v.decode_terminated_into(lane, &mut solo);
+        assert_eq!(outs[l], solo, "viterbi lane {l}/{lanes}: {ctx}");
+    }
+
+    let mut s = SovaDecoder::new(code, 64, 64);
+    s.decode_terminated_batch_into(&soa, lanes, &mut outs);
+    for (l, lane) in lanes_llrs.iter().enumerate() {
+        s.decode_terminated_into(lane, &mut solo);
+        assert_eq!(outs[l], solo, "sova lane {l}/{lanes}: {ctx}");
+    }
+
+    let mut b = BcjrDecoder::new(code, 64);
+    b.decode_terminated_batch_into(&soa, lanes, &mut outs);
+    for (l, lane) in lanes_llrs.iter().enumerate() {
+        b.decode_terminated_into(lane, &mut solo);
+        assert_eq!(outs[l], solo, "bcjr lane {l}/{lanes}: {ctx}");
+    }
+}
+
+/// Lockstep batches of every width the engine uses (1, 2, 4, 8) decode
+/// each lane bit-identically to solo execution, for every code — including
+/// the K=9 code whose Viterbi/SOVA batches take the per-lane fallback.
+#[test]
+fn batched_decodes_match_solo_for_every_lane_count() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C_0001);
+    for code in codes() {
+        for lanes in [1usize, 2, 4, 8] {
+            let steps = code.tail_len() + rng.gen_i64(20, 120) as usize;
+            let blocks: Vec<Vec<Llr>> = (0..lanes)
+                .map(|_| random_llrs(&mut rng, &code, steps, 31))
+                .collect();
+            assert_batch_matches_solo(&code, &blocks, &format!("{code}"));
+        }
+    }
+}
+
+/// Ragged widths — the tail of a packet group that doesn't fill the batch
+/// — and oversized batches beyond `MAX_LANES` (which must take the scalar
+/// per-lane path) both stay lane-identical to solo.
+#[test]
+fn ragged_and_oversized_batches_match_solo() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C_0002);
+    let code = ConvCode::ieee80211();
+    for lanes in [3usize, 5, 7, 9, 11] {
+        let steps = code.tail_len() + rng.gen_i64(20, 90) as usize;
+        let blocks: Vec<Vec<Llr>> = (0..lanes)
+            .map(|_| random_llrs(&mut rng, &code, steps, 31))
+            .collect();
+        assert_batch_matches_solo(&code, &blocks, "ragged");
+    }
+}
+
+/// Mixed batches: clean full-confidence lanes in lockstep with heavily
+/// corrupted ones (the sentinel-margin corner next to the noisy-margin
+/// corner, in the same batch), plus a lane past `FAST_LLR_LIMIT` that
+/// pushes the whole batch through the reference-backed fallback.
+#[test]
+fn mixed_noisy_and_clean_lanes_match_solo() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C_0003);
+    let code = ConvCode::ieee80211();
+    let steps = code.tail_len() + 64;
+    let info = steps - code.tail_len();
+    let clean = |rng: &mut SmallRng| -> Vec<Llr> {
+        let data: Vec<u8> = (0..info).map(|_| rng.gen_bit()).collect();
+        ConvEncoder::new(&code)
+            .encode_terminated(&data)
+            .iter()
+            .map(|&b| hard_llr(b, 15))
+            .collect()
+    };
+    let blocks: Vec<Vec<Llr>> = (0..8)
+        .map(|l| {
+            if l % 2 == 0 {
+                clean(&mut rng)
+            } else {
+                random_llrs(&mut rng, &code, steps, 31)
+            }
+        })
+        .collect();
+    assert_batch_matches_solo(&code, &blocks, "mixed clean/noisy");
+
+    // One lane beyond the fast-path bound: the batch gate must reject the
+    // whole group and the per-lane scalar path (reference for that lane)
+    // must still match solo execution exactly.
+    let mut spiked = blocks;
+    let mid = spiked[3].len() / 2;
+    spiked[3][mid] = FAST_LLR_LIMIT as Llr + 1;
+    assert_batch_matches_solo(&code, &spiked, "fast-path spike");
+}
+
+/// The batched entry points inherit the scalar panics on malformed shapes.
+#[test]
+#[should_panic(expected = "not a multiple of lane count")]
+fn misaligned_batch_input_panics() {
+    let code = ConvCode::ieee80211();
+    let mut outs = vec![DecodeOutput::default(); 3];
+    ViterbiDecoder::new(&code).decode_terminated_batch_into(&[1, 2, 3, 4], 3, &mut outs);
+}
+
 /// Small helper trait so the reuse test can drive all three decoders
 /// through both paths uniformly.
 trait ReferenceDecode {

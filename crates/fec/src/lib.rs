@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod bcjr;
 pub mod bmu;
 mod code;
@@ -70,6 +71,7 @@ mod sova;
 mod trellis;
 mod viterbi;
 
+pub use batch::MAX_LANES as MAX_BATCH_LANES;
 pub use bcjr::BcjrDecoder;
 pub use code::ConvCode;
 pub use compiled::{CompiledBmu, CompiledTrellis};

@@ -105,6 +105,44 @@ pub trait SoftDecoder {
         out
     }
 
+    /// Decodes `lanes` equal-length terminated blocks presented lane-major
+    /// (soft value `i` of lane `l` at `llrs[i * lanes + l]`), one
+    /// [`DecodeOutput`] per lane.
+    ///
+    /// Per-lane results are bit-identical to `lanes` separate
+    /// [`SoftDecoder::decode_terminated_into`] calls — batching is purely
+    /// a throughput lever. The default implementation de-interlaces and
+    /// decodes each lane through the scalar path; the workspace decoders
+    /// override it with the lockstep structure-of-arrays kernels of
+    /// `wilis_fec::batch` for lane counts up to
+    /// [`crate::batch::MAX_LANES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, `outs.len() != lanes`, `llrs.len()` is
+    /// not a multiple of `lanes`, or any lane violates the conditions of
+    /// [`SoftDecoder::decode_terminated_into`].
+    fn decode_terminated_batch_into(
+        &mut self,
+        llrs: &[Llr],
+        lanes: usize,
+        outs: &mut [DecodeOutput],
+    ) {
+        assert!(lanes > 0, "at least one lane");
+        assert_eq!(outs.len(), lanes, "one DecodeOutput per lane");
+        assert!(
+            llrs.len() % lanes == 0,
+            "lane-major input length {} not a multiple of lane count {lanes}",
+            llrs.len()
+        );
+        let mut lane_buf = Vec::with_capacity(llrs.len() / lanes);
+        for (l, out) in outs.iter_mut().enumerate() {
+            lane_buf.clear();
+            lane_buf.extend(llrs.chunks_exact(lanes).map(|row| row[l]));
+            self.decode_terminated_into(&lane_buf, out);
+        }
+    }
+
     /// A short identifier (`"viterbi"`, `"sova"`, `"bcjr"`), used by the
     /// plug-n-play registry and result labels.
     fn id(&self) -> &'static str;

@@ -164,6 +164,46 @@ impl Depuncturer {
             }
         }
     }
+
+    /// The lane-major form of [`Depuncturer::depuncture_into`] for the
+    /// lockstep batch path: `llrs` holds `lanes` punctured streams
+    /// interlaced (soft value `i` of lane `l` at `llrs[i * lanes + l]`),
+    /// and the output is the `mother_len`-row lane-major mother stream.
+    /// The puncturing pattern is position-, not value-, dependent, so
+    /// every lane shares the same erasure rows and whole rows copy at
+    /// once — per lane this is exactly the scalar expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `llrs.len()` does not match the
+    /// transmitted-bit count implied by `mother_len` times `lanes`.
+    pub fn depuncture_lanes_into(
+        &self,
+        llrs: &[Llr],
+        lanes: usize,
+        mother_len: usize,
+        out: &mut Vec<Llr>,
+    ) {
+        assert!(lanes > 0, "at least one lane");
+        let expect = Puncturer::new(self.rate).punctured_len(mother_len);
+        assert_eq!(
+            llrs.len(),
+            expect * lanes,
+            "received {} soft values, expected {expect} x {lanes} lanes for \
+             {mother_len} mother bits",
+            llrs.len()
+        );
+        let mask = self.rate.mask();
+        out.reserve(mother_len * lanes);
+        let mut rows = llrs.chunks_exact(lanes);
+        for i in 0..mother_len {
+            if mask[i % mask.len()] == 1 {
+                out.extend_from_slice(rows.next().expect("length checked above"));
+            } else {
+                out.extend(std::iter::repeat(0).take(lanes));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +244,39 @@ mod tests {
                     assert_eq!(got, orig, "kept bit {i} altered");
                 } else {
                     assert_eq!(got, 0, "stolen bit {i} must be erased");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_major_depuncture_matches_per_lane_scalar() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let p = Puncturer::new(rate);
+            let d = Depuncturer::new(rate);
+            let mother_len = 24;
+            for lanes in [1usize, 3, 8] {
+                let lane_tx: Vec<Vec<Llr>> = (0..lanes)
+                    .map(|l| {
+                        let mother: Vec<Llr> = (0..mother_len)
+                            .map(|i| (i as Llr + 1) * (l as Llr + 1))
+                            .collect();
+                        p.puncture(&mother)
+                    })
+                    .collect();
+                // Interlace lane-major, expand, and compare row by row.
+                let mut soa = Vec::new();
+                for i in 0..lane_tx[0].len() {
+                    for lane in &lane_tx {
+                        soa.push(lane[i]);
+                    }
+                }
+                let mut got = Vec::new();
+                d.depuncture_lanes_into(&soa, lanes, mother_len, &mut got);
+                for (l, lane) in lane_tx.iter().enumerate() {
+                    let solo = d.depuncture(lane, mother_len);
+                    let gathered: Vec<Llr> = got.chunks_exact(lanes).map(|row| row[l]).collect();
+                    assert_eq!(gathered, solo, "{rate} lane {l} of {lanes}");
                 }
             }
         }

@@ -60,6 +60,9 @@ pub struct TrellisScratch {
     pub(crate) boundary32: Vec<i32>,
     /// Spare column for the provisional backward walk (BCJR, compiled).
     pub(crate) col32: Vec<i32>,
+    /// Lane-major buffers for the lockstep batch kernels
+    /// ([`crate::batch`]); empty until the first batched decode.
+    pub(crate) batch: crate::batch::BatchScratch,
 }
 
 impl TrellisScratch {

@@ -27,6 +27,7 @@
 
 use std::sync::Arc;
 
+use crate::batch;
 use crate::bmu::Bmu;
 use crate::compiled::{
     fast_path_ok, renormalize_uniform, CompiledBmu, CompiledTrellis, NORM_INTERVAL,
@@ -275,6 +276,40 @@ impl SoftDecoder for SovaDecoder {
                 llrs,
                 out,
             );
+        }
+    }
+
+    fn decode_terminated_batch_into(
+        &mut self,
+        llrs: &[Llr],
+        lanes: usize,
+        outs: &mut [DecodeOutput],
+    ) {
+        batch::validate_batch(
+            self.compiled.n_out(),
+            self.code.tail_len(),
+            llrs,
+            lanes,
+            outs.len(),
+        );
+        if lanes <= batch::MAX_LANES && self.compiled.words_per_step() == 1 && fast_path_ok(llrs) {
+            batch::sova_batch(
+                &self.compiled,
+                self.code.memory() as usize,
+                self.code.tail_len(),
+                self.k,
+                llrs,
+                lanes,
+                &mut self.scratch.batch,
+                outs,
+            );
+        } else {
+            let mut lane_buf = std::mem::take(&mut self.scratch.batch.lane_llrs);
+            for (l, out) in outs.iter_mut().enumerate() {
+                batch::gather_lane(llrs, lanes, l, &mut lane_buf);
+                self.decode_terminated_into(&lane_buf, out);
+            }
+            self.scratch.batch.lane_llrs = lane_buf;
         }
     }
 

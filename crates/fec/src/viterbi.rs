@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use crate::batch;
 use crate::bmu::Bmu;
 use crate::compiled::{
     fast_path_ok, renormalize_uniform, CompiledBmu, CompiledTrellis, NORM_INTERVAL,
@@ -192,6 +193,42 @@ impl SoftDecoder for ViterbiDecoder {
                 llrs,
                 out,
             );
+        }
+    }
+
+    fn decode_terminated_batch_into(
+        &mut self,
+        llrs: &[Llr],
+        lanes: usize,
+        outs: &mut [DecodeOutput],
+    ) {
+        batch::validate_batch(
+            self.compiled.n_out(),
+            self.code.tail_len(),
+            llrs,
+            lanes,
+            outs.len(),
+        );
+        // Lockstep requires one survivor word per (step, lane) — i.e. at
+        // most 64 states — and every lane inside the fast-path LLR bound;
+        // anything else decodes per lane through the scalar gate.
+        if lanes <= batch::MAX_LANES && self.compiled.words_per_step() == 1 && fast_path_ok(llrs) {
+            batch::viterbi_batch(
+                &self.compiled,
+                self.code.memory() as usize,
+                self.code.tail_len(),
+                llrs,
+                lanes,
+                &mut self.scratch.batch,
+                outs,
+            );
+        } else {
+            let mut lane_buf = std::mem::take(&mut self.scratch.batch.lane_llrs);
+            for (l, out) in outs.iter_mut().enumerate() {
+                batch::gather_lane(llrs, lanes, l, &mut lane_buf);
+                self.decode_terminated_into(&lane_buf, out);
+            }
+            self.scratch.batch.lane_llrs = lane_buf;
         }
     }
 

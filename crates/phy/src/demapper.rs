@@ -70,6 +70,13 @@ pub struct Demapper {
 }
 
 impl Demapper {
+    /// The configuration triple that fully determines this demapper's
+    /// output for a given symbol stream — two demappers with equal
+    /// configs produce bit-identical LLRs.
+    pub(crate) fn config(&self) -> (Modulation, u32, SnrScaling) {
+        (self.modulation, self.output_bits, self.scaling)
+    }
+
     /// A demapper emitting `output_bits`-wide soft values.
     ///
     /// The paper's "exact" configuration is 23–28 bits; its hardware
@@ -197,6 +204,94 @@ impl Demapper {
                     dst[3] = quantize(uq * factor, gain, fs);
                     dst[4] = quantize((4.0 - uq.abs()) * factor, gain, fs);
                     dst[5] = quantize((2.0 - (uq.abs() - 4.0).abs()) * factor, gain, fs);
+                }
+            }
+        }
+    }
+
+    /// The lane-major lockstep form of [`Demapper::demap_into`]:
+    /// `symbols` interlaces `lanes` equal-length carrier streams (symbol
+    /// `i` of lane `l` at `symbols[i * lanes + l]`, the layout
+    /// [`crate::OfdmDemodulator::demodulate_packet_batch_into`] emits),
+    /// and the output interlaces the LLR streams the same way (soft bit
+    /// `j` of lane `l` at `out[j * lanes + l]`). Per lane the arithmetic
+    /// is exactly the scalar kernel's — same piecewise pieces, same
+    /// `quantize` — so every lane's LLRs are bit-identical to a scalar
+    /// demap of that lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `symbols.len()` is not a multiple of
+    /// `lanes`.
+    pub fn demap_batch_into(&self, symbols: &[Cplx], lanes: usize, out: &mut Vec<Llr>) {
+        assert!(lanes > 0, "at least one lane");
+        assert!(
+            symbols.len() % lanes == 0,
+            "lane-major input length {} not a multiple of lane count {lanes}",
+            symbols.len()
+        );
+        let bps = self.modulation.bits_per_symbol();
+        out.resize(symbols.len() * bps, 0);
+        let inv_k = self.inv_k;
+        let factor = self.factor;
+        let gain = self.gain;
+        let fs = self.full_scale();
+        // One symbol row of lanes in, `bps` LLR rows of lanes out; the
+        // lane index is the innermost, unit-stride axis in both.
+        match self.modulation {
+            Modulation::Bpsk => {
+                for (row, dst) in symbols.chunks_exact(lanes).zip(out.chunks_exact_mut(lanes)) {
+                    for (s, d) in row.iter().zip(dst.iter_mut()) {
+                        let ui = s.re * inv_k;
+                        *d = quantize(ui * factor, gain, fs);
+                    }
+                }
+            }
+            Modulation::Qpsk => {
+                for (row, dst) in symbols
+                    .chunks_exact(lanes)
+                    .zip(out.chunks_exact_mut(2 * lanes))
+                {
+                    for (l, s) in row.iter().enumerate() {
+                        let ui = s.re * inv_k;
+                        let uq = s.im * inv_k;
+                        dst[l] = quantize(ui * factor, gain, fs);
+                        dst[lanes + l] = quantize(uq * factor, gain, fs);
+                    }
+                }
+            }
+            Modulation::Qam16 => {
+                for (row, dst) in symbols
+                    .chunks_exact(lanes)
+                    .zip(out.chunks_exact_mut(4 * lanes))
+                {
+                    for (l, s) in row.iter().enumerate() {
+                        let ui = s.re * inv_k;
+                        let uq = s.im * inv_k;
+                        dst[l] = quantize(ui * factor, gain, fs);
+                        dst[lanes + l] = quantize((2.0 - ui.abs()) * factor, gain, fs);
+                        dst[2 * lanes + l] = quantize(uq * factor, gain, fs);
+                        dst[3 * lanes + l] = quantize((2.0 - uq.abs()) * factor, gain, fs);
+                    }
+                }
+            }
+            Modulation::Qam64 => {
+                for (row, dst) in symbols
+                    .chunks_exact(lanes)
+                    .zip(out.chunks_exact_mut(6 * lanes))
+                {
+                    for (l, s) in row.iter().enumerate() {
+                        let ui = s.re * inv_k;
+                        let uq = s.im * inv_k;
+                        dst[l] = quantize(ui * factor, gain, fs);
+                        dst[lanes + l] = quantize((4.0 - ui.abs()) * factor, gain, fs);
+                        dst[2 * lanes + l] =
+                            quantize((2.0 - (ui.abs() - 4.0).abs()) * factor, gain, fs);
+                        dst[3 * lanes + l] = quantize(uq * factor, gain, fs);
+                        dst[4 * lanes + l] = quantize((4.0 - uq.abs()) * factor, gain, fs);
+                        dst[5 * lanes + l] =
+                            quantize((2.0 - (uq.abs() - 4.0).abs()) * factor, gain, fs);
+                    }
                 }
             }
         }

@@ -16,7 +16,9 @@ use wilis_fxp::Cplx;
 use crate::demapper::{Demapper, SnrScaling};
 use crate::mapper::{Mapper, Modulation};
 use crate::ofdm::{OfdmDemodulator, OfdmModulator, DATA_CARRIERS, SYMBOL_LEN};
+use crate::pipeline::{PhyScratch, Receiver, RxResult, Transmitter};
 use crate::plan::{fft_with, ifft_with, FftPlan};
+use crate::rate::PhyRate;
 use crate::{fft, ifft};
 
 const MODULATIONS: [Modulation; 4] = [
@@ -223,6 +225,170 @@ fn map_append_streams_match_reference() {
         let mut reference = Vec::new();
         mapper.map_into_reference(&bits, &mut reference);
         assert_bits_eq(&planned, &reference, &format!("{m} stream"));
+    }
+}
+
+/// Interlaces per-lane streams into the lane-major layout the batch
+/// kernels consume.
+fn interleave_lanes<T: Copy>(lanes: &[Vec<T>]) -> Vec<T> {
+    let n = lanes.len();
+    let len = lanes[0].len();
+    assert!(lanes.iter().all(|l| l.len() == len));
+    let mut soa = Vec::with_capacity(n * len);
+    for i in 0..len {
+        for lane in lanes {
+            soa.push(lane[i]);
+        }
+    }
+    soa
+}
+
+/// The lockstep OFDM demodulator reproduces the scalar packet path bit
+/// for bit in every lane, for every lane count the engine dispatches.
+#[test]
+fn batched_ofdm_demodulator_matches_scalar_per_lane() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0007);
+    for &lanes in &[1usize, 2, 3, 5, 8] {
+        let n_sym = 1 + rng.gen_i64(0, 7) as usize;
+        let lane_samples: Vec<Vec<Cplx>> = (0..lanes)
+            .map(|_| {
+                (0..n_sym * SYMBOL_LEN)
+                    .map(|_| random_cplx(&mut rng, 2.0))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Cplx]> = lane_samples.iter().map(|v| v.as_slice()).collect();
+
+        let mut batch_demod = OfdmDemodulator::new();
+        let mut batch = Vec::new();
+        batch_demod.demodulate_packet_batch_into(&refs, &mut batch);
+        assert_eq!(batch.len(), n_sym * DATA_CARRIERS * lanes);
+
+        for (l, lane) in lane_samples.iter().enumerate() {
+            let mut solo_demod = OfdmDemodulator::new();
+            let mut solo = Vec::new();
+            solo_demod.demodulate_packet_into(lane, &mut solo);
+            let gathered: Vec<Cplx> = batch.chunks_exact(lanes).map(|row| row[l]).collect();
+            assert_bits_eq(&gathered, &solo, &format!("lanes={lanes} lane={l}"));
+        }
+    }
+}
+
+/// The lane-major demap kernels reproduce the scalar kernels bit for bit
+/// in every lane, for every modulation.
+#[test]
+fn batched_demap_matches_scalar_per_lane() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0008);
+    for m in MODULATIONS {
+        let d = Demapper::new(m, 5, SnrScaling::Off);
+        for &lanes in &[1usize, 4, 7] {
+            let lane_syms: Vec<Vec<Cplx>> = (0..lanes)
+                .map(|_| (0..96).map(|_| random_cplx(&mut rng, 2.0)).collect())
+                .collect();
+            let soa = interleave_lanes(&lane_syms);
+            let mut batch = Vec::new();
+            d.demap_batch_into(&soa, lanes, &mut batch);
+            for (l, lane) in lane_syms.iter().enumerate() {
+                let mut solo = Vec::new();
+                d.demap_into(lane, &mut solo);
+                let gathered: Vec<_> = batch.chunks_exact(lanes).map(|row| row[l]).collect();
+                assert_eq!(gathered, solo, "{m} lanes={lanes} lane={l}");
+            }
+        }
+    }
+}
+
+/// The lane-major mapper reproduces the scalar table lookup bit for bit
+/// in every lane.
+#[test]
+fn batched_map_matches_scalar_per_lane() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_0009);
+    for m in MODULATIONS {
+        let mapper = Mapper::new(m);
+        let bps = m.bits_per_symbol();
+        for &lanes in &[1usize, 2, 6] {
+            let lane_bits: Vec<Vec<u8>> = (0..lanes)
+                .map(|_| (0..bps * 33).map(|_| rng.gen_bit()).collect())
+                .collect();
+            let refs: Vec<&[u8]> = lane_bits.iter().map(|v| v.as_slice()).collect();
+            let mut batch = Vec::new();
+            mapper.map_batch_append(&refs, &mut batch);
+            for (l, lane) in lane_bits.iter().enumerate() {
+                let solo = mapper.map(lane);
+                let gathered: Vec<Cplx> = batch.chunks_exact(lanes).map(|row| row[l]).collect();
+                assert_bits_eq(&gathered, &solo, &format!("{m} lanes={lanes} lane={l}"));
+            }
+        }
+    }
+}
+
+/// The full batched receive pipeline — lockstep OFDM, demap,
+/// deinterleave, depuncture, and the structure-of-arrays decoders —
+/// reproduces the scalar [`Receiver::rx_from`] bit for bit in every lane:
+/// payloads, hints, and soft magnitudes, across rates, decoders, and
+/// every dispatched lane count (9 exercises the beyond-`MAX_LANES`
+/// per-lane fallback).
+#[test]
+fn batched_rx_pipeline_matches_scalar_per_lane() {
+    let mut rng = SmallRng::seed_from_u64(0x0FD1_000A);
+    for rate in [
+        PhyRate::BpskHalf,
+        PhyRate::Qam16Half,
+        PhyRate::Qam64TwoThirds,
+    ] {
+        for make_rx in [
+            Receiver::viterbi as fn(PhyRate) -> Receiver,
+            Receiver::sova,
+            Receiver::bcjr,
+        ] {
+            for &lanes in &[1usize, 2, 4, 8, 9] {
+                let payload_bits = 3 + rng.gen_i64(0, 400) as usize;
+                // Per-lane payloads, seeds, and noise all differ; the
+                // noise is strong enough to flip decisions in some lanes.
+                let mut lane_samples: Vec<Vec<Cplx>> = Vec::with_capacity(lanes);
+                let mut seeds: Vec<u8> = Vec::with_capacity(lanes);
+                let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(lanes);
+                for l in 0..lanes {
+                    let payload: Vec<u8> = (0..payload_bits).map(|_| rng.gen_bit()).collect();
+                    let seed = (l % 127 + 1) as u8;
+                    let tx = Transmitter::new(rate).transmit(&payload, seed);
+                    let mut samples = tx.samples;
+                    for s in samples.iter_mut() {
+                        *s += random_cplx(&mut rng, 0.4);
+                    }
+                    lane_samples.push(samples);
+                    seeds.push(seed);
+                    payloads.push(payload);
+                }
+                let refs: Vec<&[Cplx]> = lane_samples.iter().map(|v| v.as_slice()).collect();
+
+                let mut batch_rx = make_rx(rate);
+                let mut scratch = PhyScratch::new();
+                let mut outs: Vec<RxResult> = vec![RxResult::default(); lanes];
+                batch_rx.rx_batch_from(&refs, payload_bits, &seeds, &mut scratch, &mut outs);
+
+                let mut solo_rx = make_rx(rate);
+                let mut solo_scratch = PhyScratch::new();
+                let mut solo = RxResult::default();
+                for l in 0..lanes {
+                    solo_rx.rx_from(
+                        &lane_samples[l],
+                        payload_bits,
+                        seeds[l],
+                        &mut solo_scratch,
+                        &mut solo,
+                    );
+                    let ctx = format!("{rate} {} lanes={lanes} lane={l}", solo.decoder_id);
+                    assert_eq!(outs[l].payload, solo.payload, "{ctx}: payload");
+                    assert_eq!(outs[l].hints, solo.hints, "{ctx}: hints");
+                    assert_eq!(
+                        outs[l].soft_magnitudes, solo.soft_magnitudes,
+                        "{ctx}: soft magnitudes"
+                    );
+                    assert_eq!(outs[l].decoder_id, solo.decoder_id, "{ctx}: decoder id");
+                }
+            }
+        }
     }
 }
 

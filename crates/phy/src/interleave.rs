@@ -132,6 +132,61 @@ impl Deinterleaver {
             out.push(llrs[p]);
         }
     }
+
+    /// Restores transmission order for a whole packet of soft values in
+    /// one call: the packet-level form of [`Deinterleaver::deinterleave_append`]
+    /// that walks every per-symbol window itself, so receive paths reserve
+    /// once and gather straight through instead of re-entering per symbol.
+    /// Element for element this produces exactly the symbol-by-symbol
+    /// accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a whole number of symbols.
+    pub fn deinterleave_packet_into(&self, llrs: &[Llr], out: &mut Vec<Llr>) {
+        let cbps = self.rate.coded_bits_per_symbol();
+        assert_eq!(
+            llrs.len() % cbps,
+            0,
+            "deinterleaver operates on whole OFDM symbols"
+        );
+        out.clear();
+        out.reserve(llrs.len());
+        for sym in llrs.chunks_exact(cbps) {
+            for &p in self.perm.iter() {
+                out.push(sym[p]);
+            }
+        }
+    }
+
+    /// The lane-major lockstep form of
+    /// [`Deinterleaver::deinterleave_packet_into`]: `llrs` interlaces
+    /// `lanes` equal-length packet streams (soft bit `i` of lane `l` at
+    /// `llrs[i * lanes + l]`), and the output keeps the same interlacing.
+    /// The permutation is position-driven, so all lanes share each gather
+    /// index and whole lane rows move at once — per lane this is exactly
+    /// the scalar packet deinterleave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `llrs.len()` is not a whole number of
+    /// symbols times `lanes`.
+    pub fn deinterleave_packet_lanes_into(&self, llrs: &[Llr], lanes: usize, out: &mut Vec<Llr>) {
+        assert!(lanes > 0, "at least one lane");
+        let cbps = self.rate.coded_bits_per_symbol();
+        assert_eq!(
+            llrs.len() % (cbps * lanes),
+            0,
+            "deinterleaver operates on whole OFDM symbols in every lane"
+        );
+        out.clear();
+        out.reserve(llrs.len());
+        for sym in llrs.chunks_exact(cbps * lanes) {
+            for &p in self.perm.iter() {
+                out.extend_from_slice(&sym[p * lanes..(p + 1) * lanes]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +215,41 @@ mod tests {
             let deinter = Deinterleaver::new(rate).deinterleave(&llrs);
             let recovered: Vec<u8> = deinter.iter().map(|&l| u8::from(l > 0)).collect();
             assert_eq!(recovered, bits, "{rate}");
+        }
+    }
+
+    #[test]
+    fn packet_forms_match_symbol_accumulation() {
+        for rate in PhyRate::all() {
+            let cbps = rate.coded_bits_per_symbol();
+            let n_sym = 5;
+            let llrs: Vec<Llr> = (0..n_sym * cbps).map(|i| i as Llr - 37).collect();
+            let d = Deinterleaver::new(rate);
+            let mut symbolwise = Vec::new();
+            for sym in llrs.chunks_exact(cbps) {
+                d.deinterleave_append(sym, &mut symbolwise);
+            }
+            let mut packet = Vec::new();
+            d.deinterleave_packet_into(&llrs, &mut packet);
+            assert_eq!(packet, symbolwise, "{rate}: packet form");
+
+            for lanes in [1usize, 3, 8] {
+                // Interlace `lanes` shifted copies, deinterleave in
+                // lockstep, and expect each lane to match its solo run.
+                let mut soa = Vec::with_capacity(llrs.len() * lanes);
+                for &v in &llrs {
+                    for l in 0..lanes {
+                        soa.push(v + 1000 * l as Llr);
+                    }
+                }
+                let mut got = Vec::new();
+                d.deinterleave_packet_lanes_into(&soa, lanes, &mut got);
+                for l in 0..lanes {
+                    let gathered: Vec<Llr> = got.chunks_exact(lanes).map(|row| row[l]).collect();
+                    let solo: Vec<Llr> = symbolwise.iter().map(|&v| v + 1000 * l as Llr).collect();
+                    assert_eq!(gathered, solo, "{rate}: lane {l} of {lanes}");
+                }
+            }
         }
     }
 

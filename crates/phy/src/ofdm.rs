@@ -203,6 +203,10 @@ pub struct OfdmDemodulator {
     pub(crate) plan: Arc<OfdmPlan>,
     /// Reusable frequency-domain working buffer, always `FFT_LEN` long.
     pub(crate) freq: Vec<Cplx>,
+    /// Lane-major frequency-domain buffer of the batched path
+    /// ([`OfdmDemodulator::demodulate_packet_batch_into`]); empty until
+    /// the first batched demodulation.
+    pub(crate) freq_lanes: Vec<Cplx>,
     /// Pilot correlation of the last demodulated symbol; the common phase
     /// error is derived lazily in [`OfdmDemodulator::last_pilot_phase`] so
     /// the hot loop never pays the `atan2`.
@@ -216,6 +220,7 @@ impl OfdmDemodulator {
             polarity: PilotPolarity::new(),
             plan: OfdmPlan::shared(),
             freq: vec![Cplx::ZERO; FFT_LEN],
+            freq_lanes: Vec::new(),
             last_pilot_sum: Cplx::ZERO,
         }
     }
@@ -267,6 +272,67 @@ impl OfdmDemodulator {
         out.clear();
         for sym in samples.chunks_exact(SYMBOL_LEN) {
             self.demodulate_append(sym, out);
+        }
+    }
+
+    /// Demodulates `lanes` equal-length packets in lockstep into one
+    /// lane-major carrier stream: carrier `c` of symbol `s` for lane `l`
+    /// lands at `out[(s * DATA_CARRIERS + c) * lanes + l]`. Every lane is
+    /// assumed to start at its own frame boundary, so all lanes share one
+    /// pilot-polarity sequence (reset here, exactly as the scalar
+    /// per-packet path resets) and one plan; the per-lane FFT arithmetic
+    /// is the scalar operation sequence run with the lane axis innermost
+    /// (see [`crate::plan::FftPlan`]'s lane forms), making each lane's
+    /// carriers bit-identical to a scalar
+    /// [`OfdmDemodulator::demodulate_packet_into`] of that lane.
+    ///
+    /// The pilot diagnostic (`last_pilot_phase`) is *not* updated by this
+    /// path: pilot sums never feed the data output, and the batch path
+    /// exists purely for throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_samples` is empty, the lanes differ in length, or
+    /// the common length is not a multiple of `SYMBOL_LEN`.
+    pub fn demodulate_packet_batch_into(&mut self, lane_samples: &[&[Cplx]], out: &mut Vec<Cplx>) {
+        let lanes = lane_samples.len();
+        assert!(lanes > 0, "at least one lane");
+        let len = lane_samples[0].len();
+        assert!(
+            lane_samples.iter().all(|s| s.len() == len),
+            "all lanes must hold the same number of samples"
+        );
+        assert_eq!(len % SYMBOL_LEN, 0, "whole OFDM symbols of samples");
+        let n_symbols = len / SYMBOL_LEN;
+        self.polarity = PilotPolarity::new();
+        let plan = &self.plan;
+        let freq = &mut self.freq_lanes;
+        freq.resize(FFT_LEN * lanes, Cplx::ZERO);
+        let scale = plan.rx_scale();
+        out.clear();
+        out.reserve(n_symbols * DATA_CARRIERS * lanes);
+        for s in 0..n_symbols {
+            let base = s * SYMBOL_LEN + CP_LEN;
+            // Fused prefix-strip + bit-reversal gather, one row of lanes
+            // per FFT bin.
+            for (i, row) in freq.chunks_exact_mut(lanes).enumerate() {
+                let j = base + plan.fft().bitrev_of(i);
+                for (slot, lane) in row.iter_mut().zip(lane_samples) {
+                    *slot = lane[j];
+                }
+            }
+            plan.fft().fft_stages_lanes(freq, lanes);
+            // Advance the shared polarity to keep the pilot sequence
+            // position identical to the scalar path (the polarity value
+            // itself only feeds the skipped pilot diagnostic).
+            let _ = self.polarity.next();
+            for &b in plan.data_bins().iter() {
+                out.extend(
+                    freq[b * lanes..(b + 1) * lanes]
+                        .iter()
+                        .map(|v| v.scale(scale)),
+                );
+            }
         }
     }
 

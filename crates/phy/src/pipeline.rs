@@ -73,6 +73,9 @@ pub struct PhyScratch {
     punctured_llrs: Vec<Llr>,
     mother: Vec<Llr>,
     decoded: DecodeOutput,
+    /// Per-lane decoder outputs of the batched RX path
+    /// ([`Receiver::rx_batch_from`]); empty until the first batched call.
+    decoded_lanes: Vec<DecodeOutput>,
 }
 
 impl PhyScratch {
@@ -93,6 +96,7 @@ impl PhyScratch {
             punctured_llrs: Vec::new(),
             mother: Vec::new(),
             decoded: DecodeOutput::default(),
+            decoded_lanes: Vec::new(),
         }
     }
 
@@ -423,18 +427,14 @@ impl Receiver {
 
         ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();
-        // Whole-packet streaming: every symbol through the shared OFDM
-        // plan, then one demap call over the full carrier stream; only
-        // the deinterleaver still walks per-symbol windows.
+        // Whole-packet streaming through every stage: all symbols through
+        // the shared OFDM plan, one demap call over the full carrier
+        // stream, one packet-level deinterleave over the full LLR stream.
         ofdm_rx.demodulate_packet_into(samples, carriers);
         self.demapper.demap_into(carriers, symbol_llrs);
         debug_assert_eq!(symbol_llrs.len(), fields.n_symbols * cbps);
-        punctured_llrs.clear();
-        punctured_llrs.reserve(fields.coded_bits());
-        for sym_llrs in symbol_llrs.chunks_exact(cbps) {
-            m.deinterleaver
-                .deinterleave_append(sym_llrs, punctured_llrs);
-        }
+        m.deinterleaver
+            .deinterleave_packet_into(symbol_llrs, punctured_llrs);
         let mother_len = fields.data_bits() * 2;
         mother.clear();
         m.depuncturer
@@ -450,6 +450,156 @@ impl Receiver {
             scramble_seed,
             out,
         );
+    }
+
+    /// Demodulates and decodes `lane_samples.len()` same-rate,
+    /// same-length packets in lockstep — the batch form of
+    /// [`Receiver::rx_from`] behind the scenario engine's fused
+    /// shared-channel groups. Every stage runs lane-major: one shared
+    /// OFDM plan drives all lanes' FFTs, one demap/deinterleave/depuncture
+    /// pass moves whole lane rows, and the decoder's
+    /// [`SoftDecoder::decode_terminated_batch_into`] runs the lanes
+    /// through the structure-of-arrays trellis kernels (falling back to
+    /// per-lane scalar decode beyond `wilis_fec::MAX_BATCH_LANES`).
+    ///
+    /// Per lane, every `RxResult` is **bit-identical** to a scalar
+    /// [`Receiver::rx_from`] of that lane — batching is purely a
+    /// throughput lever; the equivalence suite enforces this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_samples` is empty, `scramble_seeds` or `outs`
+    /// disagree with it in length, any lane is not exactly the packet's
+    /// symbol count, or a scramble seed is invalid.
+    pub fn rx_batch_from(
+        &mut self,
+        lane_samples: &[&[Cplx]],
+        payload_bits: usize,
+        scramble_seeds: &[u8],
+        scratch: &mut PhyScratch,
+        outs: &mut [RxResult],
+    ) {
+        let mut mother = std::mem::take(&mut scratch.mother);
+        self.rx_batch_front_end_into(lane_samples, payload_bits, scratch, &mut mother);
+        self.rx_batch_decode_from(
+            &mother,
+            lane_samples.len(),
+            payload_bits,
+            scramble_seeds,
+            scratch,
+            outs,
+        );
+        scratch.mother = mother;
+    }
+
+    /// True when `other`'s receive front end — demodulator, demapper,
+    /// deinterleaver, depuncturer — produces bit-identical mother LLR
+    /// streams to this receiver's for the same samples: same rate, same
+    /// demapper configuration. Receivers that differ only in decoder
+    /// (e.g. SOVA vs BCJR on the hint-width demapper) satisfy this, which
+    /// lets one [`Receiver::rx_batch_front_end_into`] feed several
+    /// [`Receiver::rx_batch_decode_from`] calls.
+    pub fn front_end_matches(&self, other: &Receiver) -> bool {
+        self.rate == other.rate && self.demapper.config() == other.demapper.config()
+    }
+
+    /// The front half of [`Receiver::rx_batch_from`]: demodulates,
+    /// demaps, deinterleaves, and depunctures all lanes in lockstep,
+    /// leaving the lane-major mother LLR stream in `mother_out` (soft bit
+    /// `i` of lane `l` at `mother_out[i * lanes + l]`). Split out so
+    /// callers holding several receivers whose front ends agree (see
+    /// [`Receiver::front_end_matches`]) can run this once and decode the
+    /// same stream through each receiver's decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_samples` is empty or any lane is not exactly the
+    /// packet's symbol count.
+    pub fn rx_batch_front_end_into(
+        &mut self,
+        lane_samples: &[&[Cplx]],
+        payload_bits: usize,
+        scratch: &mut PhyScratch,
+        mother_out: &mut Vec<Llr>,
+    ) {
+        let lanes = lane_samples.len();
+        assert!(lanes > 0, "at least one lane");
+        let fields = PacketFields::for_payload(self.rate, payload_bits);
+        for lane in lane_samples {
+            assert_eq!(
+                lane.len(),
+                fields.n_symbols * SYMBOL_LEN,
+                "sample count does not match packet layout"
+            );
+        }
+        scratch.ensure_rate(self.rate);
+        let PhyScratch {
+            machinery,
+            ofdm_rx,
+            carriers,
+            symbol_llrs,
+            punctured_llrs,
+            ..
+        } = scratch;
+        let m = machinery.as_ref().expect("machinery ensured above");
+
+        ofdm_rx.reset();
+        let cbps = self.rate.coded_bits_per_symbol();
+        ofdm_rx.demodulate_packet_batch_into(lane_samples, carriers);
+        self.demapper.demap_batch_into(carriers, lanes, symbol_llrs);
+        debug_assert_eq!(symbol_llrs.len(), fields.n_symbols * cbps * lanes);
+        m.deinterleaver
+            .deinterleave_packet_lanes_into(symbol_llrs, lanes, punctured_llrs);
+        let mother_len = fields.data_bits() * 2;
+        mother_out.clear();
+        m.depuncturer
+            .depuncture_lanes_into(punctured_llrs, lanes, mother_len, mother_out);
+    }
+
+    /// The back half of [`Receiver::rx_batch_from`]: decodes a lane-major
+    /// mother LLR stream (as produced by
+    /// [`Receiver::rx_batch_front_end_into`] on a front-end-compatible
+    /// receiver) and unpacks each lane into its `RxResult`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, `scramble_seeds`/`outs` disagree with
+    /// it, `mother`'s length is not the packet's mother bits times
+    /// `lanes`, or a scramble seed is invalid.
+    pub fn rx_batch_decode_from(
+        &mut self,
+        mother: &[Llr],
+        lanes: usize,
+        payload_bits: usize,
+        scramble_seeds: &[u8],
+        scratch: &mut PhyScratch,
+        outs: &mut [RxResult],
+    ) {
+        assert!(lanes > 0, "at least one lane");
+        assert_eq!(scramble_seeds.len(), lanes, "one scramble seed per lane");
+        assert_eq!(outs.len(), lanes, "one RxResult per lane");
+        let fields = PacketFields::for_payload(self.rate, payload_bits);
+        assert_eq!(
+            mother.len(),
+            fields.data_bits() * 2 * lanes,
+            "mother stream length does not match the packet layout"
+        );
+        let decoded_lanes = &mut scratch.decoded_lanes;
+        decoded_lanes.resize_with(lanes, DecodeOutput::default);
+        self.decoder
+            .decode_terminated_batch_into(mother, lanes, &mut decoded_lanes[..lanes]);
+
+        for (l, out) in outs.iter_mut().enumerate() {
+            debug_assert_eq!(decoded_lanes[l].bits.len(), fields.data_bits() - TAIL_BITS);
+            Self::unpack_decoded(
+                self.rate,
+                &*self.decoder,
+                &decoded_lanes[l],
+                &fields,
+                scramble_seeds[l],
+                out,
+            );
+        }
     }
 
     /// The frozen pre-plan form of [`Receiver::rx_from`]: per-symbol

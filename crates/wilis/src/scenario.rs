@@ -90,7 +90,7 @@ use wilis_channel::{
     resolve_slot, AwgnChannel, AwgnModel, Channel, ChannelModel, FadingModel, ReplayModel,
     SlotOutcome, SnrDb, TraceModel, TxPower,
 };
-use wilis_fec::{CompiledTrellis, MAX_HINT};
+use wilis_fec::{CompiledTrellis, Llr, MAX_BATCH_LANES, MAX_HINT};
 use wilis_fxp::rng::{mix_seed, SmallRng};
 use wilis_fxp::Cplx;
 use wilis_lis::registry::{Params, Registry, RegistryError};
@@ -796,7 +796,10 @@ impl SweepRunner {
         // split group redoes tx+channel once per piece — the pre-fusion
         // cost — while keeping the sharing within each piece). Any
         // partition yields bit-identical results, since group execution
-        // equals solo execution member by member.
+        // equals solo execution member by member. Splitting happens on
+        // the *member* axis only — every piece keeps the group's full
+        // packet budget, so the packet-axis batch width of `run_group`
+        // (see `batch_blocks`) is unaffected by how finely we split.
         while jobs.len() < self.threads {
             let Some(idx) = jobs
                 .iter()
@@ -1179,7 +1182,9 @@ struct GroupMember<'a> {
     rx: Receiver,
     estimator: Option<BerEstimator>,
     scratch: PhyScratch,
-    got: RxResult,
+    /// One receive result per lane of the current packet block; the
+    /// batched RX path fills all of them in lockstep.
+    got_lanes: Vec<RxResult>,
     policy: Option<Box<dyn LinkPolicy>>,
     needs_oracle: bool,
     tally: PacketTally,
@@ -1210,7 +1215,7 @@ impl<'a> GroupMember<'a> {
             rx,
             estimator,
             scratch: PhyScratch::new(),
-            got: RxResult::default(),
+            got_lanes: Vec::new(),
             policy,
             needs_oracle,
             tally: PacketTally::new(),
@@ -1218,11 +1223,35 @@ impl<'a> GroupMember<'a> {
     }
 }
 
+/// Partitions a packet budget into contiguous blocks of at most
+/// [`MAX_BATCH_LANES`] whose sizes differ by at most one — the batch
+/// width alignment of the fused path. A greedy split would run 9 packets
+/// as 8 + 1 and strand the remainder on a single-lane decode; the
+/// balanced split runs them as 5 + 4 so every block keeps enough lanes
+/// for the lockstep kernels to pay off.
+fn batch_blocks(packets: u32) -> impl Iterator<Item = u32> {
+    let b = MAX_BATCH_LANES as u32;
+    let n_blocks = packets.div_ceil(b);
+    let base = packets.checked_div(n_blocks).unwrap_or(0);
+    let bumped = packets.checked_rem(n_blocks).unwrap_or(0);
+    (0..n_blocks).map(move |i| base + u32::from(i < bumped))
+}
+
 /// Executes one shared-channel job: the payload, transmit chain, and
 /// channel realization of each packet are computed once and every member
 /// scenario receives from the identical noisy samples. Bit-identical to
 /// running each member solo — the shared inputs are exactly the inputs
 /// each member would have derived from its own (equal) seed.
+///
+/// Packets run through the receivers in lockstep blocks of up to
+/// [`MAX_BATCH_LANES`] lanes (see [`batch_blocks`]): each block transmits
+/// and corrupts its packets first, then every member decodes the whole
+/// block with one batched receive, then the per-packet accounting replays
+/// in the original packet order so tallies and link policies observe the
+/// exact sequence the solo path produces. Members whose receive chains
+/// coincide share work inside a block — one front-end pass per demapper
+/// class, one decode per (rate, builtin decoder) class — because equal
+/// configurations produce bit-identical intermediate streams.
 fn run_group(
     system: &WilisSystem,
     channels: &ChannelSlot,
@@ -1257,72 +1286,183 @@ fn run_group(
     let any_oracle = group.iter().any(|m| m.needs_oracle);
     let transmitter = Transmitter::new(lead.rate);
     let mut tx_scratch = PhyScratch::new();
-    let mut samples: Vec<Cplx> = Vec::new();
-    let mut payload: Vec<u8> = Vec::new();
+    let mut lane_samples: Vec<Vec<Cplx>> = Vec::new();
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut scramble_seeds: Vec<u8> = Vec::new();
+    let mut oracles: Vec<Oracle> = Vec::new();
     let mut oracle_rx: Vec<Option<(Receiver, PhyScratch)>> = PhyRate::all().map(|_| None).into();
     let mut oracle_samples: Vec<Cplx> = Vec::new();
     let mut oracle_got = RxResult::default();
 
-    for p in 0..lead.packets {
-        let packet_seed = mix_seed(lead.seed, u64::from(p));
-        let mut rng = SmallRng::seed_from_u64(packet_seed);
-        payload.clear();
-        payload.extend((0..lead.payload_bits).map(|_| rng.gen_bit()));
-        let scramble_seed = (p % 127 + 1) as u8;
-        let chan_seed = mix_seed(packet_seed, 1);
+    // Front-end classes: members whose receive front ends agree (same
+    // rate, same demapper configuration) produce bit-identical mother LLR
+    // streams, so each class runs demod/demap/deinterleave/depuncture
+    // once per block and every member decodes the shared stream. In a
+    // typical grid group the two hint decoders (SOVA, BCJR) share one
+    // class while Viterbi's full-width demapper forms another.
+    let mut class_reps: Vec<usize> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(group.len());
+    for i in 0..group.len() {
+        let c = class_reps
+            .iter()
+            .position(|&r| group[r].rx.front_end_matches(&group[i].rx))
+            .unwrap_or_else(|| {
+                class_reps.push(i);
+                class_reps.len() - 1
+            });
+        class_of.push(c);
+    }
+    let mut class_mothers: Vec<Vec<Llr>> = class_reps.iter().map(|_| Vec::new()).collect();
 
-        // The shared part: one transmit, one channel realization.
-        transmitter.tx_into(&payload, scramble_seed, &mut tx_scratch, &mut samples);
-        channel.apply(&mut samples, chan_seed);
-        let oracle = if any_oracle {
-            oracle_replay(
-                channel.as_mut(),
-                &shared_trellis,
-                chan_seed,
-                &payload,
-                scramble_seed,
-                &mut oracle_rx,
-                &mut oracle_samples,
-                &mut oracle_got,
-            )
-        } else {
-            Oracle::Unavailable
-        };
+    // Full-receiver classes: members that also run the same decoder
+    // produce bit-identical `RxResult`s lane for lane, so only the class
+    // representative decodes and the rest copy its results. This is what
+    // makes link-policy grid axes nearly free — `none` and `arq` variants
+    // of one decoder differ only in accounting. Restricted to the builtin
+    // decoders, which are known-pure functions of (name, rate); a user
+    // registration could be stateful, so it never shares.
+    let mut rx_reps: Vec<usize> = Vec::new();
+    let mut rx_of: Vec<usize> = Vec::with_capacity(group.len());
+    for i in 0..group.len() {
+        let sc = group[i].scenario;
+        let builtin = DecoderKind::from_registry_name(&sc.decoder).is_some();
+        let c = rx_reps
+            .iter()
+            .position(|&r| {
+                builtin
+                    && group[r].scenario.rate == sc.rate
+                    && group[r].scenario.decoder == sc.decoder
+            })
+            .unwrap_or_else(|| {
+                rx_reps.push(i);
+                rx_reps.len() - 1
+            });
+        rx_of.push(c);
+    }
 
-        // The per-member part: receive, decode, account, observe.
-        for member in &mut group {
-            member.rx.rx_from(
-                &samples,
-                payload.len(),
-                scramble_seed,
-                &mut member.scratch,
-                &mut member.got,
+    let mut first = 0u32;
+    for block in batch_blocks(lead.packets) {
+        let lanes = block as usize;
+        if lane_samples.len() < lanes {
+            lane_samples.resize_with(lanes, Vec::new);
+            payloads.resize_with(lanes, Vec::new);
+        }
+        scramble_seeds.clear();
+        oracles.clear();
+
+        // Stage 1 — the shared part, in packet order: one transmit and
+        // one channel realization per packet, exactly the sequence of
+        // channel calls the unbatched loop makes.
+        for k in 0..lanes {
+            let p = first + k as u32;
+            let packet_seed = mix_seed(lead.seed, u64::from(p));
+            let mut rng = SmallRng::seed_from_u64(packet_seed);
+            let payload = &mut payloads[k];
+            payload.clear();
+            payload.extend((0..lead.payload_bits).map(|_| rng.gen_bit()));
+            let scramble_seed = (p % 127 + 1) as u8;
+            let chan_seed = mix_seed(packet_seed, 1);
+            let samples = &mut lane_samples[k];
+            transmitter.tx_into(payload, scramble_seed, &mut tx_scratch, samples);
+            channel.apply(samples, chan_seed);
+            oracles.push(if any_oracle {
+                oracle_replay(
+                    channel.as_mut(),
+                    &shared_trellis,
+                    chan_seed,
+                    payload,
+                    scramble_seed,
+                    &mut oracle_rx,
+                    &mut oracle_samples,
+                    &mut oracle_got,
+                )
+            } else {
+                Oracle::Unavailable
+            });
+            scramble_seeds.push(scramble_seed);
+        }
+
+        // Stage 2 — every member decodes the whole block in lockstep:
+        // one front-end pass per class, then each member's decoder runs
+        // on its class's shared mother stream. Bit-identical per lane to
+        // `rx_from`.
+        let lane_refs: Vec<&[Cplx]> = lane_samples[..lanes].iter().map(|v| v.as_slice()).collect();
+        for (c, &r) in class_reps.iter().enumerate() {
+            let rep = &mut group[r];
+            rep.rx.rx_batch_front_end_into(
+                &lane_refs,
+                lead.payload_bits,
+                &mut rep.scratch,
+                &mut class_mothers[c],
             );
-            let (errs_this_packet, predicted) =
-                member
-                    .tally
-                    .observe(&payload, &member.got, member.estimator.as_ref(), record);
-            if let Some(policy) = member.policy.as_mut() {
-                let ctx = LinkContext {
-                    sent: &payload,
-                    bit_errors: errs_this_packet,
-                    predicted_pber: predicted,
-                    rate: lead.rate,
-                    oracle: if member.needs_oracle {
-                        oracle
-                    } else {
-                        Oracle::Unavailable
-                    },
-                };
-                let verdict = policy.observe(&member.got, &member.got.hints, &ctx);
-                assert!(
-                    verdict.next_rate.is_none() || verdict.next_rate == Some(lead.rate),
-                    "link policy {:?} declared adapts_rate() == false but asked to \
-                     steer the transmit rate",
-                    policy.name()
-                );
+        }
+        for (c, &r) in rx_reps.iter().enumerate() {
+            debug_assert_eq!(rx_of[r], c);
+            let rep = &mut group[r];
+            rep.got_lanes.resize_with(lanes, RxResult::default);
+            rep.rx.rx_batch_decode_from(
+                &class_mothers[class_of[r]],
+                lanes,
+                lead.payload_bits,
+                &scramble_seeds,
+                &mut rep.scratch,
+                &mut rep.got_lanes[..lanes],
+            );
+        }
+        for i in 0..group.len() {
+            let r = rx_reps[rx_of[i]];
+            if r == i {
+                continue;
+            }
+            // The representative always precedes its class members, so a
+            // split at `i` puts it in the head. Field-wise `clone_from`
+            // keeps the copy allocation-free in the steady state.
+            let (head, tail) = group.split_at_mut(i);
+            let dst_member = &mut tail[0];
+            dst_member.got_lanes.resize_with(lanes, RxResult::default);
+            let src_lanes = &head[r].got_lanes[..lanes];
+            for (dst, src) in dst_member.got_lanes[..lanes].iter_mut().zip(src_lanes) {
+                dst.payload.clone_from(&src.payload);
+                dst.hints.clone_from(&src.hints);
+                dst.soft_magnitudes.clone_from(&src.soft_magnitudes);
+                dst.decoder_id = src.decoder_id;
             }
         }
+
+        // Stage 3 — accounting, packet-major then member, so each
+        // member's tally and link policy observe packets in the same
+        // order the solo path delivers them.
+        for k in 0..lanes {
+            let payload = &payloads[k];
+            for member in &mut group {
+                let got = &member.got_lanes[k];
+                let (errs_this_packet, predicted) =
+                    member
+                        .tally
+                        .observe(payload, got, member.estimator.as_ref(), record);
+                if let Some(policy) = member.policy.as_mut() {
+                    let ctx = LinkContext {
+                        sent: payload,
+                        bit_errors: errs_this_packet,
+                        predicted_pber: predicted,
+                        rate: lead.rate,
+                        oracle: if member.needs_oracle {
+                            oracles[k]
+                        } else {
+                            Oracle::Unavailable
+                        },
+                    };
+                    let verdict = policy.observe(got, &got.hints, &ctx);
+                    assert!(
+                        verdict.next_rate.is_none() || verdict.next_rate == Some(lead.rate),
+                        "link policy {:?} declared adapts_rate() == false but asked to \
+                         steer the transmit rate",
+                        policy.name()
+                    );
+                }
+            }
+        }
+        first += block;
     }
 
     for member in group {

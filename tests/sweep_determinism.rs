@@ -184,6 +184,47 @@ fn shared_channel_groups_match_solo_execution() {
 }
 
 #[test]
+fn batched_group_blocks_match_solo_for_every_width() {
+    // The fused path decodes packet blocks of up to MAX_BATCH_LANES (8)
+    // in lockstep. Sweep packet budgets that exercise every batch width:
+    // full blocks of 1, 2, 4, and 8 lanes plus a ragged budget of 11,
+    // which the balanced partition runs as 6 + 5 (never 8 + 3). At this
+    // waterfall SNR blocks mix clean and errored lanes, and every worker
+    // count must reproduce the packet-at-a-time solo path byte for byte.
+    for packets in [1u32, 2, 4, 8, 11] {
+        let scenarios = SweepGrid::new()
+            .rates(&[PhyRate::Qam16Half])
+            .decoders(&["viterbi", "sova", "bcjr"])
+            .links(&["none", "arq"])
+            .snrs_db(&[6.5])
+            .packets(packets)
+            .payload_bits(300)
+            .scenarios();
+        let solo_runner = SweepRunner::new(1);
+        let solo: Vec<_> = scenarios
+            .iter()
+            .map(|sc| solo_runner.run(std::slice::from_ref(sc)).unwrap().remove(0))
+            .collect();
+        for threads in [1, 2, 8] {
+            let fused = SweepRunner::new(threads).run(&scenarios).unwrap();
+            for (s, f) in solo.iter().zip(&fused) {
+                let at = format!("{}: {packets} packets, {threads} threads", s.label);
+                assert_eq!(s.label, f.label, "{at}");
+                assert_eq!(s.bit_errors, f.bit_errors, "{at}");
+                assert_eq!(s.packet_errors, f.packet_errors, "{at}");
+                assert_eq!(s.hint_bins, f.hint_bins, "{at}");
+                assert_eq!(
+                    s.predicted_pber_sum.to_bits(),
+                    f.predicted_pber_sum.to_bits(),
+                    "{at}"
+                );
+                assert_eq!(s.link, f.link, "{at}");
+            }
+        }
+    }
+}
+
+#[test]
 fn fused_grid_results_identical_at_1_2_and_8_threads() {
     // The thread-count contract holds with job fusion on the hot path.
     let scenarios = fused_grid().scenarios();

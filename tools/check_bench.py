@@ -29,8 +29,24 @@ def check_perf_trellis(doc):
         ):
             assert d[key] > 0, (d["decoder"], key)
     grid = doc["grid"]
-    for key in ("scenarios", "packets_total", "packets_per_sec", "mean_secs"):
+    for key in ("scenarios", "packets_total", "batch_width", "packets_per_sec", "mean_secs"):
         assert grid[key] > 0, key
+
+
+def check_perf_batch(doc):
+    """Lockstep batch decode and batched RX pipeline vs scalar."""
+    assert doc["batch_width"] > 1, "a batch of one lane measures nothing"
+    assert doc["coded_bits_per_block"] > 0
+    assert doc["payload_bits"] > 0
+    for section in ("decoders", "rx"):
+        names = {d["decoder"] for d in doc[section]}
+        assert names == {"viterbi", "sova", "bcjr"}, (section, names)
+    for d in doc["decoders"]:
+        for key in ("batch_mbps", "scalar_mbps", "speedup", "batch_mean_secs", "scalar_mean_secs"):
+            assert d[key] > 0, (d["decoder"], key)
+    for r in doc["rx"]:
+        for key in ("batch_pps", "scalar_pps", "speedup", "batch_mean_secs", "scalar_mean_secs"):
+            assert r[key] > 0, (r["decoder"], key)
 
 
 def check_perf_phy(doc):
@@ -86,6 +102,7 @@ def check_cell_sweep(doc):
 
 SCHEMAS = {
     "perf_trellis": check_perf_trellis,
+    "perf_batch": check_perf_batch,
     "perf_phy": check_perf_phy,
     "cell_sweep": check_cell_sweep,
 }
