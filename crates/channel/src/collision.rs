@@ -98,7 +98,7 @@ pub fn resolve_slot(txs: &[TxPower], noise_power: f64, capture_db: f64) -> SlotO
                 .iter()
                 .copied()
                 .reduce(|best, t| if t.gain > best.gain { t } else { best })
-                .expect("non-empty by match arm");
+                .expect("non-empty by match arm"); // lint: allow(panic-policy) — the `_` arm only matches slices of len >= 2
             let interference: f64 = txs
                 .iter()
                 .filter(|t| t.node != strongest.node)

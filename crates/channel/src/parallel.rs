@@ -76,6 +76,7 @@ pub const CHUNK: usize = 1024;
 pub fn noise_generation_rate(n: usize, seed: u64) -> f64 {
     let mut g = GaussianSource::new(seed);
     let mut buf = vec![0.0f64; n];
+    // lint: allow(wall-clock) — throughput self-report only; the measured rate never feeds back into any sample
     let start = std::time::Instant::now();
     g.fill(&mut buf);
     let dt = start.elapsed().as_secs_f64();

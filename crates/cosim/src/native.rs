@@ -9,7 +9,7 @@
 //! is orders of magnitude below line rate for soft-output decoders") can
 //! be checked rather than asserted.
 
-use std::time::Instant;
+use std::time::Instant; // lint: allow(wall-clock) — this module *is* the native-speed measurement harness
 
 use wilis_channel::{AwgnChannel, Channel, SnrDb};
 use wilis_fxp::rng::SmallRng;
@@ -73,7 +73,7 @@ pub fn measure_native(
     let mut scratch = PhyScratch::new();
     let mut samples: Vec<Cplx> = Vec::new();
     let mut got = RxResult::default();
-    let start = Instant::now();
+    let start = Instant::now(); // lint: allow(wall-clock) — measuring host decode speed is this function's purpose
     let mut delivered = 0u64;
     for (i, payload) in payloads.iter().enumerate() {
         let scramble_seed = (i % 127 + 1) as u8;

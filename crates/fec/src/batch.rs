@@ -141,13 +141,13 @@ pub(crate) fn gather_lane(soa: &[Llr], lanes: usize, l: usize, out: &mut Vec<Llr
 /// bounds-check-eliminating accessor every batch kernel loops over.
 #[inline(always)]
 fn lane<const L: usize>(buf: &[i32], idx: usize) -> &[i32; L] {
-    buf[idx * L..idx * L + L].try_into().unwrap()
+    buf[idx * L..idx * L + L].try_into().unwrap() // lint: allow(panic-policy) — the slice is exactly L long by the index arithmetic
 }
 
 /// Mutable form of [`lane`].
 #[inline(always)]
 fn lane_mut<const L: usize>(buf: &mut [i32], idx: usize) -> &mut [i32; L] {
-    (&mut buf[idx * L..idx * L + L]).try_into().unwrap()
+    (&mut buf[idx * L..idx * L + L]).try_into().unwrap() // lint: allow(panic-policy) — the slice is exactly L long by the index arithmetic
 }
 
 /// One step's branch metrics for all lanes: the batched image of
@@ -449,6 +449,7 @@ fn traceback_lane<const L: usize>(
 
 /// Lockstep Viterbi over `L` lanes: the batched image of the scalar
 /// compiled decode — shared forward pass, per-lane traceback.
+// lint: no_alloc
 fn viterbi_kernel<const L: usize>(
     ct: &CompiledTrellis,
     memory: usize,
@@ -500,6 +501,7 @@ fn viterbi_kernel<const L: usize>(
 /// Lockstep SOVA over `L` lanes: shared forward pass with lane-major
 /// margins, then the two serial traceback units per lane (TU1 ML path,
 /// TU2 Hagenauer reliability update).
+// lint: no_alloc
 fn sova_kernel<const L: usize>(
     ct: &CompiledTrellis,
     memory: usize,
@@ -605,6 +607,7 @@ fn sova_kernel<const L: usize>(
 /// provisional backward pass, and the decision unit all carry one value
 /// per lane, with [`normalize32_batch`] applied per column exactly where
 /// the scalar kernel normalizes.
+// lint: no_alloc
 fn bcjr_kernel<const L: usize>(
     ct: &CompiledTrellis,
     tail_len: usize,

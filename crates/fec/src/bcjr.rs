@@ -270,6 +270,7 @@ impl BcjrDecoder {
 }
 
 impl SoftDecoder for BcjrDecoder {
+    // lint: no_alloc
     fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let steps = self.validate(llrs);
         if fast_path_ok(llrs) {
@@ -287,6 +288,7 @@ impl SoftDecoder for BcjrDecoder {
         }
     }
 
+    // lint: no_alloc
     fn decode_terminated_batch_into(
         &mut self,
         llrs: &[Llr],

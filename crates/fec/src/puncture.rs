@@ -158,7 +158,7 @@ impl Depuncturer {
         let mut src = llrs.iter();
         for i in 0..mother_len {
             if mask[i % mask.len()] == 1 {
-                out.push(*src.next().expect("length checked above"));
+                out.push(*src.next().expect("length checked above")); // lint: allow(panic-policy) — the assert above sized `llrs` to the mask weight
             } else {
                 out.push(0);
             }
@@ -198,6 +198,7 @@ impl Depuncturer {
         let mut rows = llrs.chunks_exact(lanes);
         for i in 0..mother_len {
             if mask[i % mask.len()] == 1 {
+                // lint: allow(panic-policy) — the assert above sized `llrs` to the mask weight
                 out.extend_from_slice(rows.next().expect("length checked above"));
             } else {
                 out.extend(std::iter::repeat(0).take(lanes));

@@ -95,7 +95,7 @@ pub(crate) fn sova_decode(
             bm,
             &scratch.pm,
             &mut scratch.next,
-            Some(&mut scratch.survivors[row.clone()]),
+            Some(&mut scratch.survivors[row.clone()]), // lint: allow(no-alloc) — Range<usize> clone is a stack copy, no heap allocation
             Some(&mut scratch.margins[row]),
         );
         std::mem::swap(&mut scratch.pm, &mut scratch.next);
@@ -180,6 +180,7 @@ fn backward_block_flat(
     let n_states = trellis.n_states();
     let len = range.len();
     debug_assert_eq!(betas.len(), len * n_states);
+    // lint: allow(no-alloc) — Range<usize> clone is a stack copy, no heap allocation
     for (local, t) in range.clone().enumerate().rev() {
         let bm = &bms[t * n_patterns..(t + 1) * n_patterns];
         let (head, tail) = betas.split_at_mut((local + 1) * n_states);

@@ -262,6 +262,7 @@ impl SovaDecoder {
 }
 
 impl SoftDecoder for SovaDecoder {
+    // lint: no_alloc
     fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let steps = self.validate(llrs);
         if fast_path_ok(llrs) {
@@ -279,6 +280,7 @@ impl SoftDecoder for SovaDecoder {
         }
     }
 
+    // lint: no_alloc
     fn decode_terminated_batch_into(
         &mut self,
         llrs: &[Llr],

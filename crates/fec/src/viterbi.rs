@@ -180,6 +180,7 @@ impl ViterbiDecoder {
 }
 
 impl SoftDecoder for ViterbiDecoder {
+    // lint: no_alloc
     fn decode_terminated_into(&mut self, llrs: &[Llr], out: &mut DecodeOutput) {
         let steps = self.validate(llrs);
         if fast_path_ok(llrs) {
@@ -196,6 +197,7 @@ impl SoftDecoder for ViterbiDecoder {
         }
     }
 
+    // lint: no_alloc
     fn decode_terminated_batch_into(
         &mut self,
         llrs: &[Llr],

@@ -10,7 +10,7 @@ const CASES: u64 = 128;
 fn formats(rng: &mut SmallRng) -> QFormat {
     let i = rng.gen_i64(1, 19) as u32;
     let f = rng.gen_i64(0, 19) as u32;
-    QFormat::new(i, f).unwrap()
+    QFormat::new(i, f).unwrap() // lint: allow(panic-policy) — test-only module (`#[cfg(test)] mod prop_tests` in lib.rs)
 }
 
 fn roundings(rng: &mut SmallRng) -> Rounding {

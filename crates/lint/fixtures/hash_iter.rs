@@ -1,0 +1,11 @@
+//! Fixture: `hash-iter` must fire on std hash collections in engine code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn job_partition() -> usize {
+    let mut jobs: HashMap<u64, usize> = HashMap::new();
+    jobs.insert(1, 2);
+    let seen: HashSet<u64> = jobs.keys().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,34 @@
+//! Fixture: `no-alloc` must fire on allocation in annotated hot paths,
+//! including helpers reached through the intra-crate call map — and must
+//! stay quiet on steady-state buffer reuse and refcount bumps.
+
+// lint: no_alloc
+pub fn hot_direct() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+// lint: no_alloc
+pub fn hot_path(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.resize(64, 0);
+    stage(buf);
+}
+
+fn stage(buf: &mut Vec<u8>) {
+    let scratch: Vec<u8> = Vec::new();
+    buf.extend(scratch);
+}
+
+// lint: no_alloc
+pub fn deep(x: &[u8]) -> Vec<u8> {
+    x.to_vec()
+}
+
+// lint: no_alloc
+pub fn refcount(x: &std::sync::Arc<u32>) -> std::sync::Arc<u32> {
+    std::sync::Arc::clone(x)
+}
+
+pub fn cold() -> Vec<u8> {
+    Vec::with_capacity(1024)
+}

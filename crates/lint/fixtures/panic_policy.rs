@@ -1,0 +1,22 @@
+//! Fixture: `panic-policy` must fire in library code and stay quiet in
+//! test code.
+
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn checked(x: Option<u32>) -> u32 {
+    x.expect("always present")
+}
+
+pub fn boom() {
+    panic!("unreachable");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

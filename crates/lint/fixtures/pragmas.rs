@@ -1,0 +1,16 @@
+//! Fixture: pragma escapes suppress findings, demand reasons, and rot
+//! loudly when the finding they excused goes away.
+
+pub fn timed() -> u32 {
+    let _t0 = std::time::Instant::now(); // lint: allow(wall-clock) — measurement only; the value never reaches results
+    0
+}
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panic-policy)
+}
+
+// lint: allow(hash-iter) — nothing on the next line to suppress
+pub fn stale() -> u32 {
+    3
+}

@@ -1,0 +1,10 @@
+//! Fixture: `wall-clock` must fire on time sources in engine code.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,396 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The container is offline, so `syn` is not an option; the rules in this
+//! crate only need token identity and line numbers, not a parse tree. The
+//! lexer's single job is to never confuse the three syntactic worlds a
+//! naive `grep` conflates: code, comments, and string literals. `"panic!"`
+//! inside a string is a literal, `// unwrap()` inside a comment is prose,
+//! and `r#"HashMap"#` inside a raw string is data — none of them may ever
+//! reach a rule as an identifier token.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`(`, `:`, `!`, …).
+    Punct,
+    /// A literal the rules never look inside: string, raw string, char,
+    /// byte string, or number.
+    Lit,
+}
+
+/// One code token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token text; for [`TokKind::Lit`] only a placeholder kind tag.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+/// One comment (line or block) with its source line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` or `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when code precedes the comment on the same line (a trailing
+    /// comment annotates its own line; a standalone one annotates the next
+    /// code line).
+    pub trailing: bool,
+}
+
+/// The lexer's output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens.
+    pub toks: Vec<Tok>,
+    /// Comments (line and block).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// Unterminated strings or comments lex to end-of-file rather than
+/// erroring: the linter runs on code `cargo check` already accepted, so
+/// malformed input only occurs on fixture snippets, where best-effort is
+/// the right behavior.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut last_code_line = 0u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    trailing: last_code_line == line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(b.len())].to_string(),
+                    line: start_line,
+                    trailing: last_code_line == start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.toks.push(Tok {
+                    text: "\"str\"".to_string(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+                last_code_line = line;
+            }
+            b'r' | b'b' => {
+                if let Some(next) = raw_or_byte_literal(b, i, &mut line) {
+                    i = next;
+                    out.toks.push(Tok {
+                        text: "\"str\"".to_string(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                    last_code_line = line;
+                } else if c == b'r' && b.get(i + 1) == Some(&b'#') {
+                    // Raw identifier `r#ident`: skip the prefix, lex the
+                    // identifier itself.
+                    i += 2;
+                } else {
+                    i = push_ident(src, b, i, line, &mut out);
+                    last_code_line = line;
+                }
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` with no closing quote in
+                // reach is a lifetime; everything else is a char literal.
+                let is_char = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(&b'\\'), _) => true,
+                    (Some(&n), Some(&b'\'')) if n != b'\'' => true,
+                    _ => false,
+                };
+                if is_char {
+                    i += 1; // opening quote
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.toks.push(Tok {
+                        text: "'c'".to_string(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        text: "'life".to_string(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                }
+                last_code_line = line;
+            }
+            _ if is_ident_start(c) => {
+                i = push_ident(src, b, i, line, &mut out);
+                last_code_line = line;
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers never matter to the rules; `.` is left out so
+                // ranges (`0..n`) lex as separate punctuation.
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    text: "0".to_string(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+                last_code_line = line;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    text: (c as char).to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                last_code_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn push_ident(src: &str, b: &[u8], mut i: usize, line: u32, out: &mut Lexed) -> usize {
+    let start = i;
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    out.toks.push(Tok {
+        text: src[start..i].to_string(),
+        line,
+        kind: TokKind::Ident,
+    });
+    i
+}
+
+/// Skips a normal (escaped) string literal starting at the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            // An escape may be a line continuation (`\` + newline), whose
+            // newline still advances the line counter.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Detects and skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and `b'…'`
+/// literals starting at `i`. Returns the index past the literal, or
+/// `None` when `i` does not start one.
+fn raw_or_byte_literal(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let (mut j, raw) = match b[i] {
+        b'r' => (i + 1, true),
+        b'b' => match b.get(i + 1) {
+            Some(&b'r') => (i + 2, true),
+            Some(&b'"') => return Some(skip_string(b, i + 1, line)),
+            Some(&b'\'') => {
+                // Byte char literal b'x' / b'\n'.
+                let mut k = i + 2;
+                while k < b.len() && b[k] != b'\'' {
+                    if b[k] == b'\\' {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                return Some(k + 1);
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let end = j + 1;
+            if b[end..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+                return Some(end + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r####"
+            // HashMap in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let s = "panic!(HashMap)";
+            let r = r#"Instant "quoted" SystemTime"#;
+            let real = HashSet::new();
+        "####;
+        let ids = idents(src);
+        assert!(ids.contains(&"HashSet".to_string()));
+        assert!(!ids.iter().any(|t| t == "HashMap"));
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(!ids.iter().any(|t| t == "Instant"));
+        assert!(!ids.iter().any(|t| t == "SystemTime"));
+        assert!(!ids.iter().any(|t| t == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The char literal 'x' must not swallow the rest of the line.
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = HashMap::new();";
+        let l = lex(src);
+        let hm = l
+            .toks
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap");
+        assert_eq!(hm.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_string_continuations() {
+        // `\` + newline is a line continuation inside a string literal;
+        // its newline must still advance the line counter.
+        let src = "let a = \"one \\\n         two\";\nlet b = HashMap::new();";
+        let l = lex(src);
+        let hm = l
+            .toks
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap");
+        assert_eq!(hm.line, 3);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "let a = 1; // trailing\n// standalone\nlet b = 2;";
+        let l = lex(src);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn byte_literals_are_opaque() {
+        let ids = idents("let x = b\"unwrap\"; let y = b'u'; let z = br#\"panic\"#;");
+        assert!(!ids.iter().any(|t| t == "unwrap"));
+        assert!(!ids.iter().any(|t| t == "panic"));
+    }
+}

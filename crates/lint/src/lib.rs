@@ -1,0 +1,93 @@
+//! `wilis-lint`: a std-only static analyzer for the workspace's own
+//! invariants.
+//!
+//! The simulator's central contract — bit-identical results at any thread
+//! count, allocation-free steady-state hot paths, no panics on
+//! user-reachable input — is invisible to `rustc` and `clippy`: nothing
+//! stops a `HashMap` iteration from leaking hasher order into a sweep
+//! summary, or a `Vec::new` from sneaking into a per-packet loop. This
+//! crate walks every `.rs` file with its own comment/string-aware lexer
+//! (the container is offline; `syn` is not available) and enforces those
+//! rules mechanically, with `file:line` diagnostics, a JSON report for
+//! CI, and pragma escapes that must carry a written reason.
+//!
+//! Run it with `cargo run -p wilis-lint` from anywhere in the workspace;
+//! it exits nonzero when any finding survives the pragmas.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+pub use report::{Allowed, Finding, Report};
+pub use rules::{analyze, SourceFile, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directories under the repo root that are walked for `.rs` files.
+const SCAN_ROOTS: [&str; 3] = ["crates", "tests", "examples"];
+
+/// Path components that are never scanned: build output and the lint
+/// crate's own rule-violation corpus.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+/// Collects every `.rs` file under the scan roots, repo-relative and
+/// sorted, so reports are stable across filesystems.
+pub fn collect_files(repo_root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for root in SCAN_ROOTS {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(repo_root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = std::fs::read_to_string(&p)?;
+        out.push(SourceFile::new(rel, text));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the repo root: walks up from `start` to the first directory
+/// holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,87 @@
+//! CLI entry point: walk the workspace, run every rule, print
+//! diagnostics, optionally write the JSON report, exit nonzero on
+//! findings.
+//!
+//! ```text
+//! wilis-lint [--root <dir>] [--json <path>] [--quiet]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wilis_lint::{analyze, collect_files, find_repo_root, RULES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: wilis-lint [--root <dir>] [--json <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("wilis-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            // Resolve from the manifest dir when run via `cargo run`,
+            // falling back to the current directory.
+            let start = std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            match find_repo_root(&start).or_else(|| {
+                std::env::current_dir()
+                    .ok()
+                    .and_then(|d| find_repo_root(&d))
+            }) {
+                Some(r) => r,
+                None => {
+                    eprintln!("wilis-lint: no workspace Cargo.toml found; pass --root");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let files = match collect_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "wilis-lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = analyze(&files);
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json(&RULES)) {
+            eprintln!("wilis-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,200 @@
+//! Pragma escapes and `no_alloc` annotations.
+//!
+//! Two comment-level directives drive the linter:
+//!
+//! * `// lint: allow(<rule>) — <reason>` suppresses findings of `<rule>`
+//!   on the pragma's own line (trailing form) or on the next code line
+//!   (standalone form). The reason is **mandatory** — a pragma without one
+//!   is itself a finding, so every escape in the tree carries its
+//!   justification next to the code it excuses. `—`, `--`, and ` - ` are
+//!   all accepted as the separator.
+//! * `// lint: no_alloc` marks the next `fn` (or every `fn` inside the
+//!   next `mod`/`impl`) as allocation-free in the steady state; the
+//!   `no-alloc` rule then rejects unconditionally-allocating calls in the
+//!   function and everything it reaches through the intra-crate call map.
+
+use crate::lexer::Comment;
+
+/// A parsed `allow` pragma.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// The line whose findings are suppressed.
+    pub target_line: u32,
+    /// The line the pragma comment itself is on.
+    pub pragma_line: u32,
+}
+
+/// A `no_alloc` annotation; the annotated item is resolved later against
+/// the token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct NoAlloc {
+    /// The line the annotation comment is on; the annotated item is the
+    /// next `fn`/`mod`/`impl` after it.
+    pub line: u32,
+}
+
+/// A malformed directive — reported as a finding by the `pragma` rule.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// The offending line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Everything extracted from one file's comments.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// Well-formed `allow` pragmas.
+    pub allows: Vec<Allow>,
+    /// `no_alloc` annotations.
+    pub no_allocs: Vec<NoAlloc>,
+    /// Malformed directives.
+    pub errors: Vec<PragmaError>,
+}
+
+/// Extracts directives from `comments`. `next_code_line` maps a comment
+/// line to the first following line holding a code token (for standalone
+/// pragmas); it is built from the token stream by the caller.
+pub fn extract(comments: &[Comment], next_code_line: impl Fn(u32) -> u32) -> Pragmas {
+    let mut out = Pragmas::default();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(directive) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        if directive == "no_alloc" {
+            out.no_allocs.push(NoAlloc { line: c.line });
+            continue;
+        }
+        if let Some(rest) = directive.strip_prefix("allow(") {
+            let Some(close) = rest.find(')') else {
+                out.errors.push(PragmaError {
+                    line: c.line,
+                    message: "malformed pragma: missing ')' in `lint: allow(<rule>)`".to_string(),
+                });
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let tail = rest[close + 1..].trim();
+            let reason = ["—", "--", "-"]
+                .iter()
+                .find_map(|sep| tail.strip_prefix(sep))
+                .map(str::trim)
+                .unwrap_or("");
+            if rule.is_empty() {
+                out.errors.push(PragmaError {
+                    line: c.line,
+                    message: "malformed pragma: empty rule name".to_string(),
+                });
+            } else if reason.is_empty() {
+                out.errors.push(PragmaError {
+                    line: c.line,
+                    message: format!(
+                        "pragma `allow({rule})` carries no reason; write \
+                         `// lint: allow({rule}) — <why this is sound>`"
+                    ),
+                });
+            } else {
+                out.allows.push(Allow {
+                    rule,
+                    reason: reason.to_string(),
+                    target_line: if c.trailing {
+                        c.line
+                    } else {
+                        next_code_line(c.line)
+                    },
+                    pragma_line: c.line,
+                });
+            }
+        } else {
+            out.errors.push(PragmaError {
+                line: c.line,
+                message: format!(
+                    "unknown lint directive {directive:?}; expected \
+                     `allow(<rule>) — <reason>` or `no_alloc`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas(src: &str) -> Pragmas {
+        let l = lex(src);
+        let toks = l.toks;
+        extract(&l.comments, move |line| {
+            toks.iter()
+                .map(|t| t.line)
+                .find(|&l| l > line)
+                .unwrap_or(line + 1)
+        })
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let p = pragmas("let t = now(); // lint: allow(wall-clock) — bench only\n");
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].target_line, 1);
+        assert_eq!(p.allows[0].rule, "wall-clock");
+        assert_eq!(p.allows[0].reason, "bench only");
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let p =
+            pragmas("// lint: allow(panic-policy) — infallible by construction\n\nx.unwrap();\n");
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let p = pragmas("// lint: allow(hash-iter)\nlet m = 1;\n");
+        assert!(p.allows.is_empty());
+        assert_eq!(p.errors.len(), 1);
+        assert!(p.errors[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn ascii_separators_accepted() {
+        let p =
+            pragmas("let a = 1; // lint: allow(x) -- why\nlet b = 2; // lint: allow(y) - why2\n");
+        assert_eq!(p.allows.len(), 2);
+        assert_eq!(p.allows[0].reason, "why");
+        assert_eq!(p.allows[1].reason, "why2");
+    }
+
+    #[test]
+    fn no_alloc_annotation_extracted() {
+        let p = pragmas("// lint: no_alloc\nfn hot() {}\n");
+        assert_eq!(p.no_allocs.len(), 1);
+        assert_eq!(p.no_allocs[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let p = pragmas("// lint: disable(everything)\n");
+        assert_eq!(p.errors.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let p = pragmas("// just prose about lint: things\n/// doc\nfn f() {}\n");
+        assert!(p.allows.is_empty() && p.no_allocs.is_empty() && p.errors.is_empty());
+    }
+}

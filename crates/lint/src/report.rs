@@ -1,0 +1,192 @@
+//! The machine-readable report: findings, granted escapes, and counts,
+//! serialized as JSON by hand (std-only crate — no serde in the offline
+//! container).
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`hash-iter`, …).
+    pub rule: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation with the suggested fix.
+    pub message: String,
+}
+
+/// One finding suppressed by a pragma — reported so the escape inventory
+/// is visible in CI artifacts, not just in scattered comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowed {
+    /// Rule name.
+    pub rule: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// The pragma's mandatory reason.
+    pub reason: String,
+}
+
+/// The complete analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Pragma-suppressed findings, sorted by (file, line).
+    pub allowed: Vec<Allowed>,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable diagnostic listing.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            s,
+            "wilis-lint: {} file(s) scanned, {} finding(s), {} allowed by pragma",
+            self.files_scanned,
+            self.findings.len(),
+            self.allowed.len()
+        );
+        s
+    }
+
+    /// Renders the JSON report (schema checked by `tools/check_lint.py`).
+    pub fn render_json(&self, rules: &[&str]) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"wilis-lint\",\n");
+        s.push_str("  \"version\": 1,\n");
+        let rule_list = rules
+            .iter()
+            .map(|r| json_str(r))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(s, "  \"rules\": [{rule_list}],");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"findings\": [");
+        for (k, f) in self.findings.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str("  \"allowed\": [");
+        for (k, a) in self.allowed.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        if !self.allowed.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        let _ = writeln!(
+            s,
+            "  \"counts\": {{\"findings\": {}, \"allowed\": {}}}",
+            self.findings.len(),
+            self.allowed.len()
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_renders_valid_skeleton() {
+        let r = Report {
+            files_scanned: 3,
+            ..Default::default()
+        };
+        let j = r.render_json(&["hash-iter"]);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"counts\": {\"findings\": 0, \"allowed\": 0}"));
+    }
+
+    #[test]
+    fn findings_serialize_with_all_fields() {
+        let r = Report {
+            files_scanned: 1,
+            findings: vec![Finding {
+                rule: "hash-iter".to_string(),
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                message: "said \"no\"".to_string(),
+            }],
+            allowed: vec![Allowed {
+                rule: "wall-clock".to_string(),
+                file: "crates/y/src/lib.rs".to_string(),
+                line: 9,
+                reason: "bench only".to_string(),
+            }],
+        };
+        let j = r.render_json(&["hash-iter", "wall-clock"]);
+        assert!(j.contains("\"line\": 7"));
+        assert!(j.contains("said \\\"no\\\""));
+        assert!(j.contains("\"reason\": \"bench only\""));
+        assert!(j.contains("\"counts\": {\"findings\": 1, \"allowed\": 1}"));
+    }
+}

@@ -1,0 +1,735 @@
+//! The rule engine: per-file token scans, the intra-crate call map, and
+//! the five workspace invariants.
+//!
+//! | rule            | invariant it pins                                            |
+//! |-----------------|--------------------------------------------------------------|
+//! | `hash-iter`     | no `HashMap`/`HashSet` in engine crates (hash order leaks)   |
+//! | `wall-clock`    | no `Instant`/`SystemTime` outside the bench harness          |
+//! | `no-alloc`      | `// lint: no_alloc` functions never allocate, transitively   |
+//! | `panic-policy`  | `unwrap`/`expect`/`panic!` in library code carry a reason    |
+//! | `forbid-unsafe` | every crate root keeps `#![forbid(unsafe_code)]`             |
+//!
+//! A sixth internal rule, `pragma`, polices the escapes themselves:
+//! malformed directives, missing reasons, and pragmas that no longer
+//! suppress anything are all findings, so escapes cannot silently rot.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::pragma::{self, Pragmas};
+use crate::report::{Allowed, Finding, Report};
+
+/// The rule names, in report order.
+pub const RULES: [&str; 6] = [
+    "hash-iter",
+    "wall-clock",
+    "no-alloc",
+    "panic-policy",
+    "forbid-unsafe",
+    "pragma",
+];
+
+/// Crates whose whole purpose is timing measurement: exempt from
+/// `wall-clock` and `panic-policy` (bench drivers assert freely).
+const BENCH_CRATES: [&str; 1] = ["wilis-bench"];
+
+/// One source file handed to [`analyze`]. `path` is repo-relative with
+/// `/` separators; `crate_name` is the `crates/<name>` package it belongs
+/// to, `None` for root `tests/` and `examples/` files.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path (`crates/wilis/src/scenario.rs`).
+    pub path: String,
+    /// Package name from the path (`wilis`), `None` outside `crates/`.
+    pub crate_name: Option<String>,
+    /// File contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Builds a [`SourceFile`], deriving `crate_name` from the path.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        let path = path.into();
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(|s| s.to_string());
+        Self {
+            path,
+            crate_name,
+            text: text.into(),
+        }
+    }
+
+    fn package(&self) -> Option<String> {
+        // `crates/<dir>` directory names match package names except for
+        // the `wilis-` prefix most crates carry; normalize to directory
+        // names and special-case the bench exemption below on both.
+        self.crate_name.clone()
+    }
+
+    fn is_engine_code(&self) -> bool {
+        match self.package() {
+            Some(name) => name != "bench" && self.path.contains("/src/"),
+            None => false,
+        }
+    }
+
+    fn is_bench_exempt(&self) -> bool {
+        match self.package() {
+            Some(name) => name == "bench" || BENCH_CRATES.contains(&name.as_str()),
+            None => true, // root tests/ and examples/ are driver code
+        }
+    }
+
+    fn is_crate_root(&self) -> bool {
+        self.path.ends_with("/src/lib.rs") || self.path.ends_with("/src/main.rs")
+    }
+}
+
+/// A function extracted from the token stream.
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    file: usize,
+    /// Token index of the `fn` keyword (for annotation matching).
+    kw_tok: usize,
+    /// `(line, construct)` pairs of unconditionally-allocating calls.
+    banned: Vec<(u32, String)>,
+    /// Names this function calls (free functions and methods alike).
+    calls: BTreeSet<String>,
+    /// Marked `// lint: no_alloc`.
+    no_alloc: bool,
+}
+
+struct FileAnalysis {
+    lexed: Lexed,
+    /// Per-token: inside a `#[cfg(test)]` / `#[test]` item.
+    test_mask: Vec<bool>,
+    pragmas: Pragmas,
+}
+
+/// Runs every rule over `files` and returns the report. Pure function of
+/// its inputs — the binary wraps it with filesystem walking, printing,
+/// and exit-code logic; tests call it on synthetic file sets.
+pub fn analyze(files: &[SourceFile]) -> Report {
+    let mut fn_table: Vec<FnInfo> = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        let lexed = lex(&file.text);
+        let (test_mask, test_lines) = test_spans(&lexed.toks);
+        let toks = &lexed.toks;
+        let mut pragmas = pragma::extract(&lexed.comments, |line| {
+            toks.iter()
+                .map(|t| t.line)
+                .find(|&l| l > line)
+                .unwrap_or(line + 1)
+        });
+        let in_test_lines = |line: u32| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+        pragmas.allows.retain(|a| !in_test_lines(a.target_line));
+        pragmas.no_allocs.retain(|n| !in_test_lines(n.line));
+
+        let first = fn_table.len();
+        extract_fns(fi, &lexed.toks, &test_mask, &mut fn_table);
+        apply_no_alloc(&lexed.toks, &pragmas, &mut fn_table[first..]);
+        analyses.push(FileAnalysis {
+            lexed,
+            test_mask,
+            pragmas,
+        });
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Pragma hygiene: malformed directives are findings no pragma can
+    // suppress.
+    for (fi, a) in analyses.iter().enumerate() {
+        for e in &a.pragmas.errors {
+            findings.push(Finding {
+                rule: "pragma".to_string(),
+                file: files[fi].path.clone(),
+                line: e.line,
+                message: e.message.clone(),
+            });
+        }
+        for al in &a.pragmas.allows {
+            if !RULES.contains(&al.rule.as_str()) {
+                findings.push(Finding {
+                    rule: "pragma".to_string(),
+                    file: files[fi].path.clone(),
+                    line: al.pragma_line,
+                    message: format!("pragma names unknown rule {:?}", al.rule),
+                });
+            }
+        }
+    }
+
+    // Token-scan rules.
+    for (fi, a) in analyses.iter().enumerate() {
+        let file = &files[fi];
+        let toks = &a.lexed.toks;
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || a.test_mask[k] {
+                continue;
+            }
+            let name = t.text.as_str();
+            if file.is_engine_code()
+                && file.crate_name.as_deref() != Some("lint")
+                && (name == "HashMap" || name == "HashSet")
+            {
+                findings.push(Finding {
+                    rule: "hash-iter".to_string(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{name} in an engine crate: iteration order depends on the \
+                         hasher and breaks the bit-identity contract; use BTreeMap/\
+                         BTreeSet or a sorted drain"
+                    ),
+                });
+            }
+            if file.is_engine_code()
+                && !file.is_bench_exempt()
+                && (name == "Instant" || name == "SystemTime")
+            {
+                findings.push(Finding {
+                    rule: "wall-clock".to_string(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{name} outside the bench harness: wall-clock reads in \
+                         engine code can leak timing into results; move the \
+                         measurement to `wilis-bench` or pragma with the reason \
+                         timing cannot affect outputs"
+                    ),
+                });
+            }
+            if file.is_engine_code() && !file.is_bench_exempt() {
+                let panicky = ((name == "unwrap" || name == "expect") && is_call(toks, k))
+                    || (name == "panic" && toks.get(k + 1).is_some_and(|n| n.text == "!"));
+                if panicky {
+                    findings.push(Finding {
+                        rule: "panic-policy".to_string(),
+                        file: file.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "{name} in non-test library code: panics need a written \
+                             justification; return an error for user-reachable \
+                             failures, or pragma with the invariant that makes \
+                             this unreachable"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if file.is_crate_root() && !has_forbid_unsafe(toks) {
+            findings.push(Finding {
+                rule: "forbid-unsafe".to_string(),
+                file: file.path.clone(),
+                line: 1,
+                message: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+
+    // no-alloc: transitive reachability over the per-crate call map.
+    findings.extend(no_alloc_findings(files, &analyses, &fn_table));
+
+    // Suppression: match findings against allow pragmas.
+    let mut allowed: Vec<Allowed> = Vec::new();
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    findings.retain(|f| {
+        if f.rule == "pragma" {
+            return true;
+        }
+        let fi = files.iter().position(|s| s.path == f.file);
+        let Some(fi) = fi else { return true };
+        for (ai, al) in analyses[fi].pragmas.allows.iter().enumerate() {
+            if al.rule == f.rule && al.target_line == f.line {
+                used.insert((fi, ai));
+                allowed.push(Allowed {
+                    rule: f.rule.clone(),
+                    file: f.file.clone(),
+                    line: f.line,
+                    reason: al.reason.clone(),
+                });
+                return false;
+            }
+        }
+        true
+    });
+
+    // Unused pragmas rot: a suppression that no longer suppresses
+    // anything must be deleted, not inherited by future code.
+    for (fi, a) in analyses.iter().enumerate() {
+        for (ai, al) in a.pragmas.allows.iter().enumerate() {
+            if RULES.contains(&al.rule.as_str()) && !used.contains(&(fi, ai)) {
+                findings.push(Finding {
+                    rule: "pragma".to_string(),
+                    file: files[fi].path.clone(),
+                    line: al.pragma_line,
+                    message: format!(
+                        "unused pragma: no {} finding on line {} to suppress; \
+                         delete it",
+                        al.rule, al.target_line
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    allowed.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    allowed.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    Report {
+        files_scanned: files.len(),
+        findings,
+        allowed,
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item, and
+/// returns the covered line ranges.
+fn test_spans(toks: &[Tok]) -> (Vec<bool>, Vec<(u32, u32)>) {
+    let mut mask = vec![false; toks.len()];
+    let mut ranges = Vec::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        if toks[k].text == "#" && toks.get(k + 1).is_some_and(|t| t.text == "[") {
+            let close = matching(toks, k + 1, "[", "]");
+            let inner = &toks[k + 2..close.min(toks.len())];
+            if is_test_attr(inner) {
+                let mut m = close + 1;
+                // Stacked attributes after the test attribute.
+                while m + 1 < toks.len() && toks[m].text == "#" && toks[m + 1].text == "[" {
+                    m = matching(toks, m + 1, "[", "]") + 1;
+                }
+                let end = item_end(toks, m);
+                for slot in mask.iter_mut().take((end + 1).min(toks.len())).skip(k) {
+                    *slot = true;
+                }
+                let last = end.min(toks.len().saturating_sub(1));
+                ranges.push((toks[k].line, toks[last].line));
+                k = end + 1;
+                continue;
+            }
+            k = close + 1;
+            continue;
+        }
+        k += 1;
+    }
+    (mask, ranges)
+}
+
+fn is_test_attr(inner: &[Tok]) -> bool {
+    match inner.first() {
+        Some(t) if t.text == "test" => true,
+        Some(t) if t.text == "cfg" => {
+            inner.iter().any(|t| t.text == "test") && !inner.iter().any(|t| t.text == "not")
+        }
+        _ => false,
+    }
+}
+
+/// Index of the bracket matching `toks[open]`.
+fn matching(toks: &[Tok], open: usize, op: &str, cl: &str) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Index of the last token of the item starting at `start`: the matching
+/// `}` of its first top-level `{`, or the first top-level `;`.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut seen_brace = false;
+    for (k, t) in toks.iter().enumerate().skip(start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                if t.text == "{" && depth == 0 {
+                    seen_brace = true;
+                }
+                depth += 1;
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 && seen_brace && t.text == "}" {
+                    return k;
+                }
+            }
+            ";" if depth == 0 => return k,
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True when the identifier at `k` heads a call: `name(`, possibly with a
+/// turbofish (`name::<T>(`).
+fn is_call(toks: &[Tok], k: usize) -> bool {
+    let mut j = k + 1;
+    if toks.get(j).is_some_and(|t| t.text == ":")
+        && toks.get(j + 1).is_some_and(|t| t.text == ":")
+        && toks.get(j + 2).is_some_and(|t| t.text == "<")
+    {
+        // Skip the turbofish generics.
+        let mut depth = 0i32;
+        j += 2;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    toks.get(j).is_some_and(|t| t.text == "(")
+}
+
+/// The path segment preceding `::name` at token `k`, skipping generic
+/// arguments: `Vec::new` → `Vec`, `Vec::<u8>::new` → `Vec`.
+fn path_head(toks: &[Tok], k: usize) -> Option<&str> {
+    if k < 3 || toks[k - 1].text != ":" || toks[k - 2].text != ":" {
+        return None;
+    }
+    let mut j = k - 3;
+    if toks[j].text == ">" {
+        let mut depth = 0i32;
+        loop {
+            match toks[j].text.as_str() {
+                ">" => depth += 1,
+                "<" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j < 3 || toks[j - 1].text != ":" || toks[j - 2].text != ":" {
+            return None;
+        }
+        j -= 3;
+    }
+    (toks[j].kind == TokKind::Ident).then(|| toks[j].text.as_str())
+}
+
+/// Types whose `new`/`from` constructors heap-allocate (or exist to).
+const ALLOCATING_TYPES: [&str; 7] = [
+    "Vec", "Box", "String", "VecDeque", "BTreeMap", "BTreeSet", "Rc",
+];
+
+/// Method names the call map never resolves: they are overwhelmingly std
+/// container/iterator/float methods, and a name-only map would misbind
+/// `.push(…)` or `.map(…)` to an unrelated crate function that happens to
+/// share the name. A crate function called through one of these names
+/// simply isn't followed — the light map trades that recall for zero
+/// false bindings.
+const STD_METHOD_NAMES: [&str; 40] = [
+    "map",
+    "filter",
+    "fold",
+    "reduce",
+    "zip",
+    "rev",
+    "enumerate",
+    "take",
+    "skip",
+    "chain",
+    "flat_map",
+    "for_each",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "swap",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "len",
+    "is_empty",
+    "first",
+    "last",
+    "contains",
+    "sum",
+    "min",
+    "max",
+    "copied",
+    "cloned",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "and_then",
+    "ok_or",
+    "write",
+    "fmt",
+];
+
+/// Extracts functions (outside test spans) with their banned-construct
+/// sites and callee-name sets.
+fn extract_fns(file: usize, toks: &[Tok], mask: &[bool], table: &mut Vec<FnInfo>) {
+    let mut k = 0usize;
+    while k < toks.len() {
+        if toks[k].text != "fn" || toks[k].kind != TokKind::Ident || mask[k] {
+            k += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(k + 1).filter(|t| t.kind == TokKind::Ident) else {
+            k += 1;
+            continue;
+        };
+        // Find the body: first `{` at depth 0 after the signature, or `;`
+        // for a bodyless trait declaration.
+        let mut depth = 0i32;
+        let mut body_start = None;
+        let mut j = k + 2;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let mut info = FnInfo {
+            name: name_tok.text.clone(),
+            file,
+            kw_tok: k,
+            banned: Vec::new(),
+            calls: BTreeSet::new(),
+            no_alloc: false,
+        };
+        let next_k = if let Some(bs) = body_start {
+            let be = matching(toks, bs, "{", "}");
+            scan_body(toks, bs, be, &mut info);
+            // Continue right after the header so nested fns are found;
+            // their constructs are double-counted into the outer fn,
+            // which only errs toward strictness.
+            k + 2
+        } else {
+            j + 1
+        };
+        table.push(info);
+        k = next_k;
+    }
+}
+
+/// Records banned constructs and callee names in `toks[bs..=be]`.
+fn scan_body(toks: &[Tok], bs: usize, be: usize, info: &mut FnInfo) {
+    for k in bs..=be.min(toks.len().saturating_sub(1)) {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if toks.get(k + 1).is_some_and(|n| n.text == "!") {
+            if name == "vec" || name == "format" {
+                info.banned.push((t.line, format!("{name}!")));
+            }
+            continue;
+        }
+        if !is_call(toks, k) {
+            continue;
+        }
+        match name {
+            "with_capacity" | "to_vec" | "to_owned" | "to_string" | "collect" => {
+                info.banned.push((t.line, name.to_string()));
+            }
+            "clone" => {
+                // `Arc::clone`/`Rc::clone` are refcount bumps, not heap
+                // allocations (and `Rc::new` is still banned).
+                if !matches!(path_head(toks, k), Some("Arc") | Some("Rc")) {
+                    info.banned.push((t.line, "clone".to_string()));
+                }
+            }
+            "new" | "from" => {
+                if let Some(head) = path_head(toks, k) {
+                    if ALLOCATING_TYPES.contains(&head) {
+                        info.banned.push((t.line, format!("{head}::{name}")));
+                    }
+                }
+            }
+            _ => {
+                if !STD_METHOD_NAMES.contains(&name) {
+                    info.calls.insert(name.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Applies `// lint: no_alloc` annotations to the file's functions: the
+/// next `fn` after the annotation line, or every `fn` inside the next
+/// `mod`/`impl` block.
+fn apply_no_alloc(toks: &[Tok], pragmas: &Pragmas, fns: &mut [FnInfo]) {
+    for ann in &pragmas.no_allocs {
+        // First token at or after the annotation line.
+        let Some(mut k) = toks.iter().position(|t| t.line > ann.line) else {
+            continue;
+        };
+        // Walk the item header: attributes, visibility, qualifiers.
+        loop {
+            match toks.get(k).map(|t| t.text.as_str()) {
+                Some("#") if toks.get(k + 1).is_some_and(|t| t.text == "[") => {
+                    k = matching(toks, k + 1, "[", "]") + 1;
+                }
+                Some("pub") => {
+                    k += 1;
+                    if toks.get(k).is_some_and(|t| t.text == "(") {
+                        k = matching(toks, k, "(", ")") + 1;
+                    }
+                }
+                Some("const") | Some("async") | Some("unsafe") | Some("extern") => k += 1,
+                _ => break,
+            }
+        }
+        match toks.get(k).map(|t| t.text.as_str()) {
+            Some("fn") => {
+                if let Some(f) = fns.iter_mut().find(|f| f.kw_tok == k) {
+                    f.no_alloc = true;
+                }
+            }
+            Some("mod") | Some("impl") | Some("trait") => {
+                let Some(bs) = (k..toks.len()).find(|&j| toks[j].text == "{") else {
+                    continue;
+                };
+                let be = matching(toks, bs, "{", "}");
+                for f in fns.iter_mut() {
+                    if f.kw_tok > bs && f.kw_tok < be {
+                        f.no_alloc = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Transitive allocation findings: from each `no_alloc` root, walk the
+/// intra-crate call map (names resolved only when unambiguous — a light
+/// map, not a type checker) and report every banned construct reached.
+fn no_alloc_findings(
+    files: &[SourceFile],
+    analyses: &[FileAnalysis],
+    fn_table: &[FnInfo],
+) -> Vec<Finding> {
+    let _ = analyses;
+    // Group functions by the call-map domain: the crate for crates/ code,
+    // the top-level directory otherwise.
+    let domain_of = |fi: usize| -> String {
+        let f = &files[fi];
+        match &f.crate_name {
+            Some(c) => format!("crates/{c}"),
+            None => f.path.split('/').next().unwrap_or("").to_string(),
+        }
+    };
+    let mut by_name: BTreeMap<(String, &str), Vec<usize>> = BTreeMap::new();
+    for (id, f) in fn_table.iter().enumerate() {
+        by_name
+            .entry((domain_of(f.file), f.name.as_str()))
+            .or_default()
+            .push(id);
+    }
+
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+    for (root_id, root) in fn_table.iter().enumerate() {
+        if !root.no_alloc {
+            continue;
+        }
+        let domain = domain_of(root.file);
+        // DFS with path tracking for the diagnostic chain.
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(root_id, vec![root_id])];
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
+        while let Some((id, chain)) = stack.pop() {
+            if !visited.insert(id) {
+                continue;
+            }
+            let f = &fn_table[id];
+            for (line, construct) in &f.banned {
+                if !reported.insert((f.file, *line, construct.clone())) {
+                    continue;
+                }
+                let via = chain
+                    .iter()
+                    .map(|&c| fn_table[c].name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                findings.push(Finding {
+                    rule: "no-alloc".to_string(),
+                    file: files[f.file].path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{construct}` allocates on a `no_alloc` path \
+                         (reached via {via}); reuse a scratch buffer, or pragma \
+                         with why this call is cold"
+                    ),
+                });
+            }
+            for callee in &f.calls {
+                if let Some(ids) = by_name.get(&(domain.clone(), callee.as_str())) {
+                    // Only unambiguous names resolve; `new` et al. have
+                    // many definitions and are skipped rather than
+                    // guessed.
+                    if ids.len() == 1 && !visited.contains(&ids[0]) {
+                        let mut c = chain.clone();
+                        c.push(ids[0]);
+                        stack.push((ids[0], c));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// True when the token stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}

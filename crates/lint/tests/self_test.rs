@@ -1,0 +1,237 @@
+//! Self-tests: each rule must fire on its fixture (the fixtures live in
+//! `fixtures/`, which the workspace walker skips — they violate the rules
+//! on purpose) and stay quiet on compliant code.
+
+#![forbid(unsafe_code)]
+
+use wilis_lint::{analyze, Report, SourceFile};
+
+/// Lints `src` as if it lived in an engine crate.
+fn engine(src: &str) -> Report {
+    analyze(&[SourceFile::new("crates/phy/src/fixture.rs", src)])
+}
+
+fn rules_fired(r: &Report) -> Vec<&str> {
+    r.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn hash_iter_fires_in_engine_crates() {
+    let r = engine(include_str!("../fixtures/hash_iter.rs"));
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "hash-iter")
+        .collect();
+    assert!(hits.len() >= 3, "use + 2 sites: {:?}", r.findings);
+    assert!(hits.iter().all(|f| f.message.contains("BTreeMap")));
+}
+
+#[test]
+fn hash_iter_exempt_in_bench_crate() {
+    let r = analyze(&[SourceFile::new(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/hash_iter.rs"),
+    )]);
+    assert!(r.clean(), "bench crates may hash: {:?}", r.findings);
+}
+
+#[test]
+fn wall_clock_fires_in_engine_crates() {
+    let r = engine(include_str!("../fixtures/wall_clock.rs"));
+    let hits = rules_fired(&r);
+    assert!(
+        hits.iter().filter(|&&x| x == "wall-clock").count() >= 3,
+        "Instant use + Instant::now + SystemTime::now: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn wall_clock_exempt_in_bench_crate() {
+    let r = analyze(&[SourceFile::new(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/wall_clock.rs"),
+    )]);
+    assert!(r.clean(), "bench crates may time: {:?}", r.findings);
+}
+
+#[test]
+fn no_alloc_fires_directly_and_transitively() {
+    let r = engine(include_str!("../fixtures/no_alloc.rs"));
+    let msgs: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "no-alloc")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("`vec!`")),
+        "direct macro allocation: {msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`Vec::new`") && m.contains("hot_path -> stage")),
+        "transitive allocation via the call map: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("`to_vec`")),
+        "to_vec ban: {msgs:?}"
+    );
+    assert!(
+        !msgs.iter().any(|m| m.contains("with_capacity")),
+        "unannotated, unreachable fns are out of scope: {msgs:?}"
+    );
+    assert!(
+        !msgs.iter().any(|m| m.contains("clone")),
+        "Arc::clone is a refcount bump, not an allocation: {msgs:?}"
+    );
+}
+
+#[test]
+fn no_alloc_allows_steady_state_buffer_reuse() {
+    let r = engine(
+        "// lint: no_alloc\n\
+         pub fn hot(buf: &mut Vec<u8>, src: &[u8]) {\n\
+             buf.clear();\n\
+             buf.reserve(src.len());\n\
+             buf.extend(src.iter().copied());\n\
+             buf.push(0);\n\
+             buf.resize(src.len() * 2, 0);\n\
+         }\n",
+    );
+    assert!(r.clean(), "reuse ops must pass: {:?}", r.findings);
+}
+
+#[test]
+fn no_alloc_on_impl_block_covers_every_method() {
+    let r = engine(
+        "pub struct S;\n\
+         // lint: no_alloc\n\
+         impl S {\n\
+             pub fn a(&self) -> Vec<u8> { Vec::new() }\n\
+             pub fn b(&self) -> String { format!(\"x\") }\n\
+         }\n",
+    );
+    let hits = r.findings.iter().filter(|f| f.rule == "no-alloc").count();
+    assert_eq!(hits, 2, "{:?}", r.findings);
+}
+
+#[test]
+fn panic_policy_fires_outside_tests_only() {
+    let r = engine(include_str!("../fixtures/panic_policy.rs"));
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-policy")
+        .collect();
+    assert_eq!(hits.len(), 3, "unwrap + expect + panic!: {:?}", r.findings);
+    // The #[cfg(test)] mod sits past line 15; none of its unwraps count.
+    assert!(hits.iter().all(|f| f.line < 15), "{:?}", r.findings);
+}
+
+#[test]
+fn forbid_unsafe_checks_crate_roots() {
+    let clean = analyze(&[SourceFile::new(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    )]);
+    assert!(clean.clean(), "{:?}", clean.findings);
+
+    let dirty = analyze(&[SourceFile::new("crates/x/src/lib.rs", "pub fn f() {}\n")]);
+    assert_eq!(rules_fired(&dirty), vec!["forbid-unsafe"]);
+
+    // Non-root files carry no such obligation.
+    let module = analyze(&[SourceFile::new("crates/x/src/helper.rs", "pub fn f() {}\n")]);
+    assert!(module.clean(), "{:?}", module.findings);
+}
+
+#[test]
+fn pragmas_suppress_demand_reasons_and_rot() {
+    let r = engine(include_str!("../fixtures/pragmas.rs"));
+    // The justified wall-clock escape is granted and inventoried.
+    assert!(
+        r.allowed
+            .iter()
+            .any(|a| a.rule == "wall-clock" && a.reason.contains("measurement only")),
+        "{:?}",
+        r.allowed
+    );
+    assert!(!rules_fired(&r).contains(&"wall-clock"), "{:?}", r.findings);
+    // The reasonless pragma is itself a finding and suppresses nothing.
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "pragma" && f.message.contains("no reason")),
+        "{:?}",
+        r.findings
+    );
+    assert!(
+        rules_fired(&r).contains(&"panic-policy"),
+        "{:?}",
+        r.findings
+    );
+    // The stale pragma with nothing left to suppress is a finding too.
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "pragma" && f.message.contains("unused pragma")),
+        "{:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn test_code_is_invisible_to_every_rule() {
+    let r = engine(
+        "#[cfg(test)]\n\
+         mod tests {\n\
+             use std::collections::HashMap;\n\
+             use std::time::Instant;\n\
+             #[test]\n\
+             fn t() {\n\
+                 let mut m = HashMap::new();\n\
+                 let _t = Instant::now();\n\
+                 m.insert(1, 2);\n\
+                 assert_eq!(m.len(), 1);\n\
+                 Option::<u32>::None.unwrap_or(0);\n\
+                 Some(3).unwrap();\n\
+             }\n\
+         }\n",
+    );
+    assert!(r.clean(), "{:?}", r.findings);
+}
+
+#[test]
+fn cfg_not_test_is_still_checked() {
+    let r = engine(
+        "#[cfg(not(test))]\n\
+         pub fn prod(x: Option<u32>) -> u32 {\n\
+             x.unwrap()\n\
+         }\n",
+    );
+    assert_eq!(rules_fired(&r), vec!["panic-policy"], "{:?}", r.findings);
+}
+
+#[test]
+fn clean_engine_code_passes() {
+    let r = engine(
+        "use std::collections::BTreeMap;\n\
+         pub fn partition(n: u64) -> BTreeMap<u64, usize> {\n\
+             let mut out = BTreeMap::new();\n\
+             out.insert(n, 1);\n\
+             out\n\
+         }\n",
+    );
+    assert!(r.clean(), "{:?}", r.findings);
+    assert_eq!(r.files_scanned, 1);
+}
+
+#[test]
+fn json_report_round_trips_the_counts() {
+    let r = engine(include_str!("../fixtures/hash_iter.rs"));
+    let j = r.render_json(&wilis_lint::RULES);
+    assert!(j.contains("\"tool\": \"wilis-lint\""));
+    assert!(j.contains(&format!("\"findings\": {}", r.findings.len())));
+    assert!(j.contains("\"rule\": \"hash-iter\""));
+}

@@ -127,7 +127,7 @@ impl<T> FifoCore<T> {
     fn deq(&mut self) -> Option<T> {
         if self.head_visible() {
             self.deq_count += 1;
-            Some(self.queue.pop_front().expect("head was visible").value)
+            Some(self.queue.pop_front().expect("head was visible").value) // lint: allow(panic-policy) — head_visible() was checked on the line above
         } else {
             None
         }

@@ -36,7 +36,7 @@ use std::fmt;
 /// per-module parameter boxes. `Hash` follows the ordered map, so equal
 /// parameter sets hash equally — hosts can key caches and work-sharing
 /// maps on a `Params` value directly.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Params {
     values: BTreeMap<String, String>,
 }
@@ -77,23 +77,52 @@ impl Params {
     }
 }
 
-/// Error returned when a registry lookup fails.
+/// Error returned when a registry lookup fails or a looked-up
+/// configuration is rejected by a host's preflight validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RegistryError {
-    slot: String,
-    requested: String,
-    available: Vec<String>,
+pub enum RegistryError {
+    /// `requested` is not registered in `slot`.
+    UnknownName {
+        /// The registry slot consulted.
+        slot: String,
+        /// The name that failed to resolve.
+        requested: String,
+        /// Every name that would have resolved, sorted.
+        available: Vec<String>,
+    },
+    /// Every name resolved, but the combination is invalid (e.g. a link
+    /// policy that adapts on a signal its decoder does not produce).
+    InvalidConfig {
+        /// Human-readable description of the rejected configuration.
+        message: String,
+    },
+}
+
+impl RegistryError {
+    /// Builds the rejection for a structurally invalid configuration.
+    pub fn invalid_config(message: impl Into<String>) -> Self {
+        RegistryError::InvalidConfig {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for RegistryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "no implementation {:?} registered for slot {:?} (available: {})",
-            self.requested,
-            self.slot,
-            self.available.join(", ")
-        )
+        match self {
+            RegistryError::UnknownName {
+                slot,
+                requested,
+                available,
+            } => write!(
+                f,
+                "no implementation {requested:?} registered for slot {slot:?} (available: {})",
+                available.join(", ")
+            ),
+            RegistryError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+        }
     }
 }
 
@@ -139,7 +168,7 @@ impl<I> Registry<I> {
     pub fn build(&self, name: &str, params: &Params) -> Result<I, RegistryError> {
         match self.factories.get(name) {
             Some(f) => Ok(f(params)),
-            None => Err(RegistryError {
+            None => Err(RegistryError::UnknownName {
                 slot: self.slot.clone(),
                 requested: name.to_string(),
                 available: self.names(),

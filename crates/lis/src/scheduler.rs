@@ -2,7 +2,7 @@
 
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -72,7 +72,7 @@ struct Domain {
 pub struct SystemBuilder {
     domains: Vec<Domain>,
     probes: Vec<Box<dyn LinkProbe>>,
-    named: HashMap<String, NamedConnection>,
+    named: BTreeMap<String, NamedConnection>,
 }
 
 struct NamedConnection {
@@ -86,7 +86,7 @@ impl SystemBuilder {
         Self {
             domains: Vec::new(),
             probes: Vec::new(),
-            named: HashMap::new(),
+            named: BTreeMap::new(),
         }
     }
 
@@ -174,13 +174,14 @@ impl SystemBuilder {
         let conn = self
             .named
             .get_mut(name)
-            .unwrap_or_else(|| panic!("no connection named {name:?}"));
+            .unwrap_or_else(|| panic!("no connection named {name:?}")); // lint: allow(panic-policy) — documented panicking API (`# Panics`): misnaming a connection is a programmer error
         let boxed = conn
             .sink
             .take()
-            .unwrap_or_else(|| panic!("sink of {name:?} already taken"));
+            .unwrap_or_else(|| panic!("sink of {name:?} already taken")); // lint: allow(panic-policy) — documented panicking API (`# Panics`): double-claiming an endpoint is a programmer error
         *boxed
             .downcast::<Sink<T>>()
+            // lint: allow(panic-policy) — documented panicking API (`# Panics`): a type mismatch is a programmer error
             .unwrap_or_else(|_| panic!("connection {name:?} has a different element type"))
     }
 
@@ -194,13 +195,14 @@ impl SystemBuilder {
         let conn = self
             .named
             .get_mut(name)
-            .unwrap_or_else(|| panic!("no connection named {name:?}"));
+            .unwrap_or_else(|| panic!("no connection named {name:?}")); // lint: allow(panic-policy) — documented panicking API (`# Panics`): misnaming a connection is a programmer error
         let boxed = conn
             .source
             .take()
-            .unwrap_or_else(|| panic!("source of {name:?} already taken"));
+            .unwrap_or_else(|| panic!("source of {name:?} already taken")); // lint: allow(panic-policy) — documented panicking API (`# Panics`): double-claiming an endpoint is a programmer error
         *boxed
             .downcast::<Source<T>>()
+            // lint: allow(panic-policy) — documented panicking API (`# Panics`): a type mismatch is a programmer error
             .unwrap_or_else(|_| panic!("connection {name:?} has a different element type"))
     }
 
@@ -299,7 +301,7 @@ impl System {
             .iter()
             .map(|d| d.next_edge)
             .min()
-            .expect("at least one domain");
+            .expect("at least one domain"); // lint: allow(panic-policy) — build() rejects systems with zero clock domains
         for d in &mut self.domains {
             if d.next_edge == t {
                 d.clock.edges.set(d.clock.edges.get() + 1);
@@ -411,7 +413,7 @@ impl System {
         self.domains[id.domain].modules[id.slot]
             .as_any()
             .downcast_ref::<M>()
-            .expect("module type mismatch")
+            .expect("module type mismatch") // lint: allow(panic-policy) — documented panicking API (`# Panics`): a stale or mistyped id is a programmer error
     }
 
     /// Mutably borrows a module by id with its concrete type.
@@ -423,7 +425,7 @@ impl System {
         self.domains[id.domain].modules[id.slot]
             .as_any_mut()
             .downcast_mut::<M>()
-            .expect("module type mismatch")
+            .expect("module type mismatch") // lint: allow(panic-policy) — documented panicking API (`# Panics`): a stale or mistyped id is a programmer error
     }
 }
 

@@ -142,6 +142,7 @@ pub(crate) fn map_table(modulation: Modulation) -> &'static [Cplx] {
         let per_axis = modulation.bits_per_axis();
         (0..1usize << bps)
             .map(|v| {
+                // lint: allow(no-alloc) — cold: the constellation table is built once per modulation under OnceLock
                 let bits: Vec<u8> = (0..bps).map(|j| ((v >> (bps - 1 - j)) & 1) as u8).collect();
                 if modulation == Modulation::Bpsk {
                     Cplx::new(gray_axis(&bits[..1]) * k, 0.0)
@@ -151,7 +152,7 @@ pub(crate) fn map_table(modulation: Modulation) -> &'static [Cplx] {
                     Cplx::new(i, q)
                 }
             })
-            .collect()
+            .collect() // lint: allow(no-alloc) — cold: the constellation table is built once per modulation under OnceLock
     })
 }
 

@@ -294,12 +294,16 @@ impl OfdmDemodulator {
     ///
     /// Panics if `lane_samples` is empty, the lanes differ in length, or
     /// the common length is not a multiple of `SYMBOL_LEN`.
-    pub fn demodulate_packet_batch_into(&mut self, lane_samples: &[&[Cplx]], out: &mut Vec<Cplx>) {
+    pub fn demodulate_packet_batch_into<S: AsRef<[Cplx]>>(
+        &mut self,
+        lane_samples: &[S],
+        out: &mut Vec<Cplx>,
+    ) {
         let lanes = lane_samples.len();
         assert!(lanes > 0, "at least one lane");
-        let len = lane_samples[0].len();
+        let len = lane_samples[0].as_ref().len();
         assert!(
-            lane_samples.iter().all(|s| s.len() == len),
+            lane_samples.iter().all(|s| s.as_ref().len() == len),
             "all lanes must hold the same number of samples"
         );
         assert_eq!(len % SYMBOL_LEN, 0, "whole OFDM symbols of samples");
@@ -318,7 +322,7 @@ impl OfdmDemodulator {
             for (i, row) in freq.chunks_exact_mut(lanes).enumerate() {
                 let j = base + plan.fft().bitrev_of(i);
                 for (slot, lane) in row.iter_mut().zip(lane_samples) {
-                    *slot = lane[j];
+                    *slot = lane.as_ref()[j];
                 }
             }
             plan.fft().fft_stages_lanes(freq, lanes);

@@ -169,6 +169,7 @@ impl Transmitter {
     ///
     /// Panics if the payload is not a bit slice or the scramble seed is
     /// invalid.
+    // lint: no_alloc
     pub fn tx_into(
         &self,
         payload: &[u8],
@@ -187,7 +188,7 @@ impl Transmitter {
             packet_points,
             ..
         } = scratch;
-        let m = machinery.as_mut().expect("machinery ensured above");
+        let m = machinery.as_mut().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
 
         let fields = PacketBuilder::new(self.rate).assemble_into(payload, scramble_seed, data_bits);
         m.encoder.reset();
@@ -240,7 +241,7 @@ impl Transmitter {
             points,
             ..
         } = scratch;
-        let m = machinery.as_mut().expect("machinery ensured above");
+        let m = machinery.as_mut().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
 
         let fields = PacketBuilder::new(self.rate).assemble_into(payload, scramble_seed, data_bits);
         m.encoder.reset();
@@ -398,6 +399,7 @@ impl Receiver {
     ///
     /// Panics if `samples` is not exactly the packet's symbol count, or the
     /// scramble seed is invalid.
+    // lint: no_alloc
     pub fn rx_from(
         &mut self,
         samples: &[Cplx],
@@ -423,7 +425,7 @@ impl Receiver {
             decoded,
             ..
         } = scratch;
-        let m = machinery.as_ref().expect("machinery ensured above");
+        let m = machinery.as_ref().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
 
         ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();
@@ -471,9 +473,10 @@ impl Receiver {
     /// Panics if `lane_samples` is empty, `scramble_seeds` or `outs`
     /// disagree with it in length, any lane is not exactly the packet's
     /// symbol count, or a scramble seed is invalid.
-    pub fn rx_batch_from(
+    // lint: no_alloc
+    pub fn rx_batch_from<S: AsRef<[Cplx]>>(
         &mut self,
-        lane_samples: &[&[Cplx]],
+        lane_samples: &[S],
         payload_bits: usize,
         scramble_seeds: &[u8],
         scratch: &mut PhyScratch,
@@ -515,9 +518,10 @@ impl Receiver {
     ///
     /// Panics if `lane_samples` is empty or any lane is not exactly the
     /// packet's symbol count.
-    pub fn rx_batch_front_end_into(
+    // lint: no_alloc
+    pub fn rx_batch_front_end_into<S: AsRef<[Cplx]>>(
         &mut self,
-        lane_samples: &[&[Cplx]],
+        lane_samples: &[S],
         payload_bits: usize,
         scratch: &mut PhyScratch,
         mother_out: &mut Vec<Llr>,
@@ -527,7 +531,7 @@ impl Receiver {
         let fields = PacketFields::for_payload(self.rate, payload_bits);
         for lane in lane_samples {
             assert_eq!(
-                lane.len(),
+                lane.as_ref().len(),
                 fields.n_symbols * SYMBOL_LEN,
                 "sample count does not match packet layout"
             );
@@ -541,7 +545,7 @@ impl Receiver {
             punctured_llrs,
             ..
         } = scratch;
-        let m = machinery.as_ref().expect("machinery ensured above");
+        let m = machinery.as_ref().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
 
         ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();
@@ -566,6 +570,7 @@ impl Receiver {
     /// Panics if `lanes` is zero, `scramble_seeds`/`outs` disagree with
     /// it, `mother`'s length is not the packet's mother bits times
     /// `lanes`, or a scramble seed is invalid.
+    // lint: no_alloc
     pub fn rx_batch_decode_from(
         &mut self,
         mother: &[Llr],
@@ -638,7 +643,7 @@ impl Receiver {
             decoded,
             ..
         } = scratch;
-        let m = machinery.as_ref().expect("machinery ensured above");
+        let m = machinery.as_ref().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
 
         ofdm_rx.reset();
         let cbps = self.rate.coded_bits_per_symbol();

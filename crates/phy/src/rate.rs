@@ -98,14 +98,14 @@ impl PhyRate {
     /// The next faster rate, if any.
     pub fn faster(self) -> Option<PhyRate> {
         let all = Self::all();
-        let idx = all.iter().position(|&r| r == self).expect("rate in table");
+        let idx = all.iter().position(|&r| r == self).expect("rate in table"); // lint: allow(panic-policy) — `self` is one of Self::all() by construction of the enum
         all.get(idx + 1).copied()
     }
 
     /// The next slower rate, if any.
     pub fn slower(self) -> Option<PhyRate> {
         let all = Self::all();
-        let idx = all.iter().position(|&r| r == self).expect("rate in table");
+        let idx = all.iter().position(|&r| r == self).expect("rate in table"); // lint: allow(panic-policy) — `self` is one of Self::all() by construction of the enum
         idx.checked_sub(1).map(|i| all[i])
     }
 

@@ -79,7 +79,7 @@ pub fn run(decoder: DecoderKind, bits_per_curve: u64, seed: u64) -> Vec<Fig5Curv
         .collect();
     let results = SweepRunner::auto()
         .run(&scenarios)
-        .expect("stock decoder and channel names");
+        .expect("stock decoder and channel names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     configs
         .iter()
         .enumerate()

@@ -105,7 +105,7 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
     let results = SweepRunner::auto()
         .record_packet_stats(true)
         .run(&scenarios)
-        .expect("stock decoder and channel names");
+        .expect("stock decoder and channel names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     let points: Vec<ScatterPoint> = results
         .iter()
         .flat_map(|r| {
@@ -176,14 +176,14 @@ pub fn run_links(cfg: &Fig6Config) -> Vec<Fig6LinkPoint> {
     let scenarios = grid.scenarios();
     let results = SweepRunner::auto()
         .run(&scenarios)
-        .expect("stock decoder, channel, and link names");
+        .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     scenarios
         .iter()
         .zip(&results)
         .map(|(sc, r)| Fig6LinkPoint {
             snr_db: sc.snr_db,
             link: sc.link.clone(),
-            metrics: r.link.expect("link-enabled scenario"),
+            metrics: r.link.expect("link-enabled scenario"), // lint: allow(panic-policy) — the grid above sets a link policy on every scenario
         })
         .collect()
 }

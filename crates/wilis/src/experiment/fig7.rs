@@ -97,7 +97,7 @@ pub struct Fig7Result {
 }
 
 fn result_from(decoder: DecoderKind, r: &ScenarioResult) -> Fig7Result {
-    let m = r.link.expect("softrate scenario carries link metrics");
+    let m = r.link.expect("softrate scenario carries link metrics"); // lint: allow(panic-policy) — cfg.scenario() always sets the softrate link policy
     Fig7Result {
         decoder,
         stats: SelectionStats {
@@ -114,7 +114,7 @@ fn result_from(decoder: DecoderKind, r: &ScenarioResult) -> Fig7Result {
 pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
     let results = SweepRunner::new(1)
         .run(&[cfg.scenario(decoder)])
-        .expect("stock decoder, channel, and link names");
+        .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     result_from(decoder, &results[0])
 }
 
@@ -126,7 +126,7 @@ pub fn run_both(cfg: &Fig7Config) -> Vec<Fig7Result> {
     let scenarios: Vec<Scenario> = decoders.iter().map(|&d| cfg.scenario(d)).collect();
     let results = SweepRunner::auto()
         .run(&scenarios)
-        .expect("stock decoder, channel, and link names");
+        .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     decoders
         .iter()
         .zip(&results)

@@ -82,8 +82,8 @@
 //! assert_eq!(results, serial);
 //! ```
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use wilis_channel::{
@@ -686,47 +686,51 @@ impl SweepRunner {
         // throwaway environment.
         let (system, channels, links, contentions) = (self.env)();
         let mut checked: Vec<(&str, &str, &str, &str)> = Vec::new();
-        for sc in scenarios {
+        for (i, sc) in scenarios.iter().enumerate() {
             let key = (
                 sc.decoder.as_str(),
                 sc.channel.as_str(),
                 sc.link.as_str(),
                 sc.contention.as_str(),
             );
-            if sc.contention != "p2p" {
-                assert!(sc.nodes >= 1, "a contention cell needs at least one node");
+            if sc.contention != "p2p" && sc.nodes < 1 {
+                return Err(RegistryError::invalid_config(format!(
+                    "scenario {i} puts zero nodes in contention cell {:?}: a cell \
+                     needs at least one node",
+                    sc.contention
+                )));
             }
             if !checked.contains(&key) {
                 system.receiver(&SystemConfig::new(sc.rate, &sc.decoder))?;
                 channels.build(&sc.channel, &sc.channel_params)?;
                 if sc.link != "none" {
                     let policy = links.build(&sc.link, &sc.link_params)?;
-                    // An assert, not a RegistryError: both names exist,
-                    // the *pairing* is invalid — programmer error, which
-                    // this workspace consistently rejects by panicking
-                    // (`SweepRunner::new`, `PprConfig::new`, …).
-                    assert!(
-                        !policy.needs_pber()
-                            || DecoderKind::from_registry_name(&sc.decoder).is_some(),
-                        "link policy {:?} adapts on predicted PBER, but decoder {:?} \
-                         exports no SoftPHY BER estimate (its estimate would be a \
-                         constant 0.0); pair it with a soft decoder such as \"sova\" \
-                         or \"bcjr\"",
-                        sc.link,
-                        sc.decoder
-                    );
+                    // Every name resolved, but the *pairing* is invalid:
+                    // both halves come straight from user configuration,
+                    // so this is an error, not a panic.
+                    if policy.needs_pber() && DecoderKind::from_registry_name(&sc.decoder).is_none()
+                    {
+                        return Err(RegistryError::invalid_config(format!(
+                            "link policy {:?} adapts on predicted PBER, but decoder \
+                             {:?} exports no SoftPHY BER estimate (its estimate \
+                             would be a constant 0.0); pair it with a soft decoder \
+                             such as \"sova\" or \"bcjr\"",
+                            sc.link, sc.decoder
+                        )));
+                    }
                 }
                 if sc.contention != "p2p" {
                     contentions.build(&sc.contention, &sc.contention_params)?;
                     if sc.link != "none" {
                         let policy = links.build(&sc.link, &runtime_link_params(sc))?;
-                        assert!(
-                            !policy.adapts_rate(),
-                            "link policy {:?} steers the transmit rate, which a \
-                             contention cell does not support: every node of a cell \
-                             transmits at the scenario rate",
-                            sc.link
-                        );
+                        if policy.adapts_rate() {
+                            return Err(RegistryError::invalid_config(format!(
+                                "link policy {:?} steers the transmit rate, which a \
+                                 contention cell does not support: every node of a \
+                                 cell transmits at the scenario rate",
+                                sc.link
+                            )));
+                        }
                     }
                 }
                 checked.push(key);
@@ -743,11 +747,14 @@ impl SweepRunner {
         // transmit stream after the first verdict, so they keep the solo
         // path.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut shared_jobs: HashMap<GroupKey, usize> = HashMap::new();
+        // BTreeMap, not HashMap: job order must be a pure function of the
+        // scenario list, never of hasher state, for results to stay
+        // bit-identical across runs and thread counts by construction.
+        let mut shared_jobs: BTreeMap<GroupKey, usize> = BTreeMap::new();
         // adapts_rate() probes are cached per distinct (link, params):
         // large grids repeat a handful of policy configurations thousands
         // of times, and the probe builds a throwaway policy instance.
-        let mut adapts: HashMap<(String, Params), bool> = HashMap::new();
+        let mut adapts: BTreeMap<(String, Params), bool> = BTreeMap::new();
         for (i, sc) in scenarios.iter().enumerate() {
             // A contention cell is already a fused multi-session job of
             // its own: all N nodes run inside one worker job so the
@@ -844,7 +851,7 @@ impl SweepRunner {
         }
         Ok(slots
             .into_iter()
-            .map(|r| r.expect("every scenario is assigned to exactly one job"))
+            .map(|r| r.expect("every scenario is assigned to exactly one job")) // lint: allow(panic-policy) — the partition loop above pushes each index into exactly one job
             .collect())
     }
 
@@ -883,7 +890,7 @@ impl SweepRunner {
         });
         results
             .into_iter()
-            .map(|r| r.expect("worker filled every slot"))
+            .map(|r| r.expect("worker filled every slot")) // lint: allow(panic-policy) — run_indexed returns one result per job by construction
             .collect()
     }
 }
@@ -931,7 +938,7 @@ impl RateBank {
             let estimator = kind.map(|k| BerEstimator::analytic_for_rate(rate, k));
             self.rx[idx] = Some((system.receiver(&config)?, estimator));
         }
-        Ok(self.rx[idx].as_mut().expect("filled above"))
+        Ok(self.rx[idx].as_mut().expect("filled above")) // lint: allow(panic-policy) — the branch above just populated this slot
     }
 
     /// Removes the built machinery for `rate` from the bank — the fused
@@ -946,7 +953,7 @@ fn rate_index(rate: PhyRate) -> usize {
     PhyRate::all()
         .iter()
         .position(|&r| r == rate)
-        .expect("rate in table")
+        .expect("rate in table") // lint: allow(panic-policy) — PhyRate::all() contains every enum variant
 }
 
 /// Replays the packet at every rate against the identical channel
@@ -1202,7 +1209,7 @@ impl<'a> GroupMember<'a> {
         bank.get(system, &sc.decoder, decoder_kind, sc.rate)?;
         let (rx, estimator) = bank
             .take(sc.rate)
-            .expect("receiver built into the bank above");
+            .expect("receiver built into the bank above"); // lint: allow(panic-policy) — the bank was populated for this rate a few lines up
         let policy: Option<Box<dyn LinkPolicy>> = if sc.link == "none" {
             None
         } else {
@@ -1386,11 +1393,10 @@ fn run_group(
         // one front-end pass per class, then each member's decoder runs
         // on its class's shared mother stream. Bit-identical per lane to
         // `rx_from`.
-        let lane_refs: Vec<&[Cplx]> = lane_samples[..lanes].iter().map(|v| v.as_slice()).collect();
         for (c, &r) in class_reps.iter().enumerate() {
             let rep = &mut group[r];
             rep.rx.rx_batch_front_end_into(
-                &lane_refs,
+                &lane_samples[..lanes],
                 lead.payload_bits,
                 &mut rep.scratch,
                 &mut class_mothers[c],
@@ -1535,7 +1541,7 @@ fn run_cell(
     bank.get(system, &sc.decoder, decoder_kind, sc.rate)?;
     // Every node transmits at the scenario rate toward one receiver, so a
     // single receiver (and estimator) serves the whole cell.
-    let (mut rx, estimator) = bank.take(sc.rate).expect("receiver built above");
+    let (mut rx, estimator) = bank.take(sc.rate).expect("receiver built above"); // lint: allow(panic-policy) — the bank was populated for this rate a few lines up
 
     let mut channel_params = sc.channel_params.clone();
     channel_params.set("snr_db", &format!("{}", sc.snr_db));
@@ -2016,7 +2022,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no SoftPHY BER estimate")]
     fn softrate_with_hard_decoder_is_rejected() {
         // Hard Viterbi exports no BER estimator; adapting on a constant
         // 0.0 would be plausible-looking garbage, so the runner refuses.
@@ -2024,7 +2029,8 @@ mod tests {
             .decoders(&["viterbi"])
             .links(&["softrate"])
             .scenarios();
-        let _ = SweepRunner::new(1).run(&scenarios);
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("no SoftPHY BER estimate"), "{err}");
     }
 
     #[test]
@@ -2244,20 +2250,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "steers the transmit rate")]
     fn cells_reject_rate_adapting_link_policies() {
         let scenarios = SweepGrid::new()
             .contentions(&["csma"])
             .links(&["softrate"])
             .scenarios();
-        let _ = SweepRunner::new(1).run(&scenarios);
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(
+            err.to_string().contains("steers the transmit rate"),
+            "{err}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
     fn cells_reject_zero_nodes() {
         let scenarios = SweepGrid::new().contentions(&["csma"]).nodes(0).scenarios();
-        let _ = SweepRunner::new(1).run(&scenarios);
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("at least one node"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! A counting global allocator for zero-allocation steady-state tests.
+//!
+//! Lives in test-only code on purpose: a `GlobalAlloc` impl requires
+//! `unsafe`, and all eleven library crates carry `#![forbid(unsafe_code)]`
+//! (enforced by `wilis-lint`'s `forbid-unsafe` rule). Test binaries are
+//! separate crate roots, so the forbid stays intact where it matters.
+//!
+//! Two counters, incremented on every `alloc`/`alloc_zeroed`/`realloc`:
+//!
+//! * a thread-local count — immune to `cargo test`'s parallel test
+//!   threads, the right probe for single-threaded hot loops;
+//! * a process-global count — the only probe that can see worker threads
+//!   spawned by `SweepRunner`; tests using it serialize on [`lock`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Counts allocation events (not bytes) and forwards to [`System`].
+pub struct CountingAlloc;
+
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init: reading the counter must never itself allocate the
+    // lazy-init machinery mid-measurement.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // try_with: TLS may already be torn down during thread exit.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocation events on the calling thread since it started.
+pub fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// Allocation events process-wide since program start.
+pub fn global_allocs() -> u64 {
+    GLOBAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serializes tests in this binary so process-global deltas are not
+/// polluted by a concurrently running test's allocations.
+pub fn lock() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,190 @@
+//! Zero-allocation steady-state tests, the runtime half of `wilis-lint`'s
+//! static `no-alloc` rule: the lexical rule proves no allocating call is
+//! *written* on a `// lint: no_alloc` path, these tests prove none is
+//! *executed* once the scratch buffers are warm. Measured with a counting
+//! global allocator (`tests/support/alloc_count.rs`).
+//!
+//! Warm-up is part of the contract: the first packet may allocate freely
+//! (`ensure_rate` builds machinery, output vectors grow to capacity);
+//! every packet after it must allocate nothing.
+//!
+//! No `#![forbid(unsafe_code)]` here: the included allocator module is
+//! the one deliberate `unsafe` in the tree.
+
+#[path = "support/alloc_count.rs"]
+mod alloc_count;
+
+use alloc_count::{global_allocs, thread_allocs};
+use wilis::channel::{AwgnChannel, Channel, SnrDb};
+use wilis::fxp::rng::SmallRng;
+use wilis::phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
+use wilis::scenario::{SweepGrid, SweepRunner};
+
+#[global_allocator]
+static COUNTER: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+const RATE: PhyRate = PhyRate::QpskThreeQuarters;
+const PAYLOAD_BITS: usize = 600;
+const STEADY_ITERS: usize = 50;
+
+fn payload(rng: &mut SmallRng) -> Vec<u8> {
+    (0..PAYLOAD_BITS).map(|_| rng.gen_bit()).collect()
+}
+
+/// Solo path: `tx_into` + `rx_from` with reused scratch must not allocate
+/// after the first packet.
+#[test]
+fn solo_tx_rx_steady_state_allocates_nothing() {
+    let _serial = alloc_count::lock();
+    let mut rng = SmallRng::seed_from_u64(0x2A_0001);
+    let payload = payload(&mut rng);
+    let tx = Transmitter::new(RATE);
+    let mut rx = Receiver::sova(RATE);
+    let mut scratch = PhyScratch::new();
+    let mut samples = Vec::new();
+    let mut noisy = Vec::new();
+    let mut out = RxResult::default();
+    let mut channel = AwgnChannel::new(SnrDb::new(12.0), 7);
+
+    let one_packet = |scratch: &mut PhyScratch,
+                      rx: &mut Receiver,
+                      channel: &mut AwgnChannel,
+                      samples: &mut Vec<_>,
+                      noisy: &mut Vec<_>,
+                      out: &mut RxResult| {
+        tx.tx_into(&payload, 0x5D, scratch, samples);
+        noisy.clear();
+        noisy.extend_from_slice(samples);
+        channel.apply(noisy);
+        rx.rx_from(noisy, PAYLOAD_BITS, 0x5D, scratch, out);
+    };
+
+    // Warm-up: machinery construction and buffer growth may allocate.
+    one_packet(
+        &mut scratch,
+        &mut rx,
+        &mut channel,
+        &mut samples,
+        &mut noisy,
+        &mut out,
+    );
+
+    let before = thread_allocs();
+    for _ in 0..STEADY_ITERS {
+        one_packet(
+            &mut scratch,
+            &mut rx,
+            &mut channel,
+            &mut samples,
+            &mut noisy,
+            &mut out,
+        );
+    }
+    let delta = thread_allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "solo tx/rx steady state allocated {delta} times over {STEADY_ITERS} packets"
+    );
+    assert!(!out.payload.is_empty(), "the loop actually decoded packets");
+}
+
+/// Batched path: `rx_batch_from` over four lanes with reused scratch must
+/// not allocate after the first batch.
+#[test]
+fn batched_rx_steady_state_allocates_nothing() {
+    let _serial = alloc_count::lock();
+    let mut rng = SmallRng::seed_from_u64(0x2A_0002);
+    let payload = payload(&mut rng);
+    let tx = Transmitter::new(RATE);
+    let mut rx = Receiver::bcjr(RATE);
+    let mut scratch = PhyScratch::new();
+
+    const LANES: usize = 4;
+    let seeds = [0x11u8, 0x22, 0x33, 0x44];
+    let mut lane_bufs: Vec<Vec<_>> = Vec::new();
+    for seed in seeds {
+        let mut buf = Vec::new();
+        tx.tx_into(&payload, seed, &mut scratch, &mut buf);
+        AwgnChannel::new(SnrDb::new(12.0), u64::from(seed)).apply(&mut buf);
+        lane_bufs.push(buf);
+    }
+    let lanes: [&[_]; LANES] = [&lane_bufs[0], &lane_bufs[1], &lane_bufs[2], &lane_bufs[3]];
+    let mut outs: Vec<RxResult> = (0..LANES).map(|_| RxResult::default()).collect();
+
+    // Warm-up batch.
+    rx.rx_batch_from(&lanes, PAYLOAD_BITS, &seeds, &mut scratch, &mut outs);
+
+    let before = thread_allocs();
+    for _ in 0..STEADY_ITERS {
+        rx.rx_batch_from(&lanes, PAYLOAD_BITS, &seeds, &mut scratch, &mut outs);
+    }
+    let delta = thread_allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "batched rx steady state allocated {delta} times over {STEADY_ITERS} batches"
+    );
+    assert!(outs.iter().all(|o| !o.payload.is_empty()));
+}
+
+/// Fused shared-channel jobs: doubling the packet budget must not change
+/// the total allocation count — every per-packet step of the fused inner
+/// loop (generate, transmit, fade once; receive per member) runs out of
+/// reused buffers. The sweep spawns worker threads, so this uses the
+/// process-global counter under the serialization lock, and proves
+/// per-packet zero by delta equality rather than delta zero.
+#[test]
+fn fused_sweep_inner_loop_allocates_nothing_per_packet() {
+    let _serial = alloc_count::lock();
+    let grid = |packets: u32| {
+        SweepGrid::new()
+            .rates(&[RATE])
+            .decoders(&["viterbi", "sova", "bcjr"])
+            .snrs_db(&[10.0])
+            .seeds(&[9])
+            .packets(packets)
+            .payload_bits(PAYLOAD_BITS)
+            .scenarios()
+    };
+    let runner = SweepRunner::new(1);
+
+    // Warm-up run: one-time statics (constellation tables, registries).
+    runner.run(&grid(4)).expect("stock names");
+
+    let before_small = global_allocs();
+    let small = runner.run(&grid(40)).expect("stock names");
+    let delta_small = global_allocs() - before_small;
+
+    let before_large = global_allocs();
+    let large = runner.run(&grid(80)).expect("stock names");
+    let delta_large = global_allocs() - before_large;
+
+    assert_eq!(small.len(), 3, "three decoders fused over one channel");
+    assert!(large.iter().all(|r| r.packets == 80));
+    assert_eq!(
+        delta_small, delta_large,
+        "doubling the packet budget changed the allocation count \
+         ({delta_small} vs {delta_large}): the fused inner loop allocates \
+         per packet"
+    );
+}
+
+/// The counter itself must catch an injected allocation — guards against
+/// the measurement silently going dead (e.g. the global allocator not
+/// being installed).
+#[test]
+fn canary_detects_injected_allocations() {
+    let _serial = alloc_count::lock();
+    let before = thread_allocs();
+    let mut sink = 0u8;
+    for i in 0..STEADY_ITERS {
+        // The allocation a no_alloc path must never contain.
+        let v = vec![0u8; 64 + i];
+        sink = sink.wrapping_add(v[i]);
+    }
+    let delta = thread_allocs() - before;
+    assert!(
+        delta >= STEADY_ITERS as u64,
+        "counter missed injected allocations: {delta} < {STEADY_ITERS}"
+    );
+    assert_eq!(sink, 0);
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Schema checks for the wilis-lint JSON report (`--json` output).
+
+CI runs the linter with a report path and then validates the artifact,
+so a refactor of the report writer cannot silently change the format
+downstream tooling reads:
+
+    cargo run -q -p wilis-lint -- --json /tmp/lint_report.json
+    python3 tools/check_lint.py /tmp/lint_report.json
+"""
+
+import json
+import sys
+
+RULES = [
+    "hash-iter",
+    "wall-clock",
+    "no-alloc",
+    "panic-policy",
+    "forbid-unsafe",
+    "pragma",
+]
+
+
+def check(doc):
+    assert doc["tool"] == "wilis-lint", doc.get("tool")
+    assert doc["version"] == 1, doc.get("version")
+    assert doc["rules"] == RULES, doc.get("rules")
+    assert doc["files_scanned"] > 0, "an empty scan validates nothing"
+
+    for f in doc["findings"]:
+        assert f["rule"] in RULES, f
+        assert f["file"], f
+        assert f["line"] >= 1, f
+        assert f["message"], f
+
+    for a in doc["allowed"]:
+        assert a["rule"] in RULES, a
+        assert a["file"], a
+        assert a["line"] >= 1, a
+        # The pragma grammar makes the reason mandatory; an empty one
+        # here means the parser regressed.
+        assert a["reason"].strip(), a
+
+    counts = doc["counts"]
+    assert counts["findings"] == len(doc["findings"]), counts
+    assert counts["allowed"] == len(doc["allowed"]), counts
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        doc = json.load(fh)
+    check(doc)
+    print(
+        f"check_lint: ok ({doc['files_scanned']} files, "
+        f"{doc['counts']['findings']} findings, "
+        f"{doc['counts']['allowed']} allowed)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
