@@ -1,0 +1,133 @@
+//! HARQ soft-combining goodput: ARQ vs Chase combining vs incremental
+//! redundancy across the low-SNR waterfall.
+//!
+//! This is the workload the HARQ dimension opens: the same stop-and-wait
+//! session swept with and without a retained LLR plane. The bench times
+//! each link policy's sweep through the scenario engine at a punctured
+//! rate (QAM-16 3/4, so the IR schedule has fresh phases to cycle) and
+//! records the figures the soft-combining comparison is about: goodput,
+//! delivery rate, mean attempts per packet, the fraction of deliveries
+//! that only a combined plane decoded, and the post-IR effective code
+//! rate.
+//!
+//! Results go to stdout *and* to `BENCH_harq.json` (override the path
+//! with `WILIS_BENCH_OUT`), extending the perf trajectory. Schema
+//! (checked in CI by `tools/check_bench.py harq_sweep`, which also
+//! asserts the dominance contract: Chase combining never loses goodput
+//! to ARQ at any swept SNR, and incremental redundancy beats Chase at
+//! the lowest — most lossy — point):
+//!
+//! ```json
+//! {
+//!   "bench": "harq_sweep",
+//!   "rate": "qam16-3/4", "payload_bits": 0, "packets": 0,
+//!   "snrs_db": [10.0],
+//!   "links": [
+//!     {"link": "arq", "mean_secs": 0.0,
+//!      "points": [
+//!        {"snr_db": 10.0, "goodput": 0.0, "delivery_rate": 0.0,
+//!         "mean_attempts": 0.0, "recovered_fraction": 0.0,
+//!         "mean_effective_rate": 0.0, "attempts_hist": [0]}
+//!      ]}
+//!   ]
+//! }
+//! ```
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{render_link_table, ScenarioResult, SweepGrid, SweepRunner};
+use wilis_bench::harness::{bench, report};
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let payload_bits = 710usize;
+    // The QAM-16 3/4 waterfall: lossy at every point so each policy
+    // actually retransmits, steep enough that combining decides packets.
+    let snrs = [6.5, 7.5, 8.5, 9.5];
+    // Four total attempts per packet for every policy: ARQ's retry
+    // budget is phrased as retries-after-the-first.
+    let links: [(&str, &str, &str); 3] = [
+        ("arq", "max_retries", "3"),
+        ("harq-cc", "attempts", "4"),
+        ("harq-ir", "attempts", "4"),
+    ];
+    // Budget is payload bits per grid point.
+    let packets = (budget(150_000) / payload_bits as u64).max(8) as u32;
+    banner(&format!(
+        "harq_sweep: {} links x {} SNRs x {packets} packets of {payload_bits} bits \
+         @qam16-3/4 (WILIS_BITS to scale)",
+        links.len(),
+        snrs.len()
+    ));
+
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        3
+    };
+    let runner = SweepRunner::auto();
+    let mut all_results: Vec<ScenarioResult> = Vec::new();
+    let mut link_rows: Vec<String> = Vec::new();
+    for (link, key, value) in links {
+        let grid = SweepGrid::new()
+            .rates(&[PhyRate::Qam16ThreeQuarters])
+            .decoders(&["sova"])
+            .links(&[link])
+            .link_param(key, value)
+            .snrs_db(&snrs)
+            .packets(packets)
+            .payload_bits(payload_bits);
+        let scenarios = grid.scenarios();
+        let mut results = Vec::new();
+        let m = bench(&format!("harq_sweep/{link}"), iters, || {
+            results = runner.run(&scenarios).unwrap();
+        });
+        report(&m);
+        let mut points: Vec<String> = Vec::new();
+        for (sc, r) in scenarios.iter().zip(&results) {
+            let metrics = r.link.as_ref().expect("link metrics");
+            let hist = metrics
+                .attempts_hist
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            points.push(format!(
+                "{{\"snr_db\":{:.2},\"goodput\":{:.6},\"delivery_rate\":{:.6},\"mean_attempts\":{:.6},\"recovered_fraction\":{:.6},\"mean_effective_rate\":{:.6},\"attempts_hist\":[{hist}]}}",
+                sc.snr_db,
+                metrics.goodput(),
+                metrics.delivery_rate(),
+                metrics.mean_attempts(),
+                metrics.recovered_fraction(),
+                metrics.mean_effective_rate()
+            ));
+        }
+        link_rows.push(format!(
+            "{{\"link\":\"{link}\",\"mean_secs\":{:.9},\"points\":[{}]}}",
+            m.mean_secs,
+            points.join(",")
+        ));
+        all_results.extend(results);
+    }
+
+    println!("\n{}", render_link_table(&all_results));
+
+    let snr_list = snrs
+        .iter()
+        .map(|s| format!("{s:.2}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"bench\":\"harq_sweep\",\"rate\":\"qam16-3/4\",\"payload_bits\":{payload_bits},\"packets\":{packets},\"snrs_db\":[{snr_list}],\"links\":[{}]}}\n",
+        link_rows.join(",")
+    );
+    println!("JSON:\n{json}");
+    // Default to the workspace root (cargo runs bench binaries from the
+    // package directory), so the trajectory file lands next to README.md.
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_harq.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -12,7 +12,10 @@
 //! | `channel_throughput` | §3 — noise generation saturates the host |
 //! | `sweep_grid` | scenario engine — serial vs parallel Figure 5 grid |
 //! | `link_sweep` | link-layer sweeps — goodput per MAC policy |
+//! | `harq_sweep` | HARQ soft-combining vs ARQ goodput — `BENCH_harq.json` |
+//! | `cell_sweep` | contention cells — per-policy goodput, `BENCH_cell.json` |
 //! | `perf_trellis` | compiled vs reference decode kernels — `BENCH_trellis.json` |
+//! | `perf_batch` | lockstep batch decode vs scalar — `BENCH_batch.json` |
 //! | `perf_phy` | planned vs reference OFDM front-end — `BENCH_phy.json` |
 //! | `latency` | §4.3 — decoder pipeline latency formulas |
 //! | `decoupling` | §2 — decoupled vs lock-step transfer throughput |

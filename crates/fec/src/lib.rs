@@ -77,7 +77,7 @@ pub use code::ConvCode;
 pub use compiled::{CompiledBmu, CompiledTrellis};
 pub use encoder::ConvEncoder;
 pub use llr::{hard_llr, DecodeOutput, Llr, SoftDecoder, HINT_BITS, MAX_HINT};
-pub use puncture::{CodeRate, Depuncturer, Puncturer};
+pub use puncture::{combine_llrs_into, CodeRate, Depuncturer, Puncturer};
 pub use scratch::TrellisScratch;
 pub use sova::SovaDecoder;
 pub use trellis::Trellis;

@@ -54,6 +54,31 @@ impl fmt::Display for CodeRate {
     }
 }
 
+/// Saturating element-wise LLR combination: `acc[i] += fresh[i]`.
+///
+/// This is the Chase/IR combiner core: soft planes from repeated
+/// transmissions of the same mother block add coherently (independent
+/// noise adds incoherently), so the combined block decodes as if it had
+/// been received at a higher SNR. Addition saturates at the `i32` rails
+/// so a long retry run cannot wrap a confident bit into the opposite
+/// sign.
+///
+/// # Panics
+///
+/// Panics if the planes disagree on length — combining is only defined
+/// over the same mother-code geometry.
+// lint: no_alloc
+pub fn combine_llrs_into(acc: &mut [Llr], fresh: &[Llr]) {
+    assert_eq!(
+        acc.len(),
+        fresh.len(),
+        "LLR planes must share the mother-code geometry"
+    );
+    for (a, &f) in acc.iter_mut().zip(fresh) {
+        *a = a.saturating_add(f);
+    }
+}
+
 /// Deletes coded bits according to a [`CodeRate`] mask.
 ///
 /// # Example
@@ -75,12 +100,40 @@ impl fmt::Display for CodeRate {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Puncturer {
     rate: CodeRate,
+    phase: usize,
 }
 
 impl Puncturer {
-    /// A puncturer for `rate`.
+    /// A puncturer for `rate` at phase 0 (the standard 802.11a pattern).
     pub fn new(rate: CodeRate) -> Self {
-        Self { rate }
+        Self::with_phase(rate, 0)
+    }
+
+    /// A puncturer whose keep-mask is rotated left by `phase` positions:
+    /// mother bit `i` is kept iff `mask[(i + phase) % period] == 1`.
+    ///
+    /// Phase rotation is the incremental-redundancy mechanism: each HARQ
+    /// retransmission sends a *different* subset of the mother-code bits,
+    /// so the union across attempts covers more of the mother block and
+    /// the combined effective code rate drops. Over whole mask periods a
+    /// rotation keeps exactly as many bits as phase 0, so the transmitted
+    /// symbol geometry is phase-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not within the mask period.
+    pub fn with_phase(rate: CodeRate, phase: usize) -> Self {
+        assert!(
+            phase < rate.mask().len(),
+            "phase {phase} outside the {rate} mask period ({})",
+            rate.mask().len()
+        );
+        Self { rate, phase }
+    }
+
+    /// The mask phase this puncturer applies.
+    pub fn phase(&self) -> usize {
+        self.phase
     }
 
     /// Removes masked-out bits from a mother-coded stream, appending the
@@ -89,7 +142,7 @@ impl Puncturer {
         let mask = self.rate.mask();
         out.reserve(self.punctured_len(coded.len()));
         for (i, &b) in coded.iter().enumerate() {
-            if mask[i % mask.len()] == 1 {
+            if mask[(i + self.phase) % mask.len()] == 1 {
                 out.push(b);
             }
         }
@@ -108,7 +161,10 @@ impl Puncturer {
         let kept_per_period: usize = mask.iter().map(|&m| m as usize).sum();
         let full = mother_len / mask.len();
         let rem = mother_len % mask.len();
-        full * kept_per_period + mask[..rem].iter().map(|&m| m as usize).sum::<usize>()
+        let tail: usize = (0..rem)
+            .map(|i| mask[(i + self.phase) % mask.len()] as usize)
+            .sum();
+        full * kept_per_period + tail
     }
 }
 
@@ -118,12 +174,33 @@ impl Puncturer {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Depuncturer {
     rate: CodeRate,
+    phase: usize,
 }
 
 impl Depuncturer {
-    /// A depuncturer for `rate`.
+    /// A depuncturer for `rate` at phase 0 (the standard 802.11a pattern).
     pub fn new(rate: CodeRate) -> Self {
-        Self { rate }
+        Self::with_phase(rate, 0)
+    }
+
+    /// A depuncturer matching [`Puncturer::with_phase`]: erasures land on
+    /// the positions the rotated mask stole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not within the mask period.
+    pub fn with_phase(rate: CodeRate, phase: usize) -> Self {
+        assert!(
+            phase < rate.mask().len(),
+            "phase {phase} outside the {rate} mask period ({})",
+            rate.mask().len()
+        );
+        Self { rate, phase }
+    }
+
+    /// The mask phase this depuncturer expects.
+    pub fn phase(&self) -> usize {
+        self.phase
     }
 
     /// Expands received soft values back to `mother_len` positions.
@@ -146,7 +223,7 @@ impl Depuncturer {
     /// Panics if `llrs.len()` does not match the number of transmitted bits
     /// implied by `mother_len`.
     pub fn depuncture_into(&self, llrs: &[Llr], mother_len: usize, out: &mut Vec<Llr>) {
-        let expect = Puncturer::new(self.rate).punctured_len(mother_len);
+        let expect = Puncturer::with_phase(self.rate, self.phase).punctured_len(mother_len);
         assert_eq!(
             llrs.len(),
             expect,
@@ -157,7 +234,7 @@ impl Depuncturer {
         out.reserve(mother_len);
         let mut src = llrs.iter();
         for i in 0..mother_len {
-            if mask[i % mask.len()] == 1 {
+            if mask[(i + self.phase) % mask.len()] == 1 {
                 out.push(*src.next().expect("length checked above")); // lint: allow(panic-policy) — the assert above sized `llrs` to the mask weight
             } else {
                 out.push(0);
@@ -185,7 +262,7 @@ impl Depuncturer {
         out: &mut Vec<Llr>,
     ) {
         assert!(lanes > 0, "at least one lane");
-        let expect = Puncturer::new(self.rate).punctured_len(mother_len);
+        let expect = Puncturer::with_phase(self.rate, self.phase).punctured_len(mother_len);
         assert_eq!(
             llrs.len(),
             expect * lanes,
@@ -197,7 +274,7 @@ impl Depuncturer {
         out.reserve(mother_len * lanes);
         let mut rows = llrs.chunks_exact(lanes);
         for i in 0..mother_len {
-            if mask[i % mask.len()] == 1 {
+            if mask[(i + self.phase) % mask.len()] == 1 {
                 // lint: allow(panic-policy) — the assert above sized `llrs` to the mask weight
                 out.extend_from_slice(rows.next().expect("length checked above"));
             } else {
@@ -305,5 +382,111 @@ mod tests {
     fn wrong_length_panics() {
         let d = Depuncturer::new(CodeRate::TwoThirds);
         let _ = d.depuncture(&[1, 2, 3], 8);
+    }
+
+    #[test]
+    fn phase_zero_matches_unphased() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let mother: Vec<Llr> = (1..=24).collect();
+            assert_eq!(
+                Puncturer::with_phase(rate, 0).puncture(&mother),
+                Puncturer::new(rate).puncture(&mother),
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_kept_count_over_whole_periods() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let period = rate.mask().len();
+            for phase in 0..period {
+                let p = Puncturer::with_phase(rate, phase);
+                for periods in [1usize, 3, 7] {
+                    assert_eq!(
+                        p.punctured_len(periods * period),
+                        Puncturer::new(rate).punctured_len(periods * period),
+                        "{rate} phase {phase}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_roundtrip_restores_geometry() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let period = rate.mask().len();
+            for phase in 0..period {
+                let p = Puncturer::with_phase(rate, phase);
+                let d = Depuncturer::with_phase(rate, phase);
+                let mother: Vec<Llr> = (1..=24).collect();
+                let tx = p.puncture(&mother);
+                let rx = d.depuncture(&tx, mother.len());
+                for (i, (&orig, &got)) in mother.iter().zip(&rx).enumerate() {
+                    let kept = rate.mask()[(i + phase) % period] == 1;
+                    if kept {
+                        assert_eq!(got, orig, "{rate} phase {phase} kept bit {i}");
+                    } else {
+                        assert_eq!(got, 0, "{rate} phase {phase} stolen bit {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_punctured_len_handles_partial_periods() {
+        for rate in [CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for phase in 0..rate.mask().len() {
+                let p = Puncturer::with_phase(rate, phase);
+                for len in 0..30 {
+                    let bits = vec![0u8; len];
+                    assert_eq!(
+                        p.puncture(&bits).len(),
+                        p.punctured_len(len),
+                        "{rate} phase {phase} len {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ir_phase_union_lowers_effective_rate() {
+        // The default 3/4 IR schedule {0, 3} covers every mother position:
+        // mask 1 1 1 0 0 1 rotated by 3 is 0 0 1 1 1 1 — together rate 1/2.
+        let rate = CodeRate::ThreeQuarters;
+        let period = rate.mask().len();
+        let covered: Vec<bool> = (0..period)
+            .map(|i| {
+                [0usize, 3]
+                    .iter()
+                    .any(|&ph| rate.mask()[(i + ph) % period] == 1)
+            })
+            .collect();
+        assert!(
+            covered.iter().all(|&c| c),
+            "phases 0+3 cover all of the 3/4 mask"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn phase_beyond_period_panics() {
+        let _ = Puncturer::with_phase(CodeRate::TwoThirds, 4);
+    }
+
+    #[test]
+    fn combine_llrs_saturates_at_the_rails() {
+        let mut acc = vec![i32::MAX - 1, i32::MIN + 1, 10, -10];
+        combine_llrs_into(&mut acc, &[5, -5, 7, -7]);
+        assert_eq!(acc, vec![i32::MAX, i32::MIN, 17, -17]);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn combine_llrs_rejects_mismatched_planes() {
+        let mut acc = vec![1, 2, 3];
+        combine_llrs_into(&mut acc, &[1, 2]);
     }
 }

@@ -14,12 +14,16 @@
 //!   CSMA with binary exponential backoff, and a TDMA oracle behind one
 //!   [`cell::ContentionPolicy`] trait, plus the cell-level metrics
 //!   (aggregate goodput, Jain fairness, collision/idle fractions).
+//! * [`harq`] — hybrid ARQ with soft-combining: Chase combining and
+//!   incremental redundancy over retained mother-code LLR planes, the
+//!   stateful-retry upgrade of [`arq`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arq;
 pub mod cell;
+pub mod harq;
 pub mod link;
 pub mod ppr;
 mod softrate;
@@ -28,6 +32,7 @@ pub use cell::{
     BackoffState, CellMetrics, ContentionPolicy, CsmaBackoff, NodeCellMetrics, SlotView,
     SlottedAloha, TdmaOracle, TxDecision,
 };
+pub use harq::{HarqConfig, HarqCore, HarqLink, HarqMode};
 pub use link::{ArqLink, LinkMetrics, LinkPolicy, LinkVerdict, PprLink, SoftRateLink};
 pub use softrate::{RateDecision, Selection, SelectionStats, SoftRate};
 

@@ -133,6 +133,16 @@ pub struct LinkMetrics {
     /// Sum of selected-rate Mbps across packets (integral per packet), for
     /// the mean selected rate.
     pub selected_mbps_sum: f64,
+    /// Packets delivered only thanks to soft-combining — clean on attempt
+    /// ≥ 2 of a combining HARQ session (HARQ only).
+    pub recovered: u64,
+    /// Histogram of attempts used per closed packet: bin `i` counts
+    /// packets that closed after `i + 1` attempts, last bin saturating
+    /// (HARQ only).
+    pub attempts_hist: [u64; crate::harq::ATTEMPTS_HIST_BINS],
+    /// Sum of the post-IR effective code rate over closed packets (HARQ
+    /// only; see [`crate::harq::HarqConfig::effective_rate`]).
+    pub effective_rate_sum: f64,
 }
 
 impl LinkMetrics {
@@ -175,6 +185,44 @@ impl LinkMetrics {
         }
     }
 
+    /// Fraction of deliveries that needed the combiner (clean only on
+    /// attempt ≥ 2) — the combining gain in delivery terms.
+    pub fn recovered_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.recovered as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean attempts per closed packet from the attempts histogram (the
+    /// saturating last bin makes this a lower bound for pathological
+    /// budgets beyond the bin count).
+    pub fn mean_attempts(&self) -> f64 {
+        let closed: u64 = self.attempts_hist.iter().sum();
+        if closed == 0 {
+            0.0
+        } else {
+            let weighted: u64 = self
+                .attempts_hist
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as u64 + 1) * c)
+                .sum();
+            weighted as f64 / closed as f64
+        }
+    }
+
+    /// Mean post-IR effective code rate per closed packet.
+    pub fn mean_effective_rate(&self) -> f64 {
+        let closed = self.delivered + self.gave_up;
+        if closed == 0 {
+            0.0
+        } else {
+            self.effective_rate_sum / closed as f64
+        }
+    }
+
     /// Folds another metrics block into this one (cross-seed aggregation).
     pub fn merge(&mut self, other: &LinkMetrics) {
         self.packets += other.packets;
@@ -187,6 +235,11 @@ impl LinkMetrics {
         self.accurate += other.accurate;
         self.over += other.over;
         self.selected_mbps_sum += other.selected_mbps_sum;
+        self.recovered += other.recovered;
+        for (a, b) in self.attempts_hist.iter_mut().zip(&other.attempts_hist) {
+            *a += b;
+        }
+        self.effective_rate_sum += other.effective_rate_sum;
     }
 }
 
@@ -231,6 +284,28 @@ pub trait LinkPolicy {
     /// to `false`.
     fn adapts_rate(&self) -> bool {
         true
+    }
+
+    /// The policy's HARQ combiner core, when it has one *and* combining
+    /// is armed. A `Some` answer changes the engine's contract with the
+    /// policy: each logical packet becomes an attempt loop — the engine
+    /// transmits at [`crate::harq::HarqCore::tx_phase`], folds every
+    /// attempt's mother-LLR plane through
+    /// [`crate::harq::HarqCore::absorb`], and decodes the combined
+    /// [`crate::harq::HarqCore::plane`] — so such policies are never
+    /// fused into shared-channel groups (a retransmission reshapes the
+    /// transmit stream). Defaults to `None`: ordinary policies observe
+    /// independent single transmissions.
+    fn harq(&mut self) -> Option<&mut crate::harq::HarqCore> {
+        None
+    }
+
+    /// A configuration problem detected at construction. Registry
+    /// factories are infallible, so a policy built from contradictory
+    /// parameters carries the complaint here and hosts surface it as an
+    /// `InvalidConfig` error before running anything. Defaults to `None`.
+    fn config_error(&self) -> Option<String> {
+        None
     }
 
     /// Observes one received packet and returns the link-layer verdict.

@@ -22,8 +22,6 @@ use crate::scrambler::Scrambler;
 struct RateMachinery {
     rate: PhyRate,
     encoder: ConvEncoder,
-    puncturer: Puncturer,
-    depuncturer: Depuncturer,
     interleaver: Interleaver,
     deinterleaver: Deinterleaver,
     mapper: Mapper,
@@ -34,8 +32,6 @@ impl RateMachinery {
         Self {
             rate,
             encoder: ConvEncoder::new(&ConvCode::ieee80211()),
-            puncturer: Puncturer::new(rate.code_rate()),
-            depuncturer: Depuncturer::new(rate.code_rate()),
             interleaver: Interleaver::new(rate),
             deinterleaver: Deinterleaver::new(rate),
             mapper: Mapper::new(rate.modulation()),
@@ -120,6 +116,10 @@ impl Default for PhyScratch {
 #[derive(Debug, Clone, Copy)]
 pub struct Transmitter {
     rate: PhyRate,
+    /// Puncture-mask phase (see [`Puncturer::with_phase`]); 0 is the
+    /// standard 802.11a pattern, nonzero phases are HARQ incremental
+    /// redundancy retransmissions.
+    phase: usize,
 }
 
 /// A transmitted packet: its baseband samples and layout.
@@ -134,14 +134,35 @@ pub struct TxResult {
 }
 
 impl Transmitter {
-    /// A transmitter at `rate`.
+    /// A transmitter at `rate` with the standard (phase-0) puncture mask.
     pub fn new(rate: PhyRate) -> Self {
-        Self { rate }
+        Self { rate, phase: 0 }
+    }
+
+    /// A transmitter whose puncture mask is rotated by `phase` — the HARQ
+    /// incremental-redundancy form: a retransmission at a different phase
+    /// sends a different subset of the mother-code bits, so the combined
+    /// attempts see a lower effective code rate. Rotation preserves the
+    /// kept-bit count over whole mask periods, so the symbol layout is
+    /// identical to phase 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not within the rate's puncture-mask period.
+    pub fn with_phase(rate: PhyRate, phase: usize) -> Self {
+        // Construct eagerly so an invalid phase fails here, not mid-packet.
+        let _ = Puncturer::with_phase(rate.code_rate(), phase);
+        Self { rate, phase }
     }
 
     /// The configured rate.
     pub fn rate(&self) -> PhyRate {
         self.rate
+    }
+
+    /// The configured puncture-mask phase.
+    pub fn phase(&self) -> usize {
+        self.phase
     }
 
     /// Modulates `payload` (a bit slice) into baseband samples.
@@ -195,7 +216,7 @@ impl Transmitter {
         coded.clear();
         m.encoder.encode_into(data_bits, coded);
         punctured.clear();
-        m.puncturer.puncture_into(coded, punctured);
+        Puncturer::with_phase(self.rate.code_rate(), self.phase).puncture_into(coded, punctured);
         debug_assert_eq!(punctured.len(), fields.coded_bits());
 
         ofdm_tx.reset();
@@ -248,7 +269,7 @@ impl Transmitter {
         coded.clear();
         m.encoder.encode_into(data_bits, coded);
         punctured.clear();
-        m.puncturer.puncture_into(coded, punctured);
+        Puncturer::with_phase(self.rate.code_rate(), self.phase).puncture_into(coded, punctured);
         debug_assert_eq!(punctured.len(), fields.coded_bits());
 
         ofdm_tx.reset();
@@ -270,6 +291,11 @@ pub struct Receiver {
     rate: PhyRate,
     demapper: Demapper,
     decoder: Box<dyn SoftDecoder>,
+    /// Puncture-mask phase the front end expects (see
+    /// [`Transmitter::with_phase`]); mutable via
+    /// [`Receiver::set_puncture_phase`] so HARQ can re-aim one receiver at
+    /// each retransmission's phase without rebuilding machinery.
+    phase: usize,
 }
 
 /// A received packet: payload decisions plus the SoftPHY side information.
@@ -312,6 +338,7 @@ impl Receiver {
             rate,
             demapper,
             decoder,
+            phase: 0,
         }
     }
 
@@ -373,6 +400,24 @@ impl Receiver {
         self.rate
     }
 
+    /// The puncture-mask phase the front end currently expects.
+    pub fn puncture_phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Aims the front end at a [`Transmitter::with_phase`] retransmission:
+    /// erasures are re-inserted where *that* phase's mask stole bits. Only
+    /// the depuncture stage depends on the phase, so this is a field write
+    /// — no machinery rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is not within the rate's puncture-mask period.
+    pub fn set_puncture_phase(&mut self, phase: usize) {
+        let _ = Depuncturer::with_phase(self.rate.code_rate(), phase);
+        self.phase = phase;
+    }
+
     /// Demodulates and decodes a packet of known payload length.
     ///
     /// # Panics
@@ -408,6 +453,30 @@ impl Receiver {
         scratch: &mut PhyScratch,
         out: &mut RxResult,
     ) {
+        let mut mother = std::mem::take(&mut scratch.mother);
+        self.rx_front_end_into(samples, payload_bits, scratch, &mut mother);
+        self.rx_decode_from(&mother, payload_bits, scramble_seed, scratch, out);
+        scratch.mother = mother;
+    }
+
+    /// The front half of [`Receiver::rx_from`]: demodulates, demaps,
+    /// deinterleaves, and depunctures one packet, leaving the pre-decode
+    /// mother-code LLR plane in `mother_out`. This is the plane HARQ
+    /// soft-combining retains across retransmissions — combine planes with
+    /// [`wilis_fec::combine_llrs_into`], then re-enter the decoder through
+    /// [`Receiver::rx_decode_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not exactly the packet's symbol count.
+    // lint: no_alloc
+    pub fn rx_front_end_into(
+        &mut self,
+        samples: &[Cplx],
+        payload_bits: usize,
+        scratch: &mut PhyScratch,
+        mother_out: &mut Vec<Llr>,
+    ) {
         let fields = PacketFields::for_payload(self.rate, payload_bits);
         assert_eq!(
             samples.len(),
@@ -421,8 +490,6 @@ impl Receiver {
             carriers,
             symbol_llrs,
             punctured_llrs,
-            mother,
-            decoded,
             ..
         } = scratch;
         let m = machinery.as_ref().expect("machinery ensured above"); // lint: allow(panic-policy) — ensure_rate() at function entry filled the machinery slot
@@ -438,9 +505,38 @@ impl Receiver {
         m.deinterleaver
             .deinterleave_packet_into(symbol_llrs, punctured_llrs);
         let mother_len = fields.data_bits() * 2;
-        mother.clear();
-        m.depuncturer
-            .depuncture_into(punctured_llrs, mother_len, mother);
+        mother_out.clear();
+        Depuncturer::with_phase(self.rate.code_rate(), self.phase).depuncture_into(
+            punctured_llrs,
+            mother_len,
+            mother_out,
+        );
+    }
+
+    /// The back half of [`Receiver::rx_from`]: decodes a mother-code LLR
+    /// plane (fresh from [`Receiver::rx_front_end_into`], or a
+    /// HARQ-combined one) and unpacks the payload into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mother`'s length is not the packet's mother-bit count,
+    /// or the scramble seed is invalid.
+    // lint: no_alloc
+    pub fn rx_decode_from(
+        &mut self,
+        mother: &[Llr],
+        payload_bits: usize,
+        scramble_seed: u8,
+        scratch: &mut PhyScratch,
+        out: &mut RxResult,
+    ) {
+        let fields = PacketFields::for_payload(self.rate, payload_bits);
+        assert_eq!(
+            mother.len(),
+            fields.data_bits() * 2,
+            "mother stream length does not match the packet layout"
+        );
+        let decoded = &mut scratch.decoded;
         self.decoder.decode_terminated_into(mother, decoded);
         debug_assert_eq!(decoded.bits.len(), fields.data_bits() - TAIL_BITS);
 
@@ -503,7 +599,9 @@ impl Receiver {
     /// lets one [`Receiver::rx_batch_front_end_into`] feed several
     /// [`Receiver::rx_batch_decode_from`] calls.
     pub fn front_end_matches(&self, other: &Receiver) -> bool {
-        self.rate == other.rate && self.demapper.config() == other.demapper.config()
+        self.rate == other.rate
+            && self.demapper.config() == other.demapper.config()
+            && self.phase == other.phase
     }
 
     /// The front half of [`Receiver::rx_batch_from`]: demodulates,
@@ -556,8 +654,12 @@ impl Receiver {
             .deinterleave_packet_lanes_into(symbol_llrs, lanes, punctured_llrs);
         let mother_len = fields.data_bits() * 2;
         mother_out.clear();
-        m.depuncturer
-            .depuncture_lanes_into(punctured_llrs, lanes, mother_len, mother_out);
+        Depuncturer::with_phase(self.rate.code_rate(), self.phase).depuncture_lanes_into(
+            punctured_llrs,
+            lanes,
+            mother_len,
+            mother_out,
+        );
     }
 
     /// The back half of [`Receiver::rx_batch_from`]: decodes a lane-major
@@ -658,8 +760,11 @@ impl Receiver {
         }
         let mother_len = fields.data_bits() * 2;
         mother.clear();
-        m.depuncturer
-            .depuncture_into(punctured_llrs, mother_len, mother);
+        Depuncturer::with_phase(self.rate.code_rate(), self.phase).depuncture_into(
+            punctured_llrs,
+            mother_len,
+            mother,
+        );
         self.decoder.decode_terminated_into(mother, decoded);
         debug_assert_eq!(decoded.bits.len(), fields.data_bits() - TAIL_BITS);
 
@@ -790,6 +895,42 @@ mod tests {
         assert_eq!(tx.samples.len(), tx.fields.n_symbols * SYMBOL_LEN);
         // 12000 data bits at 216/symbol (+22 overhead): 56 symbols.
         assert_eq!(tx.fields.n_symbols, 56);
+    }
+
+    #[test]
+    fn phased_retransmission_roundtrips_cleanly() {
+        // Every IR phase of a punctured rate must decode clean on a clean
+        // channel when TX and RX agree on the phase.
+        for rate in [PhyRate::QpskThreeQuarters, PhyRate::Qam16Half] {
+            let period = rate.code_rate().mask().len();
+            let data = payload(600);
+            for phase in 0..period {
+                let tx = Transmitter::with_phase(rate, phase).transmit(&data, 0x5D);
+                let mut rx = Receiver::sova(rate);
+                rx.set_puncture_phase(phase);
+                let got = rx.receive(&tx.samples, data.len(), 0x5D);
+                assert_eq!(got.bit_errors(&data), 0, "{rate} phase {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_split_matches_monolithic_rx() {
+        let rate = PhyRate::Qam16ThreeQuarters;
+        let data = payload(800);
+        let tx = Transmitter::new(rate).transmit(&data, 0x5D);
+        let mut rx = Receiver::bcjr(rate);
+        let mut scratch = PhyScratch::new();
+        let mut whole = RxResult::default();
+        rx.rx_from(&tx.samples, data.len(), 0x5D, &mut scratch, &mut whole);
+
+        let mut mother = Vec::new();
+        let mut halves = RxResult::default();
+        rx.rx_front_end_into(&tx.samples, data.len(), &mut scratch, &mut mother);
+        rx.rx_decode_from(&mother, data.len(), 0x5D, &mut scratch, &mut halves);
+        assert_eq!(whole.payload, halves.payload);
+        assert_eq!(whole.hints, halves.hints);
+        assert_eq!(whole.soft_magnitudes, halves.soft_magnitudes);
     }
 
     #[test]

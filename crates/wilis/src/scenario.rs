@@ -90,7 +90,7 @@ use wilis_channel::{
     resolve_slot, AwgnChannel, AwgnModel, Channel, ChannelModel, FadingModel, ReplayModel,
     SlotOutcome, SnrDb, TraceModel, TxPower,
 };
-use wilis_fec::{CompiledTrellis, Llr, MAX_BATCH_LANES, MAX_HINT};
+use wilis_fec::{CodeRate, CompiledTrellis, Llr, MAX_BATCH_LANES, MAX_HINT};
 use wilis_fxp::rng::{mix_seed, SmallRng};
 use wilis_fxp::Cplx;
 use wilis_lis::registry::{Params, Registry, RegistryError};
@@ -100,7 +100,7 @@ use wilis_mac::cell::{
 };
 use wilis_mac::link::{LinkContext, LinkMetrics, LinkPolicy, LinkStatus, Oracle};
 use wilis_mac::ppr::PprConfig;
-use wilis_mac::{ArqLink, PprLink, SoftRate, SoftRateLink};
+use wilis_mac::{ArqLink, HarqConfig, HarqLink, PprLink, SoftRate, SoftRateLink};
 use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
 use wilis_softphy::{BerEstimator, DecoderKind, HintBin, ScalingFactors};
 
@@ -147,9 +147,27 @@ pub fn channel_registry() -> ChannelSlot {
     reg
 }
 
+/// The code rate a link policy will run at, resolved from the
+/// engine-filled `initial_rate_mbps` parameter the way the softrate
+/// factory resolves its initial [`PhyRate`].
+fn link_param_code_rate(p: &Params) -> CodeRate {
+    p.get_f64("initial_rate_mbps")
+        .and_then(|m| PhyRate::all().iter().copied().find(|r| r.mbps() == m))
+        .unwrap_or(PhyRate::Qam16Half)
+        .code_rate()
+}
+
 /// The stock link-policy registry, mirroring [`channel_registry`]:
 ///
 /// * `"arq"` — whole-packet stop-and-wait ARQ (param: `max_retries`),
+/// * `"harq-cc"` — HARQ with Chase combining (params: `attempts`, the
+///   total transmission budget per packet, and `combining` to disarm the
+///   combiner — disarmed it degenerates to exactly `"arq"` with
+///   `attempts - 1` retries),
+/// * `"harq-ir"` — HARQ with incremental redundancy (params: `attempts`,
+///   `combining`, and `ir_phases`, a comma-separated puncture-phase
+///   schedule that must start at 0; defaults to the rate's
+///   fastest-covering schedule),
 /// * `"ppr"` — partial packet recovery (params: `chunk_bits`,
 ///   `hint_threshold`),
 /// * `"softrate"` — PBER-threshold rate adaptation (params: `pber_lo` /
@@ -160,12 +178,44 @@ pub fn channel_registry() -> ChannelSlot {
 /// scenario at run time, exactly as it fills `snr_db` for channels. The
 /// name `"none"` is reserved: it never reaches the registry and keeps a
 /// scenario PHY-only.
+///
+/// Factories are infallible, so the HARQ factories never reject a bad
+/// configuration themselves: [`HarqLink`] stores the problem and the
+/// runner's preflight surfaces it as
+/// [`RegistryError::invalid_config`] through
+/// [`LinkPolicy::config_error`].
 pub fn link_registry() -> LinkSlot {
     let mut reg: LinkSlot = Registry::new("link");
     reg.register("arq", |p| {
         let bits = p.get_u64("payload_bits").unwrap_or(1704).max(1);
         let retries = p.get_u64("max_retries").unwrap_or(4) as u32;
         Box::new(ArqLink::new(bits, retries))
+    });
+    reg.register("harq-cc", |p| {
+        let bits = p.get_u64("payload_bits").unwrap_or(1704);
+        let attempts = p.get_u64("attempts").unwrap_or(4) as u32;
+        let combining = p.get_bool("combining").unwrap_or(true);
+        let rate = link_param_code_rate(p);
+        let config = HarqConfig::chase(attempts).with_combining(combining);
+        Box::new(HarqLink::new(bits, config, rate))
+    });
+    reg.register("harq-ir", |p| {
+        let bits = p.get_u64("payload_bits").unwrap_or(1704);
+        let attempts = p.get_u64("attempts").unwrap_or(4) as u32;
+        let combining = p.get_bool("combining").unwrap_or(true);
+        let rate = link_param_code_rate(p);
+        let schedule = match p.get("ir_phases") {
+            None => HarqConfig::default_ir_schedule(rate),
+            // An unparsable phase becomes usize::MAX — outside every mask
+            // period, so validation rejects the schedule instead of the
+            // factory panicking on user input.
+            Some(s) => s
+                .split(',')
+                .map(|t| t.trim().parse::<usize>().unwrap_or(usize::MAX))
+                .collect(),
+        };
+        let config = HarqConfig::incremental(attempts, schedule).with_combining(combining);
+        Box::new(HarqLink::new(bits, config, rate))
     });
     reg.register("ppr", |p| {
         let chunk = p.get_u64("chunk_bits").unwrap_or(71).max(1) as usize;
@@ -685,9 +735,13 @@ impl SweepRunner {
         // (decoder, channel, link, contention) tuple once against a
         // throwaway environment.
         let (system, channels, links, contentions) = (self.env)();
-        let mut checked: Vec<(&str, &str, &str, &str)> = Vec::new();
+        // The rate joins the key because link-policy validity can depend
+        // on it: an IR phase schedule legal at one puncture period is
+        // out of range at another.
+        let mut checked: Vec<(PhyRate, &str, &str, &str, &str)> = Vec::new();
         for (i, sc) in scenarios.iter().enumerate() {
             let key = (
+                sc.rate,
                 sc.decoder.as_str(),
                 sc.channel.as_str(),
                 sc.link.as_str(),
@@ -704,7 +758,18 @@ impl SweepRunner {
                 system.receiver(&SystemConfig::new(sc.rate, &sc.decoder))?;
                 channels.build(&sc.channel, &sc.channel_params)?;
                 if sc.link != "none" {
-                    let policy = links.build(&sc.link, &sc.link_params)?;
+                    // Built with the run-time parameters (payload size,
+                    // initial rate), so rate-dependent validity checks
+                    // see what the execution paths will actually build.
+                    let mut policy = links.build(&sc.link, &runtime_link_params(sc))?;
+                    // Factories are infallible; a policy that swallowed a
+                    // bad configuration reports it here instead.
+                    if let Some(problem) = policy.config_error() {
+                        return Err(RegistryError::invalid_config(format!(
+                            "link policy {:?} is misconfigured: {problem}",
+                            sc.link
+                        )));
+                    }
                     // Every name resolved, but the *pairing* is invalid:
                     // both halves come straight from user configuration,
                     // so this is an error, not a panic.
@@ -714,6 +779,17 @@ impl SweepRunner {
                             "link policy {:?} adapts on predicted PBER, but decoder \
                              {:?} exports no SoftPHY BER estimate (its estimate \
                              would be a constant 0.0); pair it with a soft decoder \
+                             such as \"sova\" or \"bcjr\"",
+                            sc.link, sc.decoder
+                        )));
+                    }
+                    if policy.harq().is_some()
+                        && DecoderKind::from_registry_name(&sc.decoder).is_none()
+                    {
+                        return Err(RegistryError::invalid_config(format!(
+                            "link policy {:?} combines soft LLR planes across \
+                             retransmissions, but decoder {:?} makes hard decisions \
+                             and would discard them; pair it with a soft decoder \
                              such as \"sova\" or \"bcjr\"",
                             sc.link, sc.decoder
                         )));
@@ -751,10 +827,15 @@ impl SweepRunner {
         // scenario list, never of hasher state, for results to stay
         // bit-identical across runs and thread counts by construction.
         let mut shared_jobs: BTreeMap<GroupKey, usize> = BTreeMap::new();
-        // adapts_rate() probes are cached per distinct (link, params):
+        // Solo-required probes are cached per distinct (link, params):
         // large grids repeat a handful of policy configurations thousands
-        // of times, and the probe builds a throwaway policy instance.
-        let mut adapts: BTreeMap<(String, Params), bool> = BTreeMap::new();
+        // of times, and the probe builds a throwaway policy instance. A
+        // policy runs solo when it steers the transmit rate (the shared
+        // transmit stream would diverge after its first verdict) or when
+        // it combines across retransmissions (the engine must replay the
+        // *same* payload per attempt, which the fused per-packet stream
+        // cannot do).
+        let mut solo_required: BTreeMap<(String, Params), bool> = BTreeMap::new();
         for (i, sc) in scenarios.iter().enumerate() {
             // A contention cell is already a fused multi-session job of
             // its own: all N nodes run inside one worker job so the
@@ -762,11 +843,12 @@ impl SweepRunner {
             let shareable = sc.contention == "p2p"
                 && (sc.link == "none" || {
                     let probe_key = (sc.link.clone(), runtime_link_params(sc));
-                    match adapts.entry(probe_key) {
+                    match solo_required.entry(probe_key) {
                         Entry::Occupied(slot) => !*slot.get(),
                         Entry::Vacant(slot) => {
-                            let policy = links.build(&sc.link, &runtime_link_params(sc))?;
-                            !*slot.insert(policy.adapts_rate())
+                            let mut policy = links.build(&sc.link, &runtime_link_params(sc))?;
+                            let solo = policy.adapts_rate() || policy.harq().is_some();
+                            !*slot.insert(solo)
                         }
                     }
                 });
@@ -1105,6 +1187,12 @@ fn run_scenario(
     } else {
         Some(links.build(&sc.link, &runtime_link_params(sc))?)
     };
+    if policy.as_mut().is_some_and(|p| p.harq().is_some()) {
+        // Soft-combining replays the *same* payload per attempt, so the
+        // packet axis becomes an attempt loop of its own.
+        let policy = policy.expect("harq() probe above saw a policy"); // lint: allow(panic-policy) — is_some_and returned true, so the option is Some
+        return run_harq_scenario(&mut bank, channels, index, sc, policy, record);
+    }
     let needs_oracle = policy.as_ref().is_some_and(|p| p.needs_oracle());
     let shared_trellis = system.compiled_ieee80211();
 
@@ -1178,6 +1266,125 @@ fn run_scenario(
         policy.map(|p| p.metrics()),
         None,
     ))
+}
+
+/// Seed-stream tag for HARQ retransmission attempts, in the family of
+/// [`BACKOFF_STREAM`] and [`ARRIVAL_STREAM`]: attempt 0 of a packet draws
+/// exactly the seeds a non-HARQ packet draws (the strict-generalization
+/// anchor), and attempt `a > 0` of packet seed `s` draws from
+/// `mix_seed(s, HARQ_ATTEMPT_STREAM | a)` — fresh channel noise per
+/// retransmission, pure in `(scenario seed, packet, attempt)`.
+const HARQ_ATTEMPT_STREAM: u64 = 0x4A59_0000_0000_0000;
+
+/// The channel seed of HARQ attempt `attempt` of the packet with seed
+/// `packet_seed` — used identically by the point-to-point attempt loop
+/// and the cell path, so the two can never drift apart.
+fn harq_attempt_seed(packet_seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        packet_seed
+    } else {
+        mix_seed(packet_seed, HARQ_ATTEMPT_STREAM | u64::from(attempt))
+    }
+}
+
+/// Executes one soft-combining HARQ scenario: `sc.packets` *logical*
+/// packets, each an attempt loop that retransmits the identical payload
+/// until the link policy closes it (delivered or budget exhausted).
+///
+/// Per attempt the transmitter punctures at the phase the policy's
+/// [`wilis_mac::HarqCore`] schedules (phase 0 for Chase; the IR schedule
+/// otherwise), the receiver front end produces the attempt's mother-code
+/// LLR plane, the core absorbs it (first attempt retains, retransmissions
+/// saturating-add), and the *combined* plane re-enters the decoder — so a
+/// retransmission decodes with everything earlier attempts learned.
+/// Every attempt's channel realization derives from
+/// [`harq_attempt_seed`]; attempt 0 draws exactly the seeds the plain
+/// solo loop draws.
+///
+/// The [`PacketTally`] observes every decode (one per attempt), so
+/// `ScenarioResult::packets` counts attempts — the same
+/// one-row-per-receive accounting the ARQ solo path produces.
+fn run_harq_scenario(
+    bank: &mut RateBank,
+    channels: &ChannelSlot,
+    index: usize,
+    sc: &Scenario,
+    mut policy: Box<dyn LinkPolicy>,
+    record: bool,
+) -> Result<ScenarioResult, RegistryError> {
+    let (mut rx, estimator) = bank
+        .take(sc.rate)
+        .expect("run_scenario populated the bank before dispatching here"); // lint: allow(panic-policy) — the caller's bank.get succeeded for this rate
+    let mut channel_params = sc.channel_params.clone();
+    channel_params.set("snr_db", &format!("{}", sc.snr_db));
+    let mut channel = channels.build(&sc.channel, &channel_params)?;
+
+    let mut scratch = PhyScratch::new();
+    let mut samples: Vec<Cplx> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut mother: Vec<Llr> = Vec::new();
+    let mut got = RxResult::default();
+    let mut tally = PacketTally::new();
+    let mut receives: u64 = 0;
+
+    for p in 0..sc.packets {
+        let packet_seed = mix_seed(sc.seed, u64::from(p));
+        let mut rng = SmallRng::seed_from_u64(packet_seed);
+        payload.clear();
+        payload.extend((0..sc.payload_bits).map(|_| rng.gen_bit()));
+        // Scramble identity follows the *logical* packet: a
+        // retransmission is the same packet on the air.
+        let scramble_seed = (p % 127 + 1) as u8;
+
+        loop {
+            {
+                let core = policy
+                    .harq()
+                    .expect("preflight pinned a combining policy on this path"); // lint: allow(panic-policy) — run_scenario dispatches here only when harq() is Some
+                let phase = core.tx_phase();
+                let chan_seed = mix_seed(harq_attempt_seed(packet_seed, core.attempt()), 1);
+                Transmitter::with_phase(sc.rate, phase).tx_into(
+                    &payload,
+                    scramble_seed,
+                    &mut scratch,
+                    &mut samples,
+                );
+                channel.apply(&mut samples, chan_seed);
+                rx.set_puncture_phase(phase);
+                rx.rx_front_end_into(&samples, payload.len(), &mut scratch, &mut mother);
+                core.absorb(&mother);
+                rx.rx_decode_from(
+                    core.plane(),
+                    payload.len(),
+                    scramble_seed,
+                    &mut scratch,
+                    &mut got,
+                );
+            }
+            receives += 1;
+            let (errs_this_packet, predicted) =
+                tally.observe(&payload, &got, estimator.as_ref(), record);
+            let ctx = LinkContext {
+                sent: &payload,
+                bit_errors: errs_this_packet,
+                predicted_pber: predicted,
+                rate: sc.rate,
+                oracle: Oracle::Unavailable,
+            };
+            let verdict = policy.observe(&got, &got.hints, &ctx);
+            assert!(
+                verdict.next_rate.is_none() || verdict.next_rate == Some(sc.rate),
+                "link policy {:?} declared adapts_rate() == false but asked to \
+                 steer the transmit rate",
+                policy.name()
+            );
+            if verdict.status != LinkStatus::Retransmit {
+                break;
+            }
+        }
+    }
+
+    Ok(tally.into_result(index, sc, receives, Some(policy.metrics()), None))
 }
 
 /// Per-member receive state of a shared-channel job: everything that is
@@ -1498,6 +1705,11 @@ struct CellNode {
     /// attempt `a` draws exactly the seeds point-to-point packet `a`
     /// draws, which is what makes a 1-node cell a strict generalization.
     attempts: u64,
+    /// Logical packets *started* — the packet-seed index of a
+    /// soft-combining HARQ node, whose retransmissions keep the payload
+    /// (and seed) of the open packet and draw per-attempt channel noise
+    /// through [`harq_attempt_seed`] instead.
+    logical: u64,
     /// Packets queued at this node (head-of-queue is retransmitted until
     /// its link session closes it).
     queue: u64,
@@ -1565,6 +1777,7 @@ fn run_cell(
             },
             arrivals: SmallRng::seed_from_u64(mix_seed(sc.seed, ARRIVAL_STREAM | n as u64)),
             attempts: 0,
+            logical: 0,
             queue: 0,
             transmitted_last_slot: false,
         });
@@ -1574,6 +1787,7 @@ fn run_cell(
     let mut scratch = PhyScratch::new();
     let mut samples: Vec<Cplx> = Vec::new();
     let mut payload: Vec<u8> = Vec::new();
+    let mut mother: Vec<Llr> = Vec::new();
     let mut got = RxResult::default();
     let mut collided = RxResult {
         decoder_id: "collided",
@@ -1584,7 +1798,7 @@ fn run_cell(
     let mut decoded: u64 = 0;
     let mut last_tx_count = 0usize;
     let mut txs: Vec<usize> = Vec::with_capacity(nodes);
-    let mut slot_txs: Vec<(usize, u64, u64, u64)> = Vec::with_capacity(nodes);
+    let mut slot_txs: Vec<(usize, u64, u64, u64, u64)> = Vec::with_capacity(nodes);
     let mut powers: Vec<TxPower> = Vec::with_capacity(nodes);
 
     for slot in 0..slots {
@@ -1632,15 +1846,34 @@ fn run_cell(
         slot_txs.clear();
         powers.clear();
         for &n in &txs {
-            let attempt = cell_nodes[n].attempts;
-            cell_nodes[n].attempts += 1;
-            let packet_seed = mix_seed(sc.seed, attempt | ((n as u64) << 32));
-            let chan_seed = mix_seed(packet_seed, 1);
+            let node = &mut cell_nodes[n];
+            let attempt = node.attempts;
+            node.attempts += 1;
+            let harq_attempt = node
+                .link
+                .as_mut()
+                .and_then(|l| l.harq())
+                .map(|c| c.attempt());
+            let (ident, packet_seed, attempt_seed) = match harq_attempt {
+                // A soft-combining node keys payload identity to its
+                // open logical packet; retransmissions draw fresh noise
+                // from the HARQ attempt stream while attempt 0 matches
+                // the plain draw exactly.
+                Some(a) => {
+                    let ps = mix_seed(sc.seed, node.logical | ((n as u64) << 32));
+                    (node.logical, ps, harq_attempt_seed(ps, a))
+                }
+                None => {
+                    let ps = mix_seed(sc.seed, attempt | ((n as u64) << 32));
+                    (attempt, ps, ps)
+                }
+            };
+            let chan_seed = mix_seed(attempt_seed, 1);
             powers.push(TxPower {
                 node: n,
                 gain: channel.packet_gain(chan_seed),
             });
-            slot_txs.push((n, attempt, packet_seed, chan_seed));
+            slot_txs.push((n, ident, packet_seed, attempt_seed, chan_seed));
         }
         let outcome = resolve_slot(&powers, noise_power, capture_db);
         match outcome {
@@ -1651,16 +1884,119 @@ fn run_cell(
         }
         let survivor = outcome.survivor();
 
-        for &(n, attempt, packet_seed, chan_seed) in &slot_txs {
+        for &(n, ident, packet_seed, attempt_seed, chan_seed) in &slot_txs {
             let mut rng = SmallRng::seed_from_u64(packet_seed);
             payload.clear();
             payload.extend((0..sc.payload_bits).map(|_| rng.gen_bit()));
-            let scramble_seed = (attempt % 127 + 1) as u8;
+            let scramble_seed = (ident % 127 + 1) as u8;
             let bits = sc.payload_bits as u64;
             metrics.per_node[n].attempts += 1;
             metrics.per_node[n].bits_transmitted += bits;
 
             let survived = survivor == Some(n);
+            let is_harq = cell_nodes[n]
+                .link
+                .as_mut()
+                .is_some_and(|l| l.harq().is_some());
+            if is_harq {
+                // HARQ under collisions: every attempt — survivor or
+                // destroyed — runs the full PHY and feeds the combiner.
+                // A destroyed attempt's plane is corrupted by the other
+                // arrivals as interference noise rather than discarded,
+                // and the node decodes the *combined* plane either way.
+                let phase = cell_nodes[n]
+                    .link
+                    .as_mut()
+                    .and_then(|l| l.harq())
+                    .map(|c| c.tx_phase())
+                    .expect("is_harq probe above saw a combining core"); // lint: allow(panic-policy) — guarded by is_harq
+                Transmitter::with_phase(sc.rate, phase).tx_into(
+                    &payload,
+                    scramble_seed,
+                    &mut scratch,
+                    &mut samples,
+                );
+                channel.apply(&mut samples, chan_seed);
+                if survived {
+                    if let SlotOutcome::Captured {
+                        gain, interference, ..
+                    } = outcome
+                    {
+                        if interference > 0.0 {
+                            AwgnChannel::new(
+                                SnrDb::from_linear(gain / interference),
+                                mix_seed(attempt_seed, 2),
+                            )
+                            .apply(&mut samples);
+                        }
+                    }
+                } else {
+                    // Destroyed: the concurrent arrivals bury the signal
+                    // at its slot SINR — corrupted, not erased.
+                    metrics.per_node[n].collisions += 1;
+                    let own = powers
+                        .iter()
+                        .find(|t| t.node == n)
+                        .map(|t| t.gain)
+                        .unwrap_or(0.0);
+                    let others: f64 = powers.iter().filter(|t| t.node != n).map(|t| t.gain).sum();
+                    if others > 0.0 {
+                        AwgnChannel::new(
+                            SnrDb::from_linear(own / others),
+                            mix_seed(attempt_seed, 2),
+                        )
+                        .apply(&mut samples);
+                    }
+                }
+                rx.set_puncture_phase(phase);
+                rx.rx_front_end_into(&samples, payload.len(), &mut scratch, &mut mother);
+                let node = &mut cell_nodes[n];
+                let link = node.link.as_mut().expect("a combining core implies a link"); // lint: allow(panic-policy) — guarded by is_harq
+                {
+                    let core = link
+                        .harq()
+                        .expect("is_harq probe above saw a combining core"); // lint: allow(panic-policy) — guarded by is_harq
+                    core.absorb(&mother);
+                    rx.rx_decode_from(
+                        core.plane(),
+                        payload.len(),
+                        scramble_seed,
+                        &mut scratch,
+                        &mut got,
+                    );
+                }
+                decoded += 1;
+                let (errs, predicted) = tally.observe(&payload, &got, estimator.as_ref(), record);
+                let ctx = LinkContext {
+                    sent: &payload,
+                    bit_errors: errs,
+                    predicted_pber: predicted,
+                    rate: sc.rate,
+                    oracle: Oracle::Unavailable,
+                };
+                let verdict = link.observe(&got, &got.hints, &ctx);
+                assert!(
+                    verdict.next_rate.is_none() || verdict.next_rate == Some(sc.rate),
+                    "link policy {:?} asked to steer the transmit rate inside a \
+                     contention cell",
+                    link.name()
+                );
+                let (closes, delivered) = match verdict.status {
+                    LinkStatus::Delivered => (true, true),
+                    LinkStatus::GaveUp => (true, false),
+                    LinkStatus::Retransmit => (false, false),
+                };
+                if closes {
+                    node.queue = node.queue.saturating_sub(1);
+                    node.logical += 1;
+                    if delivered {
+                        metrics.per_node[n].delivered += 1;
+                        metrics.per_node[n].bits_delivered += bits;
+                    }
+                }
+                node.policy.acked(survived && errs == 0, &mut node.backoff);
+                continue;
+            }
             let (errs, predicted, rx_result): (u64, f64, &RxResult) = if survived {
                 transmitter.tx_into(&payload, scramble_seed, &mut scratch, &mut samples);
                 channel.apply(&mut samples, chan_seed);
@@ -1930,7 +2266,10 @@ mod tests {
     #[test]
     fn link_registry_stock_names() {
         let reg = link_registry();
-        assert_eq!(reg.names(), vec!["arq", "ppr", "softrate"]);
+        assert_eq!(
+            reg.names(),
+            vec!["arq", "harq-cc", "harq-ir", "ppr", "softrate"]
+        );
         assert!(!reg.contains("none"), "\"none\" never reaches the registry");
     }
 
@@ -1999,6 +2338,155 @@ mod tests {
             arq.goodput()
         );
         assert!(ppr.retransmit_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn harq_with_hard_decoder_is_rejected() {
+        // The combiner feeds soft LLR planes back into the decoder; a
+        // hard decoder would throw the retained information away.
+        for link in ["harq-cc", "harq-ir"] {
+            let scenarios = SweepGrid::new()
+                .decoders(&["viterbi"])
+                .links(&[link])
+                .scenarios();
+            let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+            assert!(err.to_string().contains("hard decisions"), "{link}: {err}");
+        }
+    }
+
+    #[test]
+    fn harq_zero_attempt_budget_is_rejected() {
+        let scenarios = SweepGrid::new()
+            .links(&["harq-cc"])
+            .link_param("attempts", "0")
+            .scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("attempt budget"), "{err}");
+    }
+
+    #[test]
+    fn harq_ir_phase_outside_the_mask_is_rejected() {
+        // The default grid rate is QAM-16 1/2 whose puncture period is 2,
+        // so phase 3 can never be transmitted.
+        let scenarios = SweepGrid::new()
+            .links(&["harq-ir"])
+            .link_param("ir_phases", "0,3")
+            .scenarios();
+        let err = SweepRunner::new(1).run(&scenarios).unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+        // An unparsable schedule is rejected the same way, not panicked.
+        let scenarios = SweepGrid::new()
+            .links(&["harq-ir"])
+            .link_param("ir_phases", "0,banana")
+            .scenarios();
+        assert!(SweepRunner::new(1).run(&scenarios).is_err());
+    }
+
+    #[test]
+    fn harq_combining_disabled_is_bit_identical_to_arq() {
+        // The strict-generalization diagnostic at the Figure 6 operating
+        // point (the SweepGrid default): a HARQ policy with the combiner
+        // disarmed is exactly ARQ with attempts - 1 retries — same PHY
+        // stream, same accounting, bit for bit.
+        for snr in [6.0, 8.0] {
+            let grid = SweepGrid::new()
+                .links(&["arq", "harq-cc"])
+                .link_param("max_retries", "3")
+                .link_param("attempts", "4")
+                .link_param("combining", "false")
+                .snrs_db(&[snr])
+                .packets(25)
+                .payload_bits(710);
+            let results = SweepRunner::new(2).run(&grid.scenarios()).unwrap();
+            let (a, h) = (&results[0], &results[1]);
+            assert_eq!(a.packets, h.packets);
+            assert_eq!(a.packet_errors, h.packet_errors);
+            assert_eq!(a.bit_errors, h.bit_errors);
+            assert_eq!(a.hint_bins, h.hint_bins);
+            assert_eq!(a.predicted_pber_sum, h.predicted_pber_sum);
+            assert_eq!(a.link, h.link, "identical link accounting at {snr} dB");
+        }
+    }
+
+    #[test]
+    fn harq_cc_goodput_beats_arq_when_lossy() {
+        let grid = SweepGrid::new()
+            .links(&["arq", "harq-cc"])
+            .link_param("max_retries", "3")
+            .link_param("attempts", "4")
+            .snrs_db(&[6.0])
+            .packets(30)
+            .payload_bits(710);
+        let results = SweepRunner::new(2).run(&grid.scenarios()).unwrap();
+        let arq = results[0].link.expect("arq");
+        let harq = results[1].link.expect("harq");
+        assert!(results[0].per() > 0.1, "needs a lossy operating point");
+        assert!(
+            harq.goodput() > arq.goodput(),
+            "Chase combining {:.3} should beat ARQ {:.3}",
+            harq.goodput(),
+            arq.goodput()
+        );
+        assert!(harq.recovered > 0, "some deliveries needed the combiner");
+        assert!(harq.mean_attempts() >= 1.0);
+    }
+
+    #[test]
+    fn harq_ir_lowers_the_effective_rate() {
+        // At a punctured rate, IR retransmissions reveal stolen mother
+        // bits: the mean effective rate of closed packets must drop below
+        // the nominal 3/4 whenever any packet needed a retransmission.
+        let grid = SweepGrid::new()
+            .rates(&[PhyRate::Qam16ThreeQuarters])
+            .links(&["harq-ir"])
+            .snrs_db(&[11.0])
+            .packets(30)
+            .payload_bits(710);
+        let r = &SweepRunner::new(2).run(&grid.scenarios()).unwrap()[0];
+        let m = r.link.expect("harq-ir metrics");
+        assert!(m.mean_attempts() > 1.0, "needs at least one retransmission");
+        assert!(
+            m.mean_effective_rate() < 0.75,
+            "IR must lower the effective rate, got {:.3}",
+            m.mean_effective_rate()
+        );
+        assert!(m.mean_effective_rate() >= 0.5, "mother code is the floor");
+    }
+
+    #[test]
+    fn harq_cell_observes_every_attempt() {
+        // HARQ under collisions: destroyed attempts still reach the
+        // combiner (and the link session), so the per-attempt accounting
+        // closes exactly over the cell's attempts.
+        let scenarios = SweepGrid::new()
+            .contentions(&["aloha"])
+            .contention_param("p", "0.5")
+            .links(&["harq-cc"])
+            .nodes(3)
+            .snrs_db(&[8.0])
+            .packets(40)
+            .payload_bits(300)
+            .scenarios();
+        let r = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        let c = r.cell.as_ref().expect("cell metrics");
+        let m = r.link.expect("merged link metrics");
+        assert!(c.attempts() > 0);
+        assert_eq!(
+            m.packets,
+            c.attempts(),
+            "every attempt — survivor or destroyed — is observed"
+        );
+        assert_eq!(
+            r.packets,
+            c.attempts(),
+            "every attempt decodes the combined plane"
+        );
+        let collided: u64 = c.per_node.iter().map(|n| n.collisions).sum();
+        assert!(collided > 0, "three p=0.5 nodes must overlap");
+        assert!(
+            m.delivered > 0,
+            "the cell still delivers through collisions"
+        );
     }
 
     #[test]

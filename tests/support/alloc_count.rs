@@ -5,48 +5,57 @@
 //! (enforced by `wilis-lint`'s `forbid-unsafe` rule). Test binaries are
 //! separate crate roots, so the forbid stays intact where it matters.
 //!
-//! Two counters, incremented on every `alloc`/`alloc_zeroed`/`realloc`:
+//! Two counter pairs, bumped on every `alloc`/`alloc_zeroed`/`realloc`:
 //!
-//! * a thread-local count — immune to `cargo test`'s parallel test
-//!   threads, the right probe for single-threaded hot loops;
-//! * a process-global count — the only probe that can see worker threads
-//!   spawned by `SweepRunner`; tests using it serialize on [`lock`].
+//! * a thread-local event count and byte total — immune to `cargo test`'s
+//!   parallel test threads, the right probe for single-threaded hot loops;
+//! * a process-global event count and byte total — the only probes that
+//!   can see worker threads spawned by `SweepRunner`; tests using them
+//!   serialize on [`lock`].
+//!
+//! The byte totals measure *requested* bytes (the `Layout` size, or the
+//! `new_size` of a realloc), so a zero-alloc assertion can also be spelled
+//! as a byte *budget*: "this warm loop may allocate at most N bytes".
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-/// Counts allocation events (not bytes) and forwards to [`System`].
+/// Counts allocation events and bytes, and forwards to [`System`].
 pub struct CountingAlloc;
 
 static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_BYTES: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     // const-init: reading the counter must never itself allocate the
     // lazy-init machinery mid-measurement.
     static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
-fn bump() {
+fn bump(bytes: usize) {
     GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    GLOBAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     // try_with: TLS may already be torn down during thread exit.
     let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
+        bump(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
@@ -60,9 +69,20 @@ pub fn thread_allocs() -> u64 {
     THREAD_ALLOCS.with(Cell::get)
 }
 
+/// Bytes requested from the allocator on the calling thread since it
+/// started.
+pub fn thread_alloc_bytes() -> u64 {
+    THREAD_BYTES.with(Cell::get)
+}
+
 /// Allocation events process-wide since program start.
 pub fn global_allocs() -> u64 {
     GLOBAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested from the allocator process-wide since program start.
+pub fn global_alloc_bytes() -> u64 {
+    GLOBAL_BYTES.load(Ordering::Relaxed)
 }
 
 static SERIAL: Mutex<()> = Mutex::new(());

@@ -298,6 +298,68 @@ fn cell_metrics_are_bit_identical_not_just_close() {
     assert_eq!(cells, 12, "three contention policies across four corners");
 }
 
+/// The HARQ acceptance grid: both soft-combining modes and the ARQ
+/// baseline over a punctured and an unpunctured rate, straddling the
+/// waterfall so retransmissions actually happen — solo attempt loops on
+/// the point-to-point points and the HARQ cell path on the aloha points.
+fn harq_grid() -> SweepGrid {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::Qam16ThreeQuarters])
+        .decoders(&["bcjr"])
+        .links(&["arq", "harq-cc", "harq-ir"])
+        .contentions(&["p2p", "aloha"])
+        .nodes(3)
+        .snrs_db(&[6.0, 11.0])
+        .packets(8)
+        .payload_bits(400)
+}
+
+#[test]
+fn harq_grid_results_identical_at_1_2_and_8_threads() {
+    let scenarios = harq_grid().scenarios();
+    assert_eq!(scenarios.len(), 24);
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads).run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread HARQ sweep diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn harq_metrics_are_bit_identical_not_just_close() {
+    // The stateful retry loop inherits the engine's contract: identical
+    // attempt histograms and bit-identical effective-rate sums for any
+    // worker count.
+    let scenarios = harq_grid().scenarios();
+    let a = SweepRunner::new(1).run(&scenarios).unwrap();
+    let b = SweepRunner::new(8).run(&scenarios).unwrap();
+    let mut combined = 0;
+    for (x, y) in a.iter().zip(&b) {
+        let (Some(mx), Some(my)) = (&x.link, &y.link) else {
+            continue;
+        };
+        assert_eq!(mx.packets, my.packets, "{}", x.label);
+        assert_eq!(mx.recovered, my.recovered, "{}", x.label);
+        assert_eq!(mx.attempts_hist, my.attempts_hist, "{}", x.label);
+        assert_eq!(
+            mx.effective_rate_sum.to_bits(),
+            my.effective_rate_sum.to_bits(),
+            "{}",
+            x.label
+        );
+        if mx.attempts_hist.iter().sum::<u64>() > 0 {
+            combined += 1;
+        }
+    }
+    assert!(
+        combined >= 8,
+        "the grid must exercise the combining paths, got {combined}"
+    );
+}
+
 #[test]
 fn repeated_runs_are_reproducible() {
     // Same grid, same runner, different invocation: still identical —

@@ -14,9 +14,11 @@
 #[path = "support/alloc_count.rs"]
 mod alloc_count;
 
-use alloc_count::{global_allocs, thread_allocs};
+use alloc_count::{global_alloc_bytes, global_allocs, thread_alloc_bytes, thread_allocs};
 use wilis::channel::{AwgnChannel, Channel, SnrDb};
 use wilis::fxp::rng::SmallRng;
+use wilis::mac::link::{LinkContext, Oracle};
+use wilis::mac::{HarqConfig, HarqLink, LinkPolicy};
 use wilis::phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
 use wilis::scenario::{SweepGrid, SweepRunner};
 
@@ -151,12 +153,16 @@ fn fused_sweep_inner_loop_allocates_nothing_per_packet() {
     runner.run(&grid(4)).expect("stock names");
 
     let before_small = global_allocs();
+    let before_small_bytes = global_alloc_bytes();
     let small = runner.run(&grid(40)).expect("stock names");
     let delta_small = global_allocs() - before_small;
+    let bytes_small = global_alloc_bytes() - before_small_bytes;
 
     let before_large = global_allocs();
+    let before_large_bytes = global_alloc_bytes();
     let large = runner.run(&grid(80)).expect("stock names");
     let delta_large = global_allocs() - before_large;
+    let bytes_large = global_alloc_bytes() - before_large_bytes;
 
     assert_eq!(small.len(), 3, "three decoders fused over one channel");
     assert!(large.iter().all(|r| r.packets == 80));
@@ -166,15 +172,120 @@ fn fused_sweep_inner_loop_allocates_nothing_per_packet() {
          ({delta_small} vs {delta_large}): the fused inner loop allocates \
          per packet"
     );
+    assert_eq!(
+        bytes_small, bytes_large,
+        "doubling the packet budget changed the bytes requested \
+         ({bytes_small} vs {bytes_large}): the fused inner loop allocates \
+         per packet"
+    );
+}
+
+/// The warm HARQ retry path — retransmit at a scheduled phase, front-end
+/// into the mother plane, combine into the retained plane, re-decode the
+/// combined plane — must allocate nothing (zero events *and* zero bytes)
+/// once the combiner and scratch are warm. This is the runtime proof
+/// behind the `// lint: no_alloc` annotations on
+/// `HarqCore::absorb`, `combine_llrs_into`, `rx_front_end_into`, and
+/// `rx_decode_from`.
+#[test]
+fn harq_retry_path_steady_state_allocates_nothing() {
+    let _serial = alloc_count::lock();
+    let mut rng = SmallRng::seed_from_u64(0x2A_0003);
+    let payload = payload(&mut rng);
+    // A punctured rate (3/4) so the IR schedule actually cycles phases.
+    let mut rx = Receiver::sova(RATE);
+    let mut scratch = PhyScratch::new();
+    let mut samples = Vec::new();
+    let mut mother = Vec::new();
+    let mut out = RxResult::default();
+    let mut channel = AwgnChannel::new(SnrDb::new(9.0), 11);
+    let schedule = HarqConfig::default_ir_schedule(RATE.code_rate());
+    let config = HarqConfig::incremental(8, schedule);
+    let mut link = HarqLink::new(PAYLOAD_BITS as u64, config, RATE.code_rate());
+
+    let one_round = |link: &mut HarqLink,
+                     rx: &mut Receiver,
+                     scratch: &mut PhyScratch,
+                     samples: &mut Vec<_>,
+                     mother: &mut Vec<_>,
+                     out: &mut RxResult,
+                     channel: &mut AwgnChannel| {
+        // One logical packet driven the way the engine drives it: the
+        // first attempt retains, the forced retry combines and
+        // re-decodes, then the packet closes clean.
+        for attempt in 0..2u64 {
+            let phase = {
+                let core = link.harq().expect("combining armed");
+                let phase = core.tx_phase();
+                Transmitter::with_phase(RATE, phase).tx_into(&payload, 0x5D, scratch, samples);
+                channel.apply(samples);
+                phase
+            };
+            rx.set_puncture_phase(phase);
+            rx.rx_front_end_into(samples, PAYLOAD_BITS, scratch, mother);
+            {
+                let core = link.harq().expect("combining armed");
+                core.absorb(mother);
+                rx.rx_decode_from(core.plane(), PAYLOAD_BITS, 0x5D, scratch, out);
+            }
+            let ctx = LinkContext {
+                sent: &payload,
+                // Report a failure on the first attempt so the policy
+                // walks the retain -> combine -> re-decode cycle.
+                bit_errors: 1 - attempt,
+                predicted_pber: 0.0,
+                rate: RATE,
+                oracle: Oracle::Unavailable,
+            };
+            let _ = link.observe(out, &out.hints, &ctx);
+        }
+    };
+
+    // Warm-up: machinery construction and buffer growth may allocate.
+    one_round(
+        &mut link,
+        &mut rx,
+        &mut scratch,
+        &mut samples,
+        &mut mother,
+        &mut out,
+        &mut channel,
+    );
+
+    let before_events = thread_allocs();
+    let before_bytes = thread_alloc_bytes();
+    for _ in 0..STEADY_ITERS {
+        one_round(
+            &mut link,
+            &mut rx,
+            &mut scratch,
+            &mut samples,
+            &mut mother,
+            &mut out,
+            &mut channel,
+        );
+    }
+    let events = thread_allocs() - before_events;
+    let bytes = thread_alloc_bytes() - before_bytes;
+    assert_eq!(
+        events, 0,
+        "warm HARQ retry path allocated {events} times over {STEADY_ITERS} rounds"
+    );
+    assert_eq!(
+        bytes, 0,
+        "warm HARQ retry path requested {bytes} bytes over {STEADY_ITERS} rounds"
+    );
+    assert!(!out.payload.is_empty(), "the loop actually decoded packets");
 }
 
 /// The counter itself must catch an injected allocation — guards against
 /// the measurement silently going dead (e.g. the global allocator not
-/// being installed).
+/// being installed). Checks the byte probe alongside the event probe.
 #[test]
 fn canary_detects_injected_allocations() {
     let _serial = alloc_count::lock();
     let before = thread_allocs();
+    let before_bytes = thread_alloc_bytes();
     let mut sink = 0u8;
     for i in 0..STEADY_ITERS {
         // The allocation a no_alloc path must never contain.
@@ -182,9 +293,14 @@ fn canary_detects_injected_allocations() {
         sink = sink.wrapping_add(v[i]);
     }
     let delta = thread_allocs() - before;
+    let bytes = thread_alloc_bytes() - before_bytes;
     assert!(
         delta >= STEADY_ITERS as u64,
         "counter missed injected allocations: {delta} < {STEADY_ITERS}"
+    );
+    assert!(
+        bytes >= (64 * STEADY_ITERS) as u64,
+        "byte probe missed injected allocations: {bytes}"
     );
     assert_eq!(sink, 0);
 }

@@ -8,6 +8,7 @@ downstream tooling reads:
     python3 tools/check_bench.py perf_trellis /tmp/BENCH_trellis.json
     python3 tools/check_bench.py perf_phy    /tmp/BENCH_phy.json
     python3 tools/check_bench.py cell_sweep  /tmp/BENCH_cell.json
+    python3 tools/check_bench.py harq_sweep  /tmp/BENCH_harq.json
 """
 
 import json
@@ -100,11 +101,52 @@ def check_cell_sweep(doc):
     assert tdma["collision_fraction"] == 0.0, "the TDMA oracle must be collision-free"
 
 
+def check_harq_sweep(doc):
+    """ARQ vs Chase vs incremental-redundancy goodput, plus the dominance
+    contract the HARQ feature exists for: soft combining never loses
+    goodput to plain ARQ at any swept SNR, and redundancy-bearing
+    retransmissions beat repetition at the lowest (most lossy) point."""
+    for key in ("payload_bits", "packets"):
+        assert doc[key] > 0, key
+    snrs = doc["snrs_db"]
+    assert snrs == sorted(snrs) and len(snrs) >= 2, snrs
+    links = {l["link"]: l for l in doc["links"]}
+    assert set(links) == {"arq", "harq-cc", "harq-ir"}, set(links)
+    for name, link in links.items():
+        assert link["mean_secs"] > 0, (name, "mean_secs")
+        points = link["points"]
+        assert [p["snr_db"] for p in points] == snrs, (name, "snr grid")
+        for p in points:
+            assert 0.0 <= p["goodput"] <= 1.0, (name, p["snr_db"], "goodput")
+            assert 0.0 <= p["delivery_rate"] <= 1.0, (name, p["snr_db"], "delivery_rate")
+    for harq in ("harq-cc", "harq-ir"):
+        for p in links[harq]["points"]:
+            hist_total = sum(p["attempts_hist"])
+            assert hist_total == doc["packets"], (harq, p["snr_db"], "attempts_hist")
+            assert p["mean_attempts"] >= 1.0, (harq, p["snr_db"], "mean_attempts")
+            assert p["mean_effective_rate"] > 0.0, (harq, p["snr_db"], "effective rate")
+    arq, cc, ir = (links[n]["points"] for n in ("arq", "harq-cc", "harq-ir"))
+    for a, c, i in zip(arq, cc, ir):
+        snr = a["snr_db"]
+        assert c["goodput"] > a["goodput"], (snr, "Chase combining must beat ARQ")
+        assert i["goodput"] >= c["goodput"], (snr, "IR must never lose to Chase")
+        assert i["mean_effective_rate"] <= c["mean_effective_rate"], (
+            snr,
+            "IR retransmissions must not raise the effective code rate",
+        )
+    assert ir[0]["goodput"] > cc[0]["goodput"], "IR must beat Chase at the lowest SNR"
+    assert ir[0]["mean_effective_rate"] < cc[0]["mean_effective_rate"], (
+        "IR must actually lower the code rate where it retransmits"
+    )
+    assert cc[0]["recovered_fraction"] > 0.0, "combining never decided a packet"
+
+
 SCHEMAS = {
     "perf_trellis": check_perf_trellis,
     "perf_batch": check_perf_batch,
     "perf_phy": check_perf_phy,
     "cell_sweep": check_cell_sweep,
+    "harq_sweep": check_harq_sweep,
 }
 
 
