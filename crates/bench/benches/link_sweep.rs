@@ -5,10 +5,14 @@
 //! answers "what does each MAC policy deliver across the waterfall?"
 //! The bench times the sweep (the link layer rides the same worker pool
 //! and determinism contract as the PHY axes) and emits one JSON line per
-//! grid point with the link metrics downstream tooling tracks.
+//! grid point with the link metrics downstream tooling tracks. The grid
+//! runs through the memoizing [`SweepService`]: the timed section is the
+//! cold path (fresh cache per iteration), followed by a warm re-run that
+//! must serve every point from the store without simulating a packet.
 
 use wilis::phy::PhyRate;
 use wilis::scenario::{render_link_table, SweepGrid, SweepRunner};
+use wilis::service::SweepService;
 use wilis_bench::harness::{bench, report};
 use wilis_bench::{banner, budget};
 
@@ -39,10 +43,10 @@ fn main() {
     } else {
         3
     };
-    let runner = SweepRunner::auto();
     let mut results = Vec::new();
     let m = bench("link_sweep/grid", iters, || {
-        results = runner.run(&scenarios).unwrap();
+        let mut service = SweepService::new(SweepRunner::auto());
+        results = service.run(&scenarios).unwrap();
     });
     report(&m);
     let bits = scenarios.len() as u64 * u64::from(packets) * payload_bits as u64;
@@ -50,6 +54,23 @@ fn main() {
         "  -> {:.2} Mb/s simulated\n",
         bits as f64 / m.mean_secs / 1e6
     );
+
+    // Warm path: one service populated once, then timed serving the full
+    // grid from its store.
+    let mut warm_service = SweepService::new(SweepRunner::auto());
+    let reference = warm_service.run(&scenarios).unwrap();
+    warm_service.reset_metrics();
+    let warm = bench("link_sweep/warm", iters, || {
+        let cached = warm_service.run(&scenarios).unwrap();
+        assert_eq!(cached, reference, "warm link sweep diverged from cold");
+    });
+    report(&warm);
+    assert_eq!(
+        warm_service.metrics().packets_simulated,
+        0,
+        "warm link sweeps must be pure cache hits"
+    );
+    println!("  -> warm {}\n", warm_service.metrics().summary());
 
     print!("{}", render_link_table(&results));
 

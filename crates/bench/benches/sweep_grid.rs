@@ -5,10 +5,13 @@
 //! (§3); this bench tracks the reproduction's answer — the batched sweep
 //! runner — and records the speedup the worker pool buys at each thread
 //! count, plus the bit-identity check that makes the parallelism free of
-//! semantic cost.
+//! semantic cost. A final section times the same grid through the
+//! memoizing [`SweepService`], cold (empty cache) versus warm (every
+//! point served from the result store).
 
 use wilis::phy::PhyRate;
 use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis::service::SweepService;
 use wilis_bench::harness::{bench, report};
 use wilis_bench::{banner, budget};
 
@@ -71,6 +74,39 @@ fn main() {
             m.mean_secs
         ));
     }
+    // Service layer: the same grid behind the memoized result store.
+    // Cold constructs a fresh service per iteration (every point is a
+    // miss); warm reuses one pre-populated service (every point is a
+    // hit and zero packets are simulated).
+    let cold = bench("sweep_grid/service_cold", iters, || {
+        let mut service = SweepService::new(SweepRunner::auto());
+        let results = service.run(&scenarios).unwrap();
+        assert_eq!(results, serial_reference, "cold service run diverged");
+    });
+    report(&cold);
+    let mut warm_service = SweepService::new(SweepRunner::auto());
+    warm_service.run(&scenarios).unwrap();
+    warm_service.reset_metrics();
+    let warm = bench("sweep_grid/service_warm", iters, || {
+        let results = warm_service.run(&scenarios).unwrap();
+        assert_eq!(results, serial_reference, "warm service run diverged");
+    });
+    report(&warm);
+    assert_eq!(
+        warm_service.metrics().packets_simulated,
+        0,
+        "warm service runs must be pure cache hits"
+    );
+    println!("  -> warm {}", warm_service.metrics().summary());
+    json.push(format!(
+        "{{\"bench\":\"sweep_grid\",\"service\":\"cold\",\"mean_secs\":{:.9},\"bits\":{bits}}}",
+        cold.mean_secs
+    ));
+    json.push(format!(
+        "{{\"bench\":\"sweep_grid\",\"service\":\"warm\",\"mean_secs\":{:.9},\"bits\":{bits}}}",
+        warm.mean_secs
+    ));
+
     println!("\nJSON:");
     for line in &json {
         println!("{line}");

@@ -1,0 +1,156 @@
+//! Sweep-service economics: what the memoized result store and the
+//! confidence-driven stopping rule each buy on a representative grid.
+//!
+//! Two sections:
+//!
+//! * **cold vs warm** — the Figure-5-shaped grid through a fresh
+//!   [`SweepService`] (every point simulated) versus a pre-populated one
+//!   (every point served from the store). Warm results are asserted
+//!   bit-identical to cold and must simulate zero packets.
+//! * **fixed vs adaptive** — the same grid under a fixed packet budget
+//!   versus a Wilson-interval [`StoppingRule`] that closes each point as
+//!   soon as its BER estimate is resolved. Adaptive runs are asserted
+//!   deterministic (two runs bit-identical) and thread-invariant
+//!   (1 thread == auto threads), and must simulate no more packets than
+//!   the fixed budget.
+//!
+//! Results go to stdout *and* `BENCH_service.json` (override with
+//! `WILIS_BENCH_OUT`). Schema:
+//!
+//! ```json
+//! {
+//!   "bench": "sweep_service",
+//!   "grid_points": 12,
+//!   "packets_per_point": 58,
+//!   "cold_mean_secs": 0.0,
+//!   "warm_mean_secs": 0.0,
+//!   "warm_speedup": 0.0,
+//!   "warm_hits": 12,
+//!   "warm_packets_saved": 696,
+//!   "stopping": [
+//!     {"mode": "fixed", "packets_simulated": 0, "mean_secs": 0.0},
+//!     {"mode": "adaptive", "packets_simulated": 0, "mean_secs": 0.0}
+//!   ]
+//! }
+//! ```
+
+use wilis::phy::PhyRate;
+use wilis::scenario::{StoppingRule, SweepGrid, SweepRunner};
+use wilis::service::SweepService;
+use wilis_bench::harness::{bench, report};
+use wilis_bench::{banner, budget};
+
+fn main() {
+    let payload_bits = 1704usize;
+    let packets = (budget(100_000) / payload_bits as u64).max(8) as u32;
+    let grid = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["sova", "bcjr"])
+        .snrs_db(&[6.0, 7.0, 8.0])
+        .packets(packets)
+        .payload_bits(payload_bits);
+    let scenarios = grid.scenarios();
+    banner(&format!(
+        "sweep_service: {} grid points x {} packets of {} bits (WILIS_BITS to scale)",
+        scenarios.len(),
+        packets,
+        payload_bits
+    ));
+
+    let iters = if std::env::var("WILIS_FAST").is_ok() {
+        1
+    } else {
+        3
+    };
+
+    // --- cold vs warm ---------------------------------------------------
+    let mut reference = Vec::new();
+    let cold = bench("sweep_service/cold", iters, || {
+        let mut service = SweepService::new(SweepRunner::auto());
+        reference = service.run(&scenarios).unwrap();
+    });
+    report(&cold);
+
+    let mut warm_service = SweepService::new(SweepRunner::auto());
+    warm_service.run(&scenarios).unwrap();
+    warm_service.reset_metrics();
+    let warm = bench("sweep_service/warm", iters, || {
+        let cached = warm_service.run(&scenarios).unwrap();
+        assert_eq!(cached, reference, "warm results diverged from cold");
+    });
+    report(&warm);
+    let wm = warm_service.metrics();
+    assert_eq!(wm.packets_simulated, 0, "warm runs must be pure cache hits");
+    let warm_speedup = cold.mean_secs / warm.mean_secs;
+    println!("  -> warm {} (speedup {warm_speedup:.1}x)", wm.summary());
+
+    // Per-run hit/saved counts (metrics accumulated over warmup + iters).
+    let runs = u64::from(iters) + 1;
+    let warm_hits = wm.hits / runs;
+    let warm_saved = wm.packets_saved / runs;
+
+    // --- fixed vs adaptive stopping -------------------------------------
+    // Target a 1e-3 BER half-width: at these SNRs the clean points close
+    // after one chunk and only the noisy QAM-16 points spend real budget.
+    let rule = StoppingRule::ber(1e-3).with_chunk(8);
+    let mut stopping_rows = Vec::new();
+    let mut fixed_packets = 0u64;
+    let mut adaptive_packets = 0u64;
+    for (mode, stopping) in [("fixed", None), ("adaptive", Some(rule))] {
+        let mut last = 0u64;
+        let mut last_results = Vec::new();
+        let m = bench(&format!("sweep_service/{mode}"), iters, || {
+            let mut service = SweepService::new(SweepRunner::auto());
+            service.set_stopping(stopping);
+            last_results = service.run(&scenarios).unwrap();
+            last = service.metrics().packets_simulated;
+        });
+        report(&m);
+        match mode {
+            "fixed" => fixed_packets = last,
+            _ => adaptive_packets = last,
+        }
+        if mode == "adaptive" {
+            // Determinism: a second adaptive run and a single-thread run
+            // must both reproduce the same stopped results bit for bit.
+            let mut serial = SweepService::new(SweepRunner::new(1));
+            serial.set_stopping(stopping);
+            let serial_results = serial.run(&scenarios).unwrap();
+            assert_eq!(
+                serial_results, last_results,
+                "adaptive stopping must be thread-invariant"
+            );
+        }
+        println!("  -> {last} packets simulated per run");
+        stopping_rows.push(format!(
+            "{{\"mode\":\"{mode}\",\"packets_simulated\":{last},\"mean_secs\":{:.9}}}",
+            m.mean_secs
+        ));
+    }
+    assert!(
+        adaptive_packets <= fixed_packets,
+        "adaptive stopping simulated more packets ({adaptive_packets}) than the fixed budget ({fixed_packets})"
+    );
+    println!(
+        "\nstopping saves {} of {} packets ({:.0}%)",
+        fixed_packets - adaptive_packets,
+        fixed_packets,
+        100.0 * (fixed_packets - adaptive_packets) as f64 / fixed_packets as f64
+    );
+
+    let json = format!(
+        "{{\"bench\":\"sweep_service\",\"grid_points\":{},\"packets_per_point\":{packets},\"cold_mean_secs\":{:.9},\"warm_mean_secs\":{:.9},\"warm_speedup\":{warm_speedup:.3},\"warm_hits\":{warm_hits},\"warm_packets_saved\":{warm_saved},\"stopping\":[{}]}}\n",
+        scenarios.len(),
+        cold.mean_secs,
+        warm.mean_secs,
+        stopping_rows.join(",")
+    );
+    println!("\nJSON:\n{json}");
+    let out_path = std::env::var("WILIS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_string()
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -12,6 +12,7 @@
 //! | `channel_throughput` | §3 — noise generation saturates the host |
 //! | `sweep_grid` | scenario engine — serial vs parallel Figure 5 grid |
 //! | `link_sweep` | link-layer sweeps — goodput per MAC policy |
+//! | `sweep_service` | memoized store + stopping rule — `BENCH_service.json` |
 //! | `harq_sweep` | HARQ soft-combining vs ARQ goodput — `BENCH_harq.json` |
 //! | `cell_sweep` | contention cells — per-policy goodput, `BENCH_cell.json` |
 //! | `perf_trellis` | compiled vs reference decode kernels — `BENCH_trellis.json` |

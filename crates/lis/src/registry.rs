@@ -75,6 +75,23 @@ impl Params {
     pub fn get_bool(&self, key: &str) -> Option<bool> {
         self.get(key)?.parse().ok()
     }
+
+    /// Iterates `(key, value)` pairs in key order — the order `Ord` and
+    /// `Hash` observe, so serializers that walk this iterator produce one
+    /// canonical encoding per parameter set.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The number of parameters set.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
 }
 
 /// Error returned when a registry lookup fails or a looked-up

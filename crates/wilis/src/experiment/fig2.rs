@@ -28,13 +28,21 @@ pub struct Fig2Row {
 /// at each rate (Viterbi receiver, matching the paper's baseline 802.11
 /// system) with that many packets.
 pub fn run(native_packets: u32) -> Vec<Fig2Row> {
+    run_with(&SweepRunner::auto(), native_packets)
+}
+
+/// [`run`] against a caller-owned runner — the model rows are closed-form
+/// (no Monte-Carlo, nothing to memoize), so unlike the fig5–fig7 drivers
+/// this one parallelizes through [`SweepRunner::run_indexed`] directly
+/// rather than through a [`crate::service::SweepService`].
+pub fn run_with(runner: &SweepRunner, native_packets: u32) -> Vec<Fig2Row> {
     let model = SpeedModel::paper();
     let rates = PhyRate::all();
     // Model rows are pure functions of the rate: evaluate them across the
     // scenario engine's worker pool. The native wall-clock measurement
     // stays serial — concurrent trials would time contention, not the
     // pipeline.
-    let rows = SweepRunner::auto().run_indexed(rates.len(), |i| model.row(rates[i]));
+    let rows = runner.run_indexed(rates.len(), |i| model.row(rates[i]));
     rows.into_iter()
         .zip(rates)
         .map(|(row, rate)| Fig2Row {

@@ -15,6 +15,7 @@ use wilis_phy::{Modulation, PhyRate};
 use wilis_softphy::{CalibrationConfig, DecoderKind, HintCalibration, ScalingFactors};
 
 use crate::scenario::{ScenarioResult, SweepGrid, SweepRunner};
+use crate::service::SweepService;
 
 /// One Figure 5 curve: a labeled calibration run.
 #[derive(Debug, Clone)]
@@ -53,8 +54,26 @@ fn calibration_from(cfg: CalibrationConfig, r: &ScenarioResult) -> HintCalibrati
 
 /// Runs the three curves for one decoder, spending `bits_per_curve`
 /// payload bits on each — all three grid points execute concurrently on
-/// the scenario engine.
+/// the scenario engine, through a throwaway [`SweepService`] honoring
+/// `WILIS_STORE` (repeat invocations with a store hit the cache).
 pub fn run(decoder: DecoderKind, bits_per_curve: u64, seed: u64) -> Vec<Fig5Curve> {
+    run_with(
+        &mut SweepService::from_env(SweepRunner::auto()),
+        decoder,
+        bits_per_curve,
+        seed,
+    )
+}
+
+/// [`run`] against a caller-owned [`SweepService`], so figure drivers
+/// sharing one service (and one store) serve overlapping grid points
+/// from cache.
+pub fn run_with(
+    service: &mut SweepService,
+    decoder: DecoderKind,
+    bits_per_curve: u64,
+    seed: u64,
+) -> Vec<Fig5Curve> {
     let packets = bits_per_curve.div_ceil(PACKET_BITS as u64).max(1) as u32;
     let configs: Vec<(PhyRate, SnrDb, &str)> = configurations()
         .into_iter()
@@ -77,7 +96,7 @@ pub fn run(decoder: DecoderKind, bits_per_curve: u64, seed: u64) -> Vec<Fig5Curv
                 .scenarios()
         })
         .collect();
-    let results = SweepRunner::auto()
+    let results = service
         .run(&scenarios)
         .expect("stock decoder and channel names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     configs

@@ -18,6 +18,7 @@ use wilis_phy::PhyRate;
 use wilis_softphy::{DecoderKind, ScalingFactors};
 
 use crate::scenario::{SweepGrid, SweepRunner};
+use crate::service::SweepService;
 
 /// Configuration of the scatter experiment.
 #[derive(Debug, Clone)]
@@ -85,8 +86,17 @@ pub struct Fig6Result {
 }
 
 /// Runs the scatter experiment: one scenario per SNR point, all executed
-/// concurrently on the scenario engine with per-packet stats recorded.
+/// concurrently on the scenario engine with per-packet stats recorded,
+/// through a throwaway [`SweepService`] honoring `WILIS_STORE`.
 pub fn run(cfg: &Fig6Config) -> Fig6Result {
+    run_with(&mut SweepService::from_env(SweepRunner::auto()), cfg)
+}
+
+/// [`run`] against a caller-owned [`SweepService`]. Packet-stats
+/// recording is forced on for the duration (it is part of the cache
+/// key, so these points never alias a stats-free record) and restored
+/// afterwards.
+pub fn run_with(service: &mut SweepService, cfg: &Fig6Config) -> Fig6Result {
     let scenarios: Vec<_> = cfg
         .snrs
         .iter()
@@ -102,10 +112,11 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
                 .scenarios()
         })
         .collect();
-    let results = SweepRunner::auto()
-        .record_packet_stats(true)
-        .run(&scenarios)
-        .expect("stock decoder and channel names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
+    let prior = service.runner().records_packet_stats();
+    service.set_record_packet_stats(true);
+    let results = service.run(&scenarios);
+    service.set_record_packet_stats(prior);
+    let results = results.expect("stock decoder and channel names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     let points: Vec<ScatterPoint> = results
         .iter()
         .flat_map(|r| {
@@ -162,8 +173,14 @@ pub struct Fig6LinkPoint {
 }
 
 /// Runs the Figure 6 grid with ARQ and PPR link policies through the
-/// engine: the same packets, now closed by the link layer.
+/// engine: the same packets, now closed by the link layer. Uses a
+/// throwaway [`SweepService`] honoring `WILIS_STORE`.
 pub fn run_links(cfg: &Fig6Config) -> Vec<Fig6LinkPoint> {
+    run_links_with(&mut SweepService::from_env(SweepRunner::auto()), cfg)
+}
+
+/// [`run_links`] against a caller-owned [`SweepService`].
+pub fn run_links_with(service: &mut SweepService, cfg: &Fig6Config) -> Vec<Fig6LinkPoint> {
     let snrs: Vec<f64> = cfg.snrs.iter().map(|s| s.db()).collect();
     let grid = SweepGrid::new()
         .rates(&[cfg.rate])
@@ -174,7 +191,7 @@ pub fn run_links(cfg: &Fig6Config) -> Vec<Fig6LinkPoint> {
         .packets(cfg.packets_per_snr)
         .payload_bits(cfg.payload_bits);
     let scenarios = grid.scenarios();
-    let results = SweepRunner::auto()
+    let results = service
         .run(&scenarios)
         .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     scenarios

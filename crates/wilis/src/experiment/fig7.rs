@@ -26,6 +26,7 @@ use wilis_phy::PhyRate;
 use wilis_softphy::DecoderKind;
 
 use crate::scenario::{Scenario, ScenarioResult, SweepRunner};
+use crate::service::SweepService;
 
 /// Configuration of the SoftRate trial.
 #[derive(Debug, Clone, Copy)]
@@ -110,9 +111,19 @@ fn result_from(decoder: DecoderKind, r: &ScenarioResult) -> Fig7Result {
     }
 }
 
-/// Runs the Figure 7 trial for one decoder through the sweep engine.
+/// Runs the Figure 7 trial for one decoder through the sweep engine,
+/// behind a throwaway [`SweepService`] honoring `WILIS_STORE`.
 pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
-    let results = SweepRunner::new(1)
+    run_with(
+        &mut SweepService::from_env(SweepRunner::new(1)),
+        cfg,
+        decoder,
+    )
+}
+
+/// [`run`] against a caller-owned [`SweepService`].
+pub fn run_with(service: &mut SweepService, cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
+    let results = service
         .run(&[cfg.scenario(decoder)])
         .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     result_from(decoder, &results[0])
@@ -122,9 +133,14 @@ pub fn run(cfg: &Fig7Config, decoder: DecoderKind) -> Fig7Result {
 /// sweep (each is internally sequential: rate adaptation carries state
 /// from packet to packet, which is exactly what the link policy models).
 pub fn run_both(cfg: &Fig7Config) -> Vec<Fig7Result> {
+    run_both_with(&mut SweepService::from_env(SweepRunner::auto()), cfg)
+}
+
+/// [`run_both`] against a caller-owned [`SweepService`].
+pub fn run_both_with(service: &mut SweepService, cfg: &Fig7Config) -> Vec<Fig7Result> {
     let decoders = [DecoderKind::Bcjr, DecoderKind::Sova];
     let scenarios: Vec<Scenario> = decoders.iter().map(|&d| cfg.scenario(d)).collect();
-    let results = SweepRunner::auto()
+    let results = service
         .run(&scenarios)
         .expect("stock decoder, channel, and link names"); // lint: allow(panic-policy) — experiment driver sweeps the stock registry over a known-good grid
     decoders

@@ -50,9 +50,11 @@
 
 pub mod experiment;
 pub mod scenario;
+pub mod service;
 mod system;
 
-pub use scenario::{Scenario, ScenarioResult, SweepGrid, SweepRunner};
+pub use scenario::{Scenario, ScenarioResult, StopMetric, StoppingRule, SweepGrid, SweepRunner};
+pub use service::{ResultStore, ServiceMetrics, SweepService};
 pub use system::{DecoderSlot, SystemConfig, WilisSystem};
 
 /// The platform substrate (re-export of `wilis-lis`).
@@ -95,5 +97,8 @@ pub mod prelude {
     pub use wilis_phy::{Modulation, PhyRate, Receiver, Transmitter};
     pub use wilis_softphy::{BerEstimator, DecoderKind};
 
-    pub use crate::{Scenario, ScenarioResult, SweepGrid, SweepRunner, SystemConfig, WilisSystem};
+    pub use crate::{
+        Scenario, ScenarioResult, ServiceMetrics, StoppingRule, SweepGrid, SweepRunner,
+        SweepService, SystemConfig, WilisSystem,
+    };
 }

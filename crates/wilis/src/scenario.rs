@@ -84,7 +84,7 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use wilis_channel::{
     resolve_slot, AwgnChannel, AwgnModel, Channel, ChannelModel, FadingModel, ReplayModel,
@@ -642,6 +642,137 @@ fn runtime_link_params(sc: &Scenario) -> Params {
     link_params
 }
 
+/// Which Monte-Carlo estimate a [`StoppingRule`] watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StopMetric {
+    /// The payload bit-error rate — trials are received payload bits.
+    Ber,
+    /// The packet-error rate — trials are received packets.
+    Per,
+}
+
+/// Confidence-driven sequential stopping for Monte-Carlo grid points.
+///
+/// A point runs packets in chunks of `chunk_packets`; at each chunk
+/// boundary the Wilson score interval of the watched error rate is
+/// evaluated, and the point stops as soon as the interval half-width
+/// closes below `target_half_width` — or at the scenario's `packets`
+/// budget, whichever comes first. The budget is the hard cap: a point
+/// whose interval never closes (e.g. BER pinned near 0.5 deep in the
+/// waterfall) runs exactly the packets it would have run without a rule.
+///
+/// Determinism: the decision at a boundary is a pure function of the
+/// integer error/trial counters accumulated so far, which are themselves
+/// pure functions of `(scenario seed, packet index)`. The chunk schedule
+/// therefore never depends on thread count, on co-scheduled grid points,
+/// or on whether earlier points came from a warm cache — the bit-identity
+/// contract of [`SweepRunner`] survives intact. In a fused shared-channel
+/// job each member applies its *own* rule to its *own* tally and simply
+/// stops observing at its stop point, so fused results remain
+/// bit-identical to solo runs.
+///
+/// HARQ scenarios evaluate the boundary on *logical* packets (the seed
+/// schedule axis) while the interval uses the attempt-level tally that
+/// [`ScenarioResult::packets`] reports. Contention cells ignore stopping
+/// rules: a cell's slot budget is the workload definition, not a
+/// Monte-Carlo depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// The estimate whose confidence interval drives stopping.
+    pub metric: StopMetric,
+    /// Stop once the Wilson half-width is at or below this.
+    pub target_half_width: f64,
+    /// The normal quantile of the interval (1.96 ≈ 95% confidence).
+    pub z: f64,
+    /// Packets per chunk between boundary checks.
+    pub chunk_packets: u32,
+}
+
+impl StoppingRule {
+    /// A BER-watching rule at 95% confidence with the default chunk size.
+    pub fn ber(target_half_width: f64) -> Self {
+        Self {
+            metric: StopMetric::Ber,
+            target_half_width,
+            z: 1.96,
+            chunk_packets: 32,
+        }
+    }
+
+    /// A PER-watching rule at 95% confidence with the default chunk size.
+    pub fn per(target_half_width: f64) -> Self {
+        Self {
+            metric: StopMetric::Per,
+            ..Self::ber(target_half_width)
+        }
+    }
+
+    /// Replaces the confidence quantile.
+    pub fn with_z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Replaces the chunk size.
+    pub fn with_chunk(mut self, packets: u32) -> Self {
+        self.chunk_packets = packets;
+        self
+    }
+
+    /// The Wilson score interval half-width for `errors` successes in
+    /// `trials` Bernoulli trials at quantile `z`. Returns `f64::INFINITY`
+    /// for zero trials, so a rule can never stop before observing data.
+    pub fn wilson_half_width(errors: u64, trials: u64, z: f64) -> f64 {
+        if trials == 0 {
+            return f64::INFINITY;
+        }
+        let n = trials as f64;
+        let p = errors as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+    }
+
+    fn validate(&self) -> Result<(), RegistryError> {
+        // is_finite() also rejects NaN, which every comparison below
+        // would otherwise wave through.
+        if !self.target_half_width.is_finite() || self.target_half_width <= 0.0 {
+            return Err(RegistryError::invalid_config(format!(
+                "stopping rule target_half_width must be positive and finite, got {}",
+                self.target_half_width
+            )));
+        }
+        if !self.z.is_finite() || self.z <= 0.0 {
+            return Err(RegistryError::invalid_config(format!(
+                "stopping rule z must be positive and finite, got {}",
+                self.z
+            )));
+        }
+        if self.chunk_packets == 0 {
+            return Err(RegistryError::invalid_config(
+                "stopping rule chunk_packets must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// True when `packets_done` received packets land on a chunk
+    /// boundary — the only points where a stop decision may be taken.
+    fn is_boundary(&self, packets_done: u64) -> bool {
+        packets_done > 0 && packets_done % u64::from(self.chunk_packets) == 0
+    }
+
+    /// True when the watched interval has closed, given the tally after
+    /// `receives` received packets of `payload_bits` each.
+    fn closed(&self, tally: &PacketTally, receives: u64, payload_bits: usize) -> bool {
+        let (errors, trials) = match self.metric {
+            StopMetric::Ber => (tally.bit_errors, receives * payload_bits as u64),
+            StopMetric::Per => (tally.packet_errors, receives),
+        };
+        Self::wilson_half_width(errors, trials, self.z) <= self.target_half_width
+    }
+}
+
 /// Executes scenario grids across a worker pool.
 ///
 /// Determinism contract: scenario `i` of a grid always produces the same
@@ -652,7 +783,19 @@ fn runtime_link_params(sc: &Scenario) -> Params {
 pub struct SweepRunner {
     threads: usize,
     record_packet_stats: bool,
+    stopping: Option<StoppingRule>,
     env: Arc<EnvFactory>,
+}
+
+impl Clone for SweepRunner {
+    fn clone(&self) -> Self {
+        Self {
+            threads: self.threads,
+            record_packet_stats: self.record_packet_stats,
+            stopping: self.stopping,
+            env: Arc::clone(&self.env),
+        }
+    }
 }
 
 impl SweepRunner {
@@ -666,6 +809,7 @@ impl SweepRunner {
         Self {
             threads,
             record_packet_stats: false,
+            stopping: None,
             env: Arc::new(|| {
                 (
                     WilisSystem::new(),
@@ -695,6 +839,38 @@ impl SweepRunner {
     pub fn record_packet_stats(mut self, on: bool) -> Self {
         self.record_packet_stats = on;
         self
+    }
+
+    /// In-place variant of [`SweepRunner::record_packet_stats`], for
+    /// callers (like [`crate::service::SweepService`]) that toggle the
+    /// flag around a grid without rebuilding the runner.
+    pub fn set_record_packet_stats(&mut self, on: bool) {
+        self.record_packet_stats = on;
+    }
+
+    /// Whether per-packet statistics recording is on.
+    pub fn records_packet_stats(&self) -> bool {
+        self.record_packet_stats
+    }
+
+    /// Installs a confidence-driven [`StoppingRule`]: every
+    /// point-to-point grid point stops at the first chunk boundary where
+    /// the watched interval closes, capped at the scenario's `packets`
+    /// budget. `None` restores fixed-budget execution. Contention cells
+    /// ignore the rule (their slot budget defines the workload).
+    pub fn with_stopping(mut self, rule: Option<StoppingRule>) -> Self {
+        self.stopping = rule;
+        self
+    }
+
+    /// In-place variant of [`SweepRunner::with_stopping`].
+    pub fn set_stopping(&mut self, rule: Option<StoppingRule>) {
+        self.stopping = rule;
+    }
+
+    /// The installed stopping rule, if any.
+    pub fn stopping(&self) -> Option<StoppingRule> {
+        self.stopping
     }
 
     /// Replaces the environment factory, for sweeps over user decoder,
@@ -731,6 +907,42 @@ impl SweepRunner {
     /// ([`LinkPolicy::adapts_rate`]) with a cell — cells pin every node
     /// to the scenario rate.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
+        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
+        self.run_streaming(scenarios, |i, result| slots[i] = Some(result))?;
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every scenario is assigned to exactly one job")) // lint: allow(panic-policy) — the partition loop pushes each index into exactly one job
+            .collect())
+    }
+
+    /// Streaming variant of [`SweepRunner::run`]: `on_result(i, result)`
+    /// fires for each grid point as its worker job finishes, instead of
+    /// buffering the whole grid. The callback runs under one mutex (never
+    /// concurrently with itself) but on worker threads, hence the `Send`
+    /// bound; [`crate::service::SweepService::run_streaming`] bridges it
+    /// back onto the caller's thread for non-`Send` consumers.
+    ///
+    /// Delivery order is completion order — a pure function of nothing:
+    /// callers needing submission order index by `i`, and each `i`'s
+    /// *result* keeps the full bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run`]: preflight failures return before any
+    /// Monte-Carlo work. A failure past preflight (e.g. from a user
+    /// environment factory) is reported after the grid drains; results
+    /// already delivered to the callback remain valid.
+    pub fn run_streaming<F>(
+        &self,
+        scenarios: &[Scenario],
+        on_result: F,
+    ) -> Result<(), RegistryError>
+    where
+        F: FnMut(usize, ScenarioResult) + Send,
+    {
+        if let Some(rule) = self.stopping {
+            rule.validate()?;
+        }
         // Fail fast on unknown names: resolve every distinct
         // (decoder, channel, link, contention) tuple once against a
         // throwaway environment.
@@ -909,32 +1121,58 @@ impl SweepRunner {
         }
 
         let record = self.record_packet_stats;
+        let stopping = self.stopping;
         let env = Arc::clone(&self.env);
-        let nested = self.run_indexed(jobs.len(), move |j| {
+        // Workers funnel finished points through one mutex-serialized
+        // sink. Errors are not delivered to the callback; the one from
+        // the lowest job index (first member within it) is kept, so the
+        // reported error is a pure function of the scenario list.
+        let sink: Mutex<(F, Option<(usize, RegistryError)>)> = Mutex::new((on_result, None));
+        let sink_ref = &sink;
+        self.run_indexed(jobs.len(), move |j| {
             let (system, channels, links, contentions) = env();
-            match &jobs[j] {
+            let computed = match &jobs[j] {
                 Job::Solo(i) => {
                     let sc = &scenarios[*i];
                     let result = if sc.contention == "p2p" {
-                        run_scenario(&system, &channels, &links, *i, sc, record)
+                        run_scenario(&system, &channels, &links, *i, sc, record, stopping)
                     } else {
                         run_cell(&system, &channels, &links, &contentions, *i, sc, record)
                     };
                     vec![(*i, result)]
                 }
-                Job::Shared(members) => {
-                    run_group(&system, &channels, &links, members, scenarios, record)
+                Job::Shared(members) => run_group(
+                    &system, &channels, &links, members, scenarios, record, stopping,
+                ),
+            };
+            let mut guard = match sink_ref.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let (on_result, first_err) = &mut *guard;
+            for (i, result) in computed {
+                match result {
+                    Ok(res) => on_result(i, res),
+                    Err(e) => {
+                        let wins = match first_err {
+                            Some((held, _)) => j < *held,
+                            None => true,
+                        };
+                        if wins {
+                            *first_err = Some((j, e));
+                        }
+                    }
                 }
             }
         });
-        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
-        for (i, result) in nested.into_iter().flatten() {
-            slots[i] = Some(result?);
+        let (_, first_err) = match sink.into_inner() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
         }
-        Ok(slots
-            .into_iter()
-            .map(|r| r.expect("every scenario is assigned to exactly one job")) // lint: allow(panic-policy) — the partition loop above pushes each index into exactly one job
-            .collect())
     }
 
     /// The deterministic-parallel primitive under [`SweepRunner::run`]:
@@ -981,13 +1219,14 @@ impl std::fmt::Debug for SweepRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "SweepRunner({} threads, packet stats {})",
+            "SweepRunner({} threads, packet stats {}, stopping {})",
             self.threads,
             if self.record_packet_stats {
                 "on"
             } else {
                 "off"
-            }
+            },
+            if self.stopping.is_some() { "on" } else { "off" }
         )
     }
 }
@@ -1175,6 +1414,7 @@ fn run_scenario(
     index: usize,
     sc: &Scenario,
     record: bool,
+    stopping: Option<StoppingRule>,
 ) -> Result<ScenarioResult, RegistryError> {
     let decoder_kind = DecoderKind::from_registry_name(&sc.decoder);
     let mut bank = RateBank::new();
@@ -1191,7 +1431,7 @@ fn run_scenario(
         // Soft-combining replays the *same* payload per attempt, so the
         // packet axis becomes an attempt loop of its own.
         let policy = policy.expect("harq() probe above saw a policy"); // lint: allow(panic-policy) — is_some_and returned true, so the option is Some
-        return run_harq_scenario(&mut bank, channels, index, sc, policy, record);
+        return run_harq_scenario(&mut bank, channels, index, sc, policy, record, stopping);
     }
     let needs_oracle = policy.as_ref().is_some_and(|p| p.needs_oracle());
     let shared_trellis = system.compiled_ieee80211();
@@ -1207,6 +1447,7 @@ fn run_scenario(
 
     let mut tally = PacketTally::new();
     let mut current_rate = sc.rate;
+    let mut observed: u64 = 0;
 
     for p in 0..sc.packets {
         let packet_seed = mix_seed(sc.seed, u64::from(p));
@@ -1257,15 +1498,15 @@ fn run_scenario(
                 current_rate = next;
             }
         }
+        observed = u64::from(p) + 1;
+        if let Some(rule) = stopping {
+            if rule.is_boundary(observed) && rule.closed(&tally, observed, sc.payload_bits) {
+                break;
+            }
+        }
     }
 
-    Ok(tally.into_result(
-        index,
-        sc,
-        u64::from(sc.packets),
-        policy.map(|p| p.metrics()),
-        None,
-    ))
+    Ok(tally.into_result(index, sc, observed, policy.map(|p| p.metrics()), None))
 }
 
 /// Seed-stream tag for HARQ retransmission attempts, in the family of
@@ -1311,6 +1552,7 @@ fn run_harq_scenario(
     sc: &Scenario,
     mut policy: Box<dyn LinkPolicy>,
     record: bool,
+    stopping: Option<StoppingRule>,
 ) -> Result<ScenarioResult, RegistryError> {
     let (mut rx, estimator) = bank
         .take(sc.rate)
@@ -1382,6 +1624,15 @@ fn run_harq_scenario(
                 break;
             }
         }
+        // The boundary walks the *logical* packet axis — the seed
+        // schedule — while the interval watches the attempt-level tally,
+        // the same accounting `ScenarioResult::packets` reports.
+        if let Some(rule) = stopping {
+            if rule.is_boundary(u64::from(p) + 1) && rule.closed(&tally, receives, sc.payload_bits)
+            {
+                break;
+            }
+        }
     }
 
     Ok(tally.into_result(index, sc, receives, Some(policy.metrics()), None))
@@ -1402,6 +1653,14 @@ struct GroupMember<'a> {
     policy: Option<Box<dyn LinkPolicy>>,
     needs_oracle: bool,
     tally: PacketTally,
+    /// Packets this member has observed — `scenario.packets` unless its
+    /// stopping rule closed the interval first.
+    observed: u64,
+    /// Set once the member's own stopping rule fires: the member freezes
+    /// its tally and policy at exactly the packet where its solo run
+    /// would have stopped, so fused results stay bit-identical to solo
+    /// results even when co-members keep running.
+    stopped: bool,
 }
 
 impl<'a> GroupMember<'a> {
@@ -1433,6 +1692,8 @@ impl<'a> GroupMember<'a> {
             policy,
             needs_oracle,
             tally: PacketTally::new(),
+            observed: 0,
+            stopped: false,
         })
     }
 }
@@ -1473,6 +1734,7 @@ fn run_group(
     members: &[usize],
     scenarios: &[Scenario],
     record: bool,
+    stopping: Option<StoppingRule>,
 ) -> Vec<(usize, Result<ScenarioResult, RegistryError>)> {
     let lead = &scenarios[members[0]];
     let mut out = Vec::with_capacity(members.len());
@@ -1647,7 +1909,11 @@ fn run_group(
         // order the solo path delivers them.
         for k in 0..lanes {
             let payload = &payloads[k];
+            let done = u64::from(first) + k as u64 + 1;
             for member in &mut group {
+                if member.stopped {
+                    continue;
+                }
                 let got = &member.got_lanes[k];
                 let (errs_this_packet, predicted) =
                     member
@@ -1673,9 +1939,22 @@ fn run_group(
                         policy.name()
                     );
                 }
+                member.observed = done;
+                // Each member applies its own rule to its own tally at
+                // exactly the boundary its solo run would check — a
+                // stopped member freezes while co-members continue.
+                if let Some(rule) = stopping {
+                    if rule.is_boundary(done) && rule.closed(&member.tally, done, lead.payload_bits)
+                    {
+                        member.stopped = true;
+                    }
+                }
             }
         }
         first += block;
+        if stopping.is_some() && group.iter().all(|m| m.stopped) {
+            break;
+        }
     }
 
     for member in group {
@@ -1685,7 +1964,7 @@ fn run_group(
             Ok(member.tally.into_result(
                 member.index,
                 member.scenario,
-                u64::from(member.scenario.packets),
+                member.observed,
                 link,
                 None,
             )),

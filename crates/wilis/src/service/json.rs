@@ -1,0 +1,333 @@
+//! A minimal JSON value, writer, and recursive-descent parser for the
+//! service's on-disk result store — the container is offline and the
+//! workspace std-only, so the store carries its own codec.
+//!
+//! The subset is deliberately narrow: `null`, booleans, **unsigned
+//! integers only**, strings, arrays, and objects. The store never writes
+//! a decimal float — every `f64` travels as its IEEE-754 bit pattern in
+//! a u64 (see [`super::store`]) — so a parsed-back result is *bit*-equal
+//! to the one written, which is what lets a warm run reproduce a cold
+//! run exactly. Objects preserve insertion order on write and compare by
+//! key on read via `BTreeMap`, so one logical value has one encoding.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value in the store's subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer — the only number the subset admits.
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` so equal objects encode equally.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub(crate) fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object.
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single line (no pretty-printing, no trailing
+    /// newline) — one store record per line.
+    pub(crate) fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one value from `text`; `None` on any syntax error, any
+    /// number outside the unsigned-integer subset, or trailing garbage.
+    /// The store treats an unparsable line as a corrupt record to skip,
+    /// so the parser never panics.
+    pub(crate) fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(value)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn consume(bytes: &[u8], pos: &mut usize, b: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'n' => parse_literal(bytes, pos, b"null", Json::Null),
+        b't' => parse_literal(bytes, pos, b"true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, b"false", Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => parse_array(bytes, pos),
+        b'{' => parse_object(bytes, pos),
+        b'0'..=b'9' => parse_number(bytes, pos),
+        _ => None,
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8], value: Json) -> Option<Json> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    // Reject the float/exponent forms the writer never produces.
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E')) {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    consume(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        match b {
+            b'"' => return Some(out),
+            b'\\' => {
+                let esc = *bytes.get(*pos)?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4)?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            b if b < 0x80 => out.push(b as char),
+            _ => {
+                // Re-assemble the multi-byte UTF-8 sequence that started
+                // at the byte we just consumed.
+                let start = *pos - 1;
+                let width = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return None,
+                };
+                let chunk = bytes.get(start..start + width)?;
+                *pos = start + width;
+                out.push_str(std::str::from_utf8(chunk).ok()?);
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    consume(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    consume(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        consume(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Json::obj([
+            ("v", Json::Num(1)),
+            ("name", Json::Str("qpsk 1/2 \"quoted\"\n".into())),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::Num(0), Json::Num(u64::MAX), Json::Arr(vec![])]),
+            ),
+        ]);
+        let line = v.to_line();
+        assert_eq!(Json::parse(&line), Some(v));
+    }
+
+    #[test]
+    fn rejects_floats_and_garbage() {
+        assert_eq!(Json::parse("1.5"), None);
+        assert_eq!(Json::parse("1e3"), None);
+        assert_eq!(Json::parse("-1"), None);
+        assert_eq!(Json::parse("{\"a\":1} trailing"), None);
+        assert_eq!(Json::parse("{\"a\":}"), None);
+        assert_eq!(Json::parse(""), None);
+    }
+
+    #[test]
+    fn parses_unicode_strings() {
+        let v = Json::Str("λ → µ".into());
+        assert_eq!(Json::parse(&v.to_line()), Some(v));
+        assert_eq!(Json::parse("\"\\u00e9\""), Some(Json::Str("é".into())));
+    }
+}

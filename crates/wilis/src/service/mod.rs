@@ -1,0 +1,303 @@
+//! The sweep service: the scenario engine as a long-running, memoizing
+//! server instead of a batch runner.
+//!
+//! A [`SweepService`] wraps a [`SweepRunner`] with a [`ResultStore`]:
+//! every grid point is keyed by its full typed coordinate
+//! ([`StoreKey`] — all [`Scenario`] fields plus the runner knobs that
+//! change what a result contains), repeated points are served from the
+//! store without simulating a single packet, and fresh points stream
+//! back through a per-point callback as their worker jobs finish. With
+//! `WILIS_STORE=path` (see [`SweepService::from_env`]) the store is
+//! mirrored to a JSON-lines file, so the cache survives across
+//! *processes* — figure drivers, benches, and tests all become thin
+//! clients of one store.
+//!
+//! Because a cached result is bit-equal to a fresh one (floats travel
+//! through the disk store as IEEE-754 bit patterns), the engine's
+//! determinism contract extends across the cache: any cold/warm split,
+//! any thread count, same bits. Pair the service with a
+//! [`StoppingRule`] (see [`SweepRunner::with_stopping`]) and points
+//! also stop as soon as their Wilson interval closes — the rule joins
+//! the cache key, so fixed-budget and confidence-stopped results never
+//! alias.
+//!
+//! # Example
+//!
+//! ```
+//! use wilis::scenario::{SweepGrid, SweepRunner};
+//! use wilis::service::SweepService;
+//! use wilis::phy::PhyRate;
+//!
+//! let grid = SweepGrid::new()
+//!     .rates(&[PhyRate::QpskHalf])
+//!     .decoders(&["viterbi"])
+//!     .snrs_db(&[6.0, 8.0])
+//!     .packets(2)
+//!     .payload_bits(400);
+//! let mut service = SweepService::new(SweepRunner::new(2));
+//! let cold = service.run(&grid.scenarios()).unwrap();
+//! let warm = service.run(&grid.scenarios()).unwrap();
+//! assert_eq!(cold, warm);
+//! assert_eq!(service.metrics().hits, 2); // warm run simulated nothing
+//! ```
+
+mod json;
+mod store;
+
+pub use store::{ResultStore, StoppingKey, StoreKey};
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+use wilis_lis::registry::RegistryError;
+
+use crate::scenario::{Scenario, ScenarioResult, StoppingRule, SweepRunner};
+
+/// Cache-effectiveness counters of a [`SweepService`], cumulative since
+/// construction (or the last [`SweepService::reset_metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Grid points served from the store.
+    pub hits: u64,
+    /// Grid points that had to simulate.
+    pub misses: u64,
+    /// Packets actually simulated by misses.
+    pub packets_simulated: u64,
+    /// Packets *not* simulated thanks to hits — the sum of cached
+    /// results' packet counts (for duplicate points within one call,
+    /// every copy beyond the first counts as saved).
+    pub packets_saved: u64,
+    /// Records loaded from the disk store at construction.
+    pub store_entries_loaded: u64,
+    /// Corrupt/foreign store lines skipped at load.
+    pub store_lines_skipped: u64,
+    /// Store IO failures absorbed (the service degrades to in-memory).
+    pub store_io_errors: u64,
+}
+
+impl ServiceMetrics {
+    /// One line of human-readable cache accounting for driver output.
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits, {} misses, {} packets simulated, {} packets saved",
+            self.hits, self.misses, self.packets_simulated, self.packets_saved
+        )
+    }
+}
+
+/// A memoizing, streaming front end over [`SweepRunner`] — see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct SweepService {
+    runner: SweepRunner,
+    store: ResultStore,
+    metrics: ServiceMetrics,
+}
+
+impl SweepService {
+    /// A service over `runner` with a fresh in-memory store.
+    pub fn new(runner: SweepRunner) -> Self {
+        Self::with_store(runner, ResultStore::in_memory())
+    }
+
+    /// A service over `runner` backed by an explicit store.
+    pub fn with_store(runner: SweepRunner, store: ResultStore) -> Self {
+        let metrics = ServiceMetrics {
+            store_entries_loaded: store.loaded(),
+            store_lines_skipped: store.skipped(),
+            store_io_errors: store.io_errors(),
+            ..ServiceMetrics::default()
+        };
+        Self {
+            runner,
+            store,
+            metrics,
+        }
+    }
+
+    /// A service whose store location follows the `WILIS_STORE`
+    /// environment variable: set (and non-empty), results are mirrored
+    /// to that JSON-lines file and any records already there are served
+    /// as cache hits; unset, the store is in-memory only.
+    pub fn from_env(runner: SweepRunner) -> Self {
+        match std::env::var("WILIS_STORE") {
+            Ok(path) if !path.is_empty() => Self::with_store(runner, ResultStore::at_path(path)),
+            _ => Self::new(runner),
+        }
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &SweepRunner {
+        &self.runner
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Cumulative cache metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics
+    }
+
+    /// Zeroes the per-run counters (hits, misses, packet counts); the
+    /// store-load counters persist, since they describe construction.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = ServiceMetrics {
+            store_entries_loaded: self.metrics.store_entries_loaded,
+            store_lines_skipped: self.metrics.store_lines_skipped,
+            store_io_errors: self.metrics.store_io_errors,
+            ..ServiceMetrics::default()
+        };
+    }
+
+    /// Installs (or clears) the runner's confidence-driven stopping
+    /// rule. The rule is part of the cache key: results computed under
+    /// different rules never alias.
+    pub fn set_stopping(&mut self, rule: Option<StoppingRule>) {
+        self.runner.set_stopping(rule);
+    }
+
+    /// Toggles per-packet scatter recording on the runner. Also part of
+    /// the cache key — a result with scatter data is a different record
+    /// than one without.
+    pub fn set_record_packet_stats(&mut self, on: bool) {
+        self.runner.set_record_packet_stats(on);
+    }
+
+    /// The cache key of `sc` under the service's current configuration.
+    pub fn key_for(&self, sc: &Scenario) -> StoreKey {
+        StoreKey::new(
+            sc,
+            self.runner.records_packet_stats(),
+            self.runner.stopping(),
+        )
+    }
+
+    /// Runs a grid through the cache: hits are served from the store,
+    /// misses are simulated (deduplicated — a coordinate that appears
+    /// twice in `scenarios` simulates once) and inserted. Results come
+    /// back in submission order, bit-identical to what [`SweepRunner::run`]
+    /// would have produced for the whole grid.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run`]; on error the store keeps any points
+    /// that completed before the failure.
+    pub fn run(&mut self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
+        self.run_streaming(scenarios, |_, _| {})
+    }
+
+    /// Streaming variant of [`SweepService::run`]: `on_result(i, &result)`
+    /// fires on the *calling* thread for each grid point as it becomes
+    /// available — immediately for cache hits, then in completion order
+    /// as fresh points finish simulating. The full result vector (in
+    /// submission order) is still returned at the end.
+    ///
+    /// Unlike [`SweepRunner::run_streaming`], the callback needs no
+    /// `Send` bound: worker results cross back over a channel and the
+    /// callback (and every store mutation) runs on the caller's thread.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepService::run`].
+    pub fn run_streaming<F>(
+        &mut self,
+        scenarios: &[Scenario],
+        mut on_result: F,
+    ) -> Result<Vec<ScenarioResult>, RegistryError>
+    where
+        F: FnMut(usize, &ScenarioResult),
+    {
+        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
+        // Misses, deduplicated by coordinate: each unique key simulates
+        // once and fans out to every submission index that asked for it.
+        let mut pending: BTreeMap<StoreKey, Vec<usize>> = BTreeMap::new();
+        for (i, sc) in scenarios.iter().enumerate() {
+            let key = self.key_for(sc);
+            if let Some(hit) = self.store.get(&key) {
+                let mut result = hit.clone();
+                result.scenario = i;
+                self.metrics.hits += 1;
+                self.metrics.packets_saved += result.packets;
+                on_result(i, &result);
+                slots[i] = Some(result);
+            } else {
+                match pending.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        // A duplicate coordinate within one call: the
+                        // second copy is a hit-in-waiting, not a miss.
+                        self.metrics.hits += 1;
+                        e.get_mut().push(i);
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        self.metrics.misses += 1;
+                        e.insert(vec![i]);
+                    }
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            let keys: Vec<&StoreKey> = pending.keys().collect();
+            let reps: Vec<Scenario> = keys
+                .iter()
+                .map(|key| scenarios[pending[*key][0]].clone())
+                .collect();
+            let runner = &self.runner;
+            let store = &mut self.store;
+            let metrics = &mut self.metrics;
+            // Bridge the runner's Send-bound worker callback back onto
+            // this thread: workers push `(rep index, result)` into a
+            // channel; the receive loop below does all store insertion
+            // and user-callback work caller-side.
+            let run_outcome = std::thread::scope(|scope| {
+                let (tx, rx) = mpsc::channel::<(usize, ScenarioResult)>();
+                let reps_ref = &reps;
+                let worker = scope.spawn(move || {
+                    runner.run_streaming(reps_ref, move |j, result| {
+                        // A send fails only if the receiver is gone,
+                        // i.e. the whole scope is unwinding already.
+                        let _ = tx.send((j, result));
+                    })
+                });
+                for (j, result) in rx {
+                    metrics.packets_simulated += result.packets;
+                    for (fanout, &i) in pending[keys[j]].iter().enumerate() {
+                        if fanout > 0 {
+                            metrics.packets_saved += result.packets;
+                        }
+                        let mut copy = result.clone();
+                        copy.scenario = i;
+                        on_result(i, &copy);
+                        slots[i] = Some(copy);
+                    }
+                    // Stored with a neutral submission index, so the
+                    // disk record is independent of this call's grid
+                    // layout (hits rewrite the index anyway).
+                    let mut canonical = result;
+                    canonical.scenario = 0;
+                    store.insert(keys[j].clone(), canonical);
+                }
+                worker
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            });
+            run_outcome?;
+        }
+
+        self.metrics.store_io_errors = self.store.io_errors();
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.ok_or_else(|| {
+                    RegistryError::invalid_config(
+                        "sweep service lost a grid point: runner returned Ok but a \
+                         pending scenario received no result",
+                    )
+                })
+            })
+            .collect()
+    }
+}

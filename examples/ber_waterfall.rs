@@ -13,9 +13,15 @@
 //! (rate, decoder, SNR) point is one [`wilis::Scenario`]; the whole grid
 //! executes across the worker pool with bit-identical results for any
 //! thread count.
+//!
+//! The grid runs through the memoizing [`wilis::SweepService`]: set
+//! `WILIS_STORE=path.jsonl` and a re-run serves every repeated point
+//! from the store instead of re-simulating it (the cache summary at the
+//! end shows hits/misses/packets saved).
 
 use wilis::phy::PhyRate;
 use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis::service::SweepService;
 
 const PACKET_BITS: usize = 1704;
 
@@ -46,14 +52,14 @@ fn main() {
         })
         .collect();
 
-    let runner = SweepRunner::auto();
+    let mut service = SweepService::from_env(SweepRunner::auto());
     println!(
         "BER waterfalls: {} grid points x {} packets on {} worker(s)\n",
         scenarios.len(),
         packets,
-        runner.threads()
+        service.runner().threads()
     );
-    let results = runner.run(&scenarios).expect("stock names");
+    let results = service.run(&scenarios).expect("stock names");
 
     // Results arrive in submission order: per rate, SOVA block then BCJR
     // block, each over the rate's SNR list.
@@ -76,6 +82,17 @@ fn main() {
             );
         }
         println!();
+    }
+    let metrics = service.metrics();
+    println!("{}", metrics.summary());
+    if let Some(path) = service.store().path() {
+        println!(
+            "store: {} ({} entries loaded at start)",
+            path.display(),
+            metrics.store_entries_loaded
+        );
+    } else {
+        println!("store: in-memory (set WILIS_STORE=path.jsonl to persist across runs)");
     }
     println!("Raise the bits-per-point argument to resolve deeper BER floors.");
 }

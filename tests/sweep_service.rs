@@ -1,0 +1,375 @@
+//! Acceptance contracts of the sweep service: the memoized result store
+//! serves repeated grid points without simulating a packet, warm results
+//! are bit-identical to cold ones across any thread count and any
+//! cold/warm split (via the JSON-lines disk store), and the
+//! confidence-driven stopping rule is a pure function of the seed
+//! schedule — same decisions for any worker count, same bits as a
+//! fixed-budget run truncated at the stopping point.
+
+use std::path::PathBuf;
+
+use wilis::channel::SnrDb;
+use wilis::experiment::{fig6, fig7};
+use wilis::phy::PhyRate;
+use wilis::scenario::{Scenario, StoppingRule, SweepGrid, SweepRunner};
+use wilis::service::{ResultStore, SweepService};
+use wilis::softphy::DecoderKind;
+
+/// A per-test temp store path that parallel test threads cannot collide
+/// on (process id x test-chosen tag).
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wilis_sweep_service_{}_{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A small Figure-5-shaped grid covering solo and fused execution paths.
+fn phy_grid() -> Vec<Scenario> {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["sova", "bcjr"])
+        .snrs_db(&[6.0, 8.0])
+        .seeds(&[1, 2])
+        .packets(3)
+        .payload_bits(600)
+        .scenarios()
+}
+
+/// A grid that carries link- and cell-dimension metrics, so the disk
+/// round trip is exercised on every optional result section.
+fn link_cell_grid() -> Vec<Scenario> {
+    SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["bcjr"])
+        .links(&["none", "arq", "harq-cc"])
+        .contentions(&["p2p", "aloha"])
+        .nodes(3)
+        .snrs_db(&[6.0, 9.0])
+        .packets(4)
+        .payload_bits(300)
+        .scenarios()
+}
+
+#[test]
+fn overlapping_fig6_fig7_warm_rerun_simulates_nothing() {
+    // The tentpole acceptance check: run the fig6 and fig7 drivers
+    // against ONE service, then run them again — the second pass must be
+    // served entirely from the store, simulating zero packets, and
+    // reproduce the first pass exactly.
+    let mut service = SweepService::new(SweepRunner::new(2));
+    let cfg6 = fig6::Fig6Config {
+        snrs: vec![SnrDb::new(6.0), SnrDb::new(7.0)],
+        packets_per_snr: 4,
+        payload_bits: 400,
+        ..fig6::Fig6Config::paper(DecoderKind::Bcjr, 4)
+    };
+    let cfg7 = fig7::Fig7Config {
+        packets: 6,
+        payload_bits: 256,
+        ..fig7::Fig7Config::paper(6)
+    };
+    let r6_cold = fig6::run_with(&mut service, &cfg6);
+    let r7_cold = fig7::run_both_with(&mut service, &cfg7);
+    let cold = service.metrics();
+    assert_eq!(cold.misses, 4, "2 fig6 SNRs + 2 fig7 decoders");
+    assert_eq!(cold.hits, 0);
+    assert!(cold.packets_simulated > 0);
+
+    service.reset_metrics();
+    let r6_warm = fig6::run_with(&mut service, &cfg6);
+    let r7_warm = fig7::run_both_with(&mut service, &cfg7);
+    let warm = service.metrics();
+    assert_eq!(
+        warm.packets_simulated, 0,
+        "a warm re-run must not simulate a single packet"
+    );
+    assert_eq!(warm.misses, 0);
+    assert_eq!(warm.hits, 4);
+    assert_eq!(r6_cold.points, r6_warm.points);
+    for (a, b) in r7_cold.iter().zip(&r7_warm) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.mean_rate_mbps.to_bits(), b.mean_rate_mbps.to_bits());
+        assert_eq!(a.delivery_rate.to_bits(), b.delivery_rate.to_bits());
+    }
+}
+
+#[test]
+fn disk_store_warm_runs_bit_identical_at_1_2_and_8_threads() {
+    // Grid cold once (writing the JSON-lines store), then re-run warm
+    // from that file in fresh processes-worth of state: every thread
+    // count must reproduce the cold results bit for bit with zero
+    // simulation.
+    let path = temp_store("warm_threads");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = link_cell_grid();
+
+    let mut cold = SweepService::with_store(SweepRunner::new(1), ResultStore::at_path(&path));
+    let reference = cold.run(&scenarios).unwrap();
+    assert_eq!(cold.metrics().misses, scenarios.len() as u64);
+    drop(cold);
+
+    for threads in [1, 2, 8] {
+        let mut warm =
+            SweepService::with_store(SweepRunner::new(threads), ResultStore::at_path(&path));
+        assert_eq!(
+            warm.metrics().store_entries_loaded,
+            scenarios.len() as u64,
+            "every cold record must load back"
+        );
+        let got = warm.run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread warm run diverged from the cold run"
+        );
+        assert_eq!(warm.metrics().packets_simulated, 0);
+        assert_eq!(warm.metrics().hits, scenarios.len() as u64);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mixed_cold_warm_split_matches_all_cold_run() {
+    // Seed the store with only half the grid; a full-grid run then mixes
+    // cache hits with fresh simulation and must still equal the all-cold
+    // reference for every thread count.
+    let scenarios = phy_grid();
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    for threads in [1, 2, 8] {
+        let path = temp_store(&format!("split_t{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let half = scenarios.len() / 2;
+        let mut seeder =
+            SweepService::with_store(SweepRunner::new(threads), ResultStore::at_path(&path));
+        seeder.run(&scenarios[..half]).unwrap();
+        drop(seeder);
+
+        let mut mixed =
+            SweepService::with_store(SweepRunner::new(threads), ResultStore::at_path(&path));
+        let got = mixed.run(&scenarios).unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread cold/warm split diverged from all-cold"
+        );
+        assert_eq!(mixed.metrics().hits, half as u64);
+        assert_eq!(mixed.metrics().misses, (scenarios.len() - half) as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn streaming_callback_sees_every_point_once_in_any_split() {
+    let scenarios = phy_grid();
+    let mut service = SweepService::new(SweepRunner::new(2));
+    service.run(&scenarios[..4]).unwrap();
+    let mut seen = vec![0u32; scenarios.len()];
+    let results = service
+        .run_streaming(&scenarios, |i, r| {
+            seen[i] += 1;
+            assert_eq!(r.scenario, i, "streamed result carries its grid index");
+        })
+        .unwrap();
+    assert!(
+        seen.iter().all(|&n| n == 1),
+        "per-point callback cardinality"
+    );
+    assert_eq!(results.len(), scenarios.len());
+}
+
+#[test]
+fn duplicate_grid_points_simulate_once() {
+    let mut scenarios = phy_grid();
+    let dup = scenarios[0].clone();
+    scenarios.push(dup);
+    let mut service = SweepService::new(SweepRunner::new(2));
+    let results = service.run(&scenarios).unwrap();
+    assert_eq!(service.metrics().misses, (scenarios.len() - 1) as u64);
+    assert_eq!(
+        service.metrics().hits,
+        1,
+        "the duplicate coordinate is a hit"
+    );
+    let last = results.last().unwrap();
+    assert_eq!(last.bit_errors, results[0].bit_errors);
+    assert_eq!(last.hint_bins, results[0].hint_bins);
+    assert_eq!(
+        last.scenario,
+        scenarios.len() - 1,
+        "index rewritten per slot"
+    );
+}
+
+#[test]
+fn stopped_and_fixed_budget_results_never_alias_in_the_store() {
+    // The stopping rule is part of the cache key: a confidence-stopped
+    // record must not be served for a fixed-budget request or vice versa.
+    let sc = &phy_grid()[0];
+    let mut service = SweepService::new(SweepRunner::new(1));
+    service.run(std::slice::from_ref(sc)).unwrap();
+    service.set_stopping(Some(StoppingRule::ber(1e-3).with_chunk(1)));
+    service.run(std::slice::from_ref(sc)).unwrap();
+    assert_eq!(
+        service.metrics().misses,
+        2,
+        "same coordinate under a different stopping rule is a different record"
+    );
+    assert_eq!(service.metrics().hits, 0);
+}
+
+// ---- stopping-rule properties --------------------------------------------
+
+#[test]
+fn chunked_stopping_equals_fixed_budget_truncated_at_the_stopping_point() {
+    // The estimator property behind the determinism claim: a stopped run
+    // IS the fixed-budget run truncated at the first closed chunk
+    // boundary — same packets, same bits, same errors, same hint bins.
+    let grid = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half, PhyRate::QpskHalf])
+        .decoders(&["bcjr"])
+        .snrs_db(&[5.5, 8.0])
+        .packets(24)
+        .payload_bits(400)
+        .scenarios();
+    let rule = StoppingRule::ber(2e-3).with_chunk(4);
+    let stopping_runner = SweepRunner::new(1).with_stopping(Some(rule));
+    let mut saw_early_stop = false;
+    for sc in &grid {
+        let stopped = &stopping_runner.run(std::slice::from_ref(sc)).unwrap()[0];
+        assert!(
+            stopped.packets <= u64::from(sc.packets),
+            "cap: {}",
+            sc.label()
+        );
+        saw_early_stop |= stopped.packets < u64::from(sc.packets);
+        let mut truncated = sc.clone();
+        truncated.packets = stopped.packets as u32;
+        let fixed = &SweepRunner::new(1)
+            .run(std::slice::from_ref(&truncated))
+            .unwrap()[0];
+        assert_eq!(stopped.packets, fixed.packets, "{}", sc.label());
+        assert_eq!(stopped.bits, fixed.bits, "{}", sc.label());
+        assert_eq!(stopped.bit_errors, fixed.bit_errors, "{}", sc.label());
+        assert_eq!(stopped.packet_errors, fixed.packet_errors, "{}", sc.label());
+        assert_eq!(stopped.hint_bins, fixed.hint_bins, "{}", sc.label());
+        assert_eq!(
+            stopped.predicted_pber_sum.to_bits(),
+            fixed.predicted_pber_sum.to_bits(),
+            "{}",
+            sc.label()
+        );
+    }
+    assert!(
+        saw_early_stop,
+        "the grid must contain at least one point where the interval closes early"
+    );
+}
+
+#[test]
+fn stopping_decisions_identical_for_any_thread_count() {
+    // The chunk schedule is a pure function of the seed schedule, so the
+    // per-point stopping decision — and therefore every downstream bit —
+    // cannot depend on the worker count, including on the fused path
+    // (three decoders share one channel realization below).
+    let scenarios = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["viterbi", "sova", "bcjr"])
+        .links(&["none", "arq"])
+        .snrs_db(&[5.5, 8.0])
+        .packets(16)
+        .payload_bits(400)
+        .scenarios();
+    let rule = StoppingRule::ber(2e-3).with_chunk(4);
+    let reference = SweepRunner::new(1)
+        .with_stopping(Some(rule))
+        .run(&scenarios)
+        .unwrap();
+    assert!(
+        reference.iter().any(|r| r.packets < 16),
+        "the rule must actually stop something for this to test anything"
+    );
+    for threads in [2, 8] {
+        let got = SweepRunner::new(threads)
+            .with_stopping(Some(rule))
+            .run(&scenarios)
+            .unwrap();
+        assert_eq!(
+            got, reference,
+            "{threads}-thread confidence-stopped sweep diverged"
+        );
+    }
+}
+
+#[test]
+fn fused_groups_stop_each_member_exactly_like_solo_execution() {
+    // Members of a fused shared-channel group freeze their own tallies at
+    // their own boundaries; a clean decoder stopping early must not
+    // change a noisy sibling's bits, and every member must match its
+    // standalone run.
+    let scenarios = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["viterbi", "sova", "bcjr"])
+        .snrs_db(&[6.5])
+        .packets(12)
+        .payload_bits(300)
+        .scenarios();
+    let rule = StoppingRule::ber(5e-3).with_chunk(2);
+    let fused = SweepRunner::new(2)
+        .with_stopping(Some(rule))
+        .run(&scenarios)
+        .unwrap();
+    let solo_runner = SweepRunner::new(1).with_stopping(Some(rule));
+    for (sc, f) in scenarios.iter().zip(&fused) {
+        let solo = &solo_runner.run(std::slice::from_ref(sc)).unwrap()[0];
+        assert_eq!(solo.packets, f.packets, "{}", sc.label());
+        assert_eq!(solo.bit_errors, f.bit_errors, "{}", sc.label());
+        assert_eq!(solo.hint_bins, f.hint_bins, "{}", sc.label());
+        assert_eq!(
+            solo.predicted_pber_sum.to_bits(),
+            f.predicted_pber_sum.to_bits(),
+            "{}",
+            sc.label()
+        );
+    }
+}
+
+#[test]
+fn packet_cap_honored_where_the_interval_never_closes() {
+    // Deep in the waterfall with an absurdly tight target the interval
+    // cannot close; the point must spend exactly its configured budget.
+    let scenarios = SweepGrid::new()
+        .rates(&[PhyRate::Qam16Half])
+        .decoders(&["bcjr"])
+        .snrs_db(&[4.0])
+        .packets(6)
+        .payload_bits(400)
+        .scenarios();
+    for rule in [
+        StoppingRule::ber(1e-9).with_chunk(1),
+        StoppingRule::per(1e-9).with_chunk(2),
+    ] {
+        let r = &SweepRunner::new(1)
+            .with_stopping(Some(rule))
+            .run(&scenarios)
+            .unwrap()[0];
+        assert_eq!(r.packets, 6, "hard cap must bound the spend");
+        let uncapped = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
+        assert_eq!(r.bit_errors, uncapped.bit_errors, "cap run == plain run");
+    }
+}
+
+#[test]
+fn wilson_half_width_sanity() {
+    // Open interval at zero trials; tightens monotonically with trials;
+    // widens with error count at fixed n.
+    assert!(StoppingRule::wilson_half_width(0, 0, 1.96).is_infinite());
+    let mut prev = f64::INFINITY;
+    for n in [10u64, 100, 1_000, 10_000] {
+        let hw = StoppingRule::wilson_half_width(n / 10, n, 1.96);
+        assert!(hw < prev, "half-width must shrink with trials");
+        prev = hw;
+    }
+    assert!(
+        StoppingRule::wilson_half_width(50, 100, 1.96)
+            > StoppingRule::wilson_half_width(1, 100, 1.96)
+    );
+}

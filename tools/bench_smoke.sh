@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-runs one bench target exactly the way CI's bench-smoke matrix
+# does, so the gate is reproducible locally:
+#
+#     tools/bench_smoke.sh perf_trellis
+#
+# The bench runs with WILIS_FAST=1 (one timed iteration) and a small
+# Monte-Carlo budget (WILIS_BITS, default 40000). Benches that emit a
+# BENCH_*.json trajectory file write it under $WILIS_SMOKE_OUT (default
+# /tmp/wilis-bench-smoke), then tools/check_bench.py validates the
+# schema and --compare diffs its structure against the committed
+# counterpart at the repo root. Absolute perf numbers are never
+# compared.
+set -euo pipefail
+
+bench="${1:-}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+# bench target -> committed trajectory artifact (empty: stdout only).
+case "$bench" in
+    perf_trellis)  committed=BENCH_trellis.json ;;
+    perf_batch)    committed=BENCH_batch.json ;;
+    perf_phy)      committed=BENCH_phy.json ;;
+    cell_sweep)    committed=BENCH_cell.json ;;
+    harq_sweep)    committed=BENCH_harq.json ;;
+    sweep_service) committed=BENCH_service.json ;;
+    sweep_grid|link_sweep) committed="" ;;
+    *)
+        echo "usage: tools/bench_smoke.sh <sweep_grid|link_sweep|perf_trellis|perf_batch|perf_phy|cell_sweep|harq_sweep|sweep_service>" >&2
+        exit 2
+        ;;
+esac
+
+export WILIS_FAST=1
+export WILIS_BITS="${WILIS_BITS:-40000}"
+
+if [ -n "$committed" ]; then
+    out_dir="${WILIS_SMOKE_OUT:-/tmp/wilis-bench-smoke}"
+    mkdir -p "$out_dir"
+    out="$out_dir/$committed"
+    WILIS_BENCH_OUT="$out" cargo bench -p wilis-bench --bench "$bench"
+    python3 "$repo/tools/check_bench.py" "$bench" "$out" --compare "$repo/$committed"
+else
+    cargo bench -p wilis-bench --bench "$bench"
+    echo "$bench: asserts run in-bench; no JSON trajectory artifact to check"
+fi

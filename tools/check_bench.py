@@ -9,6 +9,18 @@ downstream tooling reads:
     python3 tools/check_bench.py perf_phy    /tmp/BENCH_phy.json
     python3 tools/check_bench.py cell_sweep  /tmp/BENCH_cell.json
     python3 tools/check_bench.py harq_sweep  /tmp/BENCH_harq.json
+
+With `--compare <committed.json>` the fresh report's *structure* is also
+diffed against the committed trajectory file: missing/renamed keys and
+missing series (a decoder, policy, or SNR point that vanished) fail the
+check. Absolute perf numbers are never compared — shared CI runners make
+them meaningless:
+
+    python3 tools/check_bench.py harq_sweep /tmp/BENCH_harq.json \\
+        --compare BENCH_harq.json
+
+An unknown table name is a hard error, so a renamed bench cannot
+silently skip its schema check.
 """
 
 import json
@@ -141,26 +153,144 @@ def check_harq_sweep(doc):
     assert cc[0]["recovered_fraction"] > 0.0, "combining never decided a packet"
 
 
+def check_sweep_service(doc):
+    """Memoized result store + confidence-driven stopping economics."""
+    assert doc["grid_points"] > 0
+    assert doc["packets_per_point"] > 0
+    assert doc["cold_mean_secs"] > 0
+    assert doc["warm_mean_secs"] > 0
+    assert doc["warm_speedup"] > 1.0, "a warm cache must beat re-simulating"
+    assert doc["warm_hits"] == doc["grid_points"], "every warm point must be a hit"
+    budget = doc["grid_points"] * doc["packets_per_point"]
+    assert doc["warm_packets_saved"] == budget, "warm runs must save the whole budget"
+    by_mode = {s["mode"]: s for s in doc["stopping"]}
+    assert set(by_mode) == {"fixed", "adaptive"}, set(by_mode)
+    for s in doc["stopping"]:
+        assert s["mean_secs"] > 0, (s["mode"], "mean_secs")
+    assert by_mode["fixed"]["packets_simulated"] == budget, "fixed mode must spend the budget"
+    assert 0 < by_mode["adaptive"]["packets_simulated"] <= budget, (
+        "the stopping rule must never exceed the fixed budget"
+    )
+
+
 SCHEMAS = {
     "perf_trellis": check_perf_trellis,
     "perf_batch": check_perf_batch,
     "perf_phy": check_perf_phy,
     "cell_sweep": check_cell_sweep,
     "harq_sweep": check_harq_sweep,
+    "sweep_service": check_sweep_service,
 }
+
+# Keys that name the series an element of a JSON list belongs to; used by
+# --compare to report "missing series" rather than positional noise.
+IDENTITY_KEYS = ("decoder", "op", "modulation", "policy", "link", "mode", "snr_db")
+
+
+def _type_class(v):
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"  # int vs float is formatting, not schema
+    if isinstance(v, str):
+        return "string"
+    if isinstance(v, list):
+        return "list"
+    if isinstance(v, dict):
+        return "object"
+    return "null"
+
+
+def _identity_key(elements):
+    """The first identity key present in every element, if any."""
+    for key in IDENTITY_KEYS:
+        if all(isinstance(e, dict) and key in e for e in elements):
+            return key
+    return None
+
+
+def structure_diff(fresh, committed, path, errors):
+    """Recursively records structural mismatches (never compares numbers)."""
+    fc, cc = _type_class(fresh), _type_class(committed)
+    if fc != cc:
+        errors.append(f"{path}: type {fc} != committed {cc}")
+        return
+    if fc == "object":
+        missing = sorted(set(committed) - set(fresh))
+        extra = sorted(set(fresh) - set(committed))
+        if missing:
+            errors.append(f"{path}: missing keys {missing}")
+        if extra:
+            errors.append(f"{path}: unexpected keys {extra}")
+        for k in sorted(set(fresh) & set(committed)):
+            structure_diff(fresh[k], committed[k], f"{path}.{k}", errors)
+    elif fc == "list":
+        if not committed:
+            return
+        ident = _identity_key(committed)
+        if ident is not None:
+            want = {e[ident] for e in committed}
+            got = {e[ident] for e in fresh if isinstance(e, dict) and ident in e}
+            if got != want:
+                lost = sorted(map(repr, want - got))
+                if lost:
+                    errors.append(f"{path}: missing series {ident}={lost}")
+                new = sorted(map(repr, got - want))
+                if new:
+                    errors.append(f"{path}: unexpected series {ident}={new}")
+            by_id = {e[ident]: e for e in fresh if isinstance(e, dict) and ident in e}
+            for ce in committed:
+                fe = by_id.get(ce[ident])
+                if fe is not None:
+                    structure_diff(fe, ce, f"{path}[{ident}={ce[ident]!r}]", errors)
+        else:
+            if len(fresh) != len(committed):
+                errors.append(f"{path}: {len(fresh)} elements != committed {len(committed)}")
+            for i, fe in enumerate(fresh):
+                structure_diff(fe, committed[0], f"{path}[{i}]", errors)
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in SCHEMAS:
+    args = list(argv[1:])
+    compare = None
+    if "--compare" in args:
+        i = args.index("--compare")
+        if i + 1 >= len(args):
+            print("check_bench.py: --compare needs a committed JSON path", file=sys.stderr)
+            return 2
+        compare = args[i + 1]
+        del args[i : i + 2]
+    if len(args) != 2:
         names = ", ".join(sorted(SCHEMAS))
-        print(f"usage: check_bench.py <{names}> <path-to-json>", file=sys.stderr)
+        print(
+            f"usage: check_bench.py <{names}> <path-to-json> [--compare <committed.json>]",
+            file=sys.stderr,
+        )
         return 2
-    name, path = argv[1], argv[2]
+    name, path = args
+    if name not in SCHEMAS:
+        print(
+            f"check_bench.py: unknown bench table '{name}' "
+            f"(known: {', '.join(sorted(SCHEMAS))}) — refusing to skip the schema check",
+            file=sys.stderr,
+        )
+        return 2
     with open(path) as f:
         doc = json.load(f)
     assert doc["bench"] == name, (doc.get("bench"), name)
     SCHEMAS[name](doc)
     print(f"{path}: {name} schema OK")
+    if compare is not None:
+        with open(compare) as f:
+            committed = json.load(f)
+        errors = []
+        structure_diff(doc, committed, "$", errors)
+        if errors:
+            print(f"{path}: schema drift against {compare}:", file=sys.stderr)
+            for e in errors:
+                print(f"  {e}", file=sys.stderr)
+            return 1
+        print(f"{path}: structure matches committed {compare}")
     return 0
 
 
