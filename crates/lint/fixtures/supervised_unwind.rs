@@ -1,0 +1,12 @@
+//! Fixture: `supervised-unwind` must fire on unwind plumbing outside the
+//! supervisor module.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn swallow(f: impl FnOnce() -> u32) -> Option<u32> {
+    catch_unwind(AssertUnwindSafe(f)).ok()
+}
+
+pub fn rethrow(joined: std::thread::Result<u32>) -> u32 {
+    joined.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}

@@ -1,15 +1,16 @@
 //! The rule engine: per-file token scans, the intra-crate call map, and
-//! the five workspace invariants.
+//! the six workspace invariants.
 //!
-//! | rule            | invariant it pins                                            |
-//! |-----------------|--------------------------------------------------------------|
-//! | `hash-iter`     | no `HashMap`/`HashSet` in engine crates (hash order leaks)   |
-//! | `wall-clock`    | no `Instant`/`SystemTime` outside the bench harness          |
-//! | `no-alloc`      | `// lint: no_alloc` functions never allocate, transitively   |
-//! | `panic-policy`  | `unwrap`/`expect`/`panic!` in library code carry a reason    |
-//! | `forbid-unsafe` | every crate root keeps `#![forbid(unsafe_code)]`             |
+//! | rule                | invariant it pins                                            |
+//! |---------------------|--------------------------------------------------------------|
+//! | `hash-iter`         | no `HashMap`/`HashSet` in engine crates (hash order leaks)   |
+//! | `wall-clock`        | no `Instant`/`SystemTime` outside the bench harness          |
+//! | `no-alloc`          | `// lint: no_alloc` functions never allocate, transitively   |
+//! | `panic-policy`      | `unwrap`/`expect`/`panic!` in library code carry a reason    |
+//! | `supervised-unwind` | `catch_unwind`/`resume_unwind` only in the supervisor module |
+//! | `forbid-unsafe`     | every crate root keeps `#![forbid(unsafe_code)]`             |
 //!
-//! A sixth internal rule, `pragma`, polices the escapes themselves:
+//! A seventh internal rule, `pragma`, polices the escapes themselves:
 //! malformed directives, missing reasons, and pragmas that no longer
 //! suppress anything are all findings, so escapes cannot silently rot.
 
@@ -20,11 +21,12 @@ use crate::pragma::{self, Pragmas};
 use crate::report::{Allowed, Finding, Report};
 
 /// The rule names, in report order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hash-iter",
     "wall-clock",
     "no-alloc",
     "panic-policy",
+    "supervised-unwind",
     "forbid-unsafe",
     "pragma",
 ];
@@ -202,6 +204,23 @@ pub fn analyze(files: &[SourceFile]) -> Report {
                          engine code can leak timing into results; move the \
                          measurement to `wilis-bench` or pragma with the reason \
                          timing cannot affect outputs"
+                    ),
+                });
+            }
+            if file.is_engine_code()
+                && !file.path.ends_with("/supervisor.rs")
+                && (name == "catch_unwind" || name == "resume_unwind")
+            {
+                findings.push(Finding {
+                    rule: "supervised-unwind".to_string(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{name} outside the supervisor module: the unwind boundary \
+                         is a policy decision that lives in one audited place; route \
+                         worker panics through the supervisor's quarantine/propagate \
+                         helpers, or pragma with the reason this boundary must be \
+                         local"
                     ),
                 });
             }

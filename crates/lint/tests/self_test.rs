@@ -131,6 +131,51 @@ fn panic_policy_fires_outside_tests_only() {
 }
 
 #[test]
+fn supervised_unwind_fires_outside_the_supervisor() {
+    let r = engine(include_str!("../fixtures/supervised_unwind.rs"));
+    let hits = rules_fired(&r);
+    assert!(
+        hits.iter().filter(|&&x| x == "supervised-unwind").count() >= 3,
+        "catch_unwind use + call + resume_unwind: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn supervised_unwind_quiet_in_the_supervisor_module() {
+    let r = analyze(&[SourceFile::new(
+        "crates/wilis/src/supervisor.rs",
+        include_str!("../fixtures/supervised_unwind.rs"),
+    )]);
+    assert!(
+        !rules_fired(&r).contains(&"supervised-unwind"),
+        "the supervisor module owns the unwind boundary: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn supervised_unwind_pragma_escape_demands_a_reason() {
+    let r = engine(
+        "pub fn local(f: impl FnOnce() -> u32) -> Option<u32> {\n\
+             std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).ok() // lint: allow(supervised-unwind) — FFI boundary must not unwind\n\
+         }\n",
+    );
+    assert!(
+        !rules_fired(&r).contains(&"supervised-unwind"),
+        "{:?}",
+        r.findings
+    );
+    assert!(
+        r.allowed
+            .iter()
+            .any(|a| a.rule == "supervised-unwind" && a.reason.contains("FFI")),
+        "{:?}",
+        r.allowed
+    );
+}
+
+#[test]
 fn forbid_unsafe_checks_crate_roots() {
     let clean = analyze(&[SourceFile::new(
         "crates/x/src/lib.rs",

@@ -76,6 +76,24 @@ impl Params {
         self.get(key)?.parse().ok()
     }
 
+    /// Parses a one-line `key=val,key=val` spec into a parameter set —
+    /// the textual form hosts accept from environment variables and CLI
+    /// flags (e.g. the fault-injection spec in `WILIS_FAULTS`). An empty
+    /// or whitespace-only spec is an empty set; a token without `=`
+    /// returns `None`.
+    pub fn from_spec(spec: &str) -> Option<Self> {
+        let mut params = Self::new();
+        for tok in spec.split(',') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let (key, value) = tok.split_once('=')?;
+            params.set(key.trim(), value.trim());
+        }
+        Some(params)
+    }
+
     /// Iterates `(key, value)` pairs in key order — the order `Ord` and
     /// `Hash` observe, so serializers that walk this iterator produce one
     /// canonical encoding per parameter set.
@@ -223,6 +241,17 @@ mod tests {
         assert_eq!(p.get_bool("on"), Some(true));
         assert_eq!(p.get_u64("missing"), None);
         assert_eq!(p.get_u64("snr"), None, "not an integer");
+    }
+
+    #[test]
+    fn params_from_spec() {
+        let p = Params::from_spec("seed=7, snr = 6.5 ,on=true").unwrap();
+        assert_eq!(p.get_u64("seed"), Some(7));
+        assert_eq!(p.get_f64("snr"), Some(6.5));
+        assert_eq!(p.get_bool("on"), Some(true));
+        assert!(Params::from_spec("").unwrap().is_empty());
+        assert!(Params::from_spec("  ").unwrap().is_empty());
+        assert_eq!(Params::from_spec("no-equals"), None);
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Deterministic fault injection: seed-addressed failures for the sweep
+//! stack.
+//!
+//! A production-scale sweep service has to survive partial failure — a
+//! panicking worker job, a store append that hits a full disk, a crash
+//! that tears the final JSON line — and this repository's central
+//! contract says even *failures* must be reproducible: a faulted run is
+//! bit-identical at 1, 2, and 8 threads, exactly like a healthy one.
+//! This module supplies the fault side of that contract. Every injected
+//! failure is a pure function of `(fault_seed, site, occurrence_index)`:
+//! no wall clock, no global counters shared across threads, no
+//! scheduling dependence. The same registry pattern as the channel and
+//! link-policy axes ([`wilis_lis::registry::Registry`]) names the fault
+//! *models*, so a fault plan is configuration, not code.
+//!
+//! The occurrence index is defined per site so decisions stay
+//! thread-invariant:
+//!
+//! | site | occurrence index |
+//! |------|------------------|
+//! | [`FaultSite::WorkerPanic`] | grid index of the point in the executed grid |
+//! | [`FaultSite::StoreWrite`]  | retry attempt number within one append (0, 1, …) |
+//! | [`FaultSite::StoreRead`]   | retry attempt number within one load |
+//! | [`FaultSite::TornWrite`]   | content hash of the record line ([`occurrence_of`]) |
+//! | [`FaultSite::CorruptRecord`] | content hash of the record line ([`occurrence_of`]) |
+//!
+//! Supervised execution ([`crate::scenario::SweepRunner::run_supervised`])
+//! quarantines a panicking grid point as a typed
+//! [`PointOutcome::Failed`] while every other point completes, and
+//! returns a [`FaultReport`] tallying what fired.
+
+use std::fmt;
+use std::sync::Arc;
+
+use wilis_fxp::rng::{mix_seed, SmallRng};
+use wilis_lis::registry::{Params, Registry, RegistryError};
+
+use crate::scenario::ScenarioResult;
+
+/// A place in the sweep stack where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// Panic inside a worker job, before the point's Monte-Carlo work.
+    WorkerPanic,
+    /// A store append attempt fails with a (simulated) IO error.
+    StoreWrite,
+    /// A store load attempt fails with a (simulated) IO error.
+    StoreRead,
+    /// The record's final line is written torn (no newline, half the
+    /// bytes) — a crash mid-append.
+    TornWrite,
+    /// The record line is written whole but mangled — bit rot on disk.
+    CorruptRecord,
+}
+
+impl FaultSite {
+    /// Every site, in declaration order.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::WorkerPanic,
+        FaultSite::StoreWrite,
+        FaultSite::StoreRead,
+        FaultSite::TornWrite,
+        FaultSite::CorruptRecord,
+    ];
+
+    /// The parameter name of this site in fault-model [`Params`].
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::StoreWrite => "store_write",
+            FaultSite::StoreRead => "store_read",
+            FaultSite::TornWrite => "torn_write",
+            FaultSite::CorruptRecord => "corrupt_record",
+        }
+    }
+
+    /// The seed-stream tag of this site: a high-bit constant in the same
+    /// style as the engine's HARQ/backoff/arrival stream tags, so fault
+    /// draws can never collide with Monte-Carlo draws.
+    pub fn tag(self) -> u64 {
+        match self {
+            FaultSite::WorkerPanic => 0xFA01_7AC0_0000_0000,
+            FaultSite::StoreWrite => 0xFA02_7AC0_0000_0000,
+            FaultSite::StoreRead => 0xFA03_7AC0_0000_0000,
+            FaultSite::TornWrite => 0xFA04_7AC0_0000_0000,
+            FaultSite::CorruptRecord => 0xFA05_7AC0_0000_0000,
+        }
+    }
+}
+
+/// A deterministic fault plan: given a site and that site's occurrence
+/// index, decide — purely — whether the fault fires.
+///
+/// Implementations must be pure functions of their construction
+/// parameters and the `(site, occurrence)` pair; the supervisor and the
+/// store call [`FaultModel::fires`] from multiple worker threads and the
+/// bit-identity contract requires every call with equal arguments to
+/// return the same answer.
+pub trait FaultModel: Send + Sync {
+    /// Whether the fault at `site` fires on its `occurrence`-th
+    /// opportunity.
+    fn fires(&self, site: FaultSite, occurrence: u64) -> bool;
+}
+
+/// The stock model that never fires — the explicit way to run the
+/// supervised path with zero faults.
+struct NeverFaults;
+
+impl FaultModel for NeverFaults {
+    fn fires(&self, _site: FaultSite, _occurrence: u64) -> bool {
+        false
+    }
+}
+
+/// Seeded Bernoulli faults: each site fires independently with the
+/// probability named by its [`FaultSite::key`] parameter (absent ⇒ 0).
+struct BernoulliFaults {
+    seed: u64,
+    p: [f64; FaultSite::ALL.len()],
+}
+
+impl FaultModel for BernoulliFaults {
+    fn fires(&self, site: FaultSite, occurrence: u64) -> bool {
+        let p = self.p[site as usize];
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let draw_seed = mix_seed(mix_seed(self.seed, site.tag()), occurrence);
+        SmallRng::seed_from_u64(draw_seed).next_f64() < p
+    }
+}
+
+/// Exact-occurrence faults: each site fires precisely at the occurrence
+/// indices listed (as `+`-separated integers) under its
+/// [`FaultSite::key`] parameter — the surgical model tests use to
+/// quarantine one chosen grid point or fail one chosen retry attempt.
+struct TargetedFaults {
+    at: [Vec<u64>; FaultSite::ALL.len()],
+}
+
+impl FaultModel for TargetedFaults {
+    fn fires(&self, site: FaultSite, occurrence: u64) -> bool {
+        self.at[site as usize].contains(&occurrence)
+    }
+}
+
+/// The registry of fault models, mirroring the channel / link-policy /
+/// contention axes: implementations register under a name, a
+/// configuration is a `(name, Params)` pair, and
+/// [`FaultInjector::new`] builds through it.
+///
+/// Stock models: `"none"` (never fires), `"bernoulli"` (per-site
+/// probabilities under a `seed`), `"targeted"` (exact per-site
+/// occurrence lists).
+pub fn fault_registry() -> Registry<Box<dyn FaultModel>> {
+    let mut reg: Registry<Box<dyn FaultModel>> = Registry::new("fault");
+    reg.register("none", |_| Box::new(NeverFaults));
+    reg.register("bernoulli", |p| {
+        let mut probs = [0.0; FaultSite::ALL.len()];
+        for site in FaultSite::ALL {
+            probs[site as usize] = p.get_f64(site.key()).unwrap_or(0.0);
+        }
+        Box::new(BernoulliFaults {
+            seed: p.get_u64("seed").unwrap_or(0),
+            p: probs,
+        })
+    });
+    reg.register("targeted", |p| {
+        let mut at: [Vec<u64>; FaultSite::ALL.len()] = Default::default();
+        for site in FaultSite::ALL {
+            if let Some(list) = p.get(site.key()) {
+                at[site as usize] = list
+                    .split('+')
+                    .filter_map(|tok| tok.trim().parse().ok())
+                    .collect();
+            }
+        }
+        Box::new(TargetedFaults { at })
+    });
+    reg
+}
+
+/// A shareable handle on a built fault model — the object the runner and
+/// the store consult at every fault site. Cloning shares the model.
+#[derive(Clone)]
+pub struct FaultInjector {
+    model: Arc<dyn FaultModel>,
+    spec: String,
+}
+
+impl FaultInjector {
+    /// Builds the injector named `name` in [`fault_registry`] with
+    /// `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] when `name` is not a registered fault
+    /// model.
+    pub fn new(name: &str, params: &Params) -> Result<Self, RegistryError> {
+        let model = fault_registry().build(name, params)?;
+        let rendered: Vec<String> = params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let spec = if rendered.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name}:{}", rendered.join(","))
+        };
+        Ok(Self {
+            model: Arc::from(model),
+            spec,
+        })
+    }
+
+    /// Parses a one-line spec — `"name"` or `"name:key=val,key=val"`,
+    /// e.g. `"bernoulli:seed=7,worker_panic=0.05"` or
+    /// `"targeted:worker_panic=2+5"` — and builds the injector. This is
+    /// the format the `WILIS_FAULTS` environment variable takes (see
+    /// [`crate::service::SweepService::from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultInjector::new`], plus a config error for a malformed
+    /// parameter list.
+    pub fn from_spec(spec: &str) -> Result<Self, RegistryError> {
+        let (name, rest) = match spec.split_once(':') {
+            Some((name, rest)) => (name.trim(), rest),
+            None => (spec.trim(), ""),
+        };
+        let params = Params::from_spec(rest).ok_or_else(|| {
+            RegistryError::invalid_config(format!(
+                "malformed fault spec {spec:?}: expected name:key=val,key=val"
+            ))
+        })?;
+        Self::new(name, &params)
+    }
+
+    /// An injector that never fires — the supervised path with the fault
+    /// layer wired in but idle.
+    pub fn disabled() -> Self {
+        let stock = Self::new("none", &Params::new());
+        stock.expect("stock name") // lint: allow(panic-policy) — "none" is always registered
+    }
+
+    /// Whether the fault at `site` fires on its `occurrence`-th
+    /// opportunity — a pure function of the injector's configuration and
+    /// the arguments.
+    pub fn fires(&self, site: FaultSite, occurrence: u64) -> bool {
+        self.model.fires(site, occurrence)
+    }
+
+    /// The spec string this injector was built from (for diagnostics).
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultInjector({})", self.spec)
+    }
+}
+
+/// The stable occurrence index of a content-addressed fault site
+/// (FNV-1a over the record bytes): two threads appending the same record
+/// compute the same index, so torn-write and corrupt-record decisions
+/// never depend on completion order.
+pub fn occurrence_of(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The outcome of one supervised grid point: its result, or the typed
+/// quarantine record of its worker-job panic.
+///
+/// The variants are deliberately unboxed: an outcome moves exactly once
+/// per grid point on the cold path, and indirection would buy that move
+/// nothing while costing an allocation per point.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point ran to completion; the result keeps the full
+    /// bit-identity contract.
+    Completed(ScenarioResult),
+    /// The point's worker job unwound and was quarantined; every other
+    /// point of the grid still completed.
+    Failed {
+        /// Grid index of the quarantined point (its submission index in
+        /// the executed grid).
+        job: usize,
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+}
+
+impl PointOutcome {
+    /// The completed result, if the point was not quarantined.
+    pub fn result(&self) -> Option<&ScenarioResult> {
+        match self {
+            PointOutcome::Completed(r) => Some(r),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome into its completed result, if any.
+    pub fn into_result(self) -> Option<ScenarioResult> {
+        match self {
+            PointOutcome::Completed(r) => Some(r),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True when the point was quarantined.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointOutcome::Failed { .. })
+    }
+}
+
+/// One quarantined grid point inside a [`FaultReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Grid index of the quarantined point.
+    pub point: usize,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+/// What the fault layer observed over one supervised run: quarantined
+/// points plus every store degradation event, all deterministic — equal
+/// grids under equal injectors produce equal reports at any thread
+/// count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Quarantined grid points, sorted by grid index.
+    pub quarantined: Vec<Quarantine>,
+    /// How many quarantines were injected by the fault plan (the rest,
+    /// if any, unwound organically).
+    pub injected_panics: u64,
+    /// Store append attempts failed by injection.
+    pub store_write_faults: u64,
+    /// Store load attempts failed by injection.
+    pub store_read_faults: u64,
+    /// Records written torn (crash-mid-append simulation).
+    pub torn_writes: u64,
+    /// Records written mangled (bit-rot simulation).
+    pub corrupt_records: u64,
+    /// Store operations that succeeded only after deterministic retry
+    /// (backoff is counted in attempts, never in wall-clock).
+    pub store_retries: u64,
+    /// Store operations absorbed as IO errors after the retry budget.
+    pub store_io_errors: u64,
+    /// Records evicted by the store's record-count/byte budget.
+    pub store_evictions: u64,
+}
+
+impl FaultReport {
+    /// True when nothing fired and nothing degraded.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// One line of human-readable fault accounting for driver output.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: {} quarantined ({} injected), {} write faults, {} read faults, \
+             {} torn, {} corrupt, {} retries, {} io errors, {} evicted",
+            self.quarantined.len(),
+            self.injected_panics,
+            self.store_write_faults,
+            self.store_read_faults,
+            self.torn_writes,
+            self.corrupt_records,
+            self.store_retries,
+            self.store_io_errors,
+            self.store_evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_addressed() {
+        let mut p = Params::new();
+        p.set("seed", "9").set("worker_panic", "0.5");
+        let a = FaultInjector::new("bernoulli", &p).unwrap();
+        let b = FaultInjector::new("bernoulli", &p).unwrap();
+        let mut fired = 0u32;
+        for occ in 0..256 {
+            let hit = a.fires(FaultSite::WorkerPanic, occ);
+            assert_eq!(hit, b.fires(FaultSite::WorkerPanic, occ), "purity");
+            assert!(!a.fires(FaultSite::StoreWrite, occ), "p absent = never");
+            fired += u32::from(hit);
+        }
+        assert!(
+            (64..192).contains(&fired),
+            "p=0.5 fires about half: {fired}"
+        );
+
+        let mut q = Params::new();
+        q.set("seed", "10").set("worker_panic", "0.5");
+        let c = FaultInjector::new("bernoulli", &q).unwrap();
+        assert!(
+            (0..256)
+                .any(|occ| a.fires(FaultSite::WorkerPanic, occ)
+                    != c.fires(FaultSite::WorkerPanic, occ)),
+            "different seeds give different plans"
+        );
+    }
+
+    #[test]
+    fn targeted_fires_exactly_where_told() {
+        let inj = FaultInjector::from_spec("targeted:worker_panic=2+5,store_write=0").unwrap();
+        for occ in 0..8 {
+            assert_eq!(inj.fires(FaultSite::WorkerPanic, occ), occ == 2 || occ == 5);
+            assert_eq!(inj.fires(FaultSite::StoreWrite, occ), occ == 0);
+            assert!(!inj.fires(FaultSite::TornWrite, occ));
+        }
+    }
+
+    #[test]
+    fn spec_round_trip_and_errors() {
+        assert!(FaultInjector::from_spec("none").is_ok());
+        assert!(FaultInjector::from_spec("bernoulli:seed=1,torn_write=1.0").is_ok());
+        assert!(FaultInjector::from_spec("no-such-model").is_err());
+        assert!(FaultInjector::from_spec("bernoulli:not-a-pair").is_err());
+        let inj = FaultInjector::from_spec("targeted:worker_panic=3").unwrap();
+        assert_eq!(inj.spec(), "targeted:worker_panic=3");
+        assert!(!FaultInjector::disabled().fires(FaultSite::WorkerPanic, 0));
+    }
+
+    #[test]
+    fn occurrence_hash_is_stable_and_content_addressed() {
+        let a = occurrence_of(b"{\"v\":1}");
+        assert_eq!(a, occurrence_of(b"{\"v\":1}"));
+        assert_ne!(a, occurrence_of(b"{\"v\":2}"));
+    }
+}

@@ -49,12 +49,17 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod scenario;
 pub mod service;
+mod supervisor;
 mod system;
 
-pub use scenario::{Scenario, ScenarioResult, StopMetric, StoppingRule, SweepGrid, SweepRunner};
-pub use service::{ResultStore, ServiceMetrics, SweepService};
+pub use faults::{FaultInjector, FaultReport, FaultSite, PointOutcome};
+pub use scenario::{
+    Scenario, ScenarioResult, StopMetric, StoppingRule, SupervisedSweep, SweepGrid, SweepRunner,
+};
+pub use service::{ResultStore, ServiceMetrics, StoreBudget, SweepService};
 pub use system::{DecoderSlot, SystemConfig, WilisSystem};
 
 /// The platform substrate (re-export of `wilis-lis`).
@@ -98,7 +103,7 @@ pub mod prelude {
     pub use wilis_softphy::{BerEstimator, DecoderKind};
 
     pub use crate::{
-        Scenario, ScenarioResult, ServiceMetrics, StoppingRule, SweepGrid, SweepRunner,
-        SweepService, SystemConfig, WilisSystem,
+        FaultInjector, FaultReport, PointOutcome, Scenario, ScenarioResult, ServiceMetrics,
+        StoppingRule, SweepGrid, SweepRunner, SweepService, SystemConfig, WilisSystem,
     };
 }

@@ -104,6 +104,8 @@ use wilis_mac::{ArqLink, HarqConfig, HarqLink, PprLink, SoftRate, SoftRateLink};
 use wilis_phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
 use wilis_softphy::{BerEstimator, DecoderKind, HintBin, ScalingFactors};
 
+use crate::faults::{FaultInjector, FaultReport, FaultSite, PointOutcome, Quarantine};
+use crate::supervisor;
 use crate::{SystemConfig, WilisSystem};
 
 /// A factory slot for seed-addressed channel models.
@@ -785,6 +787,7 @@ pub struct SweepRunner {
     record_packet_stats: bool,
     stopping: Option<StoppingRule>,
     env: Arc<EnvFactory>,
+    faults: Option<FaultInjector>,
 }
 
 impl Clone for SweepRunner {
@@ -794,7 +797,30 @@ impl Clone for SweepRunner {
             record_packet_stats: self.record_packet_stats,
             stopping: self.stopping,
             env: Arc::clone(&self.env),
+            faults: self.faults.clone(),
         }
+    }
+}
+
+/// The return value of [`SweepRunner::run_supervised`]: one typed
+/// outcome per grid point (in submission order) plus the run's
+/// [`FaultReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedSweep {
+    /// One outcome per submitted scenario, in submission order.
+    pub outcomes: Vec<PointOutcome>,
+    /// What the fault layer observed (quarantines, injected panics).
+    pub report: FaultReport,
+}
+
+impl SupervisedSweep {
+    /// The completed results, paired with their grid indices — the
+    /// partial-result view over a faulted run.
+    pub fn completed(&self) -> impl Iterator<Item = (usize, &ScenarioResult)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.result().map(|r| (i, r)))
     }
 }
 
@@ -818,6 +844,7 @@ impl SweepRunner {
                     contention_registry(),
                 )
             }),
+            faults: None,
         }
     }
 
@@ -871,6 +898,28 @@ impl SweepRunner {
     /// The installed stopping rule, if any.
     pub fn stopping(&self) -> Option<StoppingRule> {
         self.stopping
+    }
+
+    /// Installs (or clears) a deterministic [`FaultInjector`]. With an
+    /// injector in place, [`FaultSite::WorkerPanic`] decisions are
+    /// consulted per grid point (occurrence index = grid index), and a
+    /// scheduled point panics inside the supervised unwind boundary —
+    /// quarantined, never aborting the rest of the grid. `None` (the
+    /// default) disables injection entirely; the zero-fault path is
+    /// bit-identical with or without an idle injector.
+    pub fn with_faults(mut self, faults: Option<FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// In-place variant of [`SweepRunner::with_faults`].
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Replaces the environment factory, for sweeps over user decoder,
@@ -931,14 +980,87 @@ impl SweepRunner {
     /// As [`SweepRunner::run`]: preflight failures return before any
     /// Monte-Carlo work. A failure past preflight (e.g. from a user
     /// environment factory) is reported after the grid drains; results
-    /// already delivered to the callback remain valid.
+    /// already delivered to the callback remain valid. A quarantined
+    /// grid point (a worker-job panic — injected or organic) is likewise
+    /// reported after the grid drains, as an `InvalidConfig` error
+    /// naming the lowest quarantined grid index; callers that want the
+    /// partial results instead use [`SweepRunner::run_supervised`].
     pub fn run_streaming<F>(
         &self,
         scenarios: &[Scenario],
-        on_result: F,
+        mut on_result: F,
     ) -> Result<(), RegistryError>
     where
         F: FnMut(usize, ScenarioResult) + Send,
+    {
+        let mut first_failed: Option<(usize, String)> = None;
+        self.run_streaming_supervised(scenarios, |i, outcome| match outcome {
+            PointOutcome::Completed(res) => on_result(i, res),
+            PointOutcome::Failed { message, .. } => {
+                let wins = match &first_failed {
+                    Some((held, _)) => i < *held,
+                    None => true,
+                };
+                if wins {
+                    first_failed = Some((i, message));
+                }
+            }
+        })?;
+        match first_failed {
+            Some((i, message)) => Err(RegistryError::invalid_config(format!(
+                "grid point {i} was quarantined: {message}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Supervised variant of [`SweepRunner::run`]: every worker job runs
+    /// under an unwind boundary, a panicking grid point — injected by
+    /// the installed [`FaultInjector`] or organic — is quarantined as
+    /// [`PointOutcome::Failed`] while every other point completes, and
+    /// the partial results come back with a [`FaultReport`]. With no
+    /// faults fired the outcomes are exactly [`SweepRunner::run`]'s
+    /// results wrapped in [`PointOutcome::Completed`], bit for bit.
+    ///
+    /// Determinism extends to failure: equal grids under equal injectors
+    /// produce equal outcome vectors and equal reports at any thread
+    /// count — an injected panic is keyed by the point's grid index,
+    /// never by scheduling.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run`] — configuration errors are still errors;
+    /// only panics are quarantined.
+    pub fn run_supervised(&self, scenarios: &[Scenario]) -> Result<SupervisedSweep, RegistryError> {
+        let mut slots: Vec<Option<PointOutcome>> = (0..scenarios.len()).map(|_| None).collect();
+        let report =
+            self.run_streaming_supervised(scenarios, |i, outcome| slots[i] = Some(outcome))?;
+        let outcomes = slots
+            .into_iter()
+            .map(|s| s.expect("every scenario is assigned to exactly one job")) // lint: allow(panic-policy) — the partition loop pushes each index into exactly one job
+            .collect();
+        Ok(SupervisedSweep { outcomes, report })
+    }
+
+    /// Streaming variant of [`SweepRunner::run_supervised`]:
+    /// `on_outcome(i, outcome)` fires for each grid point as its worker
+    /// job finishes or unwinds, and the run's [`FaultReport`] is
+    /// returned at the end. This is the primitive under both
+    /// [`SweepRunner::run_streaming`] (which turns quarantines into a
+    /// deferred error) and [`SweepRunner::run_supervised`] (which
+    /// buffers the outcomes).
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run_streaming`], minus quarantines — those are
+    /// delivered as [`PointOutcome::Failed`] outcomes, not errors.
+    pub fn run_streaming_supervised<F>(
+        &self,
+        scenarios: &[Scenario],
+        on_outcome: F,
+    ) -> Result<FaultReport, RegistryError>
+    where
+        F: FnMut(usize, PointOutcome) + Send,
     {
         if let Some(rule) = self.stopping {
             rule.validate()?;
@@ -1049,10 +1171,19 @@ impl SweepRunner {
         // cannot do).
         let mut solo_required: BTreeMap<(String, Params), bool> = BTreeMap::new();
         for (i, sc) in scenarios.iter().enumerate() {
+            // A point with a scheduled injected panic runs solo: its
+            // quarantine must not take fused co-members down with it, so
+            // the quarantine set stays a pure function of (grid, fault
+            // plan), independent of how the partition fused.
+            let panic_scheduled = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.fires(FaultSite::WorkerPanic, i as u64));
             // A contention cell is already a fused multi-session job of
             // its own: all N nodes run inside one worker job so the
             // shared medium realization is drawn exactly once.
-            let shareable = sc.contention == "p2p"
+            let shareable = !panic_scheduled
+                && sc.contention == "p2p"
                 && (sc.link == "none" || {
                     let probe_key = (sc.link.clone(), runtime_link_params(sc));
                     match solo_required.entry(probe_key) {
@@ -1123,56 +1254,111 @@ impl SweepRunner {
         let record = self.record_packet_stats;
         let stopping = self.stopping;
         let env = Arc::clone(&self.env);
+        let faults = self.faults.clone();
         // Workers funnel finished points through one mutex-serialized
         // sink. Errors are not delivered to the callback; the one from
         // the lowest job index (first member within it) is kept, so the
         // reported error is a pure function of the scenario list.
-        let sink: Mutex<(F, Option<(usize, RegistryError)>)> = Mutex::new((on_result, None));
+        // Quarantines accumulate beside it and are sorted by grid index
+        // after the drain, erasing completion order from the report.
+        type Sink<F> = Mutex<(F, Option<(usize, RegistryError)>, Vec<Quarantine>)>;
+        let sink: Sink<F> = Mutex::new((on_outcome, None, Vec::new()));
         let sink_ref = &sink;
+        let faults_ref = &faults;
         self.run_indexed(jobs.len(), move |j| {
-            let (system, channels, links, contentions) = env();
-            let computed = match &jobs[j] {
-                Job::Solo(i) => {
-                    let sc = &scenarios[*i];
-                    let result = if sc.contention == "p2p" {
-                        run_scenario(&system, &channels, &links, *i, sc, record, stopping)
-                    } else {
-                        run_cell(&system, &channels, &links, &contentions, *i, sc, record)
-                    };
-                    vec![(*i, result)]
+            let job = &jobs[j];
+            // The unwind boundary wraps the whole job — environment
+            // construction included — so any worker panic becomes a
+            // quarantine instead of a pool abort.
+            let outcome = supervisor::run_quarantined(|| {
+                let (system, channels, links, contentions) = env();
+                match job {
+                    Job::Solo(i) => {
+                        let sc = &scenarios[*i];
+                        if let Some(inj) = faults_ref {
+                            if inj.fires(FaultSite::WorkerPanic, *i as u64) {
+                                supervisor::inject_panic(*i);
+                            }
+                        }
+                        let result = if sc.contention == "p2p" {
+                            run_scenario(&system, &channels, &links, *i, sc, record, stopping)
+                        } else {
+                            run_cell(&system, &channels, &links, &contentions, *i, sc, record)
+                        };
+                        vec![(*i, result)]
+                    }
+                    Job::Shared(members) => run_group(
+                        &system, &channels, &links, members, scenarios, record, stopping,
+                    ),
                 }
-                Job::Shared(members) => run_group(
-                    &system, &channels, &links, members, scenarios, record, stopping,
-                ),
-            };
+            });
             let mut guard = match sink_ref.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            let (on_result, first_err) = &mut *guard;
-            for (i, result) in computed {
-                match result {
-                    Ok(res) => on_result(i, res),
-                    Err(e) => {
-                        let wins = match first_err {
-                            Some((held, _)) => j < *held,
-                            None => true,
-                        };
-                        if wins {
-                            *first_err = Some((j, e));
+            let (on_outcome, first_err, quarantined) = &mut *guard;
+            match outcome {
+                Ok(computed) => {
+                    for (i, result) in computed {
+                        match result {
+                            Ok(res) => on_outcome(i, PointOutcome::Completed(res)),
+                            Err(e) => {
+                                let wins = match first_err {
+                                    Some((held, _)) => j < *held,
+                                    None => true,
+                                };
+                                if wins {
+                                    *first_err = Some((j, e));
+                                }
+                            }
                         }
+                    }
+                }
+                Err(message) => {
+                    // Every member of the unwound job is quarantined.
+                    // Injected panics always run solo (the partition
+                    // forces it), so this multi-member case only fires
+                    // for organic panics inside fused groups.
+                    let members: &[usize] = match job {
+                        Job::Solo(i) => std::slice::from_ref(i),
+                        Job::Shared(m) => m,
+                    };
+                    for &i in members {
+                        quarantined.push(Quarantine {
+                            point: i,
+                            message: message.clone(),
+                        });
+                        on_outcome(
+                            i,
+                            PointOutcome::Failed {
+                                job: i,
+                                message: message.clone(),
+                            },
+                        );
                     }
                 }
             }
         });
-        let (_, first_err) = match sink.into_inner() {
+        let (_, first_err, mut quarantined) = match sink.into_inner() {
             Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
-        match first_err {
-            Some((_, e)) => Err(e),
-            None => Ok(()),
+        if let Some((_, e)) = first_err {
+            return Err(e);
         }
+        quarantined.sort_by_key(|q| q.point);
+        let injected_panics = match &faults {
+            Some(inj) => quarantined
+                .iter()
+                .filter(|q| inj.fires(FaultSite::WorkerPanic, q.point as u64))
+                .count() as u64,
+            None => 0,
+        };
+        Ok(FaultReport {
+            quarantined,
+            injected_panics,
+            ..FaultReport::default()
+        })
     }
 
     /// The deterministic-parallel primitive under [`SweepRunner::run`]:

@@ -44,17 +44,22 @@
 mod json;
 mod store;
 
-pub use store::{ResultStore, StoppingKey, StoreKey};
+pub use store::{ResultStore, StoppingKey, StoreBudget, StoreKey, STORE_ATTEMPTS};
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 
 use wilis_lis::registry::RegistryError;
 
-use crate::scenario::{Scenario, ScenarioResult, StoppingRule, SweepRunner};
+use crate::faults::{FaultInjector, FaultReport, FaultSite, PointOutcome, Quarantine};
+use crate::scenario::{Scenario, ScenarioResult, StoppingRule, SupervisedSweep, SweepRunner};
+use crate::supervisor;
 
-/// Cache-effectiveness counters of a [`SweepService`], cumulative since
-/// construction (or the last [`SweepService::reset_metrics`]).
+/// Cache-effectiveness and store-degradation counters of a
+/// [`SweepService`], cumulative since construction (or the last
+/// [`SweepService::reset_metrics`]). The `store_*` counters mirror the
+/// backing [`ResultStore`]'s own counters after every run, so a driver
+/// that only holds the service still sees every degradation event.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceMetrics {
     /// Grid points served from the store.
@@ -69,20 +74,61 @@ pub struct ServiceMetrics {
     pub packets_saved: u64,
     /// Records loaded from the disk store at construction.
     pub store_entries_loaded: u64,
-    /// Corrupt/foreign store lines skipped at load.
+    /// Corrupt/foreign store lines skipped at load (a torn final line
+    /// counts here).
     pub store_lines_skipped: u64,
-    /// Store IO failures absorbed (the service degrades to in-memory).
+    /// Store IO failures absorbed after the retry budget (the service
+    /// degrades to in-memory).
     pub store_io_errors: u64,
+    /// Deterministic store retry attempts performed.
+    pub store_retries: u64,
+    /// Store append attempts failed by fault injection.
+    pub store_write_faults: u64,
+    /// Store load attempts failed by fault injection.
+    pub store_read_faults: u64,
+    /// Records written torn by fault injection.
+    pub store_torn_writes: u64,
+    /// Records written mangled by fault injection.
+    pub store_corrupt_records: u64,
+    /// Records evicted by the store's [`StoreBudget`].
+    pub store_evictions: u64,
+    /// Atomic store-file compactions performed.
+    pub store_compactions: u64,
 }
 
 impl ServiceMetrics {
-    /// One line of human-readable cache accounting for driver output.
+    /// One line of human-readable cache and store-degradation accounting
+    /// for driver output.
     pub fn summary(&self) -> String {
         format!(
-            "cache: {} hits, {} misses, {} packets simulated, {} packets saved",
-            self.hits, self.misses, self.packets_simulated, self.packets_saved
+            "cache: {} hits, {} misses, {} packets simulated, {} packets saved; \
+             store: {} loaded, {} skipped, {} io errors, {} retries, {} evicted, \
+             {} compactions",
+            self.hits,
+            self.misses,
+            self.packets_simulated,
+            self.packets_saved,
+            self.store_entries_loaded,
+            self.store_lines_skipped,
+            self.store_io_errors,
+            self.store_retries,
+            self.store_evictions,
+            self.store_compactions,
         )
     }
+}
+
+/// The store's degradation counters at one instant — subtracted across a
+/// run to fill the run's [`FaultReport`].
+#[derive(Clone, Copy)]
+struct StoreCounters {
+    write_faults: u64,
+    read_faults: u64,
+    torn_writes: u64,
+    corrupt_records: u64,
+    retries: u64,
+    io_errors: u64,
+    evictions: u64,
 }
 
 /// A memoizing, streaming front end over [`SweepRunner`] — see the
@@ -102,28 +148,47 @@ impl SweepService {
 
     /// A service over `runner` backed by an explicit store.
     pub fn with_store(runner: SweepRunner, store: ResultStore) -> Self {
-        let metrics = ServiceMetrics {
-            store_entries_loaded: store.loaded(),
-            store_lines_skipped: store.skipped(),
-            store_io_errors: store.io_errors(),
-            ..ServiceMetrics::default()
-        };
-        Self {
+        let mut service = Self {
             runner,
             store,
-            metrics,
-        }
+            metrics: ServiceMetrics::default(),
+        };
+        service.metrics.store_entries_loaded = service.store.loaded();
+        service.metrics.store_lines_skipped = service.store.skipped();
+        service.sync_store_metrics();
+        service
     }
 
     /// A service whose store location follows the `WILIS_STORE`
     /// environment variable: set (and non-empty), results are mirrored
     /// to that JSON-lines file and any records already there are served
     /// as cache hits; unset, the store is in-memory only.
+    ///
+    /// `WILIS_FAULTS` (a [`FaultInjector::from_spec`] spec, e.g.
+    /// `targeted:worker_panic=2` or `bernoulli:seed=7,store_write=0.1`)
+    /// installs a fault injector on both the runner and the store; an
+    /// unparsable spec is ignored — fault injection is a test/debug
+    /// knob, never worth failing a real sweep over.
     pub fn from_env(runner: SweepRunner) -> Self {
-        match std::env::var("WILIS_STORE") {
+        let mut service = match std::env::var("WILIS_STORE") {
             Ok(path) if !path.is_empty() => Self::with_store(runner, ResultStore::at_path(path)),
             _ => Self::new(runner),
+        };
+        if let Ok(spec) = std::env::var("WILIS_FAULTS") {
+            if !spec.is_empty() {
+                if let Ok(injector) = FaultInjector::from_spec(&spec) {
+                    service.set_faults(Some(injector));
+                }
+            }
         }
+        service
+    }
+
+    /// Installs (or clears) a fault injector on both the runner (worker
+    /// panics) and the store (IO, torn-write, corrupt-record sites).
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.runner.set_faults(faults.clone());
+        self.store.set_faults(faults);
     }
 
     /// The underlying runner.
@@ -142,13 +207,15 @@ impl SweepService {
     }
 
     /// Zeroes the per-run counters (hits, misses, packet counts); the
-    /// store-load counters persist, since they describe construction.
+    /// store-describing counters persist, since they mirror the backing
+    /// store's cumulative state.
     pub fn reset_metrics(&mut self) {
         self.metrics = ServiceMetrics {
-            store_entries_loaded: self.metrics.store_entries_loaded,
-            store_lines_skipped: self.metrics.store_lines_skipped,
-            store_io_errors: self.metrics.store_io_errors,
-            ..ServiceMetrics::default()
+            hits: 0,
+            misses: 0,
+            packets_simulated: 0,
+            packets_saved: 0,
+            ..self.metrics
         };
     }
 
@@ -184,7 +251,10 @@ impl SweepService {
     /// # Errors
     ///
     /// As [`SweepRunner::run`]; on error the store keeps any points
-    /// that completed before the failure.
+    /// that completed before the failure. A quarantined grid point is
+    /// reported after the grid drains, as an `InvalidConfig` error
+    /// naming the lowest quarantined submission index — use
+    /// [`SweepService::run_supervised`] to get the partial results.
     pub fn run(&mut self, scenarios: &[Scenario]) -> Result<Vec<ScenarioResult>, RegistryError> {
         self.run_streaming(scenarios, |_, _| {})
     }
@@ -210,7 +280,96 @@ impl SweepService {
     where
         F: FnMut(usize, &ScenarioResult),
     {
-        let mut slots: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
+        let (outcomes, _report) = self.run_outcomes(scenarios, |i, outcome| {
+            if let PointOutcome::Completed(res) = outcome {
+                on_result(i, res);
+            }
+        })?;
+        let mut first_failed: Option<(usize, String)> = None;
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                PointOutcome::Completed(res) => results.push(res),
+                PointOutcome::Failed { message, .. } => {
+                    if first_failed.is_none() {
+                        first_failed = Some((i, message));
+                    }
+                }
+            }
+        }
+        match first_failed {
+            Some((i, message)) => Err(RegistryError::invalid_config(format!(
+                "grid point {i} was quarantined: {message}"
+            ))),
+            None => Ok(results),
+        }
+    }
+
+    /// Supervised variant of [`SweepService::run`]: quarantined grid
+    /// points come back as typed [`PointOutcome::Failed`] entries beside
+    /// every completed point, with a [`FaultReport`] tallying the run's
+    /// quarantines and store degradation (the store counters are deltas
+    /// across this run). With no faults fired the outcomes are exactly
+    /// [`SweepService::run`]'s results, bit for bit, and the report is
+    /// clean.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepRunner::run`] — configuration errors are still errors;
+    /// only panics are quarantined.
+    pub fn run_supervised(
+        &mut self,
+        scenarios: &[Scenario],
+    ) -> Result<SupervisedSweep, RegistryError> {
+        self.run_streaming_supervised(scenarios, |_, _| {})
+    }
+
+    /// Streaming variant of [`SweepService::run_supervised`]:
+    /// `on_outcome(i, &outcome)` fires on the calling thread for each
+    /// grid point as it becomes available, quarantined points included.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepService::run_supervised`].
+    pub fn run_streaming_supervised<F>(
+        &mut self,
+        scenarios: &[Scenario],
+        on_outcome: F,
+    ) -> Result<SupervisedSweep, RegistryError>
+    where
+        F: FnMut(usize, &PointOutcome),
+    {
+        let (outcomes, report) = self.run_outcomes(scenarios, on_outcome)?;
+        Ok(SupervisedSweep { outcomes, report })
+    }
+
+    fn store_counters(&self) -> StoreCounters {
+        StoreCounters {
+            write_faults: self.store.write_faults(),
+            read_faults: self.store.read_faults(),
+            torn_writes: self.store.torn_writes(),
+            corrupt_records: self.store.corrupt_records(),
+            retries: self.store.retries(),
+            io_errors: self.store.io_errors(),
+            evictions: self.store.evictions(),
+        }
+    }
+
+    /// The supervised core under every public run variant: dedup against
+    /// the store, simulate the misses under supervision, fan outcomes
+    /// out to submission indices, and assemble the run's [`FaultReport`]
+    /// (quarantines remapped to submission indices; store counters as
+    /// deltas across the run).
+    fn run_outcomes<F>(
+        &mut self,
+        scenarios: &[Scenario],
+        mut on_outcome: F,
+    ) -> Result<(Vec<PointOutcome>, FaultReport), RegistryError>
+    where
+        F: FnMut(usize, &PointOutcome),
+    {
+        let before = self.store_counters();
+        let mut slots: Vec<Option<PointOutcome>> = (0..scenarios.len()).map(|_| None).collect();
         // Misses, deduplicated by coordinate: each unique key simulates
         // once and fans out to every submission index that asked for it.
         let mut pending: BTreeMap<StoreKey, Vec<usize>> = BTreeMap::new();
@@ -221,8 +380,9 @@ impl SweepService {
                 result.scenario = i;
                 self.metrics.hits += 1;
                 self.metrics.packets_saved += result.packets;
-                on_result(i, &result);
-                slots[i] = Some(result);
+                let outcome = PointOutcome::Completed(result);
+                on_outcome(i, &outcome);
+                slots[i] = Some(outcome);
             } else {
                 match pending.entry(key) {
                     std::collections::btree_map::Entry::Occupied(mut e) => {
@@ -239,6 +399,7 @@ impl SweepService {
             }
         }
 
+        let mut report = FaultReport::default();
         if !pending.is_empty() {
             let keys: Vec<&StoreKey> = pending.keys().collect();
             let reps: Vec<Scenario> = keys
@@ -248,47 +409,92 @@ impl SweepService {
             let runner = &self.runner;
             let store = &mut self.store;
             let metrics = &mut self.metrics;
+            let slots_ref = &mut slots;
+            let on_outcome_ref = &mut on_outcome;
             // Bridge the runner's Send-bound worker callback back onto
-            // this thread: workers push `(rep index, result)` into a
+            // this thread: workers push `(rep index, outcome)` into a
             // channel; the receive loop below does all store insertion
             // and user-callback work caller-side.
             let run_outcome = std::thread::scope(|scope| {
-                let (tx, rx) = mpsc::channel::<(usize, ScenarioResult)>();
+                let (tx, rx) = mpsc::channel::<(usize, PointOutcome)>();
                 let reps_ref = &reps;
                 let worker = scope.spawn(move || {
-                    runner.run_streaming(reps_ref, move |j, result| {
+                    runner.run_streaming_supervised(reps_ref, move |j, outcome| {
                         // A send fails only if the receiver is gone,
                         // i.e. the whole scope is unwinding already.
-                        let _ = tx.send((j, result));
+                        let _ = tx.send((j, outcome));
                     })
                 });
-                for (j, result) in rx {
-                    metrics.packets_simulated += result.packets;
-                    for (fanout, &i) in pending[keys[j]].iter().enumerate() {
-                        if fanout > 0 {
-                            metrics.packets_saved += result.packets;
+                for (j, outcome) in rx {
+                    match outcome {
+                        PointOutcome::Completed(result) => {
+                            metrics.packets_simulated += result.packets;
+                            for (fanout, &i) in pending[keys[j]].iter().enumerate() {
+                                if fanout > 0 {
+                                    metrics.packets_saved += result.packets;
+                                }
+                                let mut copy = result.clone();
+                                copy.scenario = i;
+                                let delivered = PointOutcome::Completed(copy);
+                                on_outcome_ref(i, &delivered);
+                                slots_ref[i] = Some(delivered);
+                            }
+                            // Stored with a neutral submission index, so
+                            // the disk record is independent of this
+                            // call's grid layout (hits rewrite the index
+                            // anyway).
+                            let mut canonical = result;
+                            canonical.scenario = 0;
+                            store.insert(keys[j].clone(), canonical);
                         }
-                        let mut copy = result.clone();
-                        copy.scenario = i;
-                        on_result(i, &copy);
-                        slots[i] = Some(copy);
+                        PointOutcome::Failed { message, .. } => {
+                            // Quarantines fan out too — every submission
+                            // index that asked for the failed coordinate
+                            // gets the typed failure. Nothing is stored.
+                            for &i in &pending[keys[j]] {
+                                let delivered = PointOutcome::Failed {
+                                    job: i,
+                                    message: message.clone(),
+                                };
+                                on_outcome_ref(i, &delivered);
+                                slots_ref[i] = Some(delivered);
+                            }
+                        }
                     }
-                    // Stored with a neutral submission index, so the
-                    // disk record is independent of this call's grid
-                    // layout (hits rewrite the index anyway).
-                    let mut canonical = result;
-                    canonical.scenario = 0;
-                    store.insert(keys[j].clone(), canonical);
                 }
-                worker
-                    .join()
-                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                // A panic on the runner's orchestration path is an
+                // engine bug, not a quarantine — keep it loud.
+                supervisor::propagate_join(worker.join())
             });
-            run_outcome?;
+            let runner_report = run_outcome?;
+            // Remap quarantines from dedup-grid indices to submission
+            // indices; the injected tally follows each copy.
+            let faults = self.runner.faults().cloned();
+            for q in &runner_report.quarantined {
+                let injected = faults
+                    .as_ref()
+                    .is_some_and(|f| f.fires(FaultSite::WorkerPanic, q.point as u64));
+                for &i in &pending[keys[q.point]] {
+                    report.quarantined.push(Quarantine {
+                        point: i,
+                        message: q.message.clone(),
+                    });
+                    report.injected_panics += u64::from(injected);
+                }
+            }
+            report.quarantined.sort_by_key(|q| q.point);
         }
 
-        self.metrics.store_io_errors = self.store.io_errors();
-        slots
+        let after = self.store_counters();
+        report.store_write_faults = after.write_faults - before.write_faults;
+        report.store_read_faults = after.read_faults - before.read_faults;
+        report.torn_writes = after.torn_writes - before.torn_writes;
+        report.corrupt_records = after.corrupt_records - before.corrupt_records;
+        report.store_retries = after.retries - before.retries;
+        report.store_io_errors = after.io_errors - before.io_errors;
+        report.store_evictions = after.evictions - before.evictions;
+        self.sync_store_metrics();
+        let outcomes = slots
             .into_iter()
             .map(|slot| {
                 slot.ok_or_else(|| {
@@ -298,6 +504,20 @@ impl SweepService {
                     )
                 })
             })
-            .collect()
+            .collect::<Result<Vec<PointOutcome>, RegistryError>>()?;
+        Ok((outcomes, report))
+    }
+
+    /// Mirrors the store's cumulative degradation counters into
+    /// [`ServiceMetrics`].
+    fn sync_store_metrics(&mut self) {
+        self.metrics.store_io_errors = self.store.io_errors();
+        self.metrics.store_retries = self.store.retries();
+        self.metrics.store_write_faults = self.store.write_faults();
+        self.metrics.store_read_faults = self.store.read_faults();
+        self.metrics.store_torn_writes = self.store.torn_writes();
+        self.metrics.store_corrupt_records = self.store.corrupt_records();
+        self.metrics.store_evictions = self.store.evictions();
+        self.metrics.store_compactions = self.store.compactions();
     }
 }

@@ -13,6 +13,25 @@
 //! the engine's bit-identity contract across a cold/warm split. Corrupt
 //! or foreign lines are skipped (and counted), never fatal: a store file
 //! is a cache, not a database.
+//!
+//! # Crash safety and degradation
+//!
+//! The store survives its own failure modes and counts every one:
+//!
+//! - a **torn final line** (a crash mid-append, or
+//!   [`crate::faults::FaultSite::TornWrite`] injection) is skipped at
+//!   load like any corrupt line, and the next successful append first
+//!   writes a newline so the torn tail can never merge with a healthy
+//!   record;
+//! - **transient IO errors** (organic or injected) get a bounded
+//!   deterministic retry — the backoff is expressed in attempt count
+//!   ([`STORE_ATTEMPTS`]), never in wall-clock, so a faulted run stays
+//!   bit-identical at any thread count;
+//! - a [`StoreBudget`] caps the record count and/or the mirrored file
+//!   size; over-budget records are evicted oldest-first and the file is
+//!   rewritten by **atomic compaction** (write a sibling temp file, then
+//!   rename), so a crash during compaction leaves the previous file
+//!   intact.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -25,7 +44,16 @@ use wilis_phy::PhyRate;
 use wilis_softphy::HintBin;
 
 use super::json::Json;
+use crate::faults::{occurrence_of, FaultInjector, FaultSite};
 use crate::scenario::{PacketStat, Scenario, ScenarioResult, StopMetric, StoppingRule};
+
+/// The bounded retry budget of one store operation: an append or load
+/// may fail (organically or by injection) at most `STORE_ATTEMPTS - 1`
+/// times before the store absorbs it as an IO error and degrades to
+/// in-memory for that record. The backoff between attempts is the
+/// attempt count itself — never a sleep — keeping faulted runs
+/// bit-identical at any thread count.
+pub const STORE_ATTEMPTS: u64 = 3;
 
 /// The execution-relevant identity of a stopping rule, with floats as
 /// bits so the key stays `Eq + Ord + Hash`. Two rules that differ in any
@@ -413,18 +441,77 @@ fn record_from_line(line: &str) -> Option<(StoreKey, ScenarioResult)> {
     ))
 }
 
+/// The eviction policy of a [`ResultStore`]: optional caps on the
+/// record count and on the mirrored file's size. `Default` is
+/// unbounded — the store never evicts, matching the pre-budget
+/// behavior bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreBudget {
+    /// Maximum records held (in memory and on disk); the oldest records
+    /// by insertion order are evicted first.
+    pub max_records: Option<u64>,
+    /// Maximum mirrored-file size in bytes; when an append pushes the
+    /// file past it, the store compacts and evicts oldest-first until
+    /// the rewritten file fits (the newest record is never evicted).
+    pub max_bytes: Option<u64>,
+}
+
+impl StoreBudget {
+    /// No limits — the store never evicts.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps the record count.
+    #[must_use]
+    pub fn with_max_records(mut self, n: u64) -> Self {
+        self.max_records = Some(n);
+        self
+    }
+
+    /// Caps the mirrored file size in bytes.
+    #[must_use]
+    pub fn with_max_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+}
+
+/// One memoized record plus its insertion stamp — the FIFO coordinate
+/// the eviction policy orders by.
+#[derive(Debug)]
+struct StoreEntry {
+    stamp: u64,
+    result: ScenarioResult,
+}
+
 /// The memoized result map, optionally mirrored to a JSON-lines file.
 ///
 /// Inserts append one line; loads replay the file (later records win, so
 /// an interrupted append at worst loses its own record). IO failures are
 /// counted, never fatal — a broken disk degrades the store to in-memory.
+/// See the module docs for the crash-safety and eviction behavior; every
+/// degradation event (skipped lines, IO errors, retries, injected
+/// faults, evictions, compactions) is exposed through a counter getter.
 #[derive(Debug, Default)]
 pub struct ResultStore {
-    map: BTreeMap<StoreKey, ScenarioResult>,
+    map: BTreeMap<StoreKey, StoreEntry>,
     path: Option<PathBuf>,
+    budget: StoreBudget,
+    faults: Option<FaultInjector>,
+    next_stamp: u64,
+    bytes_on_disk: u64,
+    tail_torn: bool,
     loaded: u64,
     skipped: u64,
     io_errors: u64,
+    retries: u64,
+    write_faults: u64,
+    read_faults: u64,
+    torn_writes: u64,
+    corrupt_records: u64,
+    evictions: u64,
+    compactions: u64,
 }
 
 impl ResultStore {
@@ -435,38 +522,93 @@ impl ResultStore {
 
     /// A store mirrored at `path`: existing records are loaded now and
     /// every insert appends a line. A missing file is an empty store; an
-    /// unreadable one counts an IO error and starts empty.
+    /// unreadable one counts an IO error and starts empty. Unbounded,
+    /// fault-free — see [`ResultStore::at_path_with`] for the knobs.
     pub fn at_path(path: impl Into<PathBuf>) -> Self {
+        Self::at_path_with(path, StoreBudget::unbounded(), None)
+    }
+
+    /// A mirrored store with an eviction [`StoreBudget`] and an optional
+    /// [`FaultInjector`] consulted at every store fault site. The load
+    /// itself runs under the bounded retry policy ([`STORE_ATTEMPTS`]);
+    /// a file whose final line is torn (no trailing newline) loads every
+    /// healthy record and arms the tail repair for the next append.
+    pub fn at_path_with(
+        path: impl Into<PathBuf>,
+        budget: StoreBudget,
+        faults: Option<FaultInjector>,
+    ) -> Self {
         let path = path.into();
         let mut store = Self {
             path: Some(path.clone()),
+            budget,
+            faults,
             ..Self::default()
         };
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                for line in text.lines() {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
+        let mut attempt: u64 = 0;
+        let text = loop {
+            let injected = matches!(&store.faults,
+                Some(f) if f.fires(FaultSite::StoreRead, attempt));
+            let outcome = if injected {
+                store.read_faults += 1;
+                Err(std::io::Error::other("injected store read fault"))
+            } else {
+                std::fs::read_to_string(&path)
+            };
+            match outcome {
+                Ok(text) => break text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break String::new(),
+                Err(_) => {
+                    attempt += 1;
+                    if attempt >= STORE_ATTEMPTS {
+                        store.io_errors += 1;
+                        break String::new();
                     }
-                    match record_from_line(line) {
-                        Some((key, result)) => {
-                            store.map.insert(key, result);
-                            store.loaded += 1;
-                        }
-                        None => store.skipped += 1,
-                    }
+                    store.retries += 1;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(_) => store.io_errors += 1,
+        };
+        store.bytes_on_disk = text.len() as u64;
+        store.tail_torn = !text.is_empty() && !text.ends_with('\n');
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match record_from_line(line) {
+                Some((key, result)) => {
+                    let stamp = store.next_stamp;
+                    store.next_stamp += 1;
+                    store.map.insert(key, StoreEntry { stamp, result });
+                    store.loaded += 1;
+                }
+                None => store.skipped += 1,
+            }
         }
+        store.enforce_budget();
         store
     }
 
     /// The mirrored file path, if any.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// The eviction budget in force.
+    pub fn budget(&self) -> StoreBudget {
+        self.budget
+    }
+
+    /// Installs (or clears) the fault injector consulted at the store's
+    /// fault sites. Loads already performed are unaffected.
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
+    }
+
+    /// Replaces the eviction budget and enforces it immediately.
+    pub fn set_budget(&mut self, budget: StoreBudget) {
+        self.budget = budget;
+        self.enforce_budget();
     }
 
     /// Records in the store.
@@ -484,35 +626,232 @@ impl ResultStore {
         self.loaded
     }
 
-    /// Corrupt/foreign lines skipped while loading.
+    /// Corrupt/foreign lines skipped while loading (a torn final line
+    /// counts here).
     pub fn skipped(&self) -> u64 {
         self.skipped
     }
 
-    /// IO failures absorbed (load or append).
+    /// IO failures absorbed after the retry budget (load or append).
     pub fn io_errors(&self) -> u64 {
         self.io_errors
     }
 
-    /// Looks up the memoized result for `key`.
-    pub fn get(&self, key: &StoreKey) -> Option<&ScenarioResult> {
-        self.map.get(key)
+    /// Deterministic retry attempts performed after a failed store
+    /// operation.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
-    /// Inserts (and, when mirrored, appends) one result.
+    /// Append attempts failed by injection
+    /// ([`FaultSite::StoreWrite`]).
+    pub fn write_faults(&self) -> u64 {
+        self.write_faults
+    }
+
+    /// Load attempts failed by injection ([`FaultSite::StoreRead`]).
+    pub fn read_faults(&self) -> u64 {
+        self.read_faults
+    }
+
+    /// Records written torn by injection ([`FaultSite::TornWrite`]).
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
+    /// Records written mangled by injection
+    /// ([`FaultSite::CorruptRecord`]).
+    pub fn corrupt_records(&self) -> u64 {
+        self.corrupt_records
+    }
+
+    /// Records evicted by the [`StoreBudget`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Atomic file compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// True when the mirrored file currently ends in a torn (unterminated)
+    /// line; the next successful append repairs it.
+    pub fn tail_torn(&self) -> bool {
+        self.tail_torn
+    }
+
+    /// The mirrored file's size in bytes as the store accounts it.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.bytes_on_disk
+    }
+
+    /// Looks up the memoized result for `key`.
+    pub fn get(&self, key: &StoreKey) -> Option<&ScenarioResult> {
+        self.map.get(key).map(|e| &e.result)
+    }
+
+    /// Inserts (and, when mirrored, appends) one result, then enforces
+    /// the eviction budget.
     pub fn insert(&mut self, key: StoreKey, result: ScenarioResult) {
-        if let Some(path) = &self.path {
+        if let Some(path) = self.path.clone() {
             let line = record_to_line(&key, &result);
-            let appended = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .and_then(|mut f| writeln!(f, "{line}"));
-            if appended.is_err() {
-                self.io_errors += 1;
+            self.append_line(&path, &line);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(key, StoreEntry { stamp, result });
+        self.enforce_budget();
+    }
+
+    /// Appends one record line under the fault plan and the bounded
+    /// retry policy. Torn and corrupt injections are content-addressed
+    /// (the occurrence index is the line's [`occurrence_of`] hash), so
+    /// the decision never depends on completion order.
+    fn append_line(&mut self, path: &Path, line: &str) {
+        let occ = occurrence_of(line.as_bytes());
+        let corrupt = matches!(&self.faults,
+            Some(f) if f.fires(FaultSite::CorruptRecord, occ));
+        let torn = matches!(&self.faults,
+            Some(f) if f.fires(FaultSite::TornWrite, occ));
+        let mut payload = line.as_bytes().to_vec();
+        if corrupt {
+            // Same length, unparsable: the mangled record must be
+            // skipped (and counted) at the next load.
+            self.corrupt_records += 1;
+            payload[0] = b'!';
+        }
+        let terminated = !torn;
+        if torn {
+            self.torn_writes += 1;
+            payload.truncate(payload.len() / 2);
+        }
+        let mut attempt: u64 = 0;
+        loop {
+            let injected = matches!(&self.faults,
+                Some(f) if f.fires(FaultSite::StoreWrite, attempt));
+            let outcome = if injected {
+                self.write_faults += 1;
+                Err(std::io::Error::other("injected store write fault"))
+            } else {
+                let lead = self.tail_torn;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| {
+                        if lead {
+                            // Repair the torn tail: a newline first, so
+                            // this record cannot merge with the torn
+                            // half-line before it.
+                            f.write_all(b"\n")?;
+                        }
+                        f.write_all(&payload)?;
+                        if terminated {
+                            f.write_all(b"\n")?;
+                        }
+                        Ok(())
+                    })
+            };
+            match outcome {
+                Ok(()) => {
+                    self.bytes_on_disk +=
+                        u64::from(self.tail_torn) + payload.len() as u64 + u64::from(terminated);
+                    self.tail_torn = !terminated;
+                    break;
+                }
+                Err(_) => {
+                    attempt += 1;
+                    if attempt >= STORE_ATTEMPTS {
+                        self.io_errors += 1;
+                        break;
+                    }
+                    self.retries += 1;
+                }
             }
         }
-        self.map.insert(key, result);
+    }
+
+    /// Evicts past the record budget and compacts the mirrored file when
+    /// eviction or the byte budget requires it.
+    fn enforce_budget(&mut self) {
+        let mut evicted = false;
+        if let Some(max) = self.budget.max_records {
+            while self.map.len() as u64 > max {
+                self.evict_oldest();
+                evicted = true;
+            }
+        }
+        let over_bytes = self
+            .budget
+            .max_bytes
+            .is_some_and(|max| self.bytes_on_disk > max);
+        if self.path.is_some() && (evicted || over_bytes) {
+            self.compact();
+        }
+    }
+
+    /// Removes the oldest record by insertion stamp.
+    fn evict_oldest(&mut self) {
+        let oldest = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| k.clone());
+        if let Some(key) = oldest {
+            self.map.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
+    /// Rewrites the mirrored file to exactly the live records, oldest
+    /// first, **atomically**: the new contents go to a sibling temp file
+    /// which is then renamed over the store — a crash mid-compaction
+    /// leaves the previous file intact. Under a byte budget, oldest
+    /// records are evicted until the rewritten file fits (the newest
+    /// record is never evicted). A no-op for in-memory stores.
+    pub fn compact(&mut self) {
+        let Some(path) = self.path.clone() else {
+            return;
+        };
+        let mut lines: Vec<(StoreKey, String, u64)> = self
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), record_to_line(k, &e.result), e.stamp))
+            .collect();
+        lines.sort_by_key(|(_, _, stamp)| *stamp);
+        if let Some(max) = self.budget.max_bytes {
+            let mut total: u64 = lines.iter().map(|(_, l, _)| l.len() as u64 + 1).sum();
+            while total > max && lines.len() > 1 {
+                let (key, line, _) = lines.remove(0);
+                total -= line.len() as u64 + 1;
+                self.map.remove(&key);
+                self.evictions += 1;
+            }
+        }
+        let mut buf = String::new();
+        for (_, line, _) in &lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        let tmp = {
+            let mut os = path.clone().into_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let written =
+            std::fs::write(&tmp, buf.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => {
+                self.bytes_on_disk = buf.len() as u64;
+                self.tail_torn = false;
+                self.compactions += 1;
+            }
+            Err(_) => {
+                self.io_errors += 1;
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
     }
 }
 

@@ -12,8 +12,9 @@ use wilis::channel::SnrDb;
 use wilis::experiment::{fig6, fig7};
 use wilis::phy::PhyRate;
 use wilis::scenario::{Scenario, StoppingRule, SweepGrid, SweepRunner};
-use wilis::service::{ResultStore, SweepService};
+use wilis::service::{ResultStore, StoreBudget, SweepService};
 use wilis::softphy::DecoderKind;
+use wilis::{FaultInjector, PointOutcome};
 
 /// A per-test temp store path that parallel test threads cannot collide
 /// on (process id x test-chosen tag).
@@ -355,6 +356,346 @@ fn packet_cap_honored_where_the_interval_never_closes() {
         let uncapped = &SweepRunner::new(1).run(&scenarios).unwrap()[0];
         assert_eq!(r.bit_errors, uncapped.bit_errors, "cap run == plain run");
     }
+}
+
+// ---- fault injection & crash-safe recovery -------------------------------
+
+#[test]
+fn injected_worker_panic_quarantines_one_point_at_any_thread_count() {
+    // A scheduled panic at one grid point must quarantine exactly that
+    // point — every other coordinate completes with its reference bits,
+    // the store holds every survivor, and the whole SupervisedSweep
+    // (outcomes + report) is identical at 1, 2, and 8 workers. Note the
+    // targeted occurrence index addresses the service's deduplicated
+    // rep grid (StoreKey order), not the submission order.
+    let scenarios = phy_grid();
+    let reference = SweepRunner::new(1).run(&scenarios).unwrap();
+    let inj = FaultInjector::from_spec("targeted:worker_panic=5").unwrap();
+    let mut baseline = None;
+    for threads in [1, 2, 8] {
+        let mut service = SweepService::new(SweepRunner::new(threads));
+        service.set_faults(Some(inj.clone()));
+        let sweep = service.run_supervised(&scenarios).unwrap();
+        assert_eq!(sweep.outcomes.len(), scenarios.len());
+        assert_eq!(sweep.report.quarantined.len(), 1, "{threads} threads");
+        assert_eq!(sweep.report.injected_panics, 1, "{threads} threads");
+        assert!(
+            sweep.report.quarantined[0]
+                .message
+                .contains("injected worker panic"),
+            "{:?}",
+            sweep.report
+        );
+        assert_eq!(
+            sweep.completed().count(),
+            scenarios.len() - 1,
+            "every non-quarantined point must deliver a result"
+        );
+        for (i, r) in sweep.completed() {
+            assert_eq!(
+                r, &reference[i],
+                "survivor {i} diverged at {threads} threads"
+            );
+        }
+        assert_eq!(
+            service.store().len(),
+            scenarios.len() - 1,
+            "only survivors are memoized"
+        );
+        match &baseline {
+            None => baseline = Some(sweep),
+            Some(b) => assert_eq!(&sweep, b, "{threads}-thread faulted sweep diverged"),
+        }
+    }
+}
+
+#[test]
+fn legacy_service_api_reports_a_quarantine_as_an_error() {
+    let scenarios = phy_grid();
+    let mut service = SweepService::new(SweepRunner::new(2));
+    service.set_faults(Some(
+        FaultInjector::from_spec("targeted:worker_panic=3").unwrap(),
+    ));
+    let err = service.run(&scenarios).unwrap_err();
+    assert!(
+        format!("{err}").contains("quarantined"),
+        "legacy run must surface the quarantine: {err}"
+    );
+}
+
+#[test]
+fn torn_final_line_loses_one_record_and_repairs_on_the_next_append() {
+    // Simulate a crash mid-append by truncating the file inside its last
+    // line: recovery loads every healthy record, counts the torn one as
+    // skipped, and the next append must not merge with the torn tail.
+    let path = temp_store("torn_tail");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..3];
+
+    let mut cold = SweepService::with_store(SweepRunner::new(1), ResultStore::at_path(&path));
+    cold.run(scenarios).unwrap();
+    drop(cold);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 3);
+    let keep = text.len() - text.lines().last().unwrap().len() / 2;
+    std::fs::write(&path, &text.as_bytes()[..keep]).unwrap();
+
+    let recovered = ResultStore::at_path(&path);
+    assert!(recovered.tail_torn(), "a truncated tail must be detected");
+    assert_eq!(recovered.loaded(), 2, "healthy records survive the tear");
+    assert_eq!(
+        recovered.skipped(),
+        1,
+        "the torn record is skipped, not fatal"
+    );
+
+    // Re-running the grid re-simulates only the lost point; its append
+    // must first terminate the torn half-line.
+    let mut repaired = SweepService::with_store(SweepRunner::new(1), recovered);
+    let reference = SweepRunner::new(1).run(scenarios).unwrap();
+    let got = repaired.run(scenarios).unwrap();
+    assert_eq!(got, reference);
+    assert_eq!(repaired.metrics().hits, 2);
+    assert_eq!(repaired.metrics().misses, 1);
+    drop(repaired);
+
+    let reloaded = ResultStore::at_path(&path);
+    assert_eq!(
+        reloaded.loaded(),
+        3,
+        "the repaired file carries all records"
+    );
+    assert_eq!(reloaded.skipped(), 1, "the torn half-line stays inert");
+    assert!(!reloaded.tail_torn());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_record_injection_is_counted_and_skipped_at_reload() {
+    let path = temp_store("corrupt");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..4];
+    let store = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("bernoulli:corrupt_record=1.0").unwrap()),
+    );
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    let sweep = service.run_supervised(scenarios).unwrap();
+    assert_eq!(sweep.completed().count(), scenarios.len());
+    assert_eq!(
+        sweep.report.corrupt_records,
+        scenarios.len() as u64,
+        "every append was mangled: {:?}",
+        sweep.report
+    );
+    drop(service);
+
+    let reloaded = ResultStore::at_path(&path);
+    assert_eq!(reloaded.loaded(), 0, "mangled records must not parse");
+    assert_eq!(reloaded.skipped(), scenarios.len() as u64);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_write_injection_leaves_only_skippable_half_lines() {
+    let path = temp_store("torn_all");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..4];
+    let store = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("bernoulli:torn_write=1.0").unwrap()),
+    );
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    let sweep = service.run_supervised(scenarios).unwrap();
+    assert_eq!(sweep.report.torn_writes, scenarios.len() as u64);
+    assert!(service.store().tail_torn());
+    drop(service);
+
+    let reloaded = ResultStore::at_path(&path);
+    assert_eq!(reloaded.loaded(), 0, "half-lines must not parse");
+    assert_eq!(reloaded.skipped(), scenarios.len() as u64);
+    assert!(reloaded.tail_torn(), "the last half-line has no newline");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn transient_write_faults_retry_and_the_file_stays_complete() {
+    // `targeted:store_write=0` fails the FIRST attempt of every append;
+    // the bounded retry policy must absorb it without losing a record.
+    let path = temp_store("write_retry");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..4];
+    let store = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("targeted:store_write=0").unwrap()),
+    );
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    let sweep = service.run_supervised(scenarios).unwrap();
+    assert_eq!(sweep.report.store_write_faults, scenarios.len() as u64);
+    assert_eq!(sweep.report.store_retries, scenarios.len() as u64);
+    assert_eq!(sweep.report.store_io_errors, 0);
+    drop(service);
+    assert_eq!(ResultStore::at_path(&path).loaded(), scenarios.len() as u64);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn exhausted_write_retries_degrade_to_counted_io_errors() {
+    // All three attempts of every append fail: the run must still return
+    // correct results — persistence degrades, computation does not.
+    let path = temp_store("write_exhaust");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..4];
+    let store = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("targeted:store_write=0+1+2").unwrap()),
+    );
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    let sweep = service.run_supervised(scenarios).unwrap();
+    assert_eq!(sweep.report.store_io_errors, scenarios.len() as u64);
+    let reference = SweepRunner::new(1).run(scenarios).unwrap();
+    for (i, r) in sweep.completed() {
+        assert_eq!(r, &reference[i], "results survive a dead store");
+    }
+    drop(service);
+    assert_eq!(
+        ResultStore::at_path(&path).loaded(),
+        0,
+        "nothing ever reached the disk"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn transient_and_exhausted_read_faults_at_load() {
+    let path = temp_store("read_retry");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..3];
+    let mut seeder = SweepService::with_store(SweepRunner::new(1), ResultStore::at_path(&path));
+    seeder.run(scenarios).unwrap();
+    drop(seeder);
+
+    // One transient fault: the retry recovers every record.
+    let transient = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("targeted:store_read=0").unwrap()),
+    );
+    assert_eq!(transient.loaded(), scenarios.len() as u64);
+    assert_eq!(transient.read_faults(), 1);
+    assert_eq!(transient.retries(), 1);
+    assert_eq!(transient.io_errors(), 0);
+
+    // Exhausted retries: the store starts empty and counts the IO error
+    // instead of failing construction.
+    let dead = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("targeted:store_read=0+1+2").unwrap()),
+    );
+    assert_eq!(dead.loaded(), 0);
+    assert_eq!(dead.io_errors(), 1);
+    assert_eq!(dead.read_faults(), 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn record_budget_evicts_oldest_and_compacts_the_file() {
+    let path = temp_store("budget");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..5];
+    let store =
+        ResultStore::at_path_with(&path, StoreBudget::unbounded().with_max_records(2), None);
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    let sweep = service.run_supervised(scenarios).unwrap();
+    assert_eq!(sweep.completed().count(), scenarios.len());
+    assert_eq!(service.store().len(), 2, "budget caps the live set");
+    assert_eq!(sweep.report.store_evictions, 3);
+    assert!(service.store().compactions() >= 1, "eviction must compact");
+    drop(service);
+
+    let reloaded = ResultStore::at_path(&path);
+    assert_eq!(
+        reloaded.loaded(),
+        2,
+        "the compacted file holds exactly the survivors"
+    );
+    assert_eq!(reloaded.skipped(), 0, "compaction writes whole lines");
+
+    // Shrinking the byte budget compacts again but never evicts the
+    // newest record.
+    let mut tight = reloaded;
+    tight.set_budget(StoreBudget::unbounded().with_max_bytes(1));
+    assert_eq!(tight.len(), 1, "byte budget keeps at least the newest");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_summary_carries_the_store_health_counters() {
+    let path = temp_store("summary");
+    let _ = std::fs::remove_file(&path);
+    let scenarios = &phy_grid()[..2];
+    let store = ResultStore::at_path_with(
+        &path,
+        StoreBudget::unbounded(),
+        Some(FaultInjector::from_spec("targeted:store_write=0").unwrap()),
+    );
+    let mut service = SweepService::with_store(SweepRunner::new(1), store);
+    service.run_supervised(scenarios).unwrap();
+    let metrics = service.metrics();
+    assert_eq!(metrics.store_retries, service.store().retries());
+    assert_eq!(metrics.store_write_faults, service.store().write_faults());
+    let summary = metrics.summary();
+    assert!(summary.contains("store:"), "{summary}");
+    assert!(summary.contains("retries"), "{summary}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn disabled_injector_leaves_the_service_bit_identical() {
+    // Strict generalization at the service layer: a wired-but-disabled
+    // injector must not perturb a single bit or count a single event.
+    let scenarios = phy_grid();
+    let mut plain = SweepService::new(SweepRunner::new(2));
+    let reference = plain.run(&scenarios).unwrap();
+
+    let mut wired = SweepService::new(SweepRunner::new(2));
+    wired.set_faults(Some(FaultInjector::disabled()));
+    let sweep = wired.run_supervised(&scenarios).unwrap();
+    assert!(sweep.report.is_clean(), "{:?}", sweep.report);
+    let results: Vec<_> = sweep
+        .outcomes
+        .iter()
+        .map(|o| o.result().expect("no faults, no failures").clone())
+        .collect();
+    assert_eq!(results, reference);
+}
+
+#[test]
+fn streaming_supervised_delivers_every_outcome_once() {
+    let scenarios = phy_grid();
+    let mut service = SweepService::new(SweepRunner::new(2));
+    service.set_faults(Some(
+        FaultInjector::from_spec("targeted:worker_panic=2").unwrap(),
+    ));
+    let mut seen = vec![0u32; scenarios.len()];
+    let mut failed = 0u32;
+    let sweep = service
+        .run_streaming_supervised(&scenarios, |i, outcome| {
+            seen[i] += 1;
+            if let PointOutcome::Failed { .. } = outcome {
+                failed += 1;
+            }
+        })
+        .unwrap();
+    assert!(seen.iter().all(|&n| n == 1), "cardinality: {seen:?}");
+    assert_eq!(failed, 1);
+    assert_eq!(sweep.report.quarantined.len(), 1);
 }
 
 #[test]

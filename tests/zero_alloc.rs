@@ -21,6 +21,7 @@ use wilis::mac::link::{LinkContext, Oracle};
 use wilis::mac::{HarqConfig, HarqLink, LinkPolicy};
 use wilis::phy::{PhyRate, PhyScratch, Receiver, RxResult, Transmitter};
 use wilis::scenario::{SweepGrid, SweepRunner};
+use wilis::FaultInjector;
 
 #[global_allocator]
 static COUNTER: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
@@ -177,6 +178,59 @@ fn fused_sweep_inner_loop_allocates_nothing_per_packet() {
         "doubling the packet budget changed the bytes requested \
          ({bytes_small} vs {bytes_large}): the fused inner loop allocates \
          per packet"
+    );
+}
+
+/// The supervised happy path — the `catch_unwind` boundary, the fault
+/// checks, the outcome slots, and the report — must cost only per-job
+/// overhead, never per-packet: doubling the packet budget through
+/// `run_supervised` with a wired-but-disabled injector must not change
+/// the allocation count or the bytes requested. Delta equality, like the
+/// fused-sweep proof above, because the sweep spawns worker threads.
+#[test]
+fn supervised_sweep_happy_path_allocates_nothing_per_packet() {
+    let _serial = alloc_count::lock();
+    let grid = |packets: u32| {
+        SweepGrid::new()
+            .rates(&[RATE])
+            .decoders(&["viterbi", "sova", "bcjr"])
+            .snrs_db(&[10.0])
+            .seeds(&[9])
+            .packets(packets)
+            .payload_bits(PAYLOAD_BITS)
+            .scenarios()
+    };
+    let runner = SweepRunner::new(1).with_faults(Some(FaultInjector::disabled()));
+
+    // Warm-up run: one-time statics (constellation tables, registries).
+    runner.run_supervised(&grid(4)).expect("stock names");
+
+    let before_small = global_allocs();
+    let before_small_bytes = global_alloc_bytes();
+    let small = runner.run_supervised(&grid(40)).expect("stock names");
+    let delta_small = global_allocs() - before_small;
+    let bytes_small = global_alloc_bytes() - before_small_bytes;
+
+    let before_large = global_allocs();
+    let before_large_bytes = global_alloc_bytes();
+    let large = runner.run_supervised(&grid(80)).expect("stock names");
+    let delta_large = global_allocs() - before_large;
+    let bytes_large = global_alloc_bytes() - before_large_bytes;
+
+    assert!(small.report.is_clean() && large.report.is_clean());
+    assert_eq!(small.completed().count(), 3);
+    assert!(large.completed().all(|(_, r)| r.packets == 80));
+    assert_eq!(
+        delta_small, delta_large,
+        "doubling the packet budget changed the supervised allocation \
+         count ({delta_small} vs {delta_large}): the supervisor allocates \
+         per packet"
+    );
+    assert_eq!(
+        bytes_small, bytes_large,
+        "doubling the packet budget changed the supervised bytes requested \
+         ({bytes_small} vs {bytes_large}): the supervisor allocates per \
+         packet"
     );
 }
 

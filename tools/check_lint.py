@@ -17,6 +17,7 @@ RULES = [
     "wall-clock",
     "no-alloc",
     "panic-policy",
+    "supervised-unwind",
     "forbid-unsafe",
     "pragma",
 ]
